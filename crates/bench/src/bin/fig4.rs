@@ -1,0 +1,62 @@
+//! Figure 4: servlet scaling under denial of service.
+//!
+//! Six series over the number of servlets: IBM/1, IBM/n, KaffeOS, each
+//! with and without a MemHog. The y value is the (virtual) time for the
+//! non-MemHog servlets to correctly respond to 1000 client requests —
+//! note the log scale in the paper.
+//!
+//! Usage: `cargo run --release -p kaffeos-bench --bin fig4 [--quick]`
+
+use kaffeos_bench::{quick_mode, rule};
+use kaffeos_workloads::{run_servlet_experiment, Deployment, ServletParams};
+
+fn main() {
+    let quick = quick_mode();
+    let sweep: Vec<usize> = if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 5, 10, 20, 30, 40, 60, 80]
+    };
+    let requests = if quick { 120 } else { 1000 };
+
+    let series: [(&str, Deployment, bool); 6] = [
+        ("IBM/1", Deployment::VmPerServlet, false),
+        ("IBM/n", Deployment::MonolithicShared, false),
+        ("KaffeOS", Deployment::KaffeOsProcs, false),
+        ("IBM/1,MemHog", Deployment::VmPerServlet, true),
+        ("IBM/n,MemHog", Deployment::MonolithicShared, true),
+        ("KaffeOS,MemHog", Deployment::KaffeOsProcs, true),
+    ];
+
+    println!("Figure 4: time for good servlets to answer {requests} requests");
+    println!("(virtual seconds; the paper plots this on a log scale)");
+    print!("{:<16}", "series");
+    for &n in &sweep {
+        print!("{n:>10}");
+    }
+    println!();
+    rule(16 + 10 * sweep.len());
+
+    for (name, deployment, with_memhog) in series {
+        print!("{name:<16}");
+        for &servlets in &sweep {
+            let mut params = ServletParams::figure4(deployment, servlets, with_memhog);
+            params.total_requests = requests;
+            let outcome = run_servlet_experiment(params);
+            assert_eq!(
+                outcome.requests_served, requests,
+                "{name} at {servlets} servlets only served {}",
+                outcome.requests_served
+            );
+            print!("{:>10.2}", outcome.virtual_seconds);
+        }
+        println!();
+    }
+
+    println!();
+    println!("shapes to check against the paper:");
+    println!("  - KaffeOS: consistent with or without MemHog (slight growth)");
+    println!("  - IBM/n: best when clean; ~100x worse under MemHog, improving");
+    println!("    as the good:bad servlet ratio grows");
+    println!("  - IBM/1: flat until ~25 VMs, then thrashes (256MB / ~10MB per JVM)");
+}

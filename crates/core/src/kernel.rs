@@ -1,0 +1,1503 @@
+//! The KaffeOS kernel: process table, scheduler, syscall dispatch, GC
+//! policy, and the termination protocol.
+//!
+//! The kernel is the trusted half of Figure 1. Guest code runs in user mode
+//! and can be terminated at any safe point; kernel services (everything in
+//! this file) run atomically with respect to the green-thread scheduler, so
+//! kernel data structures are never left inconsistent by a termination —
+//! the deferred-termination rule falls out of the quantum structure, and
+//! threads additionally carry a `kernel_depth` that defers kills while set.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use kaffeos_heap::{
+    costs, BarrierKind, BarrierStats, HeapId, HeapSpace, ObjRef, ProcTag, SpaceConfig, Value,
+};
+use kaffeos_memlimit::Kind;
+use kaffeos_vm::{
+    step, ClassDef, ClassTable, Engine, ExecCtx, RunExit, Thread, ThreadState, VmException,
+};
+
+use crate::process::{CpuAccount, ExitStatus, ParkReason, Pid, ProcState, Process, SpawnOpts};
+use crate::shm::{SharedHeap, ShmRegistry};
+use crate::stdlib;
+use crate::syscalls::{build_registry, sysno};
+
+/// Fixed kernel-entry cost per syscall, in cycles.
+const SYSCALL_BASE_CYCLES: u64 = 300;
+/// Upper bound on objects in one shared heap.
+const SHM_MAX_OBJECTS: i64 = 1 << 20;
+
+/// Kernel configuration.
+#[derive(Debug, Clone)]
+pub struct KaffeOsConfig {
+    /// Write-barrier implementation (§4.1). `BarrierKind::None` disables
+    /// isolation and is only meaningful together with `monolithic`.
+    pub barrier: BarrierKind,
+    /// Execution engine / cycle model (Figure 3 platforms).
+    pub engine: Engine,
+    /// Root memlimit for all user processes, bytes.
+    pub user_budget: u64,
+    /// Default per-process memory limit, bytes.
+    pub default_process_limit: u64,
+    /// Scheduler time slice in cycles.
+    pub time_slice: u64,
+    /// Run all guests on one heap with no per-process limits — the
+    /// "commercial JVM without processes" baseline (IBM/n in Figure 4).
+    pub monolithic: bool,
+    /// Kernel GC cycle period in clock cycles (orphan check + kernel heap
+    /// collection, §2).
+    pub kernel_gc_period: u64,
+}
+
+impl Default for KaffeOsConfig {
+    fn default() -> Self {
+        KaffeOsConfig {
+            barrier: BarrierKind::NoHeapPointer,
+            engine: Engine::KAFFEOS,
+            user_budget: 256 << 20,
+            default_process_limit: 16 << 20,
+            time_slice: 50_000,
+            monolithic: false,
+            kernel_gc_period: 50_000_000,
+        }
+    }
+}
+
+impl KaffeOsConfig {
+    /// The full KaffeOS configuration with a given barrier variant.
+    pub fn kaffeos(barrier: BarrierKind) -> Self {
+        KaffeOsConfig {
+            barrier,
+            ..Default::default()
+        }
+    }
+
+    /// A monolithic baseline VM with the given engine (no barriers, no
+    /// per-process heaps or limits) capped at `heap_limit` bytes.
+    pub fn monolithic(engine: Engine, heap_limit: u64) -> Self {
+        KaffeOsConfig {
+            barrier: BarrierKind::None,
+            engine,
+            user_budget: heap_limit,
+            default_process_limit: heap_limit,
+            monolithic: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Kernel errors (not guest-visible exceptions).
+#[derive(Debug)]
+pub enum KernelError {
+    /// An image failed to compile at registration time.
+    Compile(kaffeos_cupc::CompileError),
+    /// Class loading/verification failed.
+    Vm(kaffeos_vm::VmError),
+    /// Spawn of an unregistered image.
+    UnknownImage(String),
+    /// Operation on a pid that was never spawned.
+    UnknownPid(Pid),
+    /// The image has no usable `main` entry point.
+    BadEntry(String),
+    /// An image was registered twice under one name.
+    DuplicateImage(String),
+    /// The machine budget cannot cover the request (e.g. a hard
+    /// reservation at spawn).
+    OutOfMemory,
+}
+
+impl core::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelError::Compile(e) => write!(f, "compile error: {e}"),
+            KernelError::Vm(e) => write!(f, "vm error: {e}"),
+            KernelError::UnknownImage(n) => write!(f, "unknown image {n}"),
+            KernelError::UnknownPid(p) => write!(f, "unknown pid {p:?}"),
+            KernelError::BadEntry(e) => write!(f, "bad entry point {e}"),
+            KernelError::DuplicateImage(n) => write!(f, "duplicate image {n}"),
+            KernelError::OutOfMemory => write!(f, "out of memory"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<kaffeos_cupc::CompileError> for KernelError {
+    fn from(e: kaffeos_cupc::CompileError) -> Self {
+        KernelError::Compile(e)
+    }
+}
+
+impl From<kaffeos_vm::VmError> for KernelError {
+    fn from(e: kaffeos_vm::VmError) -> Self {
+        KernelError::Vm(e)
+    }
+}
+
+/// Per-process view in a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct ProcessReport {
+    /// Process id.
+    pub pid: Pid,
+    /// `image#pid` label.
+    pub name: String,
+    /// Exit status, or `None` if still live.
+    pub status: Option<ExitStatus>,
+    /// CPU account (exec / GC / kernel cycles).
+    pub cpu: CpuAccount,
+    /// Lines printed via `sys.print`.
+    pub stdout: Vec<String>,
+}
+
+/// Result of a [`KaffeOs::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Global virtual clock at the end of the run, in cycles.
+    pub clock: u64,
+    /// `clock` converted at the modelled 500 MHz.
+    pub virtual_seconds: f64,
+    /// One report per process ever spawned, in pid order.
+    pub processes: Vec<ProcessReport>,
+    /// Write-barrier counters (Table 1).
+    pub barrier: BarrierStats,
+    /// Kernel CPU (kernel-heap GC, orphan merging).
+    pub kernel_cpu: CpuAccount,
+    /// True if runnable work remained but every thread was parked.
+    pub deadlocked: bool,
+    /// Scheduler quanta executed.
+    pub quanta: u64,
+}
+
+/// The KaffeOS virtual machine: kernel + scheduler + heaps + classes.
+pub struct KaffeOs {
+    pub(crate) space: HeapSpace,
+    pub(crate) table: ClassTable,
+    config: KaffeOsConfig,
+    shared_ns: u32,
+    /// Namespace used to type-check images at registration time.
+    template_ns: u32,
+    string_class: kaffeos_vm::ClassIdx,
+    monitors: HashMap<ObjRef, (u32, u32)>,
+    procs: Vec<Process>,
+    run_queue: VecDeque<(Pid, usize)>,
+    clock: u64,
+    quanta: u64,
+    programs: HashMap<String, Arc<Vec<Arc<ClassDef>>>>,
+    reloaded_defs: Vec<Arc<ClassDef>>,
+    shm: ShmRegistry,
+    kernel_cpu: CpuAccount,
+    next_thread_id: u32,
+    last_kernel_gc: u64,
+    /// Monolithic mode: the single heap, namespace, and shared tables.
+    mono_heap: Option<HeapId>,
+    mono_ns: u32,
+    mono_statics: HashMap<kaffeos_vm::ClassIdx, ObjRef>,
+    mono_intern: HashMap<String, ObjRef>,
+    /// Number of classes in the shared namespace (for the §3.2 ratio).
+    shared_class_count: usize,
+}
+
+impl KaffeOs {
+    /// Boots a VM: heap space, shared namespace, standard library.
+    pub fn new(config: KaffeOsConfig) -> Self {
+        let mut space = HeapSpace::new(SpaceConfig {
+            barrier: config.barrier,
+            user_budget: config.user_budget,
+        });
+        let mut table = ClassTable::new(build_registry());
+        let shared_ns = table.create_namespace("shared", None);
+        let shared_class_count =
+            stdlib::load_shared_stdlib(&mut table, shared_ns).expect("stdlib must load");
+        // Template namespace: shared + reloaded classes, for compiling
+        // images at registration time.
+        let template_ns = table.create_namespace("template", Some(shared_ns));
+        let reloaded_defs: Vec<Arc<ClassDef>> = stdlib::compile_reloaded(&table, template_ns)
+            .expect("reloaded stdlib must compile")
+            .into_iter()
+            .map(|d| d.into_arc())
+            .collect();
+        for def in &reloaded_defs {
+            table
+                .load_class(template_ns, def.clone())
+                .expect("reloaded stdlib must load");
+        }
+        let string_class = table.lookup(shared_ns, "String").expect("String loaded");
+
+        let mono_heap = if config.monolithic {
+            let root = space.root_memlimit();
+            let ml = space
+                .limits_mut()
+                .create_child(root, Kind::Soft, config.user_budget, "mono")
+                .expect("mono memlimit");
+            Some(space.create_user_heap(ProcTag(u32::MAX), ml, "mono"))
+        } else {
+            None
+        };
+        let mono_ns = if config.monolithic {
+            let ns = table.create_namespace("mono", Some(shared_ns));
+            ns
+        } else {
+            template_ns
+        };
+        if config.monolithic {
+            // Monolithic mode still gets Console/Random — once, shared by
+            // all guests (that sharing is exactly the unsafety).
+            let defs = stdlib::compile_reloaded(&table, mono_ns).expect("reloaded compile");
+            for def in defs {
+                table
+                    .load_class(mono_ns, def.into_arc())
+                    .expect("reloaded stdlib must load");
+            }
+        }
+
+        KaffeOs {
+            space,
+            table,
+            config,
+            shared_ns,
+            template_ns,
+            string_class,
+            monitors: HashMap::new(),
+            procs: Vec::new(),
+            run_queue: VecDeque::new(),
+            clock: 0,
+            quanta: 0,
+            programs: HashMap::new(),
+            reloaded_defs,
+            shm: ShmRegistry::new(),
+            kernel_cpu: CpuAccount::default(),
+            next_thread_id: 1,
+            last_kernel_gc: 0,
+            mono_heap,
+            mono_ns,
+            mono_statics: HashMap::new(),
+            mono_intern: HashMap::new(),
+            shared_class_count,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KaffeOsConfig {
+        &self.config
+    }
+
+    /// Loads additional classes into the **shared namespace** (e.g. the
+    /// shared message types processes communicate through).
+    pub fn load_shared_source(&mut self, source: &str) -> Result<(), KernelError> {
+        let defs = kaffeos_cupc::compile(source, &self.table, self.shared_ns)?;
+        for def in defs {
+            self.table.load_class(self.shared_ns, def.into_arc())?;
+            self.shared_class_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Registers a program image from Cup source. The image is compiled
+    /// and type-checked once against the template namespace; every spawn
+    /// reloads its classes into the new process' namespace.
+    pub fn register_image(&mut self, name: &str, source: &str) -> Result<(), KernelError> {
+        if self.programs.contains_key(name) {
+            return Err(KernelError::DuplicateImage(name.to_string()));
+        }
+        let defs = kaffeos_cupc::compile(source, &self.table, self.template_ns)?;
+        self.programs.insert(
+            name.to_string(),
+            Arc::new(defs.into_iter().map(|d| d.into_arc()).collect()),
+        );
+        Ok(())
+    }
+
+    /// Registers a pre-built image (tests and benches).
+    pub fn register_image_defs(&mut self, name: &str, defs: Vec<ClassDef>) {
+        self.programs.insert(
+            name.to_string(),
+            Arc::new(defs.into_iter().map(|d| d.into_arc()).collect()),
+        );
+    }
+
+    /// Spawns a process from a registered image with default CPU policy;
+    /// `limit` overrides the default per-process memory limit. See
+    /// [`KaffeOs::spawn_with`] for the full resource policy surface.
+    pub fn spawn(
+        &mut self,
+        image: &str,
+        args: &str,
+        limit: Option<u64>,
+    ) -> Result<Pid, KernelError> {
+        self.spawn_with(
+            image,
+            args,
+            SpawnOpts {
+                mem_limit: limit,
+                ..SpawnOpts::default()
+            },
+        )
+    }
+
+    /// Spawns a process from a registered image, entering the image's
+    /// `main(String)` (or `main()` / `main(int)`) with `args`, under the
+    /// given resource policy: memory limit (soft or hard/reserved), CPU
+    /// budget, and proportional CPU share.
+    pub fn spawn_with(
+        &mut self,
+        image: &str,
+        args: &str,
+        opts: SpawnOpts,
+    ) -> Result<Pid, KernelError> {
+        let defs = self
+            .programs
+            .get(image)
+            .cloned()
+            .ok_or_else(|| KernelError::UnknownImage(image.to_string()))?;
+        let pid = Pid(self.procs.len() as u32 + 1);
+        let label = format!("{image}#{}", pid.0);
+
+        let (heap, memlimit, ns) = if self.config.monolithic {
+            // Load image classes once into the single namespace.
+            if self.table.lookup(self.mono_ns, "Main").is_none() || !self.image_loaded_mono(&defs) {
+                for def in defs.iter() {
+                    // Ignore duplicate-class errors: a second spawn of the
+                    // same image reuses the loaded classes.
+                    match self.table.load_class(self.mono_ns, def.clone()) {
+                        Ok(_) => {}
+                        Err(kaffeos_vm::VmError::DuplicateClass(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            (self.mono_heap.expect("mono heap"), None, self.mono_ns)
+        } else {
+            let root = self.space.root_memlimit();
+            let bytes = opts.mem_limit.unwrap_or(self.config.default_process_limit);
+            let kind = if opts.mem_hard {
+                Kind::Hard
+            } else {
+                Kind::Soft
+            };
+            let ml = self
+                .space
+                .limits_mut()
+                .create_child(root, kind, bytes, label.clone())
+                .map_err(|_| KernelError::OutOfMemory)?;
+            let heap = self
+                .space
+                .create_user_heap(ProcTag(pid.0), ml, label.clone());
+            let ns = self
+                .table
+                .create_namespace(label.clone(), Some(self.shared_ns));
+            // Reloaded standard-library classes: per-process copies (§3.2).
+            for def in self.reloaded_defs.clone() {
+                self.table.load_class(ns, def)?;
+            }
+            for def in defs.iter() {
+                self.table.load_class(ns, def.clone())?;
+            }
+            (heap, Some(ml), ns)
+        };
+
+        let mut proc = Process {
+            pid,
+            name: label,
+            image: image.to_string(),
+            state: ProcState::Running,
+            heap,
+            memlimit,
+            ns,
+            statics: HashMap::new(),
+            intern: HashMap::new(),
+            threads: Vec::new(),
+            parked: HashMap::new(),
+            cpu: CpuAccount::default(),
+            stdout: Vec::new(),
+            rng: 0x9E3779B97F4A7C15u64 ^ (pid.0 as u64) << 17,
+            waiters: Vec::new(),
+            charged_shm: Vec::new(),
+            exit_code: None,
+            cpu_limit: opts.cpu_limit,
+            cpu_share: opts.cpu_share.max(1),
+            cpu_overrun: false,
+            net_bps: opts.net_bps,
+            net_sent: 0,
+            net_busy_until: 0,
+        };
+
+        // Resolve the entry point: the image's class that declares a static
+        // `main` (conventionally `Main`, but images sharing a monolithic
+        // namespace need distinct entry class names).
+        let entry_name = defs
+            .iter()
+            .find(|d| d.methods.iter().any(|m| m.name == "main" && m.is_static))
+            .map(|d| d.name.clone())
+            .ok_or_else(|| KernelError::BadEntry("image declares no static main".to_string()))?;
+        let main_class = self
+            .table
+            .lookup(ns, &entry_name)
+            .ok_or_else(|| KernelError::BadEntry(format!("no class {entry_name}")))?;
+        let midx = self
+            .table
+            .find_method(main_class, "main")
+            .ok_or_else(|| KernelError::BadEntry(format!("no method {entry_name}.main")))?;
+        let m = self.table.method(midx);
+        if !m.is_static {
+            return Err(KernelError::BadEntry(
+                "Main.main must be static".to_string(),
+            ));
+        }
+        let thread_args: Vec<Value> = match m.params.as_slice() {
+            [] => vec![],
+            [kaffeos_vm::TypeDesc::Str] => {
+                let s = self
+                    .space
+                    .alloc_str(heap, self.string_class.heap_class(), args)
+                    .map_err(|_| KernelError::OutOfMemory)?;
+                vec![Value::Ref(s)]
+            }
+            [kaffeos_vm::TypeDesc::Int] => {
+                vec![Value::Int(args.trim().parse::<i64>().unwrap_or(0))]
+            }
+            other => {
+                return Err(KernelError::BadEntry(format!(
+                    "unsupported Main.main signature {other:?}"
+                )))
+            }
+        };
+        let tid = self.next_thread_id;
+        self.next_thread_id += 1;
+        proc.threads
+            .push(Thread::new(tid, &self.table, midx, thread_args));
+        self.procs.push(proc);
+        self.run_queue.push_back((pid, 0));
+        Ok(pid)
+    }
+
+    fn image_loaded_mono(&self, defs: &Arc<Vec<Arc<ClassDef>>>) -> bool {
+        defs.iter()
+            .all(|d| self.table.lookup(self.mono_ns, &d.name).is_some())
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    fn proc_index(&self, pid: Pid) -> Option<usize> {
+        let idx = pid.0.checked_sub(1)? as usize;
+        (idx < self.procs.len()).then_some(idx)
+    }
+
+    /// Process state.
+    pub fn status(&self, pid: Pid) -> Option<ExitStatus> {
+        let idx = self.proc_index(pid)?;
+        match &self.procs[idx].state {
+            ProcState::Dead(status) => Some(status.clone()),
+            _ => None,
+        }
+    }
+
+    /// Lines printed by the process so far.
+    pub fn stdout(&self, pid: Pid) -> &[String] {
+        self.proc_index(pid)
+            .map(|i| self.procs[i].stdout.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// CPU account of a process.
+    pub fn cpu(&self, pid: Pid) -> CpuAccount {
+        self.proc_index(pid)
+            .map(|i| self.procs[i].cpu)
+            .unwrap_or_default()
+    }
+
+    /// Global virtual clock in cycles.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Virtual seconds at the modelled 500 MHz clock.
+    pub fn virtual_seconds(&self) -> f64 {
+        costs::cycles_to_seconds(self.clock)
+    }
+
+    /// Write-barrier counters (Table 1).
+    pub fn barrier_stats(&self) -> BarrierStats {
+        self.space.barrier_stats()
+    }
+
+    /// Resets barrier counters (between benchmark configurations).
+    pub fn reset_barrier_stats(&mut self) {
+        self.space.reset_barrier_stats();
+    }
+
+    /// Direct heap-space access for tests and benches.
+    pub fn space(&self) -> &HeapSpace {
+        &self.space
+    }
+
+    /// Shared/reloaded class counts for the §3.2 sharing ratio.
+    pub fn class_sharing_counts(&self) -> (usize, usize) {
+        (self.shared_class_count, stdlib::RELOADED_CLASSES.len())
+    }
+
+    /// The shared-heap registry (read-only view).
+    pub fn shm_registry(&self) -> &ShmRegistry {
+        &self.shm
+    }
+
+    /// True if the process is still live.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.proc_index(pid)
+            .map(|i| !matches!(self.procs[i].state, ProcState::Dead(_)))
+            .unwrap_or(false)
+    }
+
+    // ---- termination (§2, "Safe termination of processes") -----------------
+
+    /// Requests termination of a process. User-mode threads die at their
+    /// next safe point; threads inside the kernel (non-zero `kernel_depth`)
+    /// die when they leave it; parked threads die immediately (they are at
+    /// a safe point by construction).
+    pub fn kill(&mut self, pid: Pid) -> Result<(), KernelError> {
+        let idx = self.proc_index(pid).ok_or(KernelError::UnknownPid(pid))?;
+        if matches!(self.procs[idx].state, ProcState::Dead(_)) {
+            return Ok(());
+        }
+        self.procs[idx].state = ProcState::Dying;
+        for t in &mut self.procs[idx].threads {
+            t.kill_requested = true;
+        }
+        // Parked / monitor-blocked threads sit at a safe point between
+        // quanta: finish them now unless they are in kernel mode.
+        let parked: Vec<usize> = self.procs[idx]
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| {
+                (matches!(t.state, ThreadState::Blocked(_))
+                    || self.procs[idx].parked.contains_key(i))
+                    && t.kernel_depth == 0
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for i in parked {
+            let t = &mut self.procs[idx].threads[i];
+            for m in t.held_monitors.drain(..) {
+                self.monitors.remove(&m);
+            }
+            t.frames.clear();
+            t.state = ThreadState::Done;
+            self.procs[idx].parked.remove(&i);
+        }
+        if self.procs[idx].all_threads_done() {
+            self.reap(pid, ExitStatus::Killed);
+        }
+        Ok(())
+    }
+
+    /// Reclaims a finished process: credits its shared-heap charges, merges
+    /// its heap into the kernel heap (full reclamation, §2), removes its
+    /// memlimit, and wakes waiters.
+    fn reap(&mut self, pid: Pid, status: ExitStatus) {
+        let idx = self.proc_index(pid).expect("reaping unknown pid");
+        debug_assert!(!matches!(self.procs[idx].state, ProcState::Dead(_)));
+
+        // Release any monitors still held by (now dead) threads.
+        let held: Vec<ObjRef> = self.procs[idx]
+            .threads
+            .iter_mut()
+            .flat_map(|t| t.held_monitors.drain(..).collect::<Vec<_>>())
+            .collect();
+        for m in held {
+            self.monitors.remove(&m);
+        }
+
+        // Credit the shared-heap charges ("sharers do not have to be
+        // charged asynchronously if another sharer exits").
+        let charged = self.shm.charged_to(pid);
+        for name in charged {
+            if let Some(size) = self.shm.remove_sharer(&name, pid) {
+                if let Some(ml) = self.procs[idx].memlimit {
+                    self.space
+                        .limits_mut()
+                        .credit(ml, size)
+                        .expect("shm charge was debited");
+                }
+            }
+        }
+
+        if !self.config.monolithic {
+            // Merge the heap; everything unreachable becomes kernel garbage
+            // collected by the next kernel GC cycle.
+            let heap = self.procs[idx].heap;
+            let report = self
+                .space
+                .merge_into_kernel(heap)
+                .expect("merge of a live process heap");
+            self.kernel_cpu.gc += report.cycles;
+            self.clock += report.cycles;
+            if let Some(ml) = self.procs[idx].memlimit {
+                self.space
+                    .limits_mut()
+                    .drain_and_remove(ml)
+                    .expect("memlimit removable after merge");
+            }
+            self.procs[idx].memlimit = None;
+        }
+
+        // Class unloading: the dead process' namespace stops resolving
+        // (shared classes are unaffected; monolithic mode shares one
+        // namespace, which must outlive any single guest).
+        if !self.config.monolithic {
+            self.table.drop_namespace(self.procs[idx].ns);
+        }
+        self.procs[idx].statics.clear();
+        self.procs[idx].intern.clear();
+        self.procs[idx].parked.clear();
+        let status = if self.procs[idx].cpu_overrun && status == ExitStatus::Killed {
+            ExitStatus::CpuLimitExceeded
+        } else {
+            status
+        };
+        self.procs[idx].state = ProcState::Dead(status.clone());
+
+        // Wake waiters with the exit code.
+        let waiters = std::mem::take(&mut self.procs[idx].waiters);
+        let code = status.wait_code();
+        for (wpid, wtidx) in waiters {
+            if let Some(widx) = self.proc_index(wpid) {
+                if matches!(self.procs[widx].state, ProcState::Dead(_)) {
+                    continue;
+                }
+                self.procs[widx].parked.remove(&wtidx);
+                let t = &mut self.procs[widx].threads[wtidx];
+                t.kernel_depth = t.kernel_depth.saturating_sub(1);
+                t.resume_with(Some(Value::Int(code)));
+                self.run_queue.push_back((wpid, wtidx));
+            }
+        }
+    }
+
+    // ---- garbage collection -------------------------------------------------
+
+    /// Collects one process' heap, charging the cycles to that process
+    /// (§2: GC time is attributed to the process whose heap is collected).
+    pub fn gc_process(&mut self, pid: Pid) -> Result<kaffeos_heap::GcReport, KernelError> {
+        let idx = self.proc_index(pid).ok_or(KernelError::UnknownPid(pid))?;
+        let roots = self.procs[idx].all_roots();
+        let heap = self.procs[idx].heap;
+        let scan: u64 = self.procs[idx]
+            .threads
+            .iter()
+            .map(|t| t.stack_scan_size())
+            .sum::<u64>()
+            * costs::GC_STACK_SCAN_PER_SLOT;
+        let report = self.space.gc(heap, &roots).expect("collecting a live heap");
+        self.procs[idx].cpu.gc += report.cycles + scan;
+        self.clock += report.cycles + scan;
+        // Sharer release: if this process no longer holds exit items into a
+        // charged shared heap, credit it (§2: "After the process garbage
+        // collects the last exit item to a shared heap, that shared heap's
+        // memory is credited to the sharer's budget").
+        let charged = self.shm.charged_to(pid);
+        for name in charged {
+            let Some(shm_heap) = self.shm.get(&name).map(|s| s.heap) else {
+                continue;
+            };
+            let still_referencing = self
+                .space
+                .exit_item_count(heap)
+                .map(|_| self.heap_references_heap(heap, shm_heap))
+                .unwrap_or(false);
+            if !still_referencing {
+                if let Some(size) = self.shm.remove_sharer(&name, pid) {
+                    if let Some(ml) = self.procs[idx].memlimit {
+                        self.space
+                            .limits_mut()
+                            .credit(ml, size)
+                            .expect("shm charge was debited");
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn heap_references_heap(&self, from: HeapId, to: HeapId) -> bool {
+        // An exit item in `from` whose target lives on `to`.
+        self.space.heap_exits_into(from, to)
+    }
+
+    /// One kernel GC cycle: merge orphaned shared heaps, then collect the
+    /// kernel heap. Charged to the system, not to any process.
+    pub fn kernel_gc(&mut self) -> kaffeos_heap::GcReport {
+        // "The kernel garbage collector checks for orphaned shared heaps at
+        // the beginning of each GC cycle and merges them into the kernel
+        // heap" (§2).
+        for name in self.shm.orphans() {
+            if let Some(shm) = self.shm.remove(&name) {
+                if self.space.heap_alive(shm.heap) {
+                    let report = self
+                        .space
+                        .merge_into_kernel(shm.heap)
+                        .expect("merging an orphaned shared heap");
+                    self.kernel_cpu.gc += report.cycles;
+                    self.clock += report.cycles;
+                }
+            }
+        }
+        // Kernel heap roots: live shared-heap objects pinned by the
+        // registry are on *shared* heaps, not the kernel heap, so the
+        // kernel heap is collected with no external roots.
+        let kernel = self.space.kernel_heap();
+        let report = self.space.gc(kernel, &[]).expect("kernel heap is alive");
+        self.kernel_cpu.gc += report.cycles;
+        self.clock += report.cycles;
+        self.last_kernel_gc = self.clock;
+        report
+    }
+
+    // ---- the scheduler --------------------------------------------------------
+
+    /// Runs until every process has exited, the run queue drains, or the
+    /// clock passes `deadline` cycles (if given). Returns the run report.
+    pub fn run(&mut self, deadline: Option<u64>) -> RunReport {
+        self.run_inner(deadline, false)
+    }
+
+    /// Like [`KaffeOs::run`], but also returns as soon as any process
+    /// exits — exact observation of crash events for restart policies.
+    pub fn run_until_exit(&mut self, deadline: Option<u64>) -> RunReport {
+        self.run_inner(deadline, true)
+    }
+
+    fn run_inner(&mut self, deadline: Option<u64>, stop_on_exit: bool) -> RunReport {
+        let mut deadlocked = false;
+        let dead_at_entry = self
+            .procs
+            .iter()
+            .filter(|p| matches!(p.state, ProcState::Dead(_)))
+            .count();
+        loop {
+            if stop_on_exit {
+                let dead_now = self
+                    .procs
+                    .iter()
+                    .filter(|p| matches!(p.state, ProcState::Dead(_)))
+                    .count();
+                if dead_now > dead_at_entry {
+                    break;
+                }
+            }
+            if let Some(deadline) = deadline {
+                if self.clock >= deadline {
+                    break;
+                }
+            }
+            self.wake_unblocked();
+            let Some((pid, tidx)) = self.run_queue.pop_front() else {
+                // Nothing runnable. If the only sleepers are timed parks
+                // (paced sends), fast-forward the virtual clock to the
+                // earliest wake-up — waiting on the NIC costs wall time but
+                // no CPU.
+                if let Some(t) = self.next_timed_wake() {
+                    if let Some(deadline) = deadline {
+                        if t >= deadline {
+                            self.clock = deadline;
+                            break;
+                        }
+                    }
+                    self.clock = self.clock.max(t);
+                    continue;
+                }
+                // Otherwise: threads parked with no way to wake is a
+                // deadlock.
+                deadlocked = self.procs.iter().any(|p| {
+                    !matches!(p.state, ProcState::Dead(_))
+                        && p.threads.iter().enumerate().any(|(i, t)| {
+                            matches!(t.state, ThreadState::Blocked(_)) || p.parked.contains_key(&i)
+                        })
+                });
+                break;
+            };
+            let Some(idx) = self.proc_index(pid) else {
+                continue;
+            };
+            if matches!(self.procs[idx].state, ProcState::Dead(_)) {
+                continue;
+            }
+            if self.procs[idx].threads[tidx].state == ThreadState::Done {
+                continue;
+            }
+            if self.clock.saturating_sub(self.last_kernel_gc) >= self.config.kernel_gc_period {
+                self.kernel_gc();
+            }
+            self.quanta += 1;
+            let exit = self.run_quantum(idx, tidx);
+            self.dispatch_exit(pid, tidx, exit);
+            self.enforce_cpu_limit(pid);
+        }
+        self.report(deadlocked)
+    }
+
+    /// Promotes monitor-blocked threads whose monitor became free, and
+    /// timed parks (paced `net.send`s) whose wake time has passed.
+    fn wake_unblocked(&mut self) {
+        for idx in 0..self.procs.len() {
+            if matches!(self.procs[idx].state, ProcState::Dead(_)) {
+                continue;
+            }
+            let pid = self.procs[idx].pid;
+            for tidx in 0..self.procs[idx].threads.len() {
+                if let ThreadState::Blocked(obj) = self.procs[idx].threads[tidx].state {
+                    let free = !self.monitors.contains_key(&obj);
+                    if free {
+                        self.procs[idx].threads[tidx].state = ThreadState::Runnable;
+                        self.run_queue.push_back((pid, tidx));
+                    }
+                }
+            }
+            let due: Vec<(usize, i64)> = self.procs[idx]
+                .parked
+                .iter()
+                .filter_map(|(&tidx, reason)| match reason {
+                    ParkReason::Until(t, result) if *t <= self.clock => {
+                        Some((tidx, *result))
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (tidx, result) in due {
+                self.procs[idx].parked.remove(&tidx);
+                self.procs[idx].threads[tidx].resume_with(Some(Value::Int(result)));
+                self.run_queue.push_back((pid, tidx));
+            }
+        }
+    }
+
+    /// Earliest timed-park wake-up across live processes, if any.
+    fn next_timed_wake(&self) -> Option<u64> {
+        self.procs
+            .iter()
+            .filter(|p| !matches!(p.state, ProcState::Dead(_)))
+            .flat_map(|p| p.parked.values())
+            .filter_map(|r| match r {
+                ParkReason::Until(t, _) => Some(*t),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Executes one time slice of one thread.
+    fn run_quantum(&mut self, idx: usize, tidx: usize) -> RunExit {
+        // Extra GC roots: other threads of the heap-sharing group. In
+        // KaffeOS mode that is the process' other threads; in monolithic
+        // mode every thread of every process shares the heap (that very
+        // scan is part of what isolation buys you).
+        let (extra, extra_scan_slots): (Vec<ObjRef>, u64) = if self.config.monolithic {
+            let roots = self
+                .procs
+                .iter()
+                .flat_map(|p| p.threads.iter().flat_map(|t| t.stack_roots()))
+                .collect();
+            let slots = self
+                .procs
+                .iter()
+                .flat_map(|p| p.threads.iter().map(|t| t.stack_scan_size()))
+                .sum();
+            (roots, slots)
+        } else {
+            let roots = self.procs[idx]
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != tidx)
+                .flat_map(|(_, t)| t.stack_roots())
+                .collect();
+            let slots = self.procs[idx]
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != tidx)
+                .map(|(_, t)| t.stack_scan_size())
+                .sum();
+            (roots, slots)
+        };
+        let engine = self.config.engine;
+        // Weighted round-robin: a process' quantum is proportional to its
+        // CPU share, giving coarse proportional CPU scheduling.
+        let time_slice = self.config.time_slice * self.procs[idx].cpu_share as u64 / 100;
+        let heap = self.procs[idx].heap;
+        let ns = self.procs[idx].ns;
+        let monolithic = self.config.monolithic;
+
+        let proc = &mut self.procs[idx];
+        let threads = &mut proc.threads;
+        let (statics, intern) = if monolithic {
+            (&mut self.mono_statics, &mut self.mono_intern)
+        } else {
+            (&mut proc.statics, &mut proc.intern)
+        };
+        let thread = &mut threads[tidx];
+        let mut ctx = ExecCtx {
+            space: &mut self.space,
+            table: &self.table,
+            ns,
+            heap,
+            trusted: false,
+            engine,
+            statics,
+            intern,
+            string_class: self.string_class,
+            monitors: &mut self.monitors,
+            extra_roots: &extra,
+            extra_scan_slots,
+        };
+        let exit = step(thread, &mut ctx, time_slice.max(1));
+        let cycles = thread.drain_cycles();
+        let gc_cycles = std::mem::take(&mut thread.gc_cycles);
+        let proc = &mut self.procs[idx];
+        proc.cpu.exec += cycles - gc_cycles;
+        proc.cpu.gc += gc_cycles;
+        self.clock += cycles;
+        exit
+    }
+
+    /// Enforces the per-process CPU budget; returns true if the process
+    /// was terminated for exceeding it.
+    fn enforce_cpu_limit(&mut self, pid: Pid) -> bool {
+        let idx = self.proc_index(pid).expect("live process");
+        let Some(limit) = self.procs[idx].cpu_limit else {
+            return false;
+        };
+        if matches!(self.procs[idx].state, ProcState::Dead(_))
+            || self.procs[idx].cpu.total() <= limit
+        {
+            return false;
+        }
+        // Over budget: the kernel kills the process like any other kill,
+        // but records the reason.
+        let _ = self.kill(pid);
+        // `kill` may have completed the reap with status Killed if every
+        // thread was parked; rewrite the status in that case, otherwise
+        // remember the reason for the eventual reap.
+        let idx = self.proc_index(pid).expect("live process");
+        match &self.procs[idx].state {
+            ProcState::Dead(ExitStatus::Killed) => {
+                self.procs[idx].state = ProcState::Dead(ExitStatus::CpuLimitExceeded);
+            }
+            ProcState::Dead(_) => {}
+            _ => {
+                self.procs[idx].cpu_overrun = true;
+            }
+        }
+        true
+    }
+
+    /// Routes a quantum's exit back into kernel state.
+    fn dispatch_exit(&mut self, pid: Pid, tidx: usize, exit: RunExit) {
+        let idx = self.proc_index(pid).expect("live process");
+        match exit {
+            RunExit::Preempted => {
+                self.run_queue.push_back((pid, tidx));
+            }
+            RunExit::Blocked(_) => {
+                // Thread parked on a monitor; woken by wake_unblocked.
+            }
+            RunExit::Finished(value) => {
+                if self.procs[idx].all_threads_done() {
+                    let code = self.procs[idx].exit_code.unwrap_or(match value {
+                        Some(Value::Int(v)) => v,
+                        _ => 0,
+                    });
+                    self.reap(pid, ExitStatus::Exited(code));
+                }
+            }
+            RunExit::Killed => {
+                if self.procs[idx].all_threads_done() {
+                    let status = match self.procs[idx].exit_code {
+                        Some(code) => ExitStatus::Exited(code),
+                        None => ExitStatus::Killed,
+                    };
+                    self.reap(pid, status);
+                }
+            }
+            RunExit::Unhandled(ex) => {
+                let (class, message) = self.describe_exception(&ex);
+                if self.procs[idx].all_threads_done() {
+                    self.reap(pid, ExitStatus::UncaughtException { class, message });
+                } else {
+                    self.procs[idx]
+                        .stdout
+                        .push(format!("[thread died: {class}: {message}]"));
+                }
+            }
+            RunExit::Fault(e) => {
+                // A VM fault is a kernel bug for verified code; kill the
+                // process, never the system.
+                self.procs[idx].stdout.push(format!("[vm fault: {e}]"));
+                let _ = self.kill(pid);
+            }
+            RunExit::Syscall { id, args } => {
+                self.kernel_cpu.kernel += SYSCALL_BASE_CYCLES;
+                self.clock += SYSCALL_BASE_CYCLES;
+                self.procs[idx].cpu.kernel += SYSCALL_BASE_CYCLES;
+                match self.syscall(pid, tidx, id, args) {
+                    SyscallOutcome::Resume(value) => {
+                        let idx = self.proc_index(pid).expect("live process");
+                        self.procs[idx].threads[tidx].resume_with(value);
+                        self.run_queue.push_back((pid, tidx));
+                    }
+                    SyscallOutcome::Raise(ex) => {
+                        let idx = self.proc_index(pid).expect("live process");
+                        self.procs[idx].threads[tidx].pending_exception = Some(ex);
+                        self.run_queue.push_back((pid, tidx));
+                    }
+                    SyscallOutcome::Parked => {}
+                    SyscallOutcome::Reschedule => {
+                        self.run_queue.push_back((pid, tidx));
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe_exception(&self, ex: &VmException) -> (String, String) {
+        match ex {
+            VmException::Guest(obj) => {
+                let class = self
+                    .space
+                    .class_of(*obj)
+                    .ok()
+                    .map(|id| {
+                        self.table
+                            .class(self.table.from_heap_class(id))
+                            .name
+                            .clone()
+                    })
+                    .unwrap_or_else(|| "<stale>".to_string());
+                let message = self
+                    .space
+                    .load(*obj, 0)
+                    .ok()
+                    .and_then(|v| v.as_ref())
+                    .and_then(|m| self.space.str_value(m).ok().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                (class, message)
+            }
+            VmException::Builtin(kind, msg) => (kind.class_name().to_string(), msg.clone()),
+        }
+    }
+
+    // ---- syscall service -------------------------------------------------------
+
+    fn syscall(&mut self, pid: Pid, tidx: usize, id: u16, args: Vec<Value>) -> SyscallOutcome {
+        let idx = self.proc_index(pid).expect("live process");
+        match id {
+            sysno::PRINT => {
+                let text = self.arg_str(&args, 0).unwrap_or_default();
+                self.procs[idx].stdout.push(text);
+                SyscallOutcome::Resume(None)
+            }
+            sysno::CYCLES => {
+                let total = self.procs[idx].cpu.total() as i64;
+                SyscallOutcome::Resume(Some(Value::Int(total)))
+            }
+            sysno::CLOCK => SyscallOutcome::Resume(Some(Value::Int(self.clock as i64))),
+            sysno::YIELD => SyscallOutcome::Resume(None),
+            sysno::RAND => {
+                let bound = self.arg_int(&args, 0);
+                let v = self.procs[idx].next_rand(bound);
+                SyscallOutcome::Resume(Some(Value::Int(v)))
+            }
+            sysno::HEAP_USED => {
+                let used = self.space.heap_bytes(self.procs[idx].heap).unwrap_or(0) as i64;
+                SyscallOutcome::Resume(Some(Value::Int(used)))
+            }
+            sysno::HEAP_LIMIT => {
+                let limit = self.procs[idx]
+                    .memlimit
+                    .map(|ml| self.space.limits().limit(ml))
+                    .unwrap_or(self.config.user_budget) as i64;
+                SyscallOutcome::Resume(Some(Value::Int(limit)))
+            }
+            sysno::GC => {
+                let _ = self.gc_process(pid);
+                SyscallOutcome::Resume(None)
+            }
+            sysno::SELF_PID => SyscallOutcome::Resume(Some(Value::Int(pid.0 as i64))),
+            sysno::SPAWN => {
+                let image = self.arg_str(&args, 0).unwrap_or_default();
+                let argstr = self.arg_str(&args, 1).unwrap_or_default();
+                let limit = self.arg_int(&args, 2);
+                let limit = (limit > 0).then_some(limit as u64);
+                match self.spawn(&image, &argstr, limit) {
+                    Ok(child) => SyscallOutcome::Resume(Some(Value::Int(child.0 as i64))),
+                    Err(_) => SyscallOutcome::Resume(Some(Value::Int(-1))),
+                }
+            }
+            sysno::KILL => {
+                let target = Pid(self.arg_int(&args, 0) as u32);
+                match self.kill(target) {
+                    Ok(()) => SyscallOutcome::Resume(Some(Value::Int(0))),
+                    Err(_) => SyscallOutcome::Resume(Some(Value::Int(-1))),
+                }
+            }
+            sysno::WAIT => {
+                let target = Pid(self.arg_int(&args, 0) as u32);
+                let Some(target_idx) = self.proc_index(target) else {
+                    return SyscallOutcome::Resume(Some(Value::Int(-3)));
+                };
+                if let ProcState::Dead(status) = &self.procs[target_idx].state {
+                    return SyscallOutcome::Resume(Some(Value::Int(status.wait_code())));
+                }
+                // Park in the kernel: the thread is inside a kernel wait,
+                // so a kill of *this* process is deferred until the wait
+                // returns (kernel_depth), per §2.
+                self.procs[target_idx].waiters.push((pid, tidx));
+                let idx = self.proc_index(pid).expect("live process");
+                self.procs[idx]
+                    .parked
+                    .insert(tidx, ParkReason::WaitFor(target));
+                self.procs[idx].threads[tidx].kernel_depth += 1;
+                SyscallOutcome::Parked
+            }
+            sysno::EXIT => {
+                let code = self.arg_int(&args, 0);
+                self.procs[idx].exit_code = Some(code);
+                // Kill our own threads; the calling thread dies at its next
+                // safe point (immediately on resume).
+                let _ = self.kill(pid);
+                if self.is_alive(pid) {
+                    SyscallOutcome::Reschedule
+                } else {
+                    SyscallOutcome::Parked
+                }
+            }
+            sysno::THREAD => {
+                let class = self.arg_str(&args, 0).unwrap_or_default();
+                let method = self.arg_str(&args, 1).unwrap_or_default();
+                let arg = self.arg_int(&args, 2);
+                match self.spawn_thread(pid, &class, &method, arg) {
+                    Ok(tid) => SyscallOutcome::Resume(Some(Value::Int(tid as i64))),
+                    Err(msg) => SyscallOutcome::Raise(VmException::Builtin(
+                        kaffeos_vm::BuiltinEx::IllegalState,
+                        msg,
+                    )),
+                }
+            }
+            sysno::NET_SEND => {
+                let bytes = self.arg_int(&args, 0).max(0) as u64;
+                self.net_send(pid, tidx, bytes)
+            }
+            sysno::NET_SENT => {
+                let total = self.procs[idx].net_sent as i64;
+                SyscallOutcome::Resume(Some(Value::Int(total)))
+            }
+            sysno::SHM_CREATE => self.shm_create(pid, &args),
+            sysno::SHM_LOOKUP => self.shm_lookup(pid, &args),
+            sysno::SHM_GET => self.shm_get(pid, &args),
+            other => {
+                debug_assert!(false, "unknown syscall {other}");
+                SyscallOutcome::Resume(None)
+            }
+        }
+    }
+
+    /// Starts an in-process thread on `Class.method`, which must be static
+    /// and take one `int` (or no) parameter.
+    fn spawn_thread(
+        &mut self,
+        pid: Pid,
+        class: &str,
+        method: &str,
+        arg: i64,
+    ) -> Result<u32, String> {
+        let idx = self.proc_index(pid).expect("live process");
+        let ns = self.procs[idx].ns;
+        let cidx = self
+            .table
+            .lookup(ns, class)
+            .ok_or_else(|| format!("proc.thread: unknown class {class}"))?;
+        let midx = self
+            .table
+            .find_method(cidx, method)
+            .ok_or_else(|| format!("proc.thread: unknown method {class}.{method}"))?;
+        let m = self.table.method(midx);
+        if !m.is_static {
+            return Err(format!("proc.thread: {class}.{method} must be static"));
+        }
+        let thread_args = match m.params.as_slice() {
+            [] => vec![],
+            [kaffeos_vm::TypeDesc::Int] => vec![Value::Int(arg)],
+            other => {
+                return Err(format!(
+                    "proc.thread: unsupported signature {other:?} for {class}.{method}"
+                ))
+            }
+        };
+        let tid = self.next_thread_id;
+        self.next_thread_id += 1;
+        let tidx = self.procs[idx].threads.len();
+        self.procs[idx]
+            .threads
+            .push(Thread::new(tid, &self.table, midx, thread_args));
+        self.run_queue.push_back((pid, tidx));
+        Ok(tid)
+    }
+
+    /// Services `net.send`: account the bytes and pace the sender against
+    /// the process' modelled NIC. With a bandwidth cap, a send occupies the
+    /// NIC for `bytes / bps` virtual seconds; the calling thread parks until
+    /// the NIC drains (network time is not CPU time, so parked waiting
+    /// costs no cycles — but it *is* wall time on the virtual clock).
+    fn net_send(&mut self, pid: Pid, tidx: usize, bytes: u64) -> SyscallOutcome {
+        let idx = self.proc_index(pid).expect("live process");
+        self.procs[idx].net_sent += bytes;
+        let total = self.procs[idx].net_sent as i64;
+        let Some(bps) = self.procs[idx].net_bps else {
+            return SyscallOutcome::Resume(Some(Value::Int(total)));
+        };
+        let bps = bps.max(1);
+        let drain_cycles = bytes.saturating_mul(costs::CLOCK_HZ) / bps;
+        let busy_from = self.procs[idx].net_busy_until.max(self.clock);
+        let busy_until = busy_from.saturating_add(drain_cycles);
+        self.procs[idx].net_busy_until = busy_until;
+        if busy_until <= self.clock {
+            return SyscallOutcome::Resume(Some(Value::Int(total)));
+        }
+        // Park until the NIC drains; resumed (with the result pushed) by
+        // wake_unblocked once the clock passes `busy_until`.
+        self.procs[idx]
+            .parked
+            .insert(tidx, ParkReason::Until(busy_until, total));
+        SyscallOutcome::Parked
+    }
+
+    fn arg_str(&self, args: &[Value], i: usize) -> Option<String> {
+        match args.get(i) {
+            Some(Value::Ref(r)) => self.space.str_value(*r).ok().map(|s| s.to_string()),
+            _ => None,
+        }
+    }
+
+    fn arg_int(&self, args: &[Value], i: usize) -> i64 {
+        match args.get(i) {
+            Some(Value::Int(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    // ---- shared heaps (§2, "Direct sharing between processes") --------------
+
+    fn shm_create(&mut self, pid: Pid, args: &[Value]) -> SyscallOutcome {
+        let idx = self.proc_index(pid).expect("live process");
+        let Some(name) = self.arg_str(args, 0) else {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::NullPointer,
+                "shm.create name".to_string(),
+            ));
+        };
+        let Some(class_name) = self.arg_str(args, 1) else {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::NullPointer,
+                "shm.create class".to_string(),
+            ));
+        };
+        let count = self.arg_int(args, 2);
+        if self.shm.contains(&name) || count < 1 || count > SHM_MAX_OBJECTS {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::IllegalState,
+                format!("shm.create({name})"),
+            ));
+        }
+        // Shared types come out of the central shared namespace (§3.1), so
+        // every process agrees on them.
+        let Some(class) = self.table.lookup(self.shared_ns, &class_name) else {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::IllegalState,
+                format!("{class_name} is not a shared class"),
+            ));
+        };
+        let Some(creator_ml) = self.procs[idx].memlimit else {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::IllegalState,
+                "shared heaps are unavailable in monolithic mode".to_string(),
+            ));
+        };
+
+        // While being created, the heap hangs off a soft memlimit child of
+        // the creator's memlimit: separately accounted but bounded by the
+        // creator's ability to pay (§2).
+        let limit = self.space.limits().limit(creator_ml);
+        let Ok(shm_ml) = self.space.limits_mut().create_child(
+            creator_ml,
+            Kind::Soft,
+            limit,
+            format!("shm:{name}"),
+        ) else {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::OutOfMemory,
+                "shm.create memlimit".to_string(),
+            ));
+        };
+        let heap = self
+            .space
+            .create_shared_heap(ProcTag(pid.0), shm_ml, format!("shm:{name}"));
+
+        // Populate: `count` instances of the shared class, fields zeroed.
+        let nfields = self.table.class(class).instance_fields.len();
+        let field_types: Vec<kaffeos_vm::TypeDesc> = self
+            .table
+            .class(class)
+            .instance_fields
+            .iter()
+            .map(|f| f.ty.clone())
+            .collect();
+        let mut objects = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match self.space.alloc_fields(heap, class.heap_class(), nfields) {
+                Ok(obj) => {
+                    for (slot, ty) in field_types.iter().enumerate() {
+                        let default = match ty {
+                            kaffeos_vm::TypeDesc::Int => Value::Int(0),
+                            kaffeos_vm::TypeDesc::Float => Value::Float(0.0),
+                            _ => continue,
+                        };
+                        self.space
+                            .store_prim(obj, slot, default)
+                            .expect("freshly allocated object");
+                    }
+                    objects.push(obj);
+                }
+                Err(_) => {
+                    // Creation failed: merge the half-built heap away and
+                    // remove its memlimit.
+                    let _ = self.space.merge_into_kernel(heap);
+                    let _ = self.space.limits_mut().drain_and_remove(shm_ml);
+                    return SyscallOutcome::Raise(VmException::Builtin(
+                        kaffeos_vm::BuiltinEx::OutOfMemory,
+                        format!("shm.create({name})"),
+                    ));
+                }
+            }
+        }
+
+        // Freeze: size fixed for life, reference fields immutable. The
+        // population charge is credited and the creator is charged the
+        // full size like any other sharer.
+        let size = self.space.freeze_shared(heap).expect("fresh shared heap");
+        self.space
+            .limits_mut()
+            .remove(shm_ml)
+            .expect("population charge was credited at freeze");
+        if self.space.limits_mut().debit(creator_ml, size).is_err() {
+            let _ = self.space.merge_into_kernel(heap);
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::OutOfMemory,
+                format!("shm.create({name}): sharer charge"),
+            ));
+        }
+
+        self.kernel_cpu.kernel += costs::ALLOC_BASE * count as u64;
+        self.shm.insert(SharedHeap {
+            name: name.clone(),
+            heap,
+            size,
+            objects,
+            sharers: vec![pid],
+        });
+        self.procs[idx].charged_shm.push(name);
+        SyscallOutcome::Resume(Some(Value::Int(count)))
+    }
+
+    fn shm_lookup(&mut self, pid: Pid, args: &[Value]) -> SyscallOutcome {
+        let idx = self.proc_index(pid).expect("live process");
+        let Some(name) = self.arg_str(args, 0) else {
+            return SyscallOutcome::Resume(Some(Value::Int(-1)));
+        };
+        let Some(shm) = self.shm.get(&name) else {
+            return SyscallOutcome::Resume(Some(Value::Int(-1)));
+        };
+        let count = shm.objects.len() as i64;
+        let size = shm.size;
+        if shm.sharers.contains(&pid) {
+            return SyscallOutcome::Resume(Some(Value::Int(count)));
+        }
+        // Charge the new sharer in full (§2: "If other processes look up
+        // the shared heap, they are charged that amount").
+        if let Some(ml) = self.procs[idx].memlimit {
+            if self.space.limits_mut().debit(ml, size).is_err() {
+                return SyscallOutcome::Raise(VmException::Builtin(
+                    kaffeos_vm::BuiltinEx::OutOfMemory,
+                    format!("shm.lookup({name}): sharer charge"),
+                ));
+            }
+        }
+        self.shm.add_sharer(&name, pid);
+        self.procs[idx].charged_shm.push(name);
+        SyscallOutcome::Resume(Some(Value::Int(count)))
+    }
+
+    fn shm_get(&mut self, pid: Pid, args: &[Value]) -> SyscallOutcome {
+        let Some(name) = self.arg_str(args, 0) else {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::NullPointer,
+                "shm.get name".to_string(),
+            ));
+        };
+        let index = self.arg_int(args, 1);
+        let Some(shm) = self.shm.get(&name) else {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::IllegalState,
+                format!("no shared heap {name}"),
+            ));
+        };
+        if !shm.sharers.contains(&pid) {
+            return SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::IllegalState,
+                format!("shm.get({name}) before lookup"),
+            ));
+        }
+        match shm.objects.get(index as usize) {
+            Some(&obj) => SyscallOutcome::Resume(Some(Value::Ref(obj))),
+            None => SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::IndexOutOfBounds,
+                format!("shm.get({name}, {index})"),
+            )),
+        }
+    }
+
+    fn report(&self, deadlocked: bool) -> RunReport {
+        RunReport {
+            clock: self.clock,
+            virtual_seconds: costs::cycles_to_seconds(self.clock),
+            processes: self
+                .procs
+                .iter()
+                .map(|p| ProcessReport {
+                    pid: p.pid,
+                    name: p.name.clone(),
+                    status: match &p.state {
+                        ProcState::Dead(s) => Some(s.clone()),
+                        _ => None,
+                    },
+                    cpu: p.cpu,
+                    stdout: p.stdout.clone(),
+                })
+                .collect(),
+            barrier: self.space.barrier_stats(),
+            kernel_cpu: self.kernel_cpu,
+            deadlocked,
+            quanta: self.quanta,
+        }
+    }
+}
+
+enum SyscallOutcome {
+    /// Push an optional result and requeue the thread.
+    Resume(Option<Value>),
+    /// Inject a guest exception and requeue.
+    Raise(VmException),
+    /// Thread was parked kernel-side; something else will requeue it.
+    Parked,
+    /// No result to push; requeue.
+    Reschedule,
+}

@@ -1,0 +1,62 @@
+//! # KaffeOS — processes in a language-based virtual machine
+//!
+//! A Rust reproduction of *"Processes in KaffeOS: Isolation, Resource
+//! Management, and Sharing in Java"* (Back, Hsieh, Lepreau — OSDI 2000).
+//!
+//! KaffeOS adds the operating-system **process** abstraction to a
+//! type-safe-language VM. Each process runs as if it had the whole VM to
+//! itself:
+//!
+//! * its own **heap**, collected independently (write barriers +
+//!   reference-counted entry/exit items keep heaps separable);
+//! * its own **namespace** (a class loader delegating to a shared loader);
+//! * a hierarchical **memlimit** bounding every byte allocated on its
+//!   behalf — including VM-internal allocations;
+//! * precise **CPU accounting**, including the cycles spent collecting its
+//!   heap;
+//! * **safe termination**: killing a process never corrupts the kernel and
+//!   always reclaims all of its memory (the heap is merged into the kernel
+//!   heap and collected);
+//! * **direct sharing** through frozen shared heaps whose objects have
+//!   immutable reference fields and mutable primitive fields, with every
+//!   sharer charged the heap's full size.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kaffeos::{KaffeOs, KaffeOsConfig};
+//!
+//! let mut os = KaffeOs::new(KaffeOsConfig::default());
+//! os.register_image(
+//!     "hello",
+//!     r#"class Main {
+//!            static int main() { Sys.print("hello from a process"); return 7; }
+//!        }"#,
+//! )
+//! .unwrap();
+//! let pid = os.spawn("hello", "", None).unwrap();
+//! let report = os.run(None);
+//! assert_eq!(os.stdout(pid), ["hello from a process".to_string()]);
+//! assert!(report.processes[0].status.as_ref().is_some());
+//! ```
+//!
+//! Guest programs are written in **Cup** (see `kaffeos-cupc`) and cross the
+//! user/kernel boundary only through `Sys.*` / `Proc.*` / `Shm.*`
+//! intrinsics, which this crate services.
+
+mod kernel;
+mod process;
+mod shm;
+pub mod stdlib;
+pub mod syscalls;
+
+pub use kernel::{KaffeOs, KaffeOsConfig, KernelError, ProcessReport, RunReport};
+pub use process::{CpuAccount, ExitStatus, ParkReason, Pid, ProcState, Process, SpawnOpts};
+pub use shm::{SharedHeap, ShmRegistry};
+
+// Re-export the pieces users need to configure and inspect a VM.
+pub use kaffeos_heap::{BarrierKind, BarrierStats, SegViolationKind};
+pub use kaffeos_vm::Engine;
+
+#[cfg(test)]
+mod tests;

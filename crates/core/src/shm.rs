@@ -1,0 +1,121 @@
+//! Shared-heap registry: the direct-sharing mechanism of §2.
+//!
+//! Lifecycle, exactly as the paper describes it: a process picks shared
+//! types out of the central shared namespace, creates the heap, populates
+//! it (charged to the creator through a soft memlimit child of the
+//! creator's memlimit), then the heap is **frozen** — its size is fixed for
+//! life and the reference fields of its objects become immutable. Every
+//! process that looks the heap up is charged its full size; when a process
+//! garbage-collects its last exit item into the heap (or terminates), its
+//! charge is credited back. When the last sharer is gone the heap is
+//! **orphaned**, and the kernel collector merges it into the kernel heap at
+//! the start of its next cycle.
+
+use std::collections::HashMap;
+
+use kaffeos_heap::{HeapId, ObjRef};
+
+use crate::process::Pid;
+
+/// One registered shared heap.
+#[derive(Debug)]
+pub struct SharedHeap {
+    /// Name in the central shared namespace.
+    pub name: String,
+    /// The underlying (frozen) heap.
+    pub heap: HeapId,
+    /// Frozen size in bytes; the amount charged to every sharer.
+    pub size: u64,
+    /// Shared objects, indexable by `shm.get`.
+    pub objects: Vec<ObjRef>,
+    /// Processes currently charged for this heap.
+    pub sharers: Vec<Pid>,
+}
+
+/// The kernel's table of live shared heaps, keyed by their name in the
+/// central shared namespace.
+#[derive(Debug, Default)]
+pub struct ShmRegistry {
+    heaps: HashMap<String, SharedHeap>,
+}
+
+impl ShmRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly frozen heap with its creator as first sharer.
+    pub fn insert(&mut self, shm: SharedHeap) {
+        debug_assert!(!self.heaps.contains_key(&shm.name));
+        self.heaps.insert(shm.name.clone(), shm);
+    }
+
+    /// True if a shared heap of this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.heaps.contains_key(name)
+    }
+
+    /// The shared heap registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&SharedHeap> {
+        self.heaps.get(name)
+    }
+
+    /// Records `pid` as a sharer (on `shm.lookup`); idempotent.
+    pub fn add_sharer(&mut self, name: &str, pid: Pid) -> bool {
+        match self.heaps.get_mut(name) {
+            Some(shm) => {
+                if !shm.sharers.contains(&pid) {
+                    shm.sharers.push(pid);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Drops `pid` as a sharer; returns the heap size to credit back if the
+    /// pid was charged.
+    pub fn remove_sharer(&mut self, name: &str, pid: Pid) -> Option<u64> {
+        let shm = self.heaps.get_mut(name)?;
+        let before = shm.sharers.len();
+        shm.sharers.retain(|&p| p != pid);
+        (shm.sharers.len() != before).then_some(shm.size)
+    }
+
+    /// Names of heaps with no sharers left — candidates for the kernel
+    /// collector's orphan merge.
+    pub fn orphans(&self) -> Vec<String> {
+        self.heaps
+            .iter()
+            .filter(|(_, s)| s.sharers.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Removes an orphan from the registry (after the kernel merges it).
+    pub fn remove(&mut self, name: &str) -> Option<SharedHeap> {
+        self.heaps.remove(name)
+    }
+
+    /// All heaps a pid is currently charged for.
+    pub fn charged_to(&self, pid: Pid) -> Vec<String> {
+        self.heaps
+            .iter()
+            .filter(|(_, s)| s.sharers.contains(&pid))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Number of live shared heaps.
+    pub fn len(&self) -> usize {
+        self.heaps.len()
+    }
+
+    /// True if no shared heap is registered.
+    pub fn is_empty(&self) -> bool {
+        self.heaps.is_empty()
+    }
+}

@@ -1,0 +1,567 @@
+//! The guest standard library and the shared-vs-reloaded class policy.
+//!
+//! §3.2 of the paper examines each class in the Java libraries and decides
+//! whether it can be **shared** between processes (same class, shared text,
+//! process-aware statics) or must be **reloaded** (each process gets its own
+//! copy, and with it its own statics). Classes that export public static
+//! state as part of their interface must be reloaded
+//! (`java.io.FileDescriptor`'s `in`/`out`/`err` is the paper's example).
+//!
+//! Our library is much smaller, but applies the same policy:
+//!
+//! * **Shared** (loaded once into the shared namespace): `Object`, `String`,
+//!   the exception hierarchy, `Math`, `Vector`, `IntVector`, `StringMap`,
+//!   `StringBuilder`, `Queue` — no exported mutable statics.
+//! * **Reloaded** (loaded into each process namespace at spawn): `Console`
+//!   (static output state) and `Random` (static seed) — their statics are
+//!   part of their interface, so each process needs its own.
+//!
+//! Statics of *shared* classes are still per-process (the "process-aware
+//! statics" replacement): the VM allocates a statics object per
+//! (process, class) on the process heap.
+
+use kaffeos_vm::{ClassBuilder, ClassDef, ClassTable, Const, MethodBuilder, Op, TypeDesc, VmError};
+
+/// Names of classes every process gets a private copy of (§3.2 "reloaded").
+pub const RELOADED_CLASSES: &[&str] = &["Console", "Random"];
+
+/// Builds the primitive root classes that cannot be written in Cup.
+fn primitive_classes() -> Vec<ClassDef> {
+    let object = ClassBuilder::root("Object").build();
+    let string = ClassBuilder::new("String").build();
+
+    // Exception with `msg` and an `init(String)` constructor, in bytecode
+    // because Cup method bodies cannot run before Exception exists.
+    let mut b = ClassBuilder::new("Exception").field("msg", TypeDesc::Str);
+    let fmsg = b.pool(Const::Field {
+        class: "Exception".to_string(),
+        name: "msg".to_string(),
+    });
+    let exception = b
+        .method(
+            MethodBuilder::instance("init")
+                .param(TypeDesc::Str)
+                .ops([Op::Load(0), Op::Load(1), Op::PutField(fmsg), Op::Return])
+                .build(),
+        )
+        .method(
+            MethodBuilder::instance("message")
+                .returns(TypeDesc::Str)
+                .ops([Op::Load(0), Op::GetField(fmsg), Op::ReturnVal])
+                .build(),
+        )
+        .build();
+
+    let mut out = vec![object, string, exception];
+    for name in [
+        "NullPointerException",
+        "IndexOutOfBoundsException",
+        "ArithmeticException",
+        "ClassCastException",
+        "SegmentationViolation",
+        "OutOfMemoryError",
+        "StackOverflowError",
+        "IllegalStateException",
+        "KilledException",
+    ] {
+        out.push(ClassBuilder::new(name).extends("Exception").build());
+    }
+    out
+}
+
+/// Shared utility classes, written in Cup.
+pub const SHARED_CUP_SOURCE: &str = r#"
+class Math {
+    static int abs(int x) { if (x < 0) { return -x; } return x; }
+    static int min(int a, int b) { if (a < b) { return a; } return b; }
+    static int max(int a, int b) { if (a > b) { return a; } return b; }
+    static float fabs(float x) { if (x < 0.0) { return -x; } return x; }
+    static float fmin(float a, float b) { if (a < b) { return a; } return b; }
+    static float fmax(float a, float b) { if (a > b) { return a; } return b; }
+
+    // Newton's method square root; enough precision for the ray tracer.
+    static float sqrt(float x) {
+        if (x <= 0.0) { return 0.0; }
+        float guess = x;
+        if (guess > 1.0) { guess = x / 2.0; }
+        int i = 0;
+        while (i < 24) {
+            guess = (guess + x / guess) / 2.0;
+            i = i + 1;
+        }
+        return guess;
+    }
+
+    static int pow(int base, int exp) {
+        int r = 1;
+        for (int i = 0; i < exp; i = i + 1) { r = r * base; }
+        return r;
+    }
+}
+
+// Growable vector of objects.
+class Vector {
+    Object[] data;
+    int size;
+    init() { this.data = new Object[8]; this.size = 0; }
+
+    void add(Object item) {
+        if (size == data.len()) { this.grow(); }
+        data[size] = item;
+        size = size + 1;
+    }
+
+    void grow() {
+        Object[] bigger = new Object[data.len() * 2];
+        for (int i = 0; i < size; i = i + 1) { bigger[i] = data[i]; }
+        this.data = bigger;
+    }
+
+    Object get(int i) {
+        if (i < 0 || i >= size) { throw new IndexOutOfBoundsException("vector"); }
+        return data[i];
+    }
+
+    void set(int i, Object item) {
+        if (i < 0 || i >= size) { throw new IndexOutOfBoundsException("vector"); }
+        data[i] = item;
+    }
+
+    Object removeLast() {
+        if (size == 0) { throw new IndexOutOfBoundsException("empty vector"); }
+        size = size - 1;
+        Object item = data[size];
+        data[size] = null;
+        return item;
+    }
+
+    int count() { return size; }
+}
+
+// Growable vector of ints.
+class IntVector {
+    int[] data;
+    int size;
+    init() { this.data = new int[8]; this.size = 0; }
+
+    void add(int item) {
+        if (size == data.len()) {
+            int[] bigger = new int[data.len() * 2];
+            for (int i = 0; i < size; i = i + 1) { bigger[i] = data[i]; }
+            this.data = bigger;
+        }
+        data[size] = item;
+        size = size + 1;
+    }
+
+    int get(int i) {
+        if (i < 0 || i >= size) { throw new IndexOutOfBoundsException("intvector"); }
+        return data[i];
+    }
+
+    void set(int i, int item) {
+        if (i < 0 || i >= size) { throw new IndexOutOfBoundsException("intvector"); }
+        data[i] = item;
+    }
+
+    int count() { return size; }
+}
+
+// String-keyed hash map with chained buckets.
+class MapEntry {
+    String key;
+    Object value;
+    MapEntry next;
+    init(String key, Object value) { this.key = key; this.value = value; }
+}
+
+class StringMap {
+    MapEntry[] buckets;
+    int size;
+    init() { this.buckets = new MapEntry[16]; this.size = 0; }
+
+    static int hash(String key) {
+        int h = 17;
+        for (int i = 0; i < key.len(); i = i + 1) {
+            h = h * 31 + key.charAt(i);
+        }
+        if (h < 0) { h = -h; }
+        return h;
+    }
+
+    void put(String key, Object value) {
+        int b = StringMap.hash(key) % buckets.len();
+        MapEntry cur = buckets[b];
+        while (cur != null) {
+            if (cur.key.eq(key)) { cur.value = value; return; }
+            cur = cur.next;
+        }
+        MapEntry fresh = new MapEntry(key, value);
+        fresh.next = buckets[b];
+        buckets[b] = fresh;
+        size = size + 1;
+        if (size > buckets.len() * 2) { this.rehash(); }
+    }
+
+    void rehash() {
+        MapEntry[] old = buckets;
+        this.buckets = new MapEntry[old.len() * 2];
+        this.size = 0;
+        for (int i = 0; i < old.len(); i = i + 1) {
+            MapEntry cur = old[i];
+            while (cur != null) {
+                this.put(cur.key, cur.value);
+                cur = cur.next;
+            }
+        }
+    }
+
+    Object get(String key) {
+        int b = StringMap.hash(key) % buckets.len();
+        MapEntry cur = buckets[b];
+        while (cur != null) {
+            if (cur.key.eq(key)) { return cur.value; }
+            cur = cur.next;
+        }
+        return null;
+    }
+
+    bool has(String key) {
+        int b = StringMap.hash(key) % buckets.len();
+        MapEntry cur = buckets[b];
+        while (cur != null) {
+            if (cur.key.eq(key)) { return true; }
+            cur = cur.next;
+        }
+        return false;
+    }
+
+    int count() { return size; }
+}
+
+// Amortised string building (the VM's + is O(n) per concat).
+class StringBuilder {
+    String[] parts;
+    int size;
+    init() { this.parts = new String[8]; this.size = 0; }
+
+    void add(String s) {
+        if (size == parts.len()) {
+            String[] bigger = new String[parts.len() * 2];
+            for (int i = 0; i < size; i = i + 1) { bigger[i] = parts[i]; }
+            this.parts = bigger;
+        }
+        parts[size] = s;
+        size = size + 1;
+    }
+
+    String build() {
+        String out = "";
+        for (int i = 0; i < size; i = i + 1) { out = out + parts[i]; }
+        return out;
+    }
+}
+
+// String utilities beyond the VM's built-in methods.
+class Text {
+    static bool startsWith(String s, String prefix) {
+        if (prefix.len() > s.len()) { return false; }
+        return s.substr(0, prefix.len()).eq(prefix);
+    }
+
+    static bool endsWith(String s, String suffix) {
+        if (suffix.len() > s.len()) { return false; }
+        return s.substr(s.len() - suffix.len(), s.len()).eq(suffix);
+    }
+
+    static int indexOf(String s, String needle) {
+        if (needle.len() == 0) { return 0; }
+        int last = s.len() - needle.len();
+        for (int i = 0; i <= last; i = i + 1) {
+            if (s.substr(i, i + needle.len()).eq(needle)) { return i; }
+        }
+        return -1;
+    }
+
+    static bool contains(String s, String needle) {
+        return Text.indexOf(s, needle) >= 0;
+    }
+
+    static String repeat(String s, int times) {
+        StringBuilder b = new StringBuilder();
+        for (int i = 0; i < times; i = i + 1) { b.add(s); }
+        return b.build();
+    }
+
+    static String reverse(String s) {
+        StringBuilder b = new StringBuilder();
+        for (int i = s.len() - 1; i >= 0; i = i - 1) {
+            b.add(s.substr(i, i + 1));
+        }
+        return b.build();
+    }
+}
+
+// LIFO stack of objects.
+class Stack {
+    Object[] data;
+    int size;
+    init() { this.data = new Object[8]; this.size = 0; }
+
+    void push(Object item) {
+        if (size == data.len()) {
+            Object[] bigger = new Object[data.len() * 2];
+            for (int i = 0; i < size; i = i + 1) { bigger[i] = data[i]; }
+            this.data = bigger;
+        }
+        data[size] = item;
+        size = size + 1;
+    }
+
+    Object pop() {
+        if (size == 0) { throw new IndexOutOfBoundsException("empty stack"); }
+        size = size - 1;
+        Object item = data[size];
+        data[size] = null;
+        return item;
+    }
+
+    Object peek() {
+        if (size == 0) { throw new IndexOutOfBoundsException("empty stack"); }
+        return data[size - 1];
+    }
+
+    int count() { return size; }
+    bool isEmpty() { return size == 0; }
+}
+
+// Fixed-capacity bit set over an int[] backing store.
+class BitSet {
+    int[] words;
+    int bits;
+    init(int bits) {
+        this.bits = bits;
+        this.words = new int[(bits + 62) / 63];
+    }
+
+    void set(int i) {
+        if (i < 0 || i >= bits) { throw new IndexOutOfBoundsException("bitset"); }
+        words[i / 63] = words[i / 63] | (1 << (i % 63));
+    }
+
+    void clear(int i) {
+        if (i < 0 || i >= bits) { throw new IndexOutOfBoundsException("bitset"); }
+        if (this.get(i)) {
+            words[i / 63] = words[i / 63] ^ (1 << (i % 63));
+        }
+    }
+
+    bool get(int i) {
+        if (i < 0 || i >= bits) { throw new IndexOutOfBoundsException("bitset"); }
+        return (words[i / 63] & (1 << (i % 63))) != 0;
+    }
+
+    int popcount() {
+        int n = 0;
+        for (int i = 0; i < bits; i = i + 1) {
+            if (this.get(i)) { n = n + 1; }
+        }
+        return n;
+    }
+}
+
+// Sorting helpers over int arrays.
+class Sort {
+    static void quicksort(int[] a) { Sort.qs(a, 0, a.len() - 1); }
+
+    static void qs(int[] a, int lo, int hi) {
+        if (lo >= hi) { return; }
+        int pivot = a[(lo + hi) / 2];
+        int i = lo;
+        int j = hi;
+        while (i <= j) {
+            while (a[i] < pivot) { i = i + 1; }
+            while (a[j] > pivot) { j = j - 1; }
+            if (i <= j) {
+                int t = a[i];
+                a[i] = a[j];
+                a[j] = t;
+                i = i + 1;
+                j = j - 1;
+            }
+        }
+        Sort.qs(a, lo, j);
+        Sort.qs(a, i, hi);
+    }
+
+    static bool isSorted(int[] a) {
+        for (int i = 1; i < a.len(); i = i + 1) {
+            if (a[i - 1] > a[i]) { return false; }
+        }
+        return true;
+    }
+
+    static int binarySearch(int[] a, int key) {
+        int lo = 0;
+        int hi = a.len() - 1;
+        while (lo <= hi) {
+            int mid = (lo + hi) / 2;
+            if (a[mid] == key) { return mid; }
+            if (a[mid] < key) { lo = mid + 1; }
+            else { hi = mid - 1; }
+        }
+        return -1;
+    }
+}
+
+// Int-keyed hash map with chained buckets.
+class IntMapEntry {
+    int key;
+    Object value;
+    IntMapEntry next;
+    init(int key, Object value) { this.key = key; this.value = value; }
+}
+
+class IntMap {
+    IntMapEntry[] buckets;
+    int size;
+    init() { this.buckets = new IntMapEntry[16]; this.size = 0; }
+
+    int slot(int key) {
+        int h = key * 2654435761;
+        if (h < 0) { h = -h; }
+        return h % buckets.len();
+    }
+
+    void put(int key, Object value) {
+        int b = this.slot(key);
+        IntMapEntry cur = buckets[b];
+        while (cur != null) {
+            if (cur.key == key) { cur.value = value; return; }
+            cur = cur.next;
+        }
+        IntMapEntry fresh = new IntMapEntry(key, value);
+        fresh.next = buckets[b];
+        buckets[b] = fresh;
+        size = size + 1;
+        if (size > buckets.len() * 2) { this.rehash(); }
+    }
+
+    void rehash() {
+        IntMapEntry[] old = buckets;
+        this.buckets = new IntMapEntry[old.len() * 2];
+        this.size = 0;
+        for (int i = 0; i < old.len(); i = i + 1) {
+            IntMapEntry cur = old[i];
+            while (cur != null) {
+                this.put(cur.key, cur.value);
+                cur = cur.next;
+            }
+        }
+    }
+
+    Object get(int key) {
+        IntMapEntry cur = buckets[this.slot(key)];
+        while (cur != null) {
+            if (cur.key == key) { return cur.value; }
+            cur = cur.next;
+        }
+        return null;
+    }
+
+    bool has(int key) {
+        IntMapEntry cur = buckets[this.slot(key)];
+        while (cur != null) {
+            if (cur.key == key) { return true; }
+            cur = cur.next;
+        }
+        return false;
+    }
+
+    int count() { return size; }
+}
+
+// FIFO queue over a ring buffer of objects.
+class Queue {
+    Object[] data;
+    int head;
+    int count;
+    init() { this.data = new Object[8]; this.head = 0; this.count = 0; }
+
+    void push(Object item) {
+        if (count == data.len()) {
+            Object[] bigger = new Object[data.len() * 2];
+            for (int i = 0; i < count; i = i + 1) {
+                bigger[i] = data[(head + i) % data.len()];
+            }
+            this.data = bigger;
+            this.head = 0;
+        }
+        data[(head + count) % data.len()] = item;
+        count = count + 1;
+    }
+
+    Object pop() {
+        if (count == 0) { throw new IndexOutOfBoundsException("empty queue"); }
+        Object item = data[head];
+        data[head] = null;
+        head = (head + 1) % data.len();
+        count = count - 1;
+        return item;
+    }
+
+    int size() { return count; }
+}
+"#;
+
+/// Per-process ("reloaded") classes, written in Cup. Both export static
+/// state as part of their interface, which is exactly what forces reloading
+/// in §3.2.
+pub const RELOADED_CUP_SOURCE: &str = r#"
+// Console: buffered output with a static, per-process line counter.
+class Console {
+    static int lines;
+    static void println(String s) {
+        Console.lines = Console.lines + 1;
+        Sys.print(s);
+    }
+    static int lineCount() { return Console.lines; }
+}
+
+// Random: linear congruential generator with a static per-process seed.
+class Random {
+    static int seed;
+    static void setSeed(int s) { Random.seed = s; }
+    static int next(int bound) {
+        Random.seed = (Random.seed * 1103515245 + 12345) & 2147483647;
+        if (bound <= 0) { return Random.seed; }
+        return Random.seed % bound;
+    }
+}
+"#;
+
+/// Loads the shared standard library into `shared_ns`: primitive classes in
+/// bytecode, the rest compiled from Cup. Returns the number of shared
+/// classes loaded.
+pub fn load_shared_stdlib(table: &mut ClassTable, shared_ns: u32) -> Result<usize, VmError> {
+    let mut count = 0;
+    for def in primitive_classes() {
+        table.load_class(shared_ns, def.into_arc())?;
+        count += 1;
+    }
+    let defs = kaffeos_cupc::compile(SHARED_CUP_SOURCE, table, shared_ns)
+        .map_err(|e| VmError::BadBytecode(format!("stdlib compile error: {e}")))?;
+    for def in defs {
+        table.load_class(shared_ns, def.into_arc())?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Compiles the reloaded classes against a process namespace; the caller
+/// loads them into that namespace (each process gets fresh statics AND a
+/// fresh class identity — true reloading).
+pub fn compile_reloaded(table: &ClassTable, ns: u32) -> Result<Vec<ClassDef>, VmError> {
+    kaffeos_cupc::compile(RELOADED_CUP_SOURCE, table, ns)
+        .map_err(|e| VmError::BadBytecode(format!("reloaded stdlib compile error: {e}")))
+}

@@ -1,0 +1,121 @@
+//! The syscall surface: the user/kernel boundary of Figure 1.
+//!
+//! Guest code crosses into the kernel only through these intrinsics; the
+//! kernel services each request atomically with respect to the green-thread
+//! scheduler, so a thread inside a syscall can never be terminated while
+//! kernel state is inconsistent (the paper's deferred-termination rule —
+//! our syscalls are single-quantum, so the deferral window is the syscall
+//! itself).
+
+use kaffeos_vm::{IntrinsicRegistry, TypeDesc};
+
+/// Syscall numbers, in registration order. `build_registry` registers in
+/// exactly this order; a unit test pins the correspondence.
+pub mod sysno {
+    /// `sys.print(Str)` — append a line to the process stdout.
+    pub const PRINT: u16 = 0;
+    /// `sys.cycles() -> Int` — the process CPU account.
+    pub const CYCLES: u16 = 1;
+    /// `sys.clock() -> Int` — global virtual clock, cycles.
+    pub const CLOCK: u16 = 2;
+    /// `sys.yield()` — voluntarily end the quantum.
+    pub const YIELD: u16 = 3;
+    /// `sys.rand(Int) -> Int` — deterministic per-process PRNG.
+    pub const RAND: u16 = 4;
+    /// `sys.heap_used() -> Int` — bytes on the process heap.
+    pub const HEAP_USED: u16 = 5;
+    /// `sys.heap_limit() -> Int` — the process memlimit.
+    pub const HEAP_LIMIT: u16 = 6;
+    /// `sys.gc()` — collect the process heap now.
+    pub const GC: u16 = 7;
+    /// `proc.self_pid() -> Int`.
+    pub const SELF_PID: u16 = 8;
+    /// `proc.spawn(image, args, limit) -> Int` — pid or -1.
+    pub const SPAWN: u16 = 9;
+    /// `proc.kill(pid) -> Int` — request termination.
+    pub const KILL: u16 = 10;
+    /// `proc.wait(pid) -> Int` — block for the exit code.
+    pub const WAIT: u16 = 11;
+    /// `proc.exit(code)` — terminate the calling process.
+    pub const EXIT: u16 = 12;
+    /// `shm.create(name, class, count) -> Int` — build + freeze a shared heap.
+    pub const SHM_CREATE: u16 = 13;
+    /// `shm.lookup(name) -> Int` — attach (charged in full) or -1.
+    pub const SHM_LOOKUP: u16 = 14;
+    /// `shm.get(name, i) -> Object` — a shared object.
+    pub const SHM_GET: u16 = 15;
+    /// `proc.thread(class, method, arg) -> Int` — in-process green thread.
+    pub const THREAD: u16 = 16;
+    /// `net.send(Int bytes) -> Int` — transmit on the process' paced NIC;
+    /// returns total bytes sent. The paper names network bandwidth as the
+    /// next resource to manage (§2/§6); this is that extension.
+    pub const NET_SEND: u16 = 17;
+    /// `net.sent() -> Int` — total bytes this process has transmitted.
+    pub const NET_SENT: u16 = 18;
+    /// Number of registered syscalls.
+    pub const COUNT: u16 = 19;
+}
+
+/// Builds the intrinsic registry the class loader links against.
+pub fn build_registry() -> IntrinsicRegistry {
+    use TypeDesc::*;
+    let mut r = IntrinsicRegistry::new();
+    // sys.*
+    r.register("sys.print", vec![Str], None);
+    r.register("sys.cycles", vec![], Some(Int));
+    r.register("sys.clock", vec![], Some(Int));
+    r.register("sys.yield", vec![], None);
+    r.register("sys.rand", vec![Int], Some(Int));
+    r.register("sys.heap_used", vec![], Some(Int));
+    r.register("sys.heap_limit", vec![], Some(Int));
+    r.register("sys.gc", vec![], None);
+    // proc.*
+    r.register("proc.self_pid", vec![], Some(Int));
+    r.register("proc.spawn", vec![Str, Str, Int], Some(Int));
+    r.register("proc.kill", vec![Int], Some(Int));
+    r.register("proc.wait", vec![Int], Some(Int));
+    r.register("proc.exit", vec![Int], None);
+    // shm.*
+    r.register("shm.create", vec![Str, Str, Int], Some(Int));
+    r.register("shm.lookup", vec![Str], Some(Int));
+    r.register("shm.get", vec![Str, Int], Some(Class("Object".to_string())));
+    // In-process green threads: run `Class.method(int)` concurrently with
+    // the spawning thread, sharing the process heap, statics and namespace.
+    r.register("proc.thread", vec![Str, Str, Int], Some(Int));
+    // net.* — the paper's named future-work resource, modelled as a paced
+    // per-process NIC in virtual time.
+    r.register("net.send", vec![Int], Some(Int));
+    r.register("net.sent", vec![], Some(Int));
+    debug_assert_eq!(r.len(), sysno::COUNT as usize);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_order_matches_sysno() {
+        let r = build_registry();
+        assert_eq!(r.by_name("sys.print"), Some(sysno::PRINT));
+        assert_eq!(r.by_name("sys.cycles"), Some(sysno::CYCLES));
+        assert_eq!(r.by_name("sys.clock"), Some(sysno::CLOCK));
+        assert_eq!(r.by_name("sys.yield"), Some(sysno::YIELD));
+        assert_eq!(r.by_name("sys.rand"), Some(sysno::RAND));
+        assert_eq!(r.by_name("sys.heap_used"), Some(sysno::HEAP_USED));
+        assert_eq!(r.by_name("sys.heap_limit"), Some(sysno::HEAP_LIMIT));
+        assert_eq!(r.by_name("sys.gc"), Some(sysno::GC));
+        assert_eq!(r.by_name("proc.self_pid"), Some(sysno::SELF_PID));
+        assert_eq!(r.by_name("proc.spawn"), Some(sysno::SPAWN));
+        assert_eq!(r.by_name("proc.kill"), Some(sysno::KILL));
+        assert_eq!(r.by_name("proc.wait"), Some(sysno::WAIT));
+        assert_eq!(r.by_name("proc.exit"), Some(sysno::EXIT));
+        assert_eq!(r.by_name("shm.create"), Some(sysno::SHM_CREATE));
+        assert_eq!(r.by_name("shm.lookup"), Some(sysno::SHM_LOOKUP));
+        assert_eq!(r.by_name("shm.get"), Some(sysno::SHM_GET));
+        assert_eq!(r.by_name("proc.thread"), Some(sysno::THREAD));
+        assert_eq!(r.by_name("net.send"), Some(sysno::NET_SEND));
+        assert_eq!(r.by_name("net.sent"), Some(sysno::NET_SENT));
+        assert_eq!(r.len(), sysno::COUNT as usize);
+    }
+}

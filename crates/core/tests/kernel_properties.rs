@@ -1,0 +1,222 @@
+//! Property test for the kernel: arbitrary interleavings of spawns, kills,
+//! scheduling, shared-heap traffic and kernel GC must never panic, and
+//! tearing everything down must reclaim every byte — the paper's "full
+//! reclamation of memory" as a whole-kernel invariant.
+
+use kaffeos::{KaffeOs, KaffeOsConfig, Pid, SpawnOpts};
+use proptest::prelude::*;
+
+const IMAGES: &[(&str, &str)] = &[
+    ("brief", "class Main { static int main() { return 1; } }"),
+    (
+        "churn",
+        r#"
+        class Main {
+            static int main() {
+                int acc = 0;
+                for (int i = 0; i < 3000; i = i + 1) {
+                    int[] junk = new int[200];
+                    junk[0] = i;
+                    acc = acc + junk[0] % 7;
+                }
+                return acc;
+            }
+        }
+        "#,
+    ),
+    (
+        "hog",
+        r#"
+        class Chain { int[] data; Chain next; }
+        class Hog {
+            static int main() {
+                Chain head = null;
+                while (true) {
+                    Chain c = new Chain();
+                    c.data = new int[512];
+                    c.next = head;
+                    head = c;
+                }
+                return 0;
+            }
+        }
+        "#,
+    ),
+    (
+        "spin",
+        "class Spin { static int main() { while (true) { } return 0; } }",
+    ),
+    (
+        "shmer",
+        r#"
+        class Main {
+            static int main(int n) {
+                try {
+                    if (Shm.lookup("box") < 0) {
+                        Shm.create("box", "Cell", 4);
+                    }
+                    Cell c = Shm.get("box", n % 4) as Cell;
+                    c.value = n;
+                    return c.value;
+                } catch (Exception e) {
+                    return -5;
+                }
+            }
+        }
+        "#,
+    ),
+    (
+        "thrower",
+        r#"
+        class Main {
+            static int main(int n) {
+                if (n % 2 == 0) { return 1 / 0; }
+                int[] a = new int[2];
+                return a[5];
+            }
+        }
+        "#,
+    ),
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn {
+        image: usize,
+        limit_kb: u64,
+        arg: i64,
+    },
+    Kill {
+        which: usize,
+    },
+    Run {
+        cycles: u64,
+    },
+    KernelGc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..IMAGES.len(), 64u64..4096, 0i64..100).prop_map(|(image, limit_kb, arg)| Op::Spawn {
+            image,
+            limit_kb,
+            arg
+        }),
+        any::<usize>().prop_map(|which| Op::Kill { which }),
+        (100_000u64..5_000_000).prop_map(|cycles| Op::Run { cycles }),
+        Just(Op::KernelGc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernel_survives_arbitrary_op_sequences(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut os = KaffeOs::new(KaffeOsConfig::default());
+        os.load_shared_source("class Cell { int value; }").unwrap();
+        for (name, src) in IMAGES {
+            os.register_image(name, src).unwrap();
+        }
+        let mut pids: Vec<Pid> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Spawn { image, limit_kb, arg } => {
+                    let (name, _) = IMAGES[image];
+                    if let Ok(pid) = os.spawn_with(
+                        name,
+                        &arg.to_string(),
+                        SpawnOpts {
+                            mem_limit: Some(limit_kb << 10),
+                            ..SpawnOpts::default()
+                        },
+                    ) {
+                        pids.push(pid);
+                    }
+                }
+                Op::Kill { which } => {
+                    if !pids.is_empty() {
+                        let pid = pids[which % pids.len()];
+                        os.kill(pid).unwrap();
+                    }
+                }
+                Op::Run { cycles } => {
+                    let deadline = os.clock() + cycles;
+                    os.run(Some(deadline));
+                }
+                Op::KernelGc => {
+                    os.kernel_gc();
+                }
+            }
+        }
+
+        // Teardown: kill everything, drain, collect.
+        for &pid in &pids {
+            os.kill(pid).unwrap();
+        }
+        os.run(Some(os.clock() + 50_000_000));
+        for &pid in &pids {
+            prop_assert!(!os.is_alive(pid), "{pid:?} survived teardown");
+        }
+        os.kernel_gc(); // merges orphaned shared heaps
+        os.kernel_gc(); // reclaims what the merge exposed
+
+        // Invariant 1: every byte charged against the machine budget is
+        // returned once no process exists.
+        let root = os.space().root_memlimit();
+        prop_assert_eq!(os.space().limits().current(root), 0,
+            "machine budget must drain to zero");
+        // Invariant 2: no shared heap outlives its sharers.
+        prop_assert_eq!(os.shm_registry().len(), 0, "orphans must be merged");
+        // Invariant 3: the kernel heap holds no leaked survivors.
+        let kernel_bytes = os.space().heap_bytes(os.space().kernel_heap()).unwrap();
+        prop_assert!(kernel_bytes < 4096,
+            "kernel heap retains {kernel_bytes} bytes after full teardown");
+    }
+
+    #[test]
+    fn identical_op_sequences_replay_identically(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+        let run = |ops: &[Op]| {
+            let mut os = KaffeOs::new(KaffeOsConfig::default());
+            os.load_shared_source("class Cell { int value; }").unwrap();
+            for (name, src) in IMAGES {
+                os.register_image(name, src).unwrap();
+            }
+            let mut pids: Vec<Pid> = Vec::new();
+            for op in ops {
+                match *op {
+                    Op::Spawn { image, limit_kb, arg } => {
+                        let (name, _) = IMAGES[image];
+                        if let Ok(pid) = os.spawn_with(
+                            name,
+                            &arg.to_string(),
+                            SpawnOpts {
+                                mem_limit: Some(limit_kb << 10),
+                                ..SpawnOpts::default()
+                            },
+                        ) {
+                            pids.push(pid);
+                        }
+                    }
+                    Op::Kill { which } => {
+                        if !pids.is_empty() {
+                            let pid = pids[which % pids.len()];
+                            os.kill(pid).unwrap();
+                        }
+                    }
+                    Op::Run { cycles } => {
+                        let deadline = os.clock() + cycles;
+                        os.run(Some(deadline));
+                    }
+                    Op::KernelGc => {
+                        os.kernel_gc();
+                    }
+                }
+            }
+            let statuses: Vec<_> = pids.iter().map(|&p| os.status(p)).collect();
+            (os.clock(), os.barrier_stats().executed, statuses)
+        };
+        prop_assert_eq!(run(&ops), run(&ops), "virtual execution must be deterministic");
+    }
+}

@@ -1,0 +1,238 @@
+//! Abstract syntax tree for Cup.
+
+/// Source types as written (resolved to `kaffeos_vm::TypeDesc` by codegen).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    Int,
+    Float,
+    Bool,
+    Str,
+    Class(String),
+    Array(Box<Ty>),
+}
+
+/// A class declaration.
+#[derive(Debug, Clone)]
+pub struct ClassDecl {
+    pub name: String,
+    pub extends: Option<String>,
+    pub fields: Vec<FieldDecl>,
+    pub methods: Vec<MethodDecl>,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    pub name: String,
+    pub ty: Ty,
+    pub is_static: bool,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct MethodDecl {
+    pub name: String,
+    /// `None` return = void. Constructors (`init`) are always void.
+    pub ret: Option<Ty>,
+    pub params: Vec<(String, Ty)>,
+    pub is_static: bool,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `ty name = expr;` / `ty name;`
+    VarDecl {
+        ty: Ty,
+        name: String,
+        init: Option<Expr>,
+        line: u32,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        target: Expr,
+        value: Expr,
+        line: u32,
+    },
+    /// Expression statement (its value, if any, is discarded).
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: u32,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    For {
+        init: Box<Option<Stmt>>,
+        cond: Option<Expr>,
+        update: Box<Option<Stmt>>,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    Return {
+        value: Option<Expr>,
+        line: u32,
+    },
+    Break {
+        line: u32,
+    },
+    Continue {
+        line: u32,
+    },
+    Throw {
+        value: Expr,
+        line: u32,
+    },
+    Try {
+        body: Vec<Stmt>,
+        catches: Vec<CatchClause>,
+        line: u32,
+    },
+    /// `sync (expr) { ... }` — monitorenter/exit around the body.
+    Sync {
+        lock: Expr,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    Block(Vec<Stmt>),
+}
+
+#[derive(Debug, Clone)]
+pub struct CatchClause {
+    pub class: String,
+    pub var: String,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone)]
+pub enum Expr {
+    IntLit(i64, u32),
+    FloatLit(f64, u32),
+    StrLit(String, u32),
+    BoolLit(bool, u32),
+    Null(u32),
+    This(u32),
+    /// Variable reference (or, in call/field position, a class name —
+    /// disambiguated during codegen).
+    Var(String, u32),
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+        line: u32,
+    },
+    /// `recv.field`
+    Field {
+        recv: Box<Expr>,
+        name: String,
+        line: u32,
+    },
+    /// `arr[idx]`
+    Index {
+        arr: Box<Expr>,
+        idx: Box<Expr>,
+        line: u32,
+    },
+    /// `recv.method(args)` — virtual, string builtin, static (recv is a
+    /// class name), or intrinsic (recv is `Sys`/`Proc`/`Shm`/`Net`).
+    Call {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    /// Unqualified call `m(args)` — method of the current class.
+    SelfCall {
+        method: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    /// `new C(args)`
+    New {
+        class: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    /// `new ty[len]`
+    NewArray {
+        elem: Ty,
+        len: Box<Expr>,
+        line: u32,
+    },
+    /// `e as C`
+    Cast {
+        value: Box<Expr>,
+        class: String,
+        line: u32,
+    },
+    /// `e is C`
+    InstanceOf {
+        value: Box<Expr>,
+        class: String,
+        line: u32,
+    },
+}
+
+impl Expr {
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::IntLit(_, l)
+            | Expr::FloatLit(_, l)
+            | Expr::StrLit(_, l)
+            | Expr::BoolLit(_, l)
+            | Expr::Null(l)
+            | Expr::This(l)
+            | Expr::Var(_, l) => *l,
+            Expr::Binary { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::SelfCall { line, .. }
+            | Expr::New { line, .. }
+            | Expr::NewArray { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::InstanceOf { line, .. } => *line,
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! `cupc` — the compiler for **Cup**, the guest language of the KaffeOS
+//! reproduction.
+//!
+//! The paper's workloads are Java programs (SPEC JVM98, servlets); ours are
+//! Cup programs. Cup is a small Java-like language — classes with single
+//! inheritance, `int`/`float`/`bool`/`String`/arrays, virtual dispatch,
+//! exceptions, static members, string operations, and kernel intrinsics —
+//! compiled to the `kaffeos-vm` bytecode, where the verifier re-checks
+//! everything (the compiler is *not* part of the trusted computing base;
+//! type safety is enforced at class-load time).
+//!
+//! # Syntax sketch
+//!
+//! ```text
+//! class Worker extends Base {
+//!     static int total;
+//!     int id;
+//!     String name;
+//!
+//!     init(int id) { this.id = id; }          // constructor
+//!
+//!     int work(int n) {
+//!         int acc = 0;
+//!         for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+//!         while (acc > 100) { acc = acc / 2; }
+//!         if (acc == 0) { throw new Exception("empty"); }
+//!         int[] buf = new int[16];
+//!         buf[0] = acc;
+//!         String s = "acc=" + acc;
+//!         try { acc = s.substr(4, s.len()).toInt(); }
+//!         catch (Exception e) { acc = 0; }
+//!         sync (this) { Worker.total = Worker.total + acc; }
+//!         return acc;
+//!     }
+//! }
+//! ```
+//!
+//! Calls of the form `Sys.xyz(...)`, `Proc.xyz(...)`, `Shm.xyz(...)`,
+//! `Net.xyz(...)` compile to kernel intrinsics (`sys.xyz` etc.) — the
+//! user/kernel boundary of the paper. Everything else is ordinary guest
+//! code.
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+
+pub use codegen::compile_program;
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::parse_program;
+
+/// A compile error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// 1-based source line of the error.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Convenience: lex + parse + compile a source string against an existing
+/// class table (for resolving library classes), returning loadable class
+/// definitions in declaration order.
+pub fn compile(
+    source: &str,
+    table: &kaffeos_vm::ClassTable,
+    ns: u32,
+) -> Result<Vec<kaffeos_vm::ClassDef>, CompileError> {
+    let tokens = lex(source)?;
+    let program = parse_program(&tokens)?;
+    compile_program(&program, table, ns)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,909 @@
+//! Recursive-descent parser for Cup.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use crate::CompileError;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a whole compilation unit (a list of class declarations).
+pub fn parse_program(toks: &[Token]) -> Result<Vec<ClassDecl>, CompileError> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut classes = Vec::new();
+    while !p.at(TokenKind::Eof) {
+        classes.push(p.class_decl()?);
+    }
+    Ok(classes)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        *self.peek() == kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), CompileError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn error(&self, msg: String) -> CompileError {
+        CompileError {
+            line: self.line(),
+            msg,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ---- declarations ---------------------------------------------------
+
+    fn class_decl(&mut self) -> Result<ClassDecl, CompileError> {
+        let line = self.line();
+        self.expect(TokenKind::Class, "`class`")?;
+        let name = self.ident("class name")?;
+        let extends = if self.eat(TokenKind::Extends) {
+            Some(self.ident("superclass name")?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            self.member(&name, &mut fields, &mut methods)?;
+        }
+        Ok(ClassDecl {
+            name,
+            extends,
+            fields,
+            methods,
+            line,
+        })
+    }
+
+    fn member(
+        &mut self,
+        class_name: &str,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> Result<(), CompileError> {
+        let line = self.line();
+        let is_static = self.eat(TokenKind::Static);
+
+        // Constructor: `init(params) { ... }` or `ClassName(params)`.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if (name == "init" || name == class_name) && *self.peek2() == TokenKind::LParen {
+                self.bump();
+                let params = self.params()?;
+                let body = self.block()?;
+                methods.push(MethodDecl {
+                    name: "init".to_string(),
+                    ret: None,
+                    params,
+                    is_static: false,
+                    body,
+                    line,
+                });
+                return Ok(());
+            }
+        }
+
+        // `void name(...)` method.
+        if self.eat(TokenKind::Void) {
+            let name = self.ident("method name")?;
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                name,
+                ret: None,
+                params,
+                is_static,
+                body,
+                line,
+            });
+            return Ok(());
+        }
+
+        // `ty name;` field or `ty name(...)` method.
+        let ty = self.ty()?;
+        let name = self.ident("member name")?;
+        if self.at(TokenKind::LParen) {
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                name,
+                ret: Some(ty),
+                params,
+                is_static,
+                body,
+                line,
+            });
+        } else {
+            self.expect(TokenKind::Semi, "`;` after field")?;
+            fields.push(FieldDecl {
+                name,
+                ty,
+                is_static,
+                line,
+            });
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> Result<Vec<(String, Ty)>, CompileError> {
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.at(TokenKind::RParen) {
+            loop {
+                let ty = self.ty()?;
+                let name = self.ident("parameter name")?;
+                params.push((name, ty));
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok(params)
+    }
+
+    fn ty(&mut self) -> Result<Ty, CompileError> {
+        let base = match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "int" => Ty::Int,
+                    "float" => Ty::Float,
+                    "bool" => Ty::Bool,
+                    "String" => Ty::Str,
+                    _ => Ty::Class(name),
+                }
+            }
+            other => return Err(self.error(format!("expected a type, found {other:?}"))),
+        };
+        let mut ty = base;
+        while self.at(TokenKind::LBracket) && *self.peek2() == TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            ty = Ty::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_body = self.block_or_stmt()?;
+                let else_body = if self.eat(TokenKind::Else) {
+                    if self.at(TokenKind::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block_or_stmt()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let init = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(TokenKind::Semi, "`;` after for-init")?;
+                let cond = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi, "`;` after for-condition")?;
+                let update = if self.at(TokenKind::RParen) {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::For {
+                    init: Box::new(init),
+                    cond,
+                    update: Box::new(update),
+                    body,
+                    line,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi, "`;` after return")?;
+                Ok(Stmt::Return { value, line })
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;` after break")?;
+                Ok(Stmt::Break { line })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;` after continue")?;
+                Ok(Stmt::Continue { line })
+            }
+            TokenKind::Throw => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi, "`;` after throw")?;
+                Ok(Stmt::Throw { value, line })
+            }
+            TokenKind::Try => {
+                self.bump();
+                let body = self.block()?;
+                let mut catches = Vec::new();
+                while self.at(TokenKind::Catch) {
+                    let cline = self.line();
+                    self.bump();
+                    self.expect(TokenKind::LParen, "`(`")?;
+                    let class = self.ident("exception class")?;
+                    let var = self.ident("exception variable")?;
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    let cbody = self.block()?;
+                    catches.push(CatchClause {
+                        class,
+                        var,
+                        body: cbody,
+                        line: cline,
+                    });
+                }
+                if catches.is_empty() {
+                    return Err(self.error("try without catch".to_string()));
+                }
+                Ok(Stmt::Try {
+                    body,
+                    catches,
+                    line,
+                })
+            }
+            TokenKind::Sync => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let lock = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::Sync { lock, body, line })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.at(TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Statement without trailing `;`: var decl, assignment, or expression.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        // Variable declaration: `ty name [= expr]` — detected by a type
+        // followed by an identifier (with optional `[]` pairs between).
+        if self.looks_like_decl() {
+            let ty = self.ty()?;
+            let name = self.ident("variable name")?;
+            let init = if self.eat(TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                line,
+            });
+        }
+        let e = self.expr()?;
+        if self.eat(TokenKind::Assign) {
+            let value = self.expr()?;
+            return Ok(Stmt::Assign {
+                target: e,
+                value,
+                line,
+            });
+        }
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Lookahead: `Ident` (type name) followed by `Ident`, possibly with
+    /// `[]` pairs between — a declaration rather than an expression.
+    fn looks_like_decl(&self) -> bool {
+        let TokenKind::Ident(_) = self.peek() else {
+            return false;
+        };
+        let mut i = self.pos + 1;
+        while self.toks.get(i).map(|t| &t.kind) == Some(&TokenKind::LBracket)
+            && self.toks.get(i + 1).map(|t| &t.kind) == Some(&TokenKind::RBracket)
+        {
+            i += 2;
+        }
+        matches!(self.toks.get(i).map(|t| &t.kind), Some(TokenKind::Ident(_)))
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.at(TokenKind::OrOr) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bitor_expr()?;
+        while self.at(TokenKind::AndAnd) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.at(TokenKind::Pipe) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::BitOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bitand_expr()?;
+        while self.at(TokenKind::Caret) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::BitXor,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality_expr()?;
+        while self.at(TokenKind::Amp) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.equality_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::BitAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.relational_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.shift_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.additive_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat(TokenKind::Minus) {
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                line,
+            });
+        }
+        if self.eat(TokenKind::Not) {
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                line,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let line = self.line();
+            if self.eat(TokenKind::Dot) {
+                let name = self.ident("member name")?;
+                if self.at(TokenKind::LParen) {
+                    let args = self.args()?;
+                    e = Expr::Call {
+                        recv: Box::new(e),
+                        method: name,
+                        args,
+                        line,
+                    };
+                } else {
+                    e = Expr::Field {
+                        recv: Box::new(e),
+                        name,
+                        line,
+                    };
+                }
+            } else if self.eat(TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket, "`]`")?;
+                e = Expr::Index {
+                    arr: Box::new(e),
+                    idx: Box::new(idx),
+                    line,
+                };
+            } else if self.eat(TokenKind::As) {
+                let class = self.ident("class name after `as`")?;
+                e = Expr::Cast {
+                    value: Box::new(e),
+                    class,
+                    line,
+                };
+            } else if self.eat(TokenKind::Is) {
+                let class = self.ident("class name after `is`")?;
+                e = Expr::InstanceOf {
+                    value: Box::new(e),
+                    class,
+                    line,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !self.at(TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v, line))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v, line))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::StrLit(s, line))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::BoolLit(true, line))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::BoolLit(false, line))
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr::Null(line))
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr::This(line))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::New => {
+                self.bump();
+                // `new C(args)` or `new ty[len]` (possibly multi-dim base).
+                let base = self.ty()?;
+                if self.at(TokenKind::LParen) {
+                    let Ty::Class(class) = base else {
+                        return Err(self.error("`new` of a non-class type".to_string()));
+                    };
+                    let args = self.args()?;
+                    Ok(Expr::New { class, args, line })
+                } else if self.eat(TokenKind::LBracket) {
+                    let len = self.expr()?;
+                    self.expect(TokenKind::RBracket, "`]`")?;
+                    Ok(Expr::NewArray {
+                        elem: base,
+                        len: Box::new(len),
+                        line,
+                    })
+                } else {
+                    Err(self.error("expected `(` or `[` after `new`".to_string()))
+                }
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(TokenKind::LParen) {
+                    let args = self.args()?;
+                    Ok(Expr::SelfCall {
+                        method: name,
+                        args,
+                        line,
+                    })
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            other => Err(self.error(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<ClassDecl> {
+        parse_program(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_class_with_members() {
+        let classes = parse(
+            "class A extends B { static int total; String name; \
+             int get(int x) { return x; } void run() { } init(int a) { } }",
+        );
+        assert_eq!(classes.len(), 1);
+        let c = &classes[0];
+        assert_eq!(c.name, "A");
+        assert_eq!(c.extends.as_deref(), Some("B"));
+        assert_eq!(c.fields.len(), 2);
+        assert!(c.fields[0].is_static);
+        assert_eq!(c.methods.len(), 3);
+        assert_eq!(c.methods[2].name, "init");
+        assert!(!c.methods[2].is_static);
+    }
+
+    #[test]
+    fn parses_constructor_with_class_name() {
+        let classes = parse("class P { int x; P(int x) { this.x = x; } }");
+        assert_eq!(classes[0].methods[0].name, "init");
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let classes = parse(
+            "class A { void f(int n) { \
+               if (n > 0) { n = n - 1; } else { n = 0; } \
+               while (n < 10) { n = n + 1; } \
+               for (int i = 0; i < n; i = i + 1) { n = n + i; } \
+               try { n = n / 0; } catch (Exception e) { n = 0; } \
+               sync (this) { n = 1; } \
+             } }",
+        );
+        assert_eq!(classes[0].methods[0].body.len(), 5);
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let classes = parse("class A { int f() { return 1 + 2 * 3; } }");
+        let Stmt::Return { value: Some(e), .. } = &classes[0].methods[0].body[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
+            panic!("expected +, got {e:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn array_types_and_indexing() {
+        let classes = parse(
+            "class A { int[] buf; int f() { int[][] m = null; \
+             int[] a = new int[4]; a[0] = 1; return a[0]; } }",
+        );
+        assert_eq!(classes[0].fields[0].ty, Ty::Array(Box::new(Ty::Int)));
+        let Stmt::VarDecl { ty, .. } = &classes[0].methods[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(*ty, Ty::Array(Box::new(Ty::Array(Box::new(Ty::Int)))));
+    }
+
+    #[test]
+    fn distinguishes_decl_from_expression() {
+        let classes = parse("class A { int f(int a) { a = 1; int b = 2; f(a); return b; } }");
+        let body = &classes[0].methods[0].body;
+        assert!(matches!(body[0], Stmt::Assign { .. }));
+        assert!(matches!(body[1], Stmt::VarDecl { .. }));
+        assert!(matches!(body[2], Stmt::Expr(Expr::SelfCall { .. })));
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let classes = parse("class A { int f(A a) { return a.b.c(1)[2].d; } }");
+        let Stmt::Return { value: Some(e), .. } = &classes[0].methods[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(e, Expr::Field { .. }));
+    }
+
+    #[test]
+    fn cast_and_instanceof() {
+        let classes = parse("class A { bool f(Object o) { A a = o as A; return o is A; } }");
+        let body = &classes[0].methods[0].body;
+        assert!(matches!(
+            body[0],
+            Stmt::VarDecl {
+                init: Some(Expr::Cast { .. }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_try_without_catch() {
+        let toks = lex("class A { void f() { try { } } }").unwrap();
+        assert!(parse_program(&toks).is_err());
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let classes = parse(
+            "class A { int f(int x) { if (x > 0) if (x > 1) return 2; else return 1; return 0; } }",
+        );
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &classes[0].methods[0].body[0]
+        else {
+            panic!();
+        };
+        assert!(else_body.is_empty(), "outer if has no else");
+        let Stmt::If {
+            else_body: inner_else,
+            ..
+        } = &then_body[0]
+        else {
+            panic!();
+        };
+        assert!(!inner_else.is_empty(), "inner if owns the else");
+    }
+}

@@ -1,0 +1,80 @@
+use crate::refs::{ClassId, HeapId};
+use crate::value::Value;
+
+/// Object payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjData {
+    /// Instance fields, in declaration order (the VM resolves names to
+    /// indices at class-load time).
+    Fields(Box<[Value]>),
+    /// Array of `values.len()` elements. `elem_bytes` is the accounted size
+    /// per element (1 for `byte[]`, 2 for `char[]`, 4 for `int[]`/`T[]`,
+    /// 8 for `float[]` under the 32-bit layout model).
+    Array {
+        /// Accounted size per element (1/2/4/8 under the 32-bit model).
+        elem_bytes: u8,
+        /// Element values.
+        values: Box<[Value]>,
+    },
+    /// Immutable string payload. Strings are objects so they live on a heap,
+    /// are accounted, and participate in per-process interning (§3.3).
+    Str(Box<str>),
+}
+
+impl ObjData {
+    /// Number of value slots (fields or elements); 0 for strings.
+    pub fn len(&self) -> usize {
+        match self {
+            ObjData::Fields(f) => f.len(),
+            ObjData::Array { values, .. } => values.len(),
+            ObjData::Str(_) => 0,
+        }
+    }
+
+    /// True if there are no value slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One heap object: header plus payload.
+///
+/// The `heap` field plays the role of the paper's optional heap-pointer
+/// header word. It is always present in the Rust struct, but the *accounted*
+/// size only includes it for the Heap Pointer / Fake Heap Pointer barrier
+/// variants, and the *No Heap Pointer* barrier deliberately ignores it and
+/// performs the page lookup instead (so the two code paths cost what the
+/// paper says they cost).
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Class identity assigned by the VM.
+    pub class: ClassId,
+    /// Owning heap ("heap pointer" header word).
+    pub heap: HeapId,
+    /// Mark bit for the owning heap's mark-and-sweep collector.
+    pub marked: bool,
+    /// Set once the object lives on a frozen shared heap: reference fields
+    /// are immutable from then on (§2, "Direct sharing").
+    pub frozen: bool,
+    /// Accounted size in bytes under the active [`crate::SizeModel`].
+    pub bytes: u32,
+    /// Payload.
+    pub data: ObjData,
+}
+
+impl Object {
+    /// Iterates the non-null references held in this object's slots.
+    pub fn references(&self) -> impl Iterator<Item = crate::refs::ObjRef> + '_ {
+        let slots: &[Value] = match &self.data {
+            ObjData::Fields(f) => f,
+            ObjData::Array { values, .. } => values,
+            ObjData::Str(_) => &[],
+        };
+        slots.iter().filter_map(|v| v.as_ref())
+    }
+
+    /// Number of reference-typed slots currently holding non-null refs.
+    pub fn reference_count(&self) -> usize {
+        self.references().count()
+    }
+}

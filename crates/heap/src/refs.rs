@@ -1,0 +1,68 @@
+use core::fmt;
+
+/// Reference to an object slot in the global object table.
+///
+/// Generational: a slot reused after a sweep yields a different generation,
+/// so a stale reference surfaced by a GC bug is detected instead of silently
+/// aliasing a new object. In a correct run no stale `ObjRef` is ever
+/// dereferenced (type safety + GC correctness), matching the paper's premise
+/// that type safety provides memory protection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+impl ObjRef {
+    /// Slot index in the global table (the object's "address").
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// Generation of the slot this reference was minted for.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}.{}", self.index, self.generation)
+    }
+}
+
+/// Handle to a heap in a [`crate::HeapSpace`]. Also generational, because
+/// user heaps die when merged into the kernel heap at process termination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HeapId {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+impl HeapId {
+    /// Registry index; stable for the heap's lifetime.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Debug for HeapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "heap#{}.{}", self.index, self.generation)
+    }
+}
+
+/// Opaque class identity assigned by the VM layer. The heap only uses it to
+/// stamp object headers; tracing is driven by each object's own field kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Opaque owner tag (process id at the kernel layer). Used to attribute GC
+/// cycles to the process whose heap is collected and to label snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcTag(pub u32);
+
+impl ProcTag {
+    /// Owner tag for the kernel / the system as a whole.
+    pub const KERNEL: ProcTag = ProcTag(0);
+}

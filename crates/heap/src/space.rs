@@ -1,0 +1,664 @@
+use std::collections::HashMap;
+
+use kaffeos_memlimit::{MemLimitId, MemLimitTree};
+
+use crate::barrier::{check_edge, BarrierKind, BarrierStats, SegViolationKind};
+use crate::error::HeapError;
+use crate::heap::{EntryItem, ExitItem, HeapCore, HeapKind, HeapSnapshot};
+use crate::layout::SizeModel;
+use crate::object::{ObjData, Object};
+use crate::refs::{ClassId, HeapId, ObjRef, ProcTag};
+use crate::value::Value;
+
+/// Object slots per page. The *No Heap Pointer* barrier recovers an
+/// object's heap by indexing the page table with `slot >> PAGE_SHIFT`,
+/// mirroring the paper's page-based heap lookup.
+pub(crate) const PAGE_SHIFT: u32 = 8;
+pub(crate) const PAGE_SLOTS: u32 = 1 << PAGE_SHIFT;
+
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    pub generation: u32,
+    pub obj: Option<Object>,
+}
+
+/// Configuration for a [`HeapSpace`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceConfig {
+    /// Write-barrier implementation (§4.1). Selects both the enforcement
+    /// path and the byte/cycle cost model.
+    pub barrier: BarrierKind,
+    /// Root memlimit for user processes, in bytes. The kernel heap itself is
+    /// not memlimit-governed: kernel allocations are charged to "the system
+    /// as a whole" unless the kernel debits a process explicitly.
+    pub user_budget: u64,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            barrier: BarrierKind::NoHeapPointer,
+            user_budget: 256 * 1024 * 1024, // the paper machine's 256 MB
+        }
+    }
+}
+
+/// The single address space holding every heap (Figure 2).
+///
+/// All object slots live in one global table, handed out to heaps in pages.
+/// Reference stores go through [`HeapSpace::store_ref`], which runs the
+/// write barrier: it enforces the cross-heap legality matrix and maintains
+/// entry/exit items for legal cross-heap references.
+#[derive(Debug)]
+pub struct HeapSpace {
+    pub(crate) slots: Vec<Slot>,
+    /// Page index → owning heap (index+generation), or `None` for a page
+    /// not yet handed out (never happens today: pages are created owned).
+    pub(crate) page_owner: Vec<HeapId>,
+    pub(crate) heaps: Vec<HeapCore>,
+    kernel: HeapId,
+    barrier: BarrierKind,
+    size_model: SizeModel,
+    pub(crate) limits: MemLimitTree,
+    root_limit: MemLimitId,
+    pub(crate) stats: BarrierStats,
+}
+
+impl HeapSpace {
+    /// Creates a space with a kernel heap and a user-budget memlimit root.
+    pub fn new(config: SpaceConfig) -> Self {
+        let mut limits = MemLimitTree::new();
+        let root_limit = limits.create_root(config.user_budget, "machine");
+        let kernel_core = HeapCore {
+            generation: 0,
+            alive: true,
+            kind: HeapKind::Kernel,
+            owner: ProcTag::KERNEL,
+            label: "kernel".to_string(),
+            memlimit: None,
+            pages: Vec::new(),
+            free_slots: Vec::new(),
+            bytes_used: 0,
+            objects: 0,
+            entries: HashMap::new(),
+            exits: HashMap::new(),
+            frozen: false,
+            gc_count: 0,
+        };
+        HeapSpace {
+            slots: Vec::new(),
+            page_owner: Vec::new(),
+            heaps: vec![kernel_core],
+            kernel: HeapId {
+                index: 0,
+                generation: 0,
+            },
+            barrier: config.barrier,
+            size_model: SizeModel::for_barrier(config.barrier),
+            limits,
+            root_limit,
+            stats: BarrierStats::default(),
+        }
+    }
+
+    /// The kernel heap.
+    pub fn kernel_heap(&self) -> HeapId {
+        self.kernel
+    }
+
+    /// The active barrier implementation.
+    pub fn barrier_kind(&self) -> BarrierKind {
+        self.barrier
+    }
+
+    /// The byte-size model in force (depends on the barrier variant).
+    pub fn size_model(&self) -> SizeModel {
+        self.size_model
+    }
+
+    /// Root memlimit under which process limits are created.
+    pub fn root_memlimit(&self) -> MemLimitId {
+        self.root_limit
+    }
+
+    /// The memlimit hierarchy (the kernel creates/removes process nodes).
+    pub fn limits(&self) -> &MemLimitTree {
+        &self.limits
+    }
+
+    /// Mutable access to the memlimit hierarchy.
+    pub fn limits_mut(&mut self) -> &mut MemLimitTree {
+        &mut self.limits
+    }
+
+    /// Write-barrier counters (Table 1).
+    pub fn barrier_stats(&self) -> BarrierStats {
+        self.stats
+    }
+
+    /// Resets barrier counters between benchmark runs.
+    pub fn reset_barrier_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    // ----- heap lifecycle -------------------------------------------------
+
+    /// Creates a user (process) heap charged against `memlimit`.
+    pub fn create_user_heap(
+        &mut self,
+        owner: ProcTag,
+        memlimit: MemLimitId,
+        label: impl Into<String>,
+    ) -> HeapId {
+        self.create_heap(HeapKind::User, owner, Some(memlimit), label.into())
+    }
+
+    /// Creates a shared heap, initially charged against `memlimit` (a soft
+    /// child of the creator's memlimit, per §2) until it is frozen.
+    pub fn create_shared_heap(
+        &mut self,
+        owner: ProcTag,
+        memlimit: MemLimitId,
+        label: impl Into<String>,
+    ) -> HeapId {
+        self.create_heap(HeapKind::Shared, owner, Some(memlimit), label.into())
+    }
+
+    fn create_heap(
+        &mut self,
+        kind: HeapKind,
+        owner: ProcTag,
+        memlimit: Option<MemLimitId>,
+        label: String,
+    ) -> HeapId {
+        let core = HeapCore {
+            generation: 0,
+            alive: true,
+            kind,
+            owner,
+            label,
+            memlimit,
+            pages: Vec::new(),
+            free_slots: Vec::new(),
+            bytes_used: 0,
+            objects: 0,
+            entries: HashMap::new(),
+            exits: HashMap::new(),
+            frozen: false,
+            gc_count: 0,
+        };
+        // Reuse a dead heap slot if any (generation already bumped at death).
+        if let Some(index) = self.heaps.iter().position(|h| !h.alive) {
+            let generation = self.heaps[index].generation;
+            let mut core = core;
+            core.generation = generation;
+            self.heaps[index] = core;
+            HeapId {
+                index: index as u32,
+                generation,
+            }
+        } else {
+            let index = self.heaps.len() as u32;
+            self.heaps.push(core);
+            HeapId {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Freezes a shared heap: its size becomes fixed and reference fields of
+    /// its objects become immutable. Detaches the population-time memlimit
+    /// and returns the heap's fixed size, which the kernel then charges in
+    /// full to every sharer.
+    pub fn freeze_shared(&mut self, heap: HeapId) -> Result<u64, HeapError> {
+        self.check_heap(heap)?;
+        let core = self.heap_core(heap);
+        if core.kind != HeapKind::Shared || core.frozen {
+            return Err(HeapError::BadHeapState(heap));
+        }
+        let bytes = core.bytes_used;
+        let ml = core.memlimit;
+        // Mark every object frozen so even same-heap reference stores fail.
+        let pages = core.pages.clone();
+        for page in pages {
+            let start = (page * PAGE_SLOTS) as usize;
+            for slot in &mut self.slots[start..start + PAGE_SLOTS as usize] {
+                if let Some(obj) = slot.obj.as_mut() {
+                    obj.frozen = true;
+                }
+            }
+        }
+        if let Some(ml) = ml {
+            // Return the population charge; the kernel re-charges sharers
+            // (including the creator) the fixed size directly.
+            self.limits
+                .credit(ml, bytes)
+                .expect("population bytes were debited from this memlimit");
+        }
+        let core = self.heap_core_mut(heap);
+        core.frozen = true;
+        core.memlimit = None;
+        Ok(bytes)
+    }
+
+    /// True if `heap` names a live heap.
+    pub fn heap_alive(&self, heap: HeapId) -> bool {
+        self.heaps
+            .get(heap.index as usize)
+            .map(|h| h.alive && h.generation == heap.generation)
+            .unwrap_or(false)
+    }
+
+    /// Heap metadata for reporting.
+    pub fn snapshot(&self, heap: HeapId) -> Result<HeapSnapshot, HeapError> {
+        self.check_heap(heap)?;
+        let core = self.heap_core(heap);
+        Ok(HeapSnapshot {
+            id: heap,
+            kind: core.kind,
+            owner: core.owner,
+            label: core.label.clone(),
+            bytes_used: core.bytes_used,
+            objects: core.objects,
+            pages: core.pages.len(),
+            entry_items: core.entries.len(),
+            exit_items: core.exits.len(),
+            frozen: core.frozen,
+            gc_count: core.gc_count,
+        })
+    }
+
+    /// Snapshots of all live heaps.
+    pub fn snapshot_all(&self) -> Vec<HeapSnapshot> {
+        (0..self.heaps.len())
+            .filter_map(|i| {
+                let h = &self.heaps[i];
+                h.alive
+                    .then(|| self.snapshot(h.id(i as u32)).expect("alive heap"))
+            })
+            .collect()
+    }
+
+    /// Owner tag of a heap.
+    pub fn heap_owner(&self, heap: HeapId) -> Result<ProcTag, HeapError> {
+        self.check_heap(heap)?;
+        Ok(self.heap_core(heap).owner)
+    }
+
+    /// Kind of a heap.
+    pub fn heap_kind(&self, heap: HeapId) -> Result<HeapKind, HeapError> {
+        self.check_heap(heap)?;
+        Ok(self.heap_core(heap).kind)
+    }
+
+    /// Bytes currently allocated on a heap.
+    pub fn heap_bytes(&self, heap: HeapId) -> Result<u64, HeapError> {
+        self.check_heap(heap)?;
+        Ok(self.heap_core(heap).bytes_used)
+    }
+
+    /// The memlimit a heap debits, if it has one.
+    pub fn heap_memlimit(&self, heap: HeapId) -> Result<Option<MemLimitId>, HeapError> {
+        self.check_heap(heap)?;
+        Ok(self.heap_core(heap).memlimit)
+    }
+
+    // ----- allocation -----------------------------------------------------
+
+    /// Allocates an instance with `nfields` fields, all null/zero.
+    pub fn alloc_fields(
+        &mut self,
+        heap: HeapId,
+        class: ClassId,
+        nfields: usize,
+    ) -> Result<ObjRef, HeapError> {
+        let data = ObjData::Fields(vec![Value::Null; nfields].into_boxed_slice());
+        self.alloc(heap, class, data)
+    }
+
+    /// Allocates an array of `len` elements of accounted size `elem_bytes`,
+    /// filled with `fill`.
+    pub fn alloc_array(
+        &mut self,
+        heap: HeapId,
+        class: ClassId,
+        elem_bytes: u8,
+        len: usize,
+        fill: Value,
+    ) -> Result<ObjRef, HeapError> {
+        let data = ObjData::Array {
+            elem_bytes,
+            values: vec![fill; len].into_boxed_slice(),
+        };
+        self.alloc(heap, class, data)
+    }
+
+    /// Allocates a string object.
+    pub fn alloc_str(
+        &mut self,
+        heap: HeapId,
+        class: ClassId,
+        s: impl Into<Box<str>>,
+    ) -> Result<ObjRef, HeapError> {
+        self.alloc(heap, class, ObjData::Str(s.into()))
+    }
+
+    /// Allocates an object with explicit payload. Fails with `OutOfMemory`
+    /// if the heap's memlimit chain cannot cover the accounted size, and
+    /// with `BadHeapState` on frozen shared heaps (their size is fixed).
+    pub fn alloc(
+        &mut self,
+        heap: HeapId,
+        class: ClassId,
+        data: ObjData,
+    ) -> Result<ObjRef, HeapError> {
+        self.check_heap(heap)?;
+        if self.heap_core(heap).frozen {
+            return Err(HeapError::BadHeapState(heap));
+        }
+        let bytes = self.size_model.object_bytes(&data) as u32;
+        if let Some(ml) = self.heap_core(heap).memlimit {
+            self.limits.debit(ml, bytes as u64)?;
+        }
+        let index = self.take_slot(heap);
+        let slot = &mut self.slots[index as usize];
+        debug_assert!(slot.obj.is_none(), "allocated into occupied slot");
+        slot.obj = Some(Object {
+            class,
+            heap,
+            marked: false,
+            frozen: false,
+            bytes,
+            data,
+        });
+        let core = self.heap_core_mut(heap);
+        core.bytes_used += bytes as u64;
+        core.objects += 1;
+        Ok(ObjRef {
+            index,
+            generation: self.slots[index as usize].generation,
+        })
+    }
+
+    /// Pops a free slot for `heap`, growing the global table by a fresh page
+    /// if needed.
+    fn take_slot(&mut self, heap: HeapId) -> u32 {
+        if let Some(index) = self.heap_core_mut(heap).free_slots.pop() {
+            return index;
+        }
+        let page = self.page_owner.len() as u32;
+        let start = page * PAGE_SLOTS;
+        debug_assert_eq!(start as usize, self.slots.len());
+        self.slots.extend((0..PAGE_SLOTS).map(|_| Slot::default()));
+        self.page_owner.push(heap);
+        let core = self.heap_core_mut(heap);
+        core.pages.push(page);
+        // Reverse so that slots are handed out in ascending order.
+        core.free_slots.extend((start..start + PAGE_SLOTS).rev());
+        core.free_slots.pop().expect("fresh page has free slots")
+    }
+
+    // ----- object access --------------------------------------------------
+
+    /// Immutable access to an object.
+    pub fn get(&self, obj: ObjRef) -> Result<&Object, HeapError> {
+        let slot = self
+            .slots
+            .get(obj.index as usize)
+            .ok_or(HeapError::StaleRef(obj))?;
+        if slot.generation != obj.generation {
+            return Err(HeapError::StaleRef(obj));
+        }
+        slot.obj.as_ref().ok_or(HeapError::StaleRef(obj))
+    }
+
+    fn get_mut(&mut self, obj: ObjRef) -> Result<&mut Object, HeapError> {
+        let slot = self
+            .slots
+            .get_mut(obj.index as usize)
+            .ok_or(HeapError::StaleRef(obj))?;
+        if slot.generation != obj.generation {
+            return Err(HeapError::StaleRef(obj));
+        }
+        slot.obj.as_mut().ok_or(HeapError::StaleRef(obj))
+    }
+
+    /// The heap an object lives on, found the way the active barrier variant
+    /// finds it: object header for *Heap Pointer*, page-table lookup for the
+    /// page-based variants. Both paths always agree; the distinction matters
+    /// for the modelled cycle costs, not the answer.
+    pub fn heap_of(&self, obj: ObjRef) -> Result<HeapId, HeapError> {
+        let by_header = self.get(obj)?.heap;
+        if self.barrier.uses_page_lookup() {
+            let page = (obj.index >> PAGE_SHIFT) as usize;
+            let by_page = self.page_owner[page];
+            debug_assert_eq!(by_page, by_header, "page table out of sync");
+            Ok(by_page)
+        } else {
+            Ok(by_header)
+        }
+    }
+
+    /// Loads a field or array element.
+    pub fn load(&self, obj: ObjRef, index: usize) -> Result<Value, HeapError> {
+        let o = self.get(obj)?;
+        let slots: &[Value] = match &o.data {
+            ObjData::Fields(f) => f,
+            ObjData::Array { values, .. } => values,
+            ObjData::Str(_) => return Err(HeapError::KindMismatch(obj)),
+        };
+        slots
+            .get(index)
+            .copied()
+            .ok_or(HeapError::IndexOutOfBounds {
+                obj,
+                index,
+                len: slots.len(),
+            })
+    }
+
+    /// Stores a primitive into a field or element. No barrier: primitive
+    /// fields of shared objects stay mutable after freezing (§2), and
+    /// primitive stores can never create cross-heap references.
+    pub fn store_prim(&mut self, obj: ObjRef, index: usize, val: Value) -> Result<(), HeapError> {
+        debug_assert!(
+            !matches!(val, Value::Ref(_)),
+            "reference store through store_prim"
+        );
+        let o = self.get_mut(obj)?;
+        let slots: &mut [Value] = match &mut o.data {
+            ObjData::Fields(f) => f,
+            ObjData::Array { values, .. } => values,
+            ObjData::Str(_) => return Err(HeapError::KindMismatch(obj)),
+        };
+        let len = slots.len();
+        *slots
+            .get_mut(index)
+            .ok_or(HeapError::IndexOutOfBounds { obj, index, len })? = val;
+        Ok(())
+    }
+
+    /// Stores a reference (or null) into a reference-typed field or element,
+    /// running the **write barrier**: every call counts as one executed
+    /// barrier, the Figure-2 legality matrix is enforced, and a legal
+    /// cross-heap store creates/retains the entry/exit item pair.
+    ///
+    /// Returns the modelled cycle cost of the barrier so the caller can
+    /// charge it to the running process.
+    pub fn store_ref(
+        &mut self,
+        obj: ObjRef,
+        index: usize,
+        val: Value,
+        trusted: bool,
+    ) -> Result<u64, HeapError> {
+        debug_assert!(val.is_reference(), "primitive store through store_ref");
+        let cycles = self.barrier.cycles();
+        self.stats.executed += 1;
+        self.stats.cycles += cycles;
+
+        if self.barrier.enforces() {
+            let src_heap = self.heap_of(obj)?;
+            // Frozen shared objects: reference fields are immutable, even
+            // for same-heap or null stores — reassignment itself is illegal.
+            if self.get(obj)?.frozen {
+                self.stats.violations += 1;
+                return Err(HeapError::SegViolation(SegViolationKind::FrozenSharedField));
+            }
+            if let Value::Ref(target) = val {
+                let dst_heap = self.heap_of(target)?;
+                let src_kind = self.heap_core(src_heap).kind;
+                let dst_kind = self.heap_core(dst_heap).kind;
+                if let Err(kind) = check_edge(src_kind, dst_kind, src_heap == dst_heap, trusted) {
+                    self.stats.violations += 1;
+                    return Err(HeapError::SegViolation(kind));
+                }
+                if src_heap != dst_heap {
+                    self.ensure_cross_edge(src_heap, dst_heap, target, true)?;
+                }
+            }
+        }
+
+        let o = self.get_mut(obj)?;
+        let slots: &mut [Value] = match &mut o.data {
+            ObjData::Fields(f) => f,
+            ObjData::Array { values, .. } => values,
+            ObjData::Str(_) => return Err(HeapError::KindMismatch(obj)),
+        };
+        let len = slots.len();
+        *slots
+            .get_mut(index)
+            .ok_or(HeapError::IndexOutOfBounds { obj, index, len })? = val;
+        Ok(cycles)
+    }
+
+    /// Ensures `src` holds an exit item for `target` (which lives on `dst`),
+    /// creating the exit item and bumping the remote entry item if absent.
+    /// Exit items are charged to the source heap, entry items to the heap
+    /// they point into (§2, "Precise memory and CPU accounting").
+    ///
+    /// With `account == false` (GC-materialised items for stack-held
+    /// cross-heap references) no memlimit is debited and the operation
+    /// cannot fail; the items remember they were unaccounted so their later
+    /// destruction credits nothing.
+    pub(crate) fn ensure_cross_edge(
+        &mut self,
+        src: HeapId,
+        dst: HeapId,
+        target: ObjRef,
+        account: bool,
+    ) -> Result<bool, HeapError> {
+        debug_assert_ne!(src, dst);
+        if self.heap_core(src).exits.contains_key(&target) {
+            return Ok(false);
+        }
+        let exit_bytes = self.size_model.exit_item as u64;
+        let src_ml = self.heap_core(src).memlimit;
+        let exit_accounted = account && src_ml.is_some();
+        if exit_accounted {
+            self.limits.debit(src_ml.expect("checked"), exit_bytes)?;
+        }
+        self.heap_core_mut(src).exits.insert(
+            target,
+            ExitItem {
+                marked: false,
+                accounted: exit_accounted,
+            },
+        );
+        self.stats.cross_heap_created += 1;
+
+        let entry_bytes = self.size_model.entry_item as u64;
+        let dst_ml = self.heap_core(dst).memlimit;
+        if let Some(entry) = self.heap_core_mut(dst).entries.get_mut(&target.index) {
+            entry.refs += 1;
+            return Ok(true);
+        }
+        let entry_accounted = account && dst_ml.is_some();
+        if entry_accounted {
+            // Entry items live in the destination heap; charging can in
+            // principle fail, in which case the store fails cleanly after
+            // rolling back the exit item.
+            if let Err(e) = self.limits.debit(dst_ml.expect("checked"), entry_bytes) {
+                self.heap_core_mut(src).exits.remove(&target);
+                if exit_accounted {
+                    self.limits
+                        .credit(src_ml.expect("checked"), exit_bytes)
+                        .expect("exit bytes were just debited");
+                }
+                return Err(HeapError::OutOfMemory(e));
+            }
+        }
+        self.heap_core_mut(dst).entries.insert(
+            target.index,
+            EntryItem {
+                refs: 1,
+                accounted: entry_accounted,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Array length / field count of an object.
+    pub fn slot_count(&self, obj: ObjRef) -> Result<usize, HeapError> {
+        Ok(self.get(obj)?.data.len())
+    }
+
+    /// String payload of a string object.
+    pub fn str_value(&self, obj: ObjRef) -> Result<&str, HeapError> {
+        match &self.get(obj)?.data {
+            ObjData::Str(s) => Ok(s),
+            _ => Err(HeapError::KindMismatch(obj)),
+        }
+    }
+
+    /// Class of an object.
+    pub fn class_of(&self, obj: ObjRef) -> Result<ClassId, HeapError> {
+        Ok(self.get(obj)?.class)
+    }
+
+    /// Number of entry items currently pinning objects of `heap`.
+    pub fn entry_item_count(&self, heap: HeapId) -> Result<usize, HeapError> {
+        self.check_heap(heap)?;
+        Ok(self.heap_core(heap).entries.len())
+    }
+
+    /// Number of exit items held by `heap`.
+    pub fn exit_item_count(&self, heap: HeapId) -> Result<usize, HeapError> {
+        self.check_heap(heap)?;
+        Ok(self.heap_core(heap).exits.len())
+    }
+
+    /// True if `from` holds at least one exit item whose target lives on
+    /// `to` (used by the kernel to decide when a sharer has dropped its
+    /// last reference to a shared heap).
+    pub fn heap_exits_into(&self, from: HeapId, to: HeapId) -> bool {
+        if !self.heap_alive(from) || !self.heap_alive(to) {
+            return false;
+        }
+        self.heap_core(from)
+            .exits
+            .keys()
+            .any(|t| self.heap_of(*t).map(|h| h == to).unwrap_or(false))
+    }
+
+    // ----- internals shared with gc.rs -------------------------------------
+
+    pub(crate) fn check_heap(&self, heap: HeapId) -> Result<(), HeapError> {
+        if self.heap_alive(heap) {
+            Ok(())
+        } else {
+            Err(HeapError::HeapDead(heap))
+        }
+    }
+
+    pub(crate) fn heap_core(&self, heap: HeapId) -> &HeapCore {
+        debug_assert!(self.heap_alive(heap), "access to dead heap {heap:?}");
+        &self.heaps[heap.index as usize]
+    }
+
+    pub(crate) fn heap_core_mut(&mut self, heap: HeapId) -> &mut HeapCore {
+        debug_assert!(self.heap_alive(heap), "access to dead heap {heap:?}");
+        &mut self.heaps[heap.index as usize]
+    }
+}

@@ -1,0 +1,74 @@
+use crate::refs::ObjRef;
+
+/// A slot-sized value as stored in object fields, array elements, locals and
+/// operand stacks.
+///
+/// The VM layer maps the guest language's `boolean`/`char`/`byte` onto
+/// `Int`; the heap layer only distinguishes reference values (which GC must
+/// trace and write barriers must check) from primitives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// The null reference.
+    Null,
+    /// Integer primitive (guest `int`, `bool`, `char`).
+    Int(i64),
+    /// Floating-point primitive (guest `float`).
+    Float(f64),
+    /// Reference to a heap object.
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// True for `Ref` and `Null` — values of reference type.
+    pub fn is_reference(self) -> bool {
+        matches!(self, Value::Ref(_) | Value::Null)
+    }
+
+    /// The referenced object, if this is a non-null reference.
+    pub fn as_ref(self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Integer payload; panics in debug builds on type confusion (the
+    /// verifier makes this unreachable for verified code).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            other => {
+                debug_assert!(false, "as_int on {other:?}");
+                0
+            }
+        }
+    }
+
+    /// Float payload, with the same contract as [`Value::as_int`].
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Float(f) => f,
+            Value::Int(i) => i as f64,
+            other => {
+                debug_assert!(false, "as_float on {other:?}");
+                0.0
+            }
+        }
+    }
+
+    /// Truthiness for conditional branches (non-zero / non-null).
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            Value::Ref(_) => true,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}

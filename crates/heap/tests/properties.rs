@@ -1,0 +1,338 @@
+//! Property tests for the multi-heap object store.
+//!
+//! Invariants, checked over arbitrary interleavings of allocation, stores,
+//! GC, and termination:
+//!
+//! 1. **Barrier completeness** — after any sequence of operations, no object
+//!    on a user heap holds a reference into a different user heap, and no
+//!    frozen shared object's reference fields ever change.
+//! 2. **GC safety** — objects reachable from roots survive collection;
+//!    a collection never invalidates a reachable reference.
+//! 3. **Full reclamation** — after a process' heap is merged into the
+//!    kernel heap and the kernel heap is collected with no roots into the
+//!    process' objects, every byte the process allocated is reclaimed and
+//!    its memlimit drains to zero.
+//! 4. **Accounting balance** — a heap's memlimit `current` always equals
+//!    its live accounted bytes (objects + accounted entry/exit items).
+
+use kaffeos_heap::{
+    BarrierKind, ClassId, HeapError, HeapSpace, ObjRef, ProcTag, SpaceConfig, Value,
+};
+use kaffeos_memlimit::Kind;
+use proptest::prelude::*;
+
+const CLS: ClassId = ClassId(1);
+const NPROCS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc {
+        proc: usize,
+        fields: usize,
+    },
+    Store {
+        proc: usize,
+        src: usize,
+        field: usize,
+        dst_proc: usize,
+        dst: usize,
+    },
+    StoreNull {
+        proc: usize,
+        src: usize,
+        field: usize,
+    },
+    DropRoot {
+        proc: usize,
+        which: usize,
+    },
+    Gc {
+        proc: usize,
+    },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..NPROCS, 1usize..5).prop_map(|(proc, fields)| Op::Alloc { proc, fields }),
+            (
+                0..NPROCS,
+                any::<usize>(),
+                0usize..5,
+                0..NPROCS,
+                any::<usize>()
+            )
+                .prop_map(|(proc, src, field, dst_proc, dst)| Op::Store {
+                    proc,
+                    src,
+                    field,
+                    dst_proc,
+                    dst
+                }),
+            (0..NPROCS, any::<usize>(), 0usize..5)
+                .prop_map(|(proc, src, field)| { Op::StoreNull { proc, src, field } }),
+            (0..NPROCS, any::<usize>()).prop_map(|(proc, which)| Op::DropRoot { proc, which }),
+            (0..NPROCS).prop_map(|proc| Op::Gc { proc }),
+        ],
+        1..80,
+    )
+}
+
+struct Fixture {
+    space: HeapSpace,
+    heaps: Vec<kaffeos_heap::HeapId>,
+    limits: Vec<kaffeos_memlimit::MemLimitId>,
+    /// Simulated stack roots per process.
+    roots: Vec<Vec<ObjRef>>,
+}
+
+fn fixture(barrier: BarrierKind) -> Fixture {
+    let mut space = HeapSpace::new(SpaceConfig {
+        barrier,
+        user_budget: 64 * 1024 * 1024,
+    });
+    let root = space.root_memlimit();
+    let mut heaps = Vec::new();
+    let mut limits = Vec::new();
+    for p in 0..NPROCS {
+        let ml = space
+            .limits_mut()
+            .create_child(root, Kind::Soft, 1 << 20, format!("p{p}"))
+            .unwrap();
+        heaps.push(space.create_user_heap(ProcTag(p as u32 + 1), ml, format!("h{p}")));
+        limits.push(ml);
+    }
+    Fixture {
+        space,
+        heaps,
+        limits,
+        roots: vec![Vec::new(); NPROCS],
+    }
+}
+
+fn run_ops(f: &mut Fixture, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Alloc { proc, fields } => {
+                if let Ok(obj) = f.space.alloc_fields(f.heaps[proc], CLS, fields) {
+                    f.roots[proc].push(obj);
+                }
+            }
+            Op::Store {
+                proc,
+                src,
+                field,
+                dst_proc,
+                dst,
+            } => {
+                if f.roots[proc].is_empty() || f.roots[dst_proc].is_empty() {
+                    continue;
+                }
+                let src = f.roots[proc][src % f.roots[proc].len()];
+                let dst = f.roots[dst_proc][dst % f.roots[dst_proc].len()];
+                let nfields = f.space.slot_count(src).unwrap();
+                if nfields == 0 {
+                    continue;
+                }
+                // May legally fail with SegViolation for cross-process
+                // stores; both outcomes are fine — the invariant check
+                // verifies no illegal edge ever materialises.
+                let _ = f
+                    .space
+                    .store_ref(src, field % nfields, Value::Ref(dst), false);
+            }
+            Op::StoreNull { proc, src, field } => {
+                if f.roots[proc].is_empty() {
+                    continue;
+                }
+                let src = f.roots[proc][src % f.roots[proc].len()];
+                let nfields = f.space.slot_count(src).unwrap();
+                if nfields == 0 {
+                    continue;
+                }
+                let _ = f.space.store_ref(src, field % nfields, Value::Null, false);
+            }
+            Op::DropRoot { proc, which } => {
+                if !f.roots[proc].is_empty() {
+                    let i = which % f.roots[proc].len();
+                    f.roots[proc].swap_remove(i);
+                }
+            }
+            Op::Gc { proc } => {
+                let roots = f.roots[proc].clone();
+                f.space.gc(f.heaps[proc], &roots).unwrap();
+            }
+        }
+    }
+}
+
+/// Checks invariant 1: no user→other-user edge exists anywhere.
+fn assert_no_illegal_edges(f: &Fixture) -> Result<(), TestCaseError> {
+    for (p, &heap) in f.heaps.iter().enumerate() {
+        for &root in &f.roots[p] {
+            // Walk everything reachable from this process' roots.
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![root];
+            while let Some(obj) = stack.pop() {
+                if !seen.insert(obj) {
+                    continue;
+                }
+                let obj_heap = f.space.heap_of(obj).unwrap();
+                let refs: Vec<ObjRef> = f.space.get(obj).unwrap().references().collect();
+                for target in refs {
+                    let target_heap = f.space.heap_of(target).unwrap();
+                    if obj_heap != target_heap {
+                        // The only legal cross edges here are →kernel.
+                        prop_assert_eq!(
+                            target_heap,
+                            f.space.kernel_heap(),
+                            "illegal cross-heap edge from {:?} ({:?}) to {:?} ({:?})",
+                            obj,
+                            obj_heap,
+                            target,
+                            target_heap
+                        );
+                    }
+                    stack.push(target);
+                }
+            }
+            let _ = heap;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn barrier_keeps_heaps_separated(ops in ops()) {
+        let mut f = fixture(BarrierKind::NoHeapPointer);
+        run_ops(&mut f, &ops);
+        assert_no_illegal_edges(&f)?;
+    }
+
+    #[test]
+    fn gc_preserves_reachable_objects(ops in ops()) {
+        let mut f = fixture(BarrierKind::NoHeapPointer);
+        run_ops(&mut f, &ops);
+        // Collect every heap, then verify everything reachable from roots
+        // is still valid and holds its structure.
+        for p in 0..NPROCS {
+            let roots = f.roots[p].clone();
+            f.space.gc(f.heaps[p], &roots).unwrap();
+        }
+        for p in 0..NPROCS {
+            for &root in &f.roots[p] {
+                let mut seen = std::collections::HashSet::new();
+                let mut stack = vec![root];
+                while let Some(obj) = stack.pop() {
+                    if !seen.insert(obj) {
+                        continue;
+                    }
+                    prop_assert!(f.space.get(obj).is_ok(), "reachable {obj:?} was swept");
+                    stack.extend(f.space.get(obj).unwrap().references());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gc_reclaims_all_garbage(ops in ops()) {
+        let mut f = fixture(BarrierKind::NoHeapPointer);
+        run_ops(&mut f, &ops);
+        // Drop all roots; two collections of every heap reclaim everything
+        // (the second pass frees objects that were pinned by entry items
+        // whose exit items died in the first pass).
+        for p in 0..NPROCS {
+            f.roots[p].clear();
+        }
+        for _round in 0..2 {
+            for p in 0..NPROCS {
+                f.space.gc(f.heaps[p], &[]).unwrap();
+            }
+        }
+        for (p, &heap) in f.heaps.iter().enumerate() {
+            let snap = f.space.snapshot(heap).unwrap();
+            prop_assert_eq!(snap.objects, 0, "heap {} still has objects", p);
+            prop_assert_eq!(snap.bytes_used, 0);
+            prop_assert_eq!(f.space.limits().current(f.limits[p]), 0,
+                "memlimit {} not drained", p);
+        }
+    }
+
+    #[test]
+    fn termination_fully_reclaims_memory(ops in ops()) {
+        let mut f = fixture(BarrierKind::NoHeapPointer);
+        run_ops(&mut f, &ops);
+        // Terminate process 0: merge its heap, remove its memlimit.
+        let report = f.space.merge_into_kernel(f.heaps[0]).unwrap();
+        prop_assert_eq!(f.space.limits().current(f.limits[0]), 0,
+            "terminated process' memlimit must drain to zero");
+        f.space.limits_mut().remove(f.limits[0]).unwrap();
+        f.roots[0].clear();
+        // Kernel GC (no process-0 roots) reclaims all its objects.
+        let kernel = f.space.kernel_heap();
+        let before = f.space.heap_bytes(kernel).unwrap();
+        f.space.gc(kernel, &[]).unwrap();
+        let after = f.space.heap_bytes(kernel).unwrap();
+        prop_assert!(after <= before - report.bytes_moved || report.bytes_moved == 0,
+            "kernel GC reclaimed {} of {} merged bytes", before - after, report.bytes_moved);
+        // Other processes are untouched: their roots still resolve.
+        for p in 1..NPROCS {
+            for &root in &f.roots[p] {
+                prop_assert!(f.space.get(root).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_balances_after_gc(ops in ops()) {
+        let mut f = fixture(BarrierKind::HeapPointer);
+        run_ops(&mut f, &ops);
+        for p in 0..NPROCS {
+            let roots = f.roots[p].clone();
+            f.space.gc(f.heaps[p], &roots).unwrap();
+        }
+        // After a GC, bytes_used equals the sum of live objects' accounted
+        // sizes; the memlimit covers bytes_used plus accounted items.
+        for (p, &heap) in f.heaps.iter().enumerate() {
+            let snap = f.space.snapshot(heap).unwrap();
+            let ml_current = f.space.limits().current(f.limits[p]);
+            prop_assert!(ml_current >= snap.bytes_used,
+                "memlimit {} below live bytes", p);
+            let item_bound = (snap.entry_items + snap.exit_items) as u64 * 16;
+            prop_assert!(ml_current <= snap.bytes_used + item_bound,
+                "memlimit {} exceeds live bytes + items", p);
+        }
+    }
+
+    #[test]
+    fn stale_refs_never_resolve(ops in ops()) {
+        let mut f = fixture(BarrierKind::NoHeapPointer);
+        // Track everything ever allocated.
+        let mut all: Vec<ObjRef> = Vec::new();
+        for op in &ops {
+            if let Op::Alloc { proc, fields } = *op {
+                if let Ok(obj) = f.space.alloc_fields(f.heaps[proc], CLS, fields) {
+                    f.roots[proc].push(obj);
+                    all.push(obj);
+                }
+            }
+        }
+        run_ops(&mut f, &ops);
+        for p in 0..NPROCS {
+            f.roots[p].clear();
+            f.space.gc(f.heaps[p], &[]).unwrap();
+        }
+        // Every original ref is now either stale or (impossible here) live;
+        // dereferencing must never panic and stale refs must be detected.
+        for obj in all {
+            match f.space.get(obj) {
+                Err(HeapError::StaleRef(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                Ok(_) => prop_assert!(false, "rootless object survived GC"),
+            }
+        }
+    }
+}

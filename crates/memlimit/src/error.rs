@@ -1,0 +1,61 @@
+use core::fmt;
+
+use crate::tree::MemLimitId;
+
+/// A debit that would push a memlimit past its maximum.
+///
+/// Carries enough context for the kernel to turn it into an out-of-memory
+/// condition attributed to the right process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// The node whose limit would be violated (may be an ancestor of the
+    /// node that was debited).
+    pub node: MemLimitId,
+    /// Bytes the caller asked for.
+    pub requested: u64,
+    /// Bytes still available at `node` before the request.
+    pub available: u64,
+}
+
+impl fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memlimit {:?} exceeded: requested {} bytes, {} available",
+            self.node, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+/// Errors from structural operations on the memlimit tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitError {
+    /// The id does not name a live node.
+    Dead(MemLimitId),
+    /// A hard child's reservation could not be satisfied by the parent.
+    ReservationFailed(LimitExceeded),
+    /// Node still has live children and cannot be removed.
+    HasChildren(MemLimitId),
+    /// Node still has a non-zero current use and cannot be removed.
+    InUse(MemLimitId, u64),
+    /// Attempted to credit more than the node's current use.
+    CreditUnderflow(MemLimitId),
+}
+
+impl fmt::Display for LimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitError::Dead(id) => write!(f, "memlimit {id:?} is not alive"),
+            LimitError::ReservationFailed(e) => write!(f, "hard reservation failed: {e}"),
+            LimitError::HasChildren(id) => write!(f, "memlimit {id:?} still has children"),
+            LimitError::InUse(id, n) => write!(f, "memlimit {id:?} still holds {n} bytes"),
+            LimitError::CreditUnderflow(id) => {
+                write!(f, "credit underflow on memlimit {id:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LimitError {}

@@ -1,0 +1,28 @@
+//! Hierarchical memory limits for KaffeOS.
+//!
+//! Every heap in KaffeOS is associated with a *memlimit*: a node in a tree
+//! that carries an upper `limit` and a `current` use. All memory allocated to
+//! the heap is debited from its memlimit and memory collected from the heap
+//! is credited back; the credit/debit is applied recursively to the node's
+//! ancestors (§2, "Hierarchical memory management").
+//!
+//! A memlimit is **hard** or **soft**:
+//!
+//! * A *hard* memlimit's maximum is debited from its parent when the node is
+//!   created — memory is set aside as a reservation. Credits and debits of
+//!   its descendants are therefore **not** propagated past a hard limit.
+//! * A *soft* memlimit is just a cap: its debits and credits are reflected in
+//!   the parent, so a summary limit can govern several activities without
+//!   reserving memory for each.
+//!
+//! The tree is a flat arena ([`MemLimitTree`]) indexed by [`MemLimitId`];
+//! KaffeOS owns one tree whose root models the machine's physical memory.
+
+mod error;
+mod tree;
+
+pub use error::{LimitError, LimitExceeded};
+pub use tree::{Kind, MemLimitId, MemLimitSnapshot, MemLimitTree};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,189 @@
+//! Property tests for the memlimit hierarchy.
+//!
+//! Invariants checked over arbitrary operation sequences:
+//! 1. `current <= limit` at every node, always (for soft paths; hard nodes
+//!    additionally never exceed their reservation).
+//! 2. A node's `current` equals the sum of successful debits minus credits
+//!    applied at or below it through soft chains.
+//! 3. Failed operations leave the tree byte-for-byte unchanged.
+
+use kaffeos_memlimit::{Kind, MemLimitId, MemLimitTree};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateSoft { parent: usize, limit: u64 },
+    CreateHard { parent: usize, limit: u64 },
+    Debit { node: usize, bytes: u64 },
+    Credit { node: usize, bytes: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), 1u64..2000).prop_map(|(parent, limit)| Op::CreateSoft { parent, limit }),
+        (any::<usize>(), 1u64..500).prop_map(|(parent, limit)| Op::CreateHard { parent, limit }),
+        (any::<usize>(), 1u64..800).prop_map(|(node, bytes)| Op::Debit { node, bytes }),
+        (any::<usize>(), 1u64..800).prop_map(|(node, bytes)| Op::Credit { node, bytes }),
+    ]
+}
+
+/// Shadow model: tracks per-node outstanding debits (applied at that node
+/// directly, not via percolation).
+struct Shadow {
+    ids: Vec<MemLimitId>,
+    direct: Vec<u64>,
+}
+
+impl Shadow {
+    fn pick(&self, raw: usize) -> (usize, MemLimitId) {
+        let i = raw % self.ids.len();
+        (i, self.ids[i])
+    }
+}
+
+fn expected_current(t: &MemLimitTree, shadow: &Shadow, idx: usize) -> u64 {
+    // current(n) = direct debits at n + sum over soft descendants chains.
+    // Compute by walking every node's soft-ancestor path.
+    let mut total = shadow.direct[idx];
+    for (j, &jid) in shadow.ids.iter().enumerate() {
+        if j == idx {
+            continue;
+        }
+        // Walk up from j through soft links; if we reach idx, j contributes.
+        let mut cur = jid;
+        loop {
+            if t.kind(cur) == Kind::Hard {
+                // A hard node contributes its *limit* (the reservation) to the
+                // parent, not its current — handled separately below.
+                break;
+            }
+            match t.parent(cur) {
+                Some(p) => {
+                    if p == shadow.ids[idx] {
+                        total += shadow.direct[j];
+                        break;
+                    }
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+    }
+    // Reservations: every hard child whose soft-path to idx exists adds its
+    // full limit.
+    for &jid in &shadow.ids {
+        if t.kind(jid) != Kind::Hard {
+            continue;
+        }
+        let Some(mut cur) = t.parent(jid) else {
+            continue;
+        };
+        loop {
+            if cur == shadow.ids[idx] {
+                total += t.limit(jid);
+                break;
+            }
+            if t.kind(cur) == Kind::Hard {
+                break;
+            }
+            match t.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut t = MemLimitTree::new();
+        let root = t.create_root(10_000, "root");
+        let mut shadow = Shadow { ids: vec![root], direct: vec![0] };
+
+        for op in ops {
+            match op {
+                Op::CreateSoft { parent, limit } => {
+                    let (_, pid) = shadow.pick(parent);
+                    if let Ok(id) = t.create_child(pid, Kind::Soft, limit, "s") {
+                        shadow.ids.push(id);
+                        shadow.direct.push(0);
+                    }
+                }
+                Op::CreateHard { parent, limit } => {
+                    let (_, pid) = shadow.pick(parent);
+                    if let Ok(id) = t.create_child(pid, Kind::Hard, limit, "h") {
+                        shadow.ids.push(id);
+                        shadow.direct.push(0);
+                    }
+                }
+                Op::Debit { node, bytes } => {
+                    let (i, id) = shadow.pick(node);
+                    let before: Vec<u64> = shadow.ids.iter().map(|&n| t.current(n)).collect();
+                    match t.debit(id, bytes) {
+                        Ok(()) => shadow.direct[i] += bytes,
+                        Err(_) => {
+                            // Failed debit changes nothing.
+                            for (k, &n) in shadow.ids.iter().enumerate() {
+                                prop_assert_eq!(t.current(n), before[k]);
+                            }
+                        }
+                    }
+                }
+                Op::Credit { node, bytes } => {
+                    // Like KaffeOS itself, only credit what was debited at
+                    // this node: a heap credits exactly the bytes its swept
+                    // objects once debited. (Crediting percolated child
+                    // debits at the parent is representable in the tree API
+                    // but never issued by the kernel.)
+                    let (i, id) = shadow.pick(node);
+                    let bytes = bytes.min(shadow.direct[i]);
+                    if bytes == 0 {
+                        continue;
+                    }
+                    t.credit(id, bytes).unwrap();
+                    shadow.direct[i] -= bytes;
+                }
+            }
+            // Invariant 1: current <= limit everywhere.
+            for &n in &shadow.ids {
+                prop_assert!(t.current(n) <= t.limit(n),
+                    "current {} > limit {} at {:?}", t.current(n), t.limit(n), n);
+            }
+            // Invariant 2: current matches the shadow model.
+            for i in 0..shadow.ids.len() {
+                let want = expected_current(&t, &shadow, i);
+                prop_assert_eq!(t.current(shadow.ids[i]), want,
+                    "node {} current mismatch", i);
+            }
+        }
+    }
+
+    #[test]
+    fn debit_credit_roundtrip_is_identity(
+        limits in proptest::collection::vec(1u64..1000, 1..8),
+        bytes in 1u64..100,
+    ) {
+        // Build a soft chain, debit at the leaf, credit at the leaf: every
+        // node must return to zero.
+        let mut t = MemLimitTree::new();
+        let root = t.create_root(u64::MAX, "root");
+        let mut chain = vec![root];
+        for (i, &l) in limits.iter().enumerate() {
+            let parent = *chain.last().unwrap();
+            if let Ok(id) = t.create_child(parent, Kind::Soft, l.max(bytes), format!("n{i}")) {
+                chain.push(id);
+            }
+        }
+        let leaf = *chain.last().unwrap();
+        if t.debit(leaf, bytes).is_ok() {
+            t.credit(leaf, bytes).unwrap();
+        }
+        for &n in &chain {
+            prop_assert_eq!(t.current(n), 0);
+        }
+    }
+}

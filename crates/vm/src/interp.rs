@@ -1,0 +1,1415 @@
+//! The bytecode interpreter.
+//!
+//! One interpreter, engine-parameterised: every instruction charges
+//! modelled cycles (base cost × engine CPI), reference stores run the heap
+//! write barrier, and **safe points** (taken on branches, calls, allocation
+//! and throws) honour preemption fuel and deferred termination — user-mode
+//! code can be killed at any safe point; a thread with `kernel_depth > 0`
+//! has its kill deferred until it leaves the kernel (§2, Figure 1).
+//!
+//! Anything privileged exits as [`RunExit::Syscall`]; the kernel services
+//! the request and resumes the thread.
+
+use std::collections::HashMap;
+
+use kaffeos_heap::{HeapError, HeapId, HeapSpace, ObjRef, Value};
+
+use crate::bytecode::Op;
+use crate::classes::{ClassIdx, ClassTable, MethodIdx, RConst};
+use crate::engine::{Engine, OpCosts, BASE_COSTS};
+
+/// Deepest call stack before `StackOverflowError`.
+pub const MAX_FRAMES: usize = 256;
+
+/// VM-raised exception kinds, materialised into guest objects (by class
+/// name) when thrown so guest `catch` clauses work uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinEx {
+    /// Member access through a null reference.
+    NullPointer,
+    /// Array/string index out of range, or a negative array length.
+    IndexOutOfBounds,
+    /// Division by zero, or an unparsable number.
+    Arithmetic,
+    /// Failed `CheckCast`.
+    ClassCast,
+    /// Illegal cross-heap write (§2 — "segmentation violations").
+    SegViolation,
+    /// Allocation failed even after collecting the process heap.
+    OutOfMemory,
+    /// Call stack exceeded [`MAX_FRAMES`].
+    StackOverflow,
+    /// Monitor misuse or an operation on a frozen heap.
+    IllegalState,
+}
+
+impl BuiltinEx {
+    /// Guest class name used for handler matching.
+    pub fn class_name(self) -> &'static str {
+        match self {
+            BuiltinEx::NullPointer => "NullPointerException",
+            BuiltinEx::IndexOutOfBounds => "IndexOutOfBoundsException",
+            BuiltinEx::Arithmetic => "ArithmeticException",
+            BuiltinEx::ClassCast => "ClassCastException",
+            BuiltinEx::SegViolation => "SegmentationViolation",
+            BuiltinEx::OutOfMemory => "OutOfMemoryError",
+            BuiltinEx::StackOverflow => "StackOverflowError",
+            BuiltinEx::IllegalState => "IllegalStateException",
+        }
+    }
+}
+
+/// An in-flight exception.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmException {
+    /// A guest object thrown by `Throw` (or materialised from a builtin).
+    Guest(ObjRef),
+    /// A VM-raised condition not yet materialised.
+    Builtin(BuiltinEx, String),
+}
+
+/// One activation record.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Executing method.
+    pub method: MethodIdx,
+    /// Its declaring class (for constant-pool access).
+    pub class: ClassIdx,
+    /// Next instruction index.
+    pub pc: u32,
+    /// Local variable slots (receiver + params first).
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+}
+
+/// Scheduler-visible thread state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Waiting for the monitor of the given object.
+    Blocked(ObjRef),
+    /// Finished (returned, killed, or died on an exception).
+    Done,
+}
+
+/// A green thread: frames plus accounting and termination state.
+#[derive(Debug)]
+pub struct Thread {
+    /// VM-wide thread id (monitor ownership key).
+    pub id: u32,
+    /// Call stack, outermost first.
+    pub frames: Vec<Frame>,
+    /// Modelled cycles consumed since the last drain by the scheduler.
+    pub cycles: u64,
+    /// Of `cycles`, the share spent in allocation-triggered collections of
+    /// the process heap (GC time is charged to the process whose heap is
+    /// collected, §2 "Precise memory and CPU accounting").
+    pub gc_cycles: u64,
+    /// Set by the kernel to request termination; honoured at the next safe
+    /// point while `kernel_depth == 0`.
+    pub kill_requested: bool,
+    /// Non-zero while the thread is inside the kernel; termination is
+    /// deferred until it returns to zero (§2, "Safe termination").
+    pub kernel_depth: u32,
+    /// Scheduler-visible state.
+    pub state: ThreadState,
+    /// Exception injected by the kernel (e.g. an OOM discovered while
+    /// servicing a syscall), raised before the next instruction.
+    pub pending_exception: Option<VmException>,
+    /// Monitors currently held, innermost last (released on kill/unwind).
+    pub held_monitors: Vec<ObjRef>,
+}
+
+impl Thread {
+    /// Creates a thread entering `method` with the given arguments.
+    pub fn new(id: u32, table: &ClassTable, method: MethodIdx, args: Vec<Value>) -> Self {
+        let m = table.method(method);
+        debug_assert_eq!(args.len(), m.arg_slots(), "bad arg count for thread entry");
+        let mut locals = args;
+        locals.resize(m.code.max_locals as usize, Value::Null);
+        Thread {
+            id,
+            frames: vec![Frame {
+                method,
+                class: m.class,
+                pc: 0,
+                locals,
+                stack: Vec::new(),
+            }],
+            cycles: 0,
+            gc_cycles: 0,
+            kill_requested: false,
+            kernel_depth: 0,
+            state: ThreadState::Runnable,
+            pending_exception: None,
+            held_monitors: Vec::new(),
+        }
+    }
+
+    /// Pushes a syscall result after the kernel services a [`RunExit::Syscall`].
+    pub fn resume_with(&mut self, result: Option<Value>) {
+        if let (Some(v), Some(frame)) = (result, self.frames.last_mut()) {
+            frame.stack.push(v);
+        }
+    }
+
+    /// All references live on this thread's stacks (GC roots).
+    pub fn stack_roots(&self) -> Vec<ObjRef> {
+        let mut roots = Vec::new();
+        for frame in &self.frames {
+            roots.extend(frame.locals.iter().filter_map(|v| v.as_ref()));
+            roots.extend(frame.stack.iter().filter_map(|v| v.as_ref()));
+        }
+        roots.extend(self.held_monitors.iter().copied());
+        roots
+    }
+
+    /// Drains the accumulated cycle count (scheduler accounting).
+    pub fn drain_cycles(&mut self) -> u64 {
+        core::mem::take(&mut self.cycles)
+    }
+
+    /// Total stack slots (locals + operands) across all frames — the work
+    /// a collector does scanning this thread, whether or not the slots
+    /// hold references.
+    pub fn stack_scan_size(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|f| (f.locals.len() + f.stack.len()) as u64)
+            .sum()
+    }
+}
+
+/// Why `step` returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunExit {
+    /// Fuel exhausted at a safe point; reschedule and call `step` again.
+    Preempted,
+    /// Outermost frame returned.
+    Finished(Option<Value>),
+    /// Guest invoked an intrinsic; service it and `resume_with` the result.
+    Syscall {
+        /// Intrinsic registry id.
+        id: u16,
+        /// Arguments, left-to-right.
+        args: Vec<Value>,
+    },
+    /// An exception escaped the outermost frame.
+    Unhandled(VmException),
+    /// Termination honoured at a safe point.
+    Killed,
+    /// Blocked acquiring a monitor owned by another thread.
+    Blocked(ObjRef),
+    /// Internal error — unreachable for verified code.
+    Fault(crate::VmError),
+}
+
+/// Everything the interpreter needs from its surroundings for one quantum.
+pub struct ExecCtx<'a> {
+    /// The heap space (allocation, barriers, GC).
+    pub space: &'a mut HeapSpace,
+    /// Loaded classes and methods.
+    pub table: &'a ClassTable,
+    /// Namespace for literal/exception class lookups.
+    pub ns: u32,
+    /// Allocation heap of the running process.
+    pub heap: HeapId,
+    /// True only when running trusted code in kernel mode (may create
+    /// kernel→user references).
+    pub trusted: bool,
+    /// Active cycle model.
+    pub engine: Engine,
+    /// Per-process statics objects, keyed by class (lazily created here on
+    /// first static access; they are GC roots the kernel must pass to `gc`).
+    pub statics: &'a mut HashMap<ClassIdx, ObjRef>,
+    /// Per-process string intern table (§3.3).
+    pub intern: &'a mut HashMap<String, ObjRef>,
+    /// The `String` class in this namespace (for string allocation tags).
+    pub string_class: ClassIdx,
+    /// VM-wide monitor table: object → (owner thread, recursion depth).
+    pub monitors: &'a mut HashMap<ObjRef, (u32, u32)>,
+    /// Roots beyond this thread's own stacks (other threads of the same
+    /// process, kernel pins) used when an allocation failure triggers a
+    /// collection of the process heap.
+    pub extra_roots: &'a [ObjRef],
+    /// Stack slots behind `extra_roots` (scan effort for the other
+    /// threads' stacks — charged per collection as GC crosstalk, §2).
+    pub extra_scan_slots: u64,
+}
+
+/// Heap class tags for primitive arrays (distinct from any `ClassIdx`).
+pub const INT_ARRAY_CLASS: kaffeos_heap::ClassId = kaffeos_heap::ClassId(u32::MAX - 1);
+/// Heap class tag for `float[]`.
+pub const FLOAT_ARRAY_CLASS: kaffeos_heap::ClassId = kaffeos_heap::ClassId(u32::MAX - 2);
+/// Heap class tag for string and nested-array element arrays.
+pub const REF_ARRAY_CLASS: kaffeos_heap::ClassId = kaffeos_heap::ClassId(u32::MAX - 3);
+
+const COSTS: OpCosts = BASE_COSTS;
+
+/// Outcome of executing a single instruction.
+enum StepFlow {
+    Continue,
+    Exit(RunExit),
+    Raise(VmException),
+}
+
+/// Runs `thread` for up to `fuel` modelled cycles.
+pub fn step(thread: &mut Thread, ctx: &mut ExecCtx<'_>, fuel: u64) -> RunExit {
+    debug_assert!(matches!(thread.state, ThreadState::Runnable));
+    let start_cycles = thread.cycles;
+
+    // Kernel-injected exception takes effect first.
+    if let Some(ex) = thread.pending_exception.take() {
+        match raise(thread, ctx, ex) {
+            Some(exit) => return exit,
+            None => {}
+        }
+    }
+
+    loop {
+        // Safe point: termination (deferred while in kernel mode), then fuel.
+        if thread.kill_requested && thread.kernel_depth == 0 {
+            release_all_monitors(thread, ctx);
+            thread.frames.clear();
+            thread.state = ThreadState::Done;
+            return RunExit::Killed;
+        }
+        if thread.cycles - start_cycles >= fuel {
+            return RunExit::Preempted;
+        }
+
+        let flow = exec_one(thread, ctx);
+        match flow {
+            StepFlow::Continue => {}
+            StepFlow::Exit(exit) => {
+                if matches!(exit, RunExit::Finished(_) | RunExit::Unhandled(_)) {
+                    thread.state = ThreadState::Done;
+                }
+                if let RunExit::Blocked(obj) = exit {
+                    thread.state = ThreadState::Blocked(obj);
+                }
+                return exit;
+            }
+            StepFlow::Raise(ex) => {
+                if let Some(exit) = raise(thread, ctx, ex) {
+                    thread.state = ThreadState::Done;
+                    return exit;
+                }
+            }
+        }
+    }
+}
+
+macro_rules! pop {
+    ($frame:expr) => {
+        match $frame.stack.pop() {
+            Some(v) => v,
+            None => {
+                debug_assert!(false, "operand stack underflow (verifier bug)");
+                Value::Null
+            }
+        }
+    };
+}
+
+/// Executes the current instruction of the top frame.
+fn exec_one(thread: &mut Thread, ctx: &mut ExecCtx<'_>) -> StepFlow {
+    let engine = ctx.engine;
+    let Some(frame) = thread.frames.last_mut() else {
+        return StepFlow::Exit(RunExit::Finished(None));
+    };
+    let method = ctx.table.method(frame.method);
+    let Some(&op) = method.code.ops.get(frame.pc as usize) else {
+        // Falling off the end of a void method is an implicit return.
+        return do_return(thread, ctx, None);
+    };
+    let class = ctx.table.class(frame.class);
+    frame.pc += 1;
+
+    match op {
+        // ----- constants & locals ------------------------------------
+        Op::ConstNull => {
+            thread.cycles += engine.scaled(COSTS.local);
+            frame.stack.push(Value::Null);
+        }
+        Op::ConstInt(v) => {
+            thread.cycles += engine.scaled(COSTS.local);
+            frame.stack.push(Value::Int(v));
+        }
+        Op::ConstFloat(v) => {
+            thread.cycles += engine.scaled(COSTS.local);
+            frame.stack.push(Value::Float(v));
+        }
+        Op::ConstStr(idx) => {
+            thread.cycles += engine.scaled(COSTS.string);
+            let RConst::Str(s) = &class.rpool[idx as usize] else {
+                return fault(format!("ConstStr on non-Str pool entry {idx}"));
+            };
+            let s = s.clone();
+            match intern_string(thread, ctx, &s) {
+                Ok(obj) => thread
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .stack
+                    .push(Value::Ref(obj)),
+                Err(ex) => return StepFlow::Raise(ex),
+            }
+        }
+        Op::Load(slot) => {
+            thread.cycles += engine.scaled(COSTS.local);
+            let v = frame.locals[slot as usize];
+            frame.stack.push(v);
+        }
+        Op::Store(slot) => {
+            thread.cycles += engine.scaled(COSTS.local);
+            let v = pop!(frame);
+            frame.locals[slot as usize] = v;
+        }
+        Op::Pop => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let _ = pop!(frame);
+        }
+        Op::Dup => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let v = *frame.stack.last().unwrap_or(&Value::Null);
+            frame.stack.push(v);
+        }
+        Op::Swap => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let len = frame.stack.len();
+            if len >= 2 {
+                frame.stack.swap(len - 1, len - 2);
+            }
+        }
+
+        // ----- integer arithmetic --------------------------------------
+        Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Shl | Op::Shr => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let b = pop!(frame).as_int();
+            let a = pop!(frame).as_int();
+            let r = match op {
+                Op::Add => a.wrapping_add(b),
+                Op::Sub => a.wrapping_sub(b),
+                Op::Mul => a.wrapping_mul(b),
+                Op::And => a & b,
+                Op::Or => a | b,
+                Op::Xor => a ^ b,
+                Op::Shl => a.wrapping_shl(b as u32 & 63),
+                Op::Shr => a.wrapping_shr(b as u32 & 63),
+                _ => unreachable!(),
+            };
+            frame.stack.push(Value::Int(r));
+        }
+        Op::Div | Op::Rem => {
+            thread.cycles += engine.scaled(COSTS.simple * 4);
+            let b = pop!(frame).as_int();
+            let a = pop!(frame).as_int();
+            if b == 0 {
+                return StepFlow::Raise(VmException::Builtin(
+                    BuiltinEx::Arithmetic,
+                    "division by zero".to_string(),
+                ));
+            }
+            let r = if op == Op::Div {
+                a.wrapping_div(b)
+            } else {
+                a.wrapping_rem(b)
+            };
+            frame.stack.push(Value::Int(r));
+        }
+        Op::Neg => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let a = pop!(frame).as_int();
+            frame.stack.push(Value::Int(a.wrapping_neg()));
+        }
+
+        // ----- float arithmetic -------------------------------------------
+        Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
+            thread.cycles += engine.scaled(COSTS.simple * 2);
+            let b = pop!(frame).as_float();
+            let a = pop!(frame).as_float();
+            let r = match op {
+                Op::FAdd => a + b,
+                Op::FSub => a - b,
+                Op::FMul => a * b,
+                Op::FDiv => a / b,
+                _ => unreachable!(),
+            };
+            frame.stack.push(Value::Float(r));
+        }
+        Op::FNeg => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let a = pop!(frame).as_float();
+            frame.stack.push(Value::Float(-a));
+        }
+        Op::I2F => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let a = pop!(frame).as_int();
+            frame.stack.push(Value::Float(a as f64));
+        }
+        Op::F2I => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let a = pop!(frame).as_float();
+            frame.stack.push(Value::Int(a as i64));
+        }
+
+        // ----- comparisons ---------------------------------------------------
+        Op::CmpEq | Op::CmpNe | Op::CmpLt | Op::CmpLe | Op::CmpGt | Op::CmpGe => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let b = pop!(frame).as_int();
+            let a = pop!(frame).as_int();
+            let r = match op {
+                Op::CmpEq => a == b,
+                Op::CmpNe => a != b,
+                Op::CmpLt => a < b,
+                Op::CmpLe => a <= b,
+                Op::CmpGt => a > b,
+                Op::CmpGe => a >= b,
+                _ => unreachable!(),
+            };
+            frame.stack.push(Value::Int(r as i64));
+        }
+        Op::FCmpEq | Op::FCmpLt | Op::FCmpLe | Op::FCmpGt | Op::FCmpGe => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let b = pop!(frame).as_float();
+            let a = pop!(frame).as_float();
+            let r = match op {
+                Op::FCmpEq => a == b,
+                Op::FCmpLt => a < b,
+                Op::FCmpLe => a <= b,
+                Op::FCmpGt => a > b,
+                Op::FCmpGe => a >= b,
+                _ => unreachable!(),
+            };
+            frame.stack.push(Value::Int(r as i64));
+        }
+        Op::RefEq | Op::RefNe => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let b = pop!(frame);
+            let a = pop!(frame);
+            let eq = match (a, b) {
+                (Value::Null, Value::Null) => true,
+                (Value::Ref(x), Value::Ref(y)) => x == y,
+                _ => false,
+            };
+            let r = if op == Op::RefEq { eq } else { !eq };
+            frame.stack.push(Value::Int(r as i64));
+        }
+
+        // ----- control flow ---------------------------------------------------
+        Op::Jump(target) => {
+            thread.cycles += engine.scaled(COSTS.branch);
+            frame.pc = target;
+        }
+        Op::JumpIfTrue(target) => {
+            thread.cycles += engine.scaled(COSTS.branch);
+            if pop!(frame).is_truthy() {
+                frame.pc = target;
+            }
+        }
+        Op::JumpIfFalse(target) => {
+            thread.cycles += engine.scaled(COSTS.branch);
+            if !pop!(frame).is_truthy() {
+                frame.pc = target;
+            }
+        }
+        Op::Return => {
+            thread.cycles += engine.scaled(COSTS.ret);
+            return do_return(thread, ctx, None);
+        }
+        Op::ReturnVal => {
+            thread.cycles += engine.scaled(COSTS.ret);
+            let v = pop!(frame);
+            return do_return(thread, ctx, Some(v));
+        }
+
+        // ----- objects -----------------------------------------------------------
+        Op::New(idx) => {
+            thread.cycles += engine.scaled(COSTS.alloc);
+            let RConst::Class(cidx) = class.rpool[idx as usize] else {
+                return fault(format!("New on non-Class pool entry {idx}"));
+            };
+            let nfields = ctx.table.class(cidx).instance_fields.len();
+            thread.cycles += engine.scaled(COSTS.simple) * nfields as u64;
+            let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                ctx.space.alloc_fields(ctx.heap, cidx.heap_class(), nfields)
+            });
+            match alloc {
+                Ok(obj) => {
+                    if let Err(e) = init_default_fields(ctx, cidx, obj, false) {
+                        return StepFlow::Raise(heap_exception(e));
+                    }
+                    thread
+                        .frames
+                        .last_mut()
+                        .expect("frame")
+                        .stack
+                        .push(Value::Ref(obj));
+                }
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::GetField(idx) => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let RConst::InstanceField { slot, .. } = class.rpool[idx as usize] else {
+                return fault(format!("GetField on bad pool entry {idx}"));
+            };
+            let Value::Ref(obj) = pop!(frame) else {
+                return npe("field access on null");
+            };
+            match ctx.space.load(obj, slot as usize) {
+                Ok(v) => frame.stack.push(v),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::PutField(idx) => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let RConst::InstanceField { slot, ref ty, .. } = class.rpool[idx as usize] else {
+                return fault(format!("PutField on bad pool entry {idx}"));
+            };
+            let is_ref = ty.is_reference();
+            let v = pop!(frame);
+            let Value::Ref(obj) = pop!(frame) else {
+                return npe("field store on null");
+            };
+            let result = if is_ref {
+                let mut pinned = vec![obj];
+                pinned.extend(v.as_ref());
+                with_gc_retry(thread, ctx, &pinned, |ctx| {
+                    ctx.space.store_ref(obj, slot as usize, v, ctx.trusted)
+                })
+                .map(|barrier_cycles| thread.cycles += barrier_cycles)
+            } else {
+                ctx.space.store_prim(obj, slot as usize, v)
+            };
+            if let Err(e) = result {
+                return StepFlow::Raise(heap_exception(e));
+            }
+        }
+        Op::GetStatic(idx) => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let RConst::StaticField {
+                class: cidx, slot, ..
+            } = class.rpool[idx as usize]
+            else {
+                return fault(format!("GetStatic on bad pool entry {idx}"));
+            };
+            let statics = match statics_object(thread, ctx, cidx) {
+                Ok(obj) => obj,
+                Err(ex) => return StepFlow::Raise(ex),
+            };
+            match ctx.space.load(statics, slot as usize) {
+                Ok(v) => thread.frames.last_mut().expect("frame").stack.push(v),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::PutStatic(idx) => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let RConst::StaticField {
+                class: cidx,
+                slot,
+                ref ty,
+            } = class.rpool[idx as usize]
+            else {
+                return fault(format!("PutStatic on bad pool entry {idx}"));
+            };
+            let is_ref = ty.is_reference();
+            let v = pop!(frame);
+            let statics = match statics_object(thread, ctx, cidx) {
+                Ok(obj) => obj,
+                Err(ex) => return StepFlow::Raise(ex),
+            };
+            let result = if is_ref {
+                let mut pinned = vec![statics];
+                pinned.extend(v.as_ref());
+                with_gc_retry(thread, ctx, &pinned, |ctx| {
+                    ctx.space.store_ref(statics, slot as usize, v, ctx.trusted)
+                })
+                .map(|barrier_cycles| thread.cycles += barrier_cycles)
+            } else {
+                ctx.space.store_prim(statics, slot as usize, v)
+            };
+            if let Err(e) = result {
+                return StepFlow::Raise(heap_exception(e));
+            }
+        }
+        Op::NullCheck => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let v = *frame.stack.last().unwrap_or(&Value::Null);
+            let _ = pop!(frame);
+            if !matches!(v, Value::Ref(_)) {
+                return npe("explicit null check");
+            }
+        }
+        Op::InstanceOf(idx) => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let RConst::Class(target) = class.rpool[idx as usize] else {
+                return fault(format!("InstanceOf on bad pool entry {idx}"));
+            };
+            let v = pop!(frame);
+            let r = value_instance_of(ctx, v, target);
+            frame.stack.push(Value::Int(r as i64));
+        }
+        Op::CheckCast(idx) => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let RConst::Class(target) = class.rpool[idx as usize] else {
+                return fault(format!("CheckCast on bad pool entry {idx}"));
+            };
+            let v = *frame.stack.last().unwrap_or(&Value::Null);
+            if !matches!(v, Value::Null) && !value_instance_of(ctx, v, target) {
+                return StepFlow::Raise(VmException::Builtin(
+                    BuiltinEx::ClassCast,
+                    format!("cannot cast to {}", ctx.table.class(target).name),
+                ));
+            }
+        }
+
+        // ----- arrays -------------------------------------------------------------
+        Op::NewArray(idx) => {
+            thread.cycles += engine.scaled(COSTS.alloc);
+            let len = pop!(frame).as_int();
+            if len < 0 {
+                return StepFlow::Raise(VmException::Builtin(
+                    BuiltinEx::IndexOutOfBounds,
+                    format!("negative array length {len}"),
+                ));
+            }
+            let (tag, elem_bytes, fill) = match class.rpool[idx as usize] {
+                RConst::Class(cidx) => (cidx.heap_class(), 4, Value::Null),
+                RConst::Str(ref s) if &**s == "int" => (INT_ARRAY_CLASS, 4, Value::Int(0)),
+                RConst::Str(ref s) if &**s == "float" => (FLOAT_ARRAY_CLASS, 8, Value::Float(0.0)),
+                // "str" and "["-prefixed nested-array descriptors: element
+                // values are references, 4 bytes each under the 32-bit model.
+                RConst::Str(ref s) if &**s == "str" || s.starts_with('[') => {
+                    (REF_ARRAY_CLASS, 4, Value::Null)
+                }
+                _ => return fault(format!("NewArray on bad pool entry {idx}")),
+            };
+            thread.cycles += engine.scaled(COSTS.simple) * (len as u64 / 8).max(1);
+            let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                ctx.space
+                    .alloc_array(ctx.heap, tag, elem_bytes, len as usize, fill)
+            });
+            match alloc {
+                Ok(obj) => thread
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .stack
+                    .push(Value::Ref(obj)),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::ALoad => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let index = pop!(frame).as_int();
+            let Value::Ref(arr) = pop!(frame) else {
+                return npe("array load on null");
+            };
+            let len = match ctx.space.slot_count(arr) {
+                Ok(n) => n,
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            };
+            if index < 0 || index as usize >= len {
+                return StepFlow::Raise(VmException::Builtin(
+                    BuiltinEx::IndexOutOfBounds,
+                    format!("index {index} out of bounds for length {len}"),
+                ));
+            }
+            match ctx.space.load(arr, index as usize) {
+                Ok(v) => frame.stack.push(v),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::AStore => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let v = pop!(frame);
+            let index = pop!(frame).as_int();
+            let Value::Ref(arr) = pop!(frame) else {
+                return npe("array store on null");
+            };
+            let len = match ctx.space.slot_count(arr) {
+                Ok(n) => n,
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            };
+            if index < 0 || index as usize >= len {
+                return StepFlow::Raise(VmException::Builtin(
+                    BuiltinEx::IndexOutOfBounds,
+                    format!("index {index} out of bounds for length {len}"),
+                ));
+            }
+            let result = if v.is_reference() {
+                let mut pinned = vec![arr];
+                pinned.extend(v.as_ref());
+                with_gc_retry(thread, ctx, &pinned, |ctx| {
+                    ctx.space.store_ref(arr, index as usize, v, ctx.trusted)
+                })
+                .map(|barrier_cycles| thread.cycles += barrier_cycles)
+            } else {
+                ctx.space.store_prim(arr, index as usize, v)
+            };
+            if let Err(e) = result {
+                return StepFlow::Raise(heap_exception(e));
+            }
+        }
+        Op::ArrayLen => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let Value::Ref(arr) = pop!(frame) else {
+                return npe("array length of null");
+            };
+            match ctx.space.slot_count(arr) {
+                Ok(n) => frame.stack.push(Value::Int(n as i64)),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+
+        // ----- calls -----------------------------------------------------------------
+        Op::CallStatic(idx) => {
+            let RConst::DirectMethod(midx) = class.rpool[idx as usize] else {
+                return fault(format!("CallStatic on bad pool entry {idx}"));
+            };
+            return push_frame(thread, ctx, midx);
+        }
+        Op::CallVirtual(idx) => {
+            let RConst::VirtualMethod { vslot, nargs, .. } = class.rpool[idx as usize] else {
+                return fault(format!("CallVirtual on bad pool entry {idx}"));
+            };
+            // Receiver sits below the arguments.
+            let stack_len = frame.stack.len();
+            let recv_pos = stack_len.checked_sub(nargs as usize);
+            let Some(recv_pos) = recv_pos else {
+                return fault("virtual call with short stack".to_string());
+            };
+            let Value::Ref(recv) = frame.stack[recv_pos] else {
+                return npe("virtual call on null");
+            };
+            let recv_class = match ctx.space.class_of(recv) {
+                Ok(id) => ctx.table.from_heap_class(id),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            };
+            let midx = ctx.table.class(recv_class).vtable[vslot as usize];
+            return push_frame(thread, ctx, midx);
+        }
+        Op::CallSpecial(idx) => {
+            let RConst::VirtualMethod {
+                class: cidx, vslot, ..
+            } = class.rpool[idx as usize]
+            else {
+                return fault(format!("CallSpecial on bad pool entry {idx}"));
+            };
+            let midx = ctx.table.class(cidx).vtable[vslot as usize];
+            return push_frame(thread, ctx, midx);
+        }
+        Op::Syscall(idx) => {
+            thread.cycles += engine.scaled(COSTS.call);
+            let RConst::Intrinsic { id, nargs, .. } = class.rpool[idx as usize] else {
+                return fault(format!("Syscall on bad pool entry {idx}"));
+            };
+            let split = frame.stack.len().saturating_sub(nargs as usize);
+            let args = frame.stack.split_off(split);
+            return StepFlow::Exit(RunExit::Syscall { id, args });
+        }
+
+        // ----- exceptions ---------------------------------------------------------------
+        Op::Throw => {
+            let Value::Ref(ex) = pop!(frame) else {
+                return npe("throw of null");
+            };
+            return StepFlow::Raise(VmException::Guest(ex));
+        }
+
+        // ----- strings --------------------------------------------------------------------
+        Op::StrConcat => {
+            let b = pop!(frame);
+            let a = pop!(frame);
+            let sa = render(ctx, a);
+            let sb = render(ctx, b);
+            thread.cycles +=
+                engine.scaled(COSTS.string + COSTS.string_per_char * (sa.len() + sb.len()) as u64);
+            let joined = format!("{sa}{sb}");
+            let string_tag = ctx.string_class.heap_class();
+            match with_gc_retry(thread, ctx, &[], |ctx| {
+                ctx.space.alloc_str(ctx.heap, string_tag, joined.as_str())
+            }) {
+                Ok(obj) => thread
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .stack
+                    .push(Value::Ref(obj)),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::StrLen => {
+            thread.cycles += engine.scaled(COSTS.simple);
+            let Value::Ref(s) = pop!(frame) else {
+                return npe("length of null string");
+            };
+            match ctx.space.str_value(s) {
+                Ok(v) => {
+                    let n = v.chars().count() as i64;
+                    frame.stack.push(Value::Int(n));
+                }
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::StrCharAt => {
+            thread.cycles += engine.scaled(COSTS.field);
+            let index = pop!(frame).as_int();
+            let Value::Ref(s) = pop!(frame) else {
+                return npe("charAt on null string");
+            };
+            let ch = match ctx.space.str_value(s) {
+                Ok(v) => v.chars().nth(index.max(0) as usize),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            };
+            match ch {
+                Some(c) => frame.stack.push(Value::Int(c as i64)),
+                None => {
+                    return StepFlow::Raise(VmException::Builtin(
+                        BuiltinEx::IndexOutOfBounds,
+                        format!("string index {index}"),
+                    ))
+                }
+            }
+        }
+        Op::StrEq => {
+            let b = pop!(frame);
+            let a = pop!(frame);
+            let r = match (a, b) {
+                (Value::Ref(x), Value::Ref(y)) => {
+                    let sx = ctx.space.str_value(x).ok();
+                    let sy = ctx.space.str_value(y).ok();
+                    thread.cycles += engine.scaled(
+                        COSTS.string
+                            + COSTS.string_per_char * sx.map(|s| s.len()).unwrap_or(0) as u64,
+                    );
+                    match (sx, sy) {
+                        (Some(sx), Some(sy)) => sx == sy,
+                        _ => false,
+                    }
+                }
+                (Value::Null, Value::Null) => true,
+                _ => false,
+            };
+            thread
+                .frames
+                .last_mut()
+                .expect("frame")
+                .stack
+                .push(Value::Int(r as i64));
+        }
+        Op::Intern => {
+            thread.cycles += engine.scaled(COSTS.string);
+            let Value::Ref(s) = pop!(frame) else {
+                return npe("intern of null");
+            };
+            let text = match ctx.space.str_value(s) {
+                Ok(v) => v.to_string(),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            };
+            match intern_string(thread, ctx, &text) {
+                Ok(obj) => thread
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .stack
+                    .push(Value::Ref(obj)),
+                Err(ex) => return StepFlow::Raise(ex),
+            }
+        }
+        Op::ToStr => {
+            let v = pop!(frame);
+            let s = render(ctx, v);
+            thread.cycles += engine.scaled(COSTS.string + COSTS.string_per_char * s.len() as u64);
+            let string_tag = ctx.string_class.heap_class();
+            match with_gc_retry(thread, ctx, &[], |ctx| {
+                ctx.space.alloc_str(ctx.heap, string_tag, s.as_str())
+            }) {
+                Ok(obj) => thread
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .stack
+                    .push(Value::Ref(obj)),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::Substr => {
+            thread.cycles += engine.scaled(COSTS.string);
+            let end = pop!(frame).as_int();
+            let start = pop!(frame).as_int();
+            let Value::Ref(s) = pop!(frame) else {
+                return npe("substring of null");
+            };
+            let text = match ctx.space.str_value(s) {
+                Ok(v) => v.to_string(),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            };
+            let chars: Vec<char> = text.chars().collect();
+            let n = chars.len() as i64;
+            if start < 0 || end < start || end > n {
+                return StepFlow::Raise(VmException::Builtin(
+                    BuiltinEx::IndexOutOfBounds,
+                    format!("substring [{start}, {end}) of length {n}"),
+                ));
+            }
+            let sub: String = chars[start as usize..end as usize].iter().collect();
+            thread.cycles += engine.scaled(COSTS.string_per_char * sub.len() as u64);
+            let string_tag = ctx.string_class.heap_class();
+            match with_gc_retry(thread, ctx, &[], |ctx| {
+                ctx.space.alloc_str(ctx.heap, string_tag, sub.as_str())
+            }) {
+                Ok(obj) => thread
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .stack
+                    .push(Value::Ref(obj)),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            }
+        }
+        Op::ParseInt => {
+            thread.cycles += engine.scaled(COSTS.string);
+            let Value::Ref(s) = pop!(frame) else {
+                return npe("parseInt of null");
+            };
+            let text = match ctx.space.str_value(s) {
+                Ok(v) => v.trim().to_string(),
+                Err(e) => return StepFlow::Raise(heap_exception(e)),
+            };
+            match text.parse::<i64>() {
+                Ok(v) => frame.stack.push(Value::Int(v)),
+                Err(_) => {
+                    return StepFlow::Raise(VmException::Builtin(
+                        BuiltinEx::Arithmetic,
+                        format!("not a number: {text:?}"),
+                    ))
+                }
+            }
+        }
+
+        // ----- monitors ------------------------------------------------------
+        Op::MonitorEnter => {
+            thread.cycles += engine.scaled(COSTS.monitor) + engine.lock_extra;
+            let Value::Ref(obj) = pop!(frame) else {
+                return npe("monitorenter on null");
+            };
+            match ctx.monitors.get_mut(&obj) {
+                None => {
+                    ctx.monitors.insert(obj, (thread.id, 1));
+                    thread.held_monitors.push(obj);
+                }
+                Some((owner, depth)) if *owner == thread.id => *depth += 1,
+                Some(_) => {
+                    // Rewind pc so the acquire retries when rescheduled.
+                    thread.frames.last_mut().expect("frame").pc -= 1;
+                    thread
+                        .frames
+                        .last_mut()
+                        .expect("frame")
+                        .stack
+                        .push(Value::Ref(obj));
+                    return StepFlow::Exit(RunExit::Blocked(obj));
+                }
+            }
+        }
+        Op::MonitorExit => {
+            thread.cycles += engine.scaled(COSTS.monitor) + engine.lock_extra;
+            let Value::Ref(obj) = pop!(frame) else {
+                return npe("monitorexit on null");
+            };
+            match ctx.monitors.get_mut(&obj) {
+                Some((owner, depth)) if *owner == thread.id => {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        ctx.monitors.remove(&obj);
+                        if let Some(pos) = thread.held_monitors.iter().rposition(|&m| m == obj) {
+                            thread.held_monitors.remove(pos);
+                        }
+                    }
+                }
+                _ => {
+                    return StepFlow::Raise(VmException::Builtin(
+                        BuiltinEx::IllegalState,
+                        "monitorexit without ownership".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+    StepFlow::Continue
+}
+
+/// Runs a heap operation; on `OutOfMemory`, collects the process heap (the
+/// way Kaffe's allocator collects on failure) and retries once. GC roots:
+/// this thread's stacks, the statics and intern tables, kernel-supplied
+/// extra roots, and `pinned` (references popped off the operand stack that
+/// the in-flight instruction still needs).
+fn with_gc_retry<T>(
+    thread: &mut Thread,
+    ctx: &mut ExecCtx<'_>,
+    pinned: &[ObjRef],
+    mut op: impl FnMut(&mut ExecCtx<'_>) -> Result<T, HeapError>,
+) -> Result<T, HeapError> {
+    match op(ctx) {
+        Err(HeapError::OutOfMemory(_)) => {
+            let mut roots = thread.stack_roots();
+            roots.extend(ctx.statics.values().copied());
+            roots.extend(ctx.intern.values().copied());
+            roots.extend_from_slice(ctx.extra_roots);
+            roots.extend_from_slice(pinned);
+            match ctx.space.gc(ctx.heap, &roots) {
+                Ok(report) => {
+                    // Stack scanning is charged per slot examined — this
+                    // thread's own frames plus the other threads the kernel
+                    // pre-scanned (GC crosstalk, §2).
+                    let scan = (thread.stack_scan_size() + ctx.extra_scan_slots)
+                        * crate::engine::GC_STACK_SCAN_PER_SLOT;
+                    thread.cycles += report.cycles + scan;
+                    thread.gc_cycles += report.cycles + scan;
+                }
+                Err(e) => return Err(e),
+            }
+            op(ctx)
+        }
+        other => other,
+    }
+}
+
+fn fault(msg: String) -> StepFlow {
+    StepFlow::Exit(RunExit::Fault(crate::VmError::BadBytecode(msg)))
+}
+
+fn npe(msg: &str) -> StepFlow {
+    StepFlow::Raise(VmException::Builtin(
+        BuiltinEx::NullPointer,
+        msg.to_string(),
+    ))
+}
+
+/// Maps a heap error onto the guest-visible exception model.
+fn heap_exception(e: HeapError) -> VmException {
+    match e {
+        HeapError::SegViolation(kind) => {
+            VmException::Builtin(BuiltinEx::SegViolation, kind.message().to_string())
+        }
+        HeapError::OutOfMemory(le) => VmException::Builtin(BuiltinEx::OutOfMemory, le.to_string()),
+        // Frozen-heap allocation and friends surface as illegal state.
+        other => VmException::Builtin(BuiltinEx::IllegalState, other.to_string()),
+    }
+}
+
+fn value_instance_of(ctx: &ExecCtx<'_>, v: Value, target: ClassIdx) -> bool {
+    match v {
+        Value::Ref(obj) => match ctx.space.get(obj) {
+            Ok(o) => match &o.data {
+                // Arrays and strings: exact-tag classes only.
+                kaffeos_heap::ObjData::Fields(_) | kaffeos_heap::ObjData::Str(_) => {
+                    let id = o.class;
+                    if id == INT_ARRAY_CLASS || id == FLOAT_ARRAY_CLASS || id == REF_ARRAY_CLASS {
+                        return false;
+                    }
+                    ctx.table.is_subclass(ctx.table.from_heap_class(id), target)
+                }
+                kaffeos_heap::ObjData::Array { .. } => false,
+            },
+            Err(_) => false,
+        },
+        _ => false,
+    }
+}
+
+/// Renders a value for string concatenation / `ToStr`.
+fn render(ctx: &ExecCtx<'_>, v: Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f == f.trunc() && f.is_finite() && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Ref(obj) => match ctx.space.get(obj) {
+            Ok(o) => match &o.data {
+                kaffeos_heap::ObjData::Str(s) => s.to_string(),
+                kaffeos_heap::ObjData::Array { values, .. } => {
+                    format!("array[{}]", values.len())
+                }
+                kaffeos_heap::ObjData::Fields(_) => {
+                    let id = o.class;
+                    if id == INT_ARRAY_CLASS || id == FLOAT_ARRAY_CLASS || id == REF_ARRAY_CLASS {
+                        "array".to_string()
+                    } else {
+                        format!(
+                            "{}@{}",
+                            ctx.table.class(ctx.table.from_heap_class(id)).name,
+                            obj.index()
+                        )
+                    }
+                }
+            },
+            Err(_) => "<stale>".to_string(),
+        },
+    }
+}
+
+/// Returns (allocating lazily) the statics object for `class` in the
+/// current process.
+fn statics_object(
+    thread: &mut Thread,
+    ctx: &mut ExecCtx<'_>,
+    class: ClassIdx,
+) -> Result<ObjRef, VmException> {
+    if let Some(&obj) = ctx.statics.get(&class) {
+        return Ok(obj);
+    }
+    let n = ctx.table.class(class).static_fields.len();
+    thread.cycles += ctx.engine.scaled(COSTS.alloc);
+    let obj = with_gc_retry(thread, ctx, &[], |ctx| {
+        ctx.space.alloc_fields(ctx.heap, class.heap_class(), n)
+    })
+    .map_err(heap_exception)?;
+    init_default_fields(ctx, class, obj, true).map_err(heap_exception)?;
+    ctx.statics.insert(class, obj);
+    Ok(obj)
+}
+
+/// Writes typed zero values into a freshly allocated instance or statics
+/// object: `int` fields become `Int(0)`, `float` fields `Float(0.0)`,
+/// reference fields stay null. Without this a `GetField` on an untouched
+/// `int` field would surface `Null` where the verifier proved `Int`.
+fn init_default_fields(
+    ctx: &mut ExecCtx<'_>,
+    class: ClassIdx,
+    obj: ObjRef,
+    statics: bool,
+) -> Result<(), HeapError> {
+    let lc = ctx.table.class(class);
+    let fields = if statics {
+        &lc.static_fields
+    } else {
+        &lc.instance_fields
+    };
+    // Collect to avoid borrowing the table across the space mutation.
+    let prim_inits: Vec<(usize, Value)> = fields
+        .iter()
+        .filter_map(|f| match f.ty {
+            crate::bytecode::TypeDesc::Int => Some((f.slot as usize, Value::Int(0))),
+            crate::bytecode::TypeDesc::Float => Some((f.slot as usize, Value::Float(0.0))),
+            _ => None,
+        })
+        .collect();
+    for (slot, v) in prim_inits {
+        ctx.space.store_prim(obj, slot, v)?;
+    }
+    Ok(())
+}
+
+/// Interns `text` in the process intern table (§3.3: interning is
+/// per-process, so `==` on literals only holds within one process).
+fn intern_string(
+    thread: &mut Thread,
+    ctx: &mut ExecCtx<'_>,
+    text: &str,
+) -> Result<ObjRef, VmException> {
+    if let Some(&obj) = ctx.intern.get(text) {
+        // A previously interned string may have been collected if nothing
+        // else referenced it and the kernel pruned the table; the kernel
+        // prunes stale entries, so a hit is live.
+        return Ok(obj);
+    }
+    thread.cycles += ctx
+        .engine
+        .scaled(COSTS.string + COSTS.string_per_char * text.len() as u64);
+    let string_tag = ctx.string_class.heap_class();
+    let obj = with_gc_retry(thread, ctx, &[], |ctx| {
+        ctx.space.alloc_str(ctx.heap, string_tag, text)
+    })
+    .map_err(heap_exception)?;
+    ctx.intern.insert(text.to_string(), obj);
+    Ok(obj)
+}
+
+/// Pops arguments and pushes a callee frame.
+fn push_frame(thread: &mut Thread, ctx: &mut ExecCtx<'_>, midx: MethodIdx) -> StepFlow {
+    let m = ctx.table.method(midx);
+    let nargs = m.arg_slots();
+    thread.cycles += ctx
+        .engine
+        .scaled(COSTS.call + COSTS.call_per_arg * nargs as u64);
+    if thread.frames.len() >= MAX_FRAMES {
+        return StepFlow::Raise(VmException::Builtin(
+            BuiltinEx::StackOverflow,
+            format!("{} frames", thread.frames.len()),
+        ));
+    }
+    let caller = thread.frames.last_mut().expect("caller frame");
+    let split = caller.stack.len().saturating_sub(nargs);
+    let mut locals = caller.stack.split_off(split);
+    locals.resize(m.code.max_locals as usize, Value::Null);
+    thread.frames.push(Frame {
+        method: midx,
+        class: m.class,
+        pc: 0,
+        locals,
+        stack: Vec::new(),
+    });
+    StepFlow::Continue
+}
+
+/// Pops the top frame, delivering `value` to the caller (or finishing the
+/// thread).
+fn do_return(thread: &mut Thread, _ctx: &mut ExecCtx<'_>, value: Option<Value>) -> StepFlow {
+    thread.frames.pop();
+    match thread.frames.last_mut() {
+        Some(caller) => {
+            if let Some(v) = value {
+                caller.stack.push(v);
+            }
+            StepFlow::Continue
+        }
+        None => StepFlow::Exit(RunExit::Finished(value)),
+    }
+}
+
+/// Exception dispatch: walks frames top-down for a matching handler.
+/// Returns `Some(exit)` if the exception escaped (thread is done).
+fn raise(thread: &mut Thread, ctx: &mut ExecCtx<'_>, ex: VmException) -> Option<RunExit> {
+    // Kaffe99's slow dispatch materialises a full stack trace on every
+    // throw — real work the fast dispatch (Kaffe00/KaffeOS) avoids.
+    if ctx.engine.slow_throw {
+        let trace: Vec<String> = thread
+            .frames
+            .iter()
+            .map(|f| {
+                let m = ctx.table.method(f.method);
+                format!("{}.{}:{}", ctx.table.class(f.class).name, m.name, f.pc)
+            })
+            .collect();
+        std::hint::black_box(&trace);
+    }
+
+    // Materialise builtin exceptions into guest objects so handlers match
+    // uniformly; if the namespace lacks the class (bare guests), the
+    // exception is uncatchable.
+    let (obj, class_name): (Option<ObjRef>, String) = match &ex {
+        VmException::Guest(obj) => {
+            let cidx = match ctx.space.class_of(*obj) {
+                Ok(id) => ctx.table.from_heap_class(id),
+                Err(_) => return Some(RunExit::Unhandled(ex)),
+            };
+            (Some(*obj), ctx.table.class(cidx).name.clone())
+        }
+        VmException::Builtin(kind, msg) => {
+            let name = kind.class_name().to_string();
+            match ctx.table.lookup(ctx.ns, &name) {
+                Some(cidx) => {
+                    let nfields = ctx.table.class(cidx).instance_fields.len();
+                    // Exception object + message; if even this allocation
+                    // fails the exception becomes uncatchable (matching a
+                    // JVM's behaviour when OOM handling itself OOMs).
+                    let alloc = ctx
+                        .space
+                        .alloc_fields(ctx.heap, cidx.heap_class(), nfields)
+                        .and_then(|obj| {
+                            if nfields > 0 {
+                                let m = ctx.space.alloc_str(
+                                    ctx.heap,
+                                    ctx.string_class.heap_class(),
+                                    msg.as_str(),
+                                )?;
+                                ctx.space.store_ref(obj, 0, Value::Ref(m), ctx.trusted)?;
+                            }
+                            Ok(obj)
+                        });
+                    match alloc {
+                        Ok(obj) => (Some(obj), name),
+                        Err(_) => (None, name),
+                    }
+                }
+                None => (None, name),
+            }
+        }
+    };
+
+    let mut frames_examined = 0usize;
+    while let Some(frame) = thread.frames.last() {
+        frames_examined += 1;
+        let class = ctx.table.class(frame.class);
+        let method = ctx.table.method(frame.method);
+        // pc was advanced past the faulting instruction.
+        let at = frame.pc.saturating_sub(1);
+        let handler = method.code.handlers.iter().find(|h| {
+            if at < h.start || at >= h.end {
+                return false;
+            }
+            let RConst::Class(hcls) = class.rpool[h.class as usize] else {
+                return false;
+            };
+            match obj {
+                Some(obj) => {
+                    let ocls = match ctx.space.class_of(obj) {
+                        Ok(id) => ctx.table.from_heap_class(id),
+                        Err(_) => return false,
+                    };
+                    ctx.table.is_subclass(ocls, hcls)
+                }
+                // Unmaterialised builtin: match by name chain.
+                None => {
+                    let mut cursor = Some(hcls);
+                    while let Some(cur) = cursor {
+                        if ctx.table.class(cur).name == class_name {
+                            break;
+                        }
+                        cursor = ctx.table.class(cur).super_idx;
+                    }
+                    // Matches only the exact class (or a superclass named
+                    // like the builtin) — builtins without a loaded class
+                    // cannot be subclass-matched.
+                    ctx.table.class(hcls).name == class_name
+                        || class_name_inherits(ctx, &class_name, hcls)
+                }
+            }
+        });
+        if let Some(h) = handler.copied() {
+            thread.cycles += ctx.engine.throw_cost(frames_examined);
+            let frame = thread.frames.last_mut().expect("frame");
+            frame.stack.clear();
+            frame.stack.push(obj.map(Value::Ref).unwrap_or(Value::Null));
+            frame.pc = h.target;
+            return None;
+        }
+        // Leaving the frame: release monitors is the guest's duty via
+        // finally blocks; kill-style unwinds release them in `step`.
+        thread.frames.pop();
+    }
+    thread.cycles += ctx.engine.throw_cost(frames_examined);
+    // Report the materialised guest object when there is one, so callers
+    // observe a uniform exception model.
+    Some(RunExit::Unhandled(match obj {
+        Some(o) => VmException::Guest(o),
+        None => ex,
+    }))
+}
+
+/// True if the builtin class `name` (when loaded in this namespace) is a
+/// subclass of `handler`.
+fn class_name_inherits(ctx: &ExecCtx<'_>, name: &str, handler: ClassIdx) -> bool {
+    match ctx.table.lookup(ctx.ns, name) {
+        Some(cidx) => ctx.table.is_subclass(cidx, handler),
+        None => false,
+    }
+}
+
+/// Releases every monitor the thread holds (termination path).
+fn release_all_monitors(thread: &mut Thread, ctx: &mut ExecCtx<'_>) {
+    for obj in thread.held_monitors.drain(..) {
+        ctx.monitors.remove(&obj);
+    }
+}

@@ -1,0 +1,75 @@
+//! The intrinsic (syscall) surface between guest code and the kernel.
+//!
+//! The VM itself defines no privileged operations: a `Syscall` instruction
+//! exits the interpreter with its arguments, and the kernel crate services
+//! the request — the user/kernel boundary of Figure 1. The registry maps
+//! intrinsic names (as they appear in constant pools) to numeric ids and
+//! signatures so the linker can resolve them and the verifier can type
+//! them.
+
+use std::collections::HashMap;
+
+use crate::bytecode::TypeDesc;
+
+/// Declaration of one intrinsic.
+#[derive(Debug, Clone)]
+pub struct IntrinsicDef {
+    /// Name used in constant pools, e.g. `"sys.print"`.
+    pub name: String,
+    /// Argument types, popped right-to-left like a static call.
+    pub params: Vec<TypeDesc>,
+    /// Return type pushed after the kernel services the call.
+    pub ret: Option<TypeDesc>,
+}
+
+/// Table of intrinsics known at class-load time.
+#[derive(Debug, Default, Clone)]
+pub struct IntrinsicRegistry {
+    defs: Vec<IntrinsicDef>,
+    by_name: HashMap<String, u16>,
+}
+
+impl IntrinsicRegistry {
+    /// Empty registry (pure computational guests need no intrinsics).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an intrinsic; returns its id. Names must be unique.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<TypeDesc>,
+        ret: Option<TypeDesc>,
+    ) -> u16 {
+        let name = name.into();
+        debug_assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate intrinsic {name}"
+        );
+        let id = self.defs.len() as u16;
+        self.by_name.insert(name.clone(), id);
+        self.defs.push(IntrinsicDef { name, params, ret });
+        id
+    }
+
+    /// Looks up by name.
+    pub fn by_name(&self, name: &str) -> Option<u16> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Definition for an id.
+    pub fn def(&self, id: u16) -> Option<&IntrinsicDef> {
+        self.defs.get(id as usize)
+    }
+
+    /// Number of registered intrinsics.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no intrinsics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}

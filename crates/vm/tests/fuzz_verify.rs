@@ -1,0 +1,215 @@
+//! Verifier soundness fuzzing.
+//!
+//! Type safety is KaffeOS's memory-protection mechanism, so the verifier
+//! must be *sound*: any bytecode it accepts must execute without breaking
+//! the VM. This test throws random instruction sequences at the loader;
+//! most get rejected, and every accepted one is executed under a fuel cap
+//! and must terminate, trap, or preempt cleanly — never panic, never reach
+//! a `Fault`.
+//!
+//! (Debug builds make this stronger: the interpreter's `debug_assert!`s on
+//! type confusion fire if the verifier ever lets a bad program through.)
+
+use std::collections::HashMap;
+
+use kaffeos_heap::{HeapSpace, SpaceConfig, Value};
+use kaffeos_memlimit::Kind;
+use kaffeos_vm::{
+    step, ClassBuilder, ClassTable, Const, Engine, ExecCtx, IntrinsicRegistry, MethodBuilder, Op,
+    RunExit, Thread, TypeDesc,
+};
+use proptest::prelude::*;
+
+/// Instruction generator over small operand spaces. Pool indices are drawn
+/// from a fixed 6-entry pool; locals from 0..4; jump targets from 0..LEN+2
+/// (some deliberately out of range).
+fn op_strategy(code_len: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::ConstNull),
+        (-3i64..100).prop_map(Op::ConstInt),
+        (-2.0f64..2.0).prop_map(Op::ConstFloat),
+        (0u16..8).prop_map(Op::ConstStr),
+        (0u16..4).prop_map(Op::Load),
+        (0u16..4).prop_map(Op::Store),
+        Just(Op::Pop),
+        Just(Op::Dup),
+        Just(Op::Swap),
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Div),
+        Just(Op::Rem),
+        Just(Op::Neg),
+        Just(Op::Shl),
+        Just(Op::Shr),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::FAdd),
+        Just(Op::FSub),
+        Just(Op::FMul),
+        Just(Op::FDiv),
+        Just(Op::FNeg),
+        Just(Op::I2F),
+        Just(Op::F2I),
+        Just(Op::CmpEq),
+        Just(Op::CmpLt),
+        Just(Op::FCmpLt),
+        Just(Op::RefEq),
+        Just(Op::RefNe),
+        (0..code_len + 2).prop_map(Op::Jump),
+        (0..code_len + 2).prop_map(Op::JumpIfTrue),
+        (0..code_len + 2).prop_map(Op::JumpIfFalse),
+        Just(Op::Return),
+        Just(Op::ReturnVal),
+        (0u16..8).prop_map(Op::New),
+        (0u16..8).prop_map(Op::GetField),
+        (0u16..8).prop_map(Op::PutField),
+        (0u16..8).prop_map(Op::GetStatic),
+        (0u16..8).prop_map(Op::PutStatic),
+        Just(Op::NullCheck),
+        (0u16..8).prop_map(Op::InstanceOf),
+        (0u16..8).prop_map(Op::CheckCast),
+        (0u16..8).prop_map(Op::NewArray),
+        Just(Op::ALoad),
+        Just(Op::AStore),
+        Just(Op::ArrayLen),
+        (0u16..8).prop_map(Op::CallStatic),
+        (0u16..8).prop_map(Op::CallVirtual),
+        (0u16..8).prop_map(Op::CallSpecial),
+        Just(Op::Throw),
+        Just(Op::StrConcat),
+        Just(Op::StrLen),
+        Just(Op::StrCharAt),
+        Just(Op::StrEq),
+        Just(Op::Intern),
+        Just(Op::ToStr),
+        Just(Op::Substr),
+        Just(Op::ParseInt),
+        Just(Op::MonitorEnter),
+        Just(Op::MonitorExit),
+    ]
+}
+
+fn base_classes() -> Vec<kaffeos_vm::ClassDef> {
+    let mut out = vec![
+        ClassBuilder::root("Object").build(),
+        ClassBuilder::new("String").build(),
+        ClassBuilder::new("Exception")
+            .field("msg", TypeDesc::Str)
+            .build(),
+        // A field- and method-bearing target for Field/Method pool refs.
+        {
+            let mut b = ClassBuilder::new("Target")
+                .field("x", TypeDesc::Int)
+                .field("obj", TypeDesc::Class("Object".to_string()));
+            b = b.static_field("counter", TypeDesc::Int);
+            b.method(
+                MethodBuilder::instance("poke")
+                    .param(TypeDesc::Int)
+                    .returns(TypeDesc::Int)
+                    .ops([Op::Load(1), Op::ReturnVal])
+                    .build(),
+            )
+            .method(
+                MethodBuilder::of_static("make")
+                    .returns(TypeDesc::Int)
+                    .ops([Op::ConstInt(4), Op::ReturnVal])
+                    .build(),
+            )
+            .build()
+        },
+    ];
+    for name in [
+        "NullPointerException",
+        "IndexOutOfBoundsException",
+        "ArithmeticException",
+        "ClassCastException",
+        "SegmentationViolation",
+        "OutOfMemoryError",
+        "StackOverflowError",
+        "IllegalStateException",
+    ] {
+        out.push(ClassBuilder::new(name).extends("Exception").build());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn accepted_bytecode_never_panics(
+        ops in proptest::collection::vec(op_strategy(24), 1..24),
+    ) {
+        let mut space = HeapSpace::new(SpaceConfig::default());
+        let root = space.root_memlimit();
+        let ml = space
+            .limits_mut()
+            .create_child(root, Kind::Soft, 4 << 20, "fuzz")
+            .unwrap();
+        let heap = space.create_user_heap(kaffeos_heap::ProcTag(1), ml, "fuzz");
+        let mut table = ClassTable::new(IntrinsicRegistry::new());
+        let ns = table.create_namespace("fuzz", None);
+        for def in base_classes() {
+            table.load_class(ns, def.into_arc()).unwrap();
+        }
+        // Fixed 8-entry constant pool covering every Const variant the
+        // generated ops index into.
+        let mut b = ClassBuilder::new("Fuzz");
+        b.pool(Const::Str("int".to_string()));                         // 0
+        b.pool(Const::Class("Object".to_string()));                    // 1
+        b.pool(Const::Field { class: "Target".to_string(), name: "x".to_string() });      // 2
+        b.pool(Const::Field { class: "Target".to_string(), name: "obj".to_string() });    // 3
+        b.pool(Const::Field { class: "Target".to_string(), name: "counter".to_string() });// 4
+        b.pool(Const::Method { class: "Target".to_string(), name: "poke".to_string() });  // 5
+        b.pool(Const::Method { class: "Target".to_string(), name: "make".to_string() });  // 6
+        b.pool(Const::Class("Target".to_string()));                    // 7
+        let def = b
+            .method(
+                MethodBuilder::of_static("main")
+                    .param(TypeDesc::Int)
+                    .locals(3)
+                    .ops(ops)
+                    .build(),
+            )
+            .build();
+
+        match table.load_class(ns, def.into_arc()) {
+            Err(_) => {
+                // Rejected: that's the common, safe outcome.
+            }
+            Ok(cidx) => {
+                // Accepted: must run cleanly under a fuel cap.
+                let midx = table.find_method(cidx, "main").unwrap();
+                let mut thread = Thread::new(1, &table, midx, vec![Value::Int(3)]);
+                let string_class = table.lookup(ns, "String").unwrap();
+                let mut statics = HashMap::new();
+                let mut intern = HashMap::new();
+                let mut monitors = HashMap::new();
+                let mut ctx = ExecCtx {
+                    space: &mut space,
+                    table: &table,
+                    ns,
+                    heap,
+                    trusted: false,
+                    engine: Engine::KAFFEOS,
+                    statics: &mut statics,
+                    intern: &mut intern,
+                    string_class,
+                    monitors: &mut monitors,
+                    extra_roots: &[],
+            extra_scan_slots: 0,
+                };
+                let exit = step(&mut thread, &mut ctx, 200_000);
+                prop_assert!(
+                    !matches!(exit, RunExit::Fault(_)),
+                    "verifier accepted bytecode that faulted: {exit:?}"
+                );
+                // A GC over whatever the program built must also be safe.
+                let roots = thread.stack_roots();
+                ctx.space.gc(heap, &roots).unwrap();
+            }
+        }
+    }
+}

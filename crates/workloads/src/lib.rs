@@ -1,0 +1,25 @@
+//! Workloads for the KaffeOS reproduction: the SPEC JVM98-analogue guest
+//! programs behind Figure 3 and Table 1, and the servlet-engine experiment
+//! behind Figure 4.
+//!
+//! SPEC JVM98 itself is proprietary and needs a full JDK 1.1; these Cup
+//! programs are substitutes chosen so the paper's per-benchmark
+//! observations carry over: `compress` executes almost no write barriers,
+//! `db` the most, `jack` raises thousands of exceptions (the fast-dispatch
+//! story), `mpegaudio` is float-heavy with little allocation, `mtrt` is a
+//! two-thread ray tracer, `jess` a forward-chaining rule engine, and
+//! `javac` a compiler front-end — all deterministic, all returning a
+//! checksum so every platform configuration can be cross-checked.
+
+pub mod machine;
+pub mod runner;
+pub mod servlet;
+pub mod spec;
+
+pub use machine::MachineModel;
+pub use runner::{platforms, run_spec, Platform, PlatformKind, SpecResult};
+pub use servlet::{run_servlet_experiment, Deployment, ServletOutcome, ServletParams};
+pub use spec::{all_benchmarks, SpecBenchmark};
+
+#[cfg(test)]
+mod tests;

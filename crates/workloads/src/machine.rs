@@ -1,0 +1,79 @@
+//! The machine model behind Figure 4.
+//!
+//! The paper's testbed is a 500 MHz Pentium III with 256 MB of RAM. The
+//! IBM/1 configuration runs one JVM per servlet; each JVM costs about 2 MB
+//! of virtual memory at startup and was capped at an 8 MB heap, and "an
+//! attempt to start 100 IBM JVMs rendered the machine inoperable" — the
+//! machine thrashes once the working set exceeds RAM. This model supplies
+//! the deterministic equivalents: a commit-based thrash multiplier and the
+//! fixed startup cost of booting a JVM.
+
+/// Deterministic stand-in for the paper's testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineModel {
+    /// Physical memory, bytes (256 MB).
+    pub ram_bytes: u64,
+    /// Per-OS-process (per-JVM) base footprint, bytes (~2 MB).
+    pub vm_overhead_bytes: u64,
+    /// Heap cap per JVM in the one-VM-per-servlet configuration (8 MB).
+    pub heap_per_vm_bytes: u64,
+    /// Modelled cycles to boot one JVM and its servlet engine.
+    pub vm_startup_cycles: u64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel {
+            ram_bytes: 256 << 20,
+            vm_overhead_bytes: 2 << 20,
+            heap_per_vm_bytes: 8 << 20,
+            vm_startup_cycles: 500_000_000, // 1 s at 500 MHz
+        }
+    }
+}
+
+impl MachineModel {
+    /// Committed memory for `vms` concurrently running JVMs.
+    pub fn committed(&self, vms: usize) -> u64 {
+        vms as u64 * (self.vm_overhead_bytes + self.heap_per_vm_bytes)
+    }
+
+    /// Execution-time multiplier due to paging. 1.0 while everything fits;
+    /// grows quadratically with the overcommit ratio once it does not —
+    /// gentle at +10%, catastrophic at 4× RAM (the "inoperable" regime).
+    pub fn thrash_factor(&self, committed: u64) -> f64 {
+        if committed <= self.ram_bytes {
+            return 1.0;
+        }
+        let over = (committed - self.ram_bytes) as f64 / self.ram_bytes as f64;
+        1.0 + over * over * 40.0
+    }
+
+    /// Convenience: thrash factor for `vms` JVMs.
+    pub fn thrash_for_vms(&self, vms: usize) -> f64 {
+        self.thrash_factor(self.committed(vms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_thrash_within_ram() {
+        let m = MachineModel::default();
+        // 25 VMs × 10 MB = 250 MB < 256 MB.
+        assert_eq!(m.thrash_for_vms(25), 1.0);
+    }
+
+    #[test]
+    fn thrash_grows_past_ram() {
+        let m = MachineModel::default();
+        let f30 = m.thrash_for_vms(30);
+        let f50 = m.thrash_for_vms(50);
+        let f100 = m.thrash_for_vms(100);
+        assert!(f30 > 1.0 && f30 < 3.0, "mild at 30 VMs: {f30}");
+        assert!(f50 > f30, "monotone");
+        assert!(f100 > 100.0, "inoperable at 100 VMs: {f100}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Runs a spec benchmark on one of the seven Figure 3 platforms and
+//! reports virtual time, wall time, and barrier counts.
+
+use std::time::Instant;
+
+use kaffeos::{BarrierKind, Engine, ExitStatus, KaffeOs, KaffeOsConfig};
+
+use crate::spec::SpecBenchmark;
+
+/// How a platform maps onto VM configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlatformKind {
+    /// A pre-KaffeOS JVM: one heap, no barriers, no processes.
+    Baseline(Engine),
+    /// KaffeOS with no write barrier: "we execute without a write barrier,
+    /// and run everything on the kernel heap" (§4.1).
+    KaffeOsNoBarrier,
+    /// KaffeOS proper, with the given barrier implementation.
+    KaffeOs(BarrierKind),
+}
+
+/// One column of Figure 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    /// Figure 3 legend label.
+    pub name: &'static str,
+    /// VM configuration family.
+    pub kind: PlatformKind,
+}
+
+/// The seven platforms of Figure 3, in the paper's legend order.
+pub fn platforms() -> [Platform; 7] {
+    [
+        Platform {
+            name: "IBM",
+            kind: PlatformKind::Baseline(Engine::JIT_IBM),
+        },
+        Platform {
+            name: "Kaffe00",
+            kind: PlatformKind::Baseline(Engine::KAFFE00),
+        },
+        Platform {
+            name: "Kaffe99",
+            kind: PlatformKind::Baseline(Engine::KAFFE99),
+        },
+        Platform {
+            name: "KaffeOS, No Write Barrier",
+            kind: PlatformKind::KaffeOsNoBarrier,
+        },
+        Platform {
+            name: "KaffeOS, Heap Pointer",
+            kind: PlatformKind::KaffeOs(BarrierKind::HeapPointer),
+        },
+        Platform {
+            name: "KaffeOS, No Heap Pointer",
+            kind: PlatformKind::KaffeOs(BarrierKind::NoHeapPointer),
+        },
+        Platform {
+            name: "KaffeOS, Fake Heap Pointer",
+            kind: PlatformKind::KaffeOs(BarrierKind::FakeHeapPointer),
+        },
+    ]
+}
+
+impl Platform {
+    /// VM configuration for this platform.
+    pub fn config(&self) -> KaffeOsConfig {
+        match self.kind {
+            PlatformKind::Baseline(engine) => KaffeOsConfig::monolithic(engine, 128 << 20),
+            PlatformKind::KaffeOsNoBarrier => KaffeOsConfig {
+                barrier: BarrierKind::None,
+                engine: Engine::KAFFEOS,
+                monolithic: true,
+                user_budget: 128 << 20,
+                default_process_limit: 128 << 20,
+                ..Default::default()
+            },
+            PlatformKind::KaffeOs(barrier) => KaffeOsConfig {
+                barrier,
+                engine: Engine::KAFFEOS,
+                default_process_limit: 64 << 20,
+                user_budget: 128 << 20,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// One measurement: a benchmark on a platform.
+#[derive(Debug, Clone)]
+pub struct SpecResult {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Platform label.
+    pub platform: &'static str,
+    /// Deterministic modelled seconds at 500 MHz.
+    pub virtual_seconds: f64,
+    /// Host wall-clock seconds for the same run.
+    pub wall_seconds: f64,
+    /// Write barriers executed (Table 1 counts).
+    pub barriers_executed: u64,
+    /// Modelled cycles spent in barriers.
+    pub barrier_cycles: u64,
+    /// Cycles spent collecting the benchmark process' heap.
+    pub gc_cycles: u64,
+    /// The benchmark's checksum (must agree across platforms).
+    pub checksum: i64,
+}
+
+/// Runs `bench` for `n` iterations on `platform`.
+pub fn run_spec(bench: &SpecBenchmark, platform: &Platform, n: i64) -> SpecResult {
+    let mut os = KaffeOs::new(platform.config());
+    os.register_image(bench.name, bench.source)
+        .unwrap_or_else(|e| panic!("{} does not compile: {e}", bench.name));
+    let started = Instant::now();
+    let pid = os
+        .spawn(bench.name, &n.to_string(), None)
+        .expect("benchmark spawns");
+    let report = os.run(None);
+    let wall = started.elapsed();
+    let checksum = match os.status(pid) {
+        Some(ExitStatus::Exited(v)) => v,
+        other => panic!("{} on {} ended with {other:?}", bench.name, platform.name),
+    };
+    assert!(checksum >= 0, "{} checksum signals an error", bench.name);
+    SpecResult {
+        benchmark: bench.name,
+        platform: platform.name,
+        virtual_seconds: report.virtual_seconds,
+        wall_seconds: wall.as_secs_f64(),
+        barriers_executed: report.barrier.executed,
+        barrier_cycles: report.barrier.cycles,
+        gc_cycles: os.cpu(pid).gc,
+        checksum,
+    }
+}

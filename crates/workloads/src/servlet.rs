@@ -1,0 +1,392 @@
+//! The servlet-engine experiment (Figure 4, §4.2).
+//!
+//! A fixed client workload (1000 requests in the paper) is served by `n`
+//! servlets while a **MemHog** servlet — "sits in a loop, repeatedly
+//! allocates memory, and keeps it from being garbage-collected" — attacks
+//! the deployment. Like the paper's system administrator, the harness
+//! restarts whatever crashes. Three deployments are compared:
+//!
+//! * **KaffeOS** — one VM, one KaffeOS process per servlet (JServ per
+//!   process), 8 MB memlimit each. The MemHog is killed by its own limit
+//!   and restarted; nobody else notices.
+//! * **IBM/n** — one monolithic baseline VM hosting every servlet. The
+//!   MemHog exhausts the shared heap; the first out-of-memory failure
+//!   corrupts the engine and the whole VM must be restarted, losing all
+//!   in-flight work and paying a full JVM startup.
+//! * **IBM/1** — one baseline VM per servlet. Isolation comes from the
+//!   operating system, at ~10 MB of commit per JVM: past ~25 VMs the
+//!   256 MB machine starts to thrash ([`MachineModel`]).
+
+use kaffeos::{Engine, KaffeOs, KaffeOsConfig, Pid};
+
+use crate::machine::MachineModel;
+
+/// The well-behaved servlet: serves `requests` requests of dynamic
+/// content, printing one marker per request so progress survives a crash
+/// (responses already sent to clients count).
+pub const SERVLET_SOURCE: &str = r#"
+class Main {
+    static void handle(int i) {
+        // Query evaluation: sort a working set, then render a page.
+        int[] rows = new int[64];
+        for (int j = 0; j < rows.len(); j = j + 1) {
+            rows[j] = (i * 37 + j * 101) % 997;
+        }
+        for (int a = 1; a < rows.len(); a = a + 1) {
+            int key = rows[a];
+            int b = a - 1;
+            while (b >= 0 && rows[b] > key) {
+                rows[b + 1] = rows[b];
+                b = b - 1;
+            }
+            rows[b + 1] = key;
+        }
+        StringBuilder b = new StringBuilder();
+        b.add("<html><body><h1>page ");
+        b.add("" + i);
+        b.add("</h1>");
+        for (int j = 0; j < 24; j = j + 1) {
+            b.add("<p>row " + rows[j] + "</p>");
+        }
+        b.add("</body></html>");
+        String page = b.build();
+        if (page.len() < 20) { Sys.print("error"); }
+    }
+
+    static int main(int requests) {
+        int served = 0;
+        while (served < requests) {
+            Main.handle(served);
+            Sys.print("r");
+            served = served + 1;
+        }
+        return served;
+    }
+}
+"#;
+
+/// The denial-of-service servlet (§4.2). Class names are distinct from the
+/// good servlet's so the two images can coexist in one monolithic
+/// namespace (in a shared JServ they would be distinct servlet classes).
+pub const MEMHOG_SOURCE: &str = r#"
+class MemHogChunk {
+    int[] data;
+    MemHogChunk next;
+}
+
+class MemHog {
+    static int main() {
+        MemHogChunk head = null;
+        while (true) {
+            MemHogChunk c = new MemHogChunk();
+            c.data = new int[4096];
+            c.next = head;
+            head = c;
+        }
+        return 0;
+    }
+}
+"#;
+
+/// Deployment under test (the three Figure 4 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deployment {
+    /// One KaffeOS process per servlet.
+    KaffeOsProcs,
+    /// All servlets in one monolithic baseline VM ("IBM/n").
+    MonolithicShared,
+    /// One baseline VM per servlet ("IBM/1").
+    VmPerServlet,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServletParams {
+    /// Which Figure 4 deployment to run.
+    pub deployment: Deployment,
+    /// Number of well-behaved servlets.
+    pub servlets: usize,
+    /// Replace one slot with a MemHog attacker.
+    pub with_memhog: bool,
+    /// Client requests, split round-robin over the good servlets.
+    pub total_requests: u64,
+    /// Heap of the shared monolithic VM (IBM/n). The paper does not state
+    /// it; 64 MB comfortably serves the servlets while leaving the hog a
+    /// realistic fill time.
+    pub mono_heap_bytes: u64,
+    /// The modelled machine (RAM, per-VM footprint, boot cost).
+    pub machine: MachineModel,
+}
+
+impl ServletParams {
+    /// Paper-scale defaults for one Figure 4 data point.
+    pub fn figure4(deployment: Deployment, servlets: usize, with_memhog: bool) -> Self {
+        ServletParams {
+            deployment,
+            servlets,
+            with_memhog,
+            total_requests: 1000,
+            mono_heap_bytes: 32 << 20,
+            machine: MachineModel::default(),
+        }
+    }
+}
+
+/// Experiment outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct ServletOutcome {
+    /// Modelled time for the good servlets to answer every request.
+    pub virtual_seconds: f64,
+    /// Whole-VM restarts (monolithic) — the crash count.
+    pub vm_restarts: u32,
+    /// MemHog kills/restarts that did *not* take anyone else down.
+    pub memhog_restarts: u32,
+    /// Requests the good servlets actually answered.
+    pub requests_served: u64,
+}
+
+/// Deadline increment for the crash-polling loops.
+const CHUNK_CYCLES: u64 = 20_000_000;
+/// Per-servlet heap/memlimit (the paper's 8 MB cap).
+const SERVLET_HEAP: u64 = 8 << 20;
+/// Hard cap on crash-restart rounds (safety net).
+const MAX_ROUNDS: u32 = 10_000;
+
+/// Splits `total` requests round-robin over `n` servlets.
+fn shares(total: u64, n: usize) -> Vec<u64> {
+    let base = total / n as u64;
+    let extra = (total % n as u64) as usize;
+    (0..n).map(|i| base + u64::from(i < extra)).collect()
+}
+
+fn served_count(stdout: &[String]) -> u64 {
+    stdout.iter().filter(|l| l.as_str() == "r").count() as u64
+}
+
+/// Runs one Figure 4 data point.
+pub fn run_servlet_experiment(params: ServletParams) -> ServletOutcome {
+    match params.deployment {
+        Deployment::KaffeOsProcs => run_kaffeos(params),
+        Deployment::MonolithicShared => run_monolithic(params),
+        Deployment::VmPerServlet => run_vm_per_servlet(params),
+    }
+}
+
+fn register(os: &mut KaffeOs) {
+    os.register_image("servlet", SERVLET_SOURCE)
+        .expect("servlet compiles");
+    os.register_image("memhog", MEMHOG_SOURCE)
+        .expect("memhog compiles");
+}
+
+fn run_kaffeos(params: ServletParams) -> ServletOutcome {
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        default_process_limit: SERVLET_HEAP,
+        user_budget: params.machine.ram_bytes,
+        ..KaffeOsConfig::default()
+    });
+    register(&mut os);
+    let share = shares(params.total_requests, params.servlets);
+    let servlets: Vec<Pid> = share
+        .iter()
+        .map(|&r| {
+            os.spawn("servlet", &r.to_string(), Some(SERVLET_HEAP))
+                .expect("servlet spawns")
+        })
+        .collect();
+    let mut memhog = params.with_memhog.then(|| {
+        os.spawn("memhog", "", Some(SERVLET_HEAP))
+            .expect("memhog spawns")
+    });
+    let mut memhog_restarts = 0;
+
+    loop {
+        let deadline = os.clock() + CHUNK_CYCLES;
+        os.run(Some(deadline));
+        if let Some(hog) = memhog {
+            if !os.is_alive(hog) {
+                debug_assert!(
+                    os.status(hog).map(|s| s.is_oom()).unwrap_or(false),
+                    "memhog dies of OOM: {:?}",
+                    os.status(hog)
+                );
+                // The administrator restarts the crashed servlet zone —
+                // a cheap process spawn under KaffeOS.
+                memhog = Some(
+                    os.spawn("memhog", "", Some(SERVLET_HEAP))
+                        .expect("memhog respawns"),
+                );
+                memhog_restarts += 1;
+            }
+        }
+        let all_done = servlets.iter().all(|&pid| !os.is_alive(pid));
+        if all_done {
+            break;
+        }
+    }
+    if let Some(hog) = memhog {
+        let _ = os.kill(hog);
+    }
+    let served: u64 = servlets
+        .iter()
+        .map(|&pid| served_count(os.stdout(pid)))
+        .sum();
+    // One VM boot, charged like every other deployment.
+    let cycles = os.clock() + params.machine.vm_startup_cycles;
+    ServletOutcome {
+        virtual_seconds: kaffeos_heap::costs::cycles_to_seconds(cycles),
+        vm_restarts: 0,
+        memhog_restarts,
+        requests_served: served,
+    }
+}
+
+fn run_monolithic(params: ServletParams) -> ServletOutcome {
+    // One shared VM: a heap that would comfortably serve the servlets, but
+    // is shared with the attacker.
+    let heap = params
+        .mono_heap_bytes
+        .max(params.servlets as u64 * (1 << 20));
+    let mut remaining = shares(params.total_requests, params.servlets);
+    let mut total_cycles = 0u64;
+    let mut vm_restarts = 0u32;
+    let mut rounds = 0u32;
+
+    while remaining.iter().any(|&r| r > 0) {
+        rounds += 1;
+        if rounds > MAX_ROUNDS {
+            break;
+        }
+        let mut os = KaffeOs::new(KaffeOsConfig::monolithic(Engine::JIT_IBM, heap));
+        register(&mut os);
+        total_cycles += params.machine.vm_startup_cycles;
+        let servlets: Vec<Option<Pid>> = remaining
+            .iter()
+            .map(|&r| {
+                (r > 0).then(|| {
+                    os.spawn("servlet", &r.to_string(), None)
+                        .expect("servlet spawns")
+                })
+            })
+            .collect();
+        let memhog = params
+            .with_memhog
+            .then(|| os.spawn("memhog", "", None).expect("memhog spawns"));
+
+        // Run until the servlets finish or the engine corrupts: "the
+        // system runs out of memory in seemingly random places ... This
+        // corruption eventually led to a crash of the JVM" (§4.2).
+        // `run_until_exit` observes every process death as it happens, so
+        // service stops at the exact crash point.
+        let crashed = loop {
+            os.run_until_exit(None);
+            let oom_somewhere = servlets
+                .iter()
+                .flatten()
+                .chain(memhog.iter())
+                .any(|&pid| os.status(pid).map(|s| s.is_oom()).unwrap_or(false));
+            if oom_somewhere {
+                break true;
+            }
+            let all_done = servlets.iter().flatten().all(|&pid| !os.is_alive(pid));
+            if all_done {
+                break false;
+            }
+        };
+
+        for (slot, pid) in servlets.iter().enumerate() {
+            if let Some(pid) = pid {
+                let served = served_count(os.stdout(*pid)).min(remaining[slot]);
+                remaining[slot] -= served;
+            }
+        }
+        total_cycles += os.clock();
+        if crashed {
+            vm_restarts += 1;
+        }
+    }
+
+    let served = params.total_requests - remaining.iter().sum::<u64>();
+    ServletOutcome {
+        virtual_seconds: kaffeos_heap::costs::cycles_to_seconds(total_cycles),
+        vm_restarts,
+        memhog_restarts: 0,
+        requests_served: served,
+    }
+}
+
+fn run_vm_per_servlet(params: ServletParams) -> ServletOutcome {
+    struct Instance {
+        os: KaffeOs,
+        pid: Pid,
+        done: bool,
+    }
+    let boot = |requests: Option<u64>| -> Instance {
+        let mut os = KaffeOs::new(KaffeOsConfig::monolithic(Engine::JIT_IBM, SERVLET_HEAP));
+        register(&mut os);
+        let pid = match requests {
+            Some(r) => os.spawn("servlet", &r.to_string(), None).expect("spawn"),
+            None => os.spawn("memhog", "", None).expect("spawn"),
+        };
+        Instance {
+            os,
+            pid,
+            done: false,
+        }
+    };
+
+    let share = shares(params.total_requests, params.servlets);
+    let mut instances: Vec<Instance> = share.iter().map(|&r| boot(Some(r))).collect();
+    let mut hog = params.with_memhog.then(|| boot(None));
+    let mut machine_cycles = 0f64;
+    let mut memhog_restarts = 0u32;
+
+    // Every JVM pays its startup, under the current memory pressure.
+    let initial_vms = instances.len() + usize::from(hog.is_some());
+    machine_cycles += params.machine.vm_startup_cycles as f64
+        * initial_vms as f64
+        * params.machine.thrash_for_vms(initial_vms);
+
+    loop {
+        let live = instances.iter().filter(|i| !i.done).count() + usize::from(hog.is_some());
+        let thrash = params.machine.thrash_for_vms(live);
+        let mut progressed = false;
+        for inst in instances.iter_mut().filter(|i| !i.done) {
+            let before = inst.os.clock();
+            inst.os.run(Some(before + CHUNK_CYCLES));
+            machine_cycles += (inst.os.clock() - before) as f64 * thrash;
+            progressed = true;
+            if !inst.os.is_alive(inst.pid) {
+                inst.done = true;
+            }
+        }
+        if let Some(h) = hog.as_mut() {
+            let before = h.os.clock();
+            h.os.run(Some(before + CHUNK_CYCLES));
+            machine_cycles += (h.os.clock() - before) as f64 * thrash;
+            if !h.os.is_alive(h.pid) {
+                // The hog only crashes its own JVM; the administrator
+                // restarts it — a full JVM boot.
+                debug_assert!(h.os.status(h.pid).map(|s| s.is_oom()).unwrap_or(false));
+                *h = boot(None);
+                machine_cycles += params.machine.vm_startup_cycles as f64 * thrash;
+                memhog_restarts += 1;
+            }
+        }
+        if instances.iter().all(|i| i.done) {
+            break;
+        }
+        assert!(progressed, "scheduler made no progress");
+    }
+
+    let served: u64 = instances
+        .iter()
+        .map(|i| served_count(i.os.stdout(i.pid)))
+        .sum();
+    ServletOutcome {
+        virtual_seconds: kaffeos_heap::costs::cycles_to_seconds(machine_cycles as u64),
+        vm_restarts: 0,
+        memhog_restarts,
+        requests_served: served,
+    }
+}

@@ -1,0 +1,68 @@
+//! `db` — memory-resident database (209_db analogue).
+//!
+//! Builds a table of records, indexes them by name, insertion-sorts the
+//! table by balance with reference swaps, and runs queries. The reference
+//! stores into the record array and the index make this the
+//! barrier-heaviest benchmark, as db is in the paper (33M barriers,
+//! 2.26% of execution time at 41 cycles each — the Table 1 maximum).
+
+pub const SOURCE: &str = r#"
+class Record {
+    String name;
+    int balance;
+    int age;
+    init(String name, int balance, int age) {
+        this.name = name;
+        this.balance = balance;
+        this.age = age;
+    }
+}
+
+class Main {
+    static int main(int n) {
+        int check = 0;
+        for (int iter = 0; iter < n; iter = iter + 1) {
+            Random.setSeed(99 + iter);
+            int count = 120;
+            Record[] table = new Record[count];
+            StringMap index = new StringMap();
+            for (int i = 0; i < count; i = i + 1) {
+                String name = "user" + Random.next(10000) + "_" + i;
+                Record r = new Record(name, Random.next(100000), 20 + Random.next(50));
+                table[i] = r;
+                index.put(name, r);
+            }
+            // Insertion sort by balance: many reference array stores.
+            for (int i = 1; i < count; i = i + 1) {
+                Record key = table[i];
+                int j = i - 1;
+                while (j >= 0) {
+                    Record t = table[j];
+                    if (t.balance <= key.balance) { break; }
+                    table[j + 1] = t;
+                    j = j - 1;
+                }
+                table[j + 1] = key;
+            }
+            // Verify sortedness and run index lookups.
+            int sum = 0;
+            for (int i = 0; i < count; i = i + 1) {
+                if (i > 0) {
+                    Record prev = table[i - 1];
+                    Record cur = table[i];
+                    if (prev.balance > cur.balance) { return -1; }
+                }
+                Record r = index.get(table[i].name) as Record;
+                if (r != table[i]) { return -2; }
+                sum = sum + r.balance + i * r.age;
+            }
+            // Delete a third of the records from the index.
+            for (int i = 0; i < count; i = i + 3) {
+                index.put(table[i].name, null);
+            }
+            check = (check + sum + index.count()) % 1000000007;
+        }
+        return check;
+    }
+}
+"#;

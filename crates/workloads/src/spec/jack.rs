@@ -1,0 +1,60 @@
+//! `jack` — parser generator (228_jack analogue).
+//!
+//! SPEC's jack is a JavaCC ancestor notorious for using exceptions as
+//! control flow: "the benefits of adding faster exception handling shows up
+//! strongly in jack because that benchmark raises many exceptions" (§4.1).
+//! This analogue scans an item list where the end of every item is
+//! signalled by a thrown `EndOfItem`, raising hundreds of exceptions per
+//! iteration.
+
+pub const SOURCE: &str = r#"
+class EndOfItem extends Exception {
+    int at;
+    int sum;
+    init(int at, int sum) { this.at = at; this.sum = sum; }
+}
+
+class Main {
+    // Scans one item; throws EndOfItem at the terminating ';'.
+    static int scanItem(String src, int start) {
+        int i = start;
+        int acc = 0;
+        while (i < src.len()) {
+            int c = src.charAt(i);
+            if (c == 59) { throw new EndOfItem(i, acc); }
+            acc = acc + c;
+            i = i + 1;
+        }
+        return acc;
+    }
+
+    static int main(int n) {
+        Random.setSeed(3);
+        StringBuilder b = new StringBuilder();
+        for (int i = 0; i < 200; i = i + 1) {
+            b.add("item");
+            b.add("" + Random.next(100));
+            b.add(";");
+        }
+        String src = b.build();
+        int check = 0;
+        for (int iter = 0; iter < n; iter = iter + 1) {
+            int pos = 0;
+            int items = 0;
+            while (pos < src.len()) {
+                try {
+                    int tail = Main.scanItem(src, pos);
+                    check = (check + tail) % 1000000007;
+                    pos = src.len();
+                } catch (EndOfItem e) {
+                    items = items + 1;
+                    check = (check + e.sum + e.at) % 1000000007;
+                    pos = e.at + 1;
+                }
+            }
+            check = (check + items) % 1000000007;
+        }
+        return check;
+    }
+}
+"#;

@@ -1,0 +1,171 @@
+//! `javac` — compiler front-end (213_javac analogue).
+//!
+//! Generates arithmetic-expression source strings, tokenises them, parses
+//! them with recursive descent into AST objects, folds constants, and
+//! evaluates — the lex/parse/tree-build/walk profile of a compiler, with
+//! a mixed allocation and string load like SPEC's javac.
+
+pub const SOURCE: &str = r#"
+// kind: 0 number, 1 '+', 2 '*', 3 '(', 4 ')', 5 '-', 6 end
+class Tok {
+    int kind;
+    int value;
+    init(int kind, int value) { this.kind = kind; this.value = value; }
+}
+
+class Node {
+    int op;       // 0 literal, 1 add, 2 mul, 5 sub
+    int value;
+    Node left;
+    Node right;
+    init(int op) { this.op = op; }
+}
+
+class Parser {
+    Tok[] toks;
+    int pos;
+    init(Tok[] toks) { this.toks = toks; this.pos = 0; }
+
+    Tok peek() { return toks[pos]; }
+
+    Tok bump() {
+        Tok t = toks[pos];
+        pos = pos + 1;
+        return t;
+    }
+
+    Node expr() {
+        Node lhs = this.term();
+        while (this.peek().kind == 1 || this.peek().kind == 5) {
+            int op = this.bump().kind;
+            Node rhs = this.term();
+            Node parent = new Node(op);
+            parent.left = lhs;
+            parent.right = rhs;
+            lhs = parent;
+        }
+        return lhs;
+    }
+
+    Node term() {
+        Node lhs = this.factor();
+        while (this.peek().kind == 2) {
+            this.bump();
+            Node rhs = this.factor();
+            Node parent = new Node(2);
+            parent.left = lhs;
+            parent.right = rhs;
+            lhs = parent;
+        }
+        return lhs;
+    }
+
+    Node factor() {
+        Tok t = this.bump();
+        if (t.kind == 0) {
+            Node leaf = new Node(0);
+            leaf.value = t.value;
+            return leaf;
+        }
+        if (t.kind == 3) {
+            Node inner = this.expr();
+            this.bump(); // ')'
+            return inner;
+        }
+        throw new Exception("parse error at " + t.kind);
+    }
+}
+
+class Main {
+    static Tok[] lex(String src) {
+        Tok[] out = new Tok[src.len() + 1];
+        int o = 0;
+        int i = 0;
+        while (i < src.len()) {
+            int c = src.charAt(i);
+            if (c >= 48 && c <= 57) {
+                int v = 0;
+                while (i < src.len()) {
+                    int d = src.charAt(i);
+                    if (d < 48 || d > 57) { break; }
+                    v = v * 10 + (d - 48);
+                    i = i + 1;
+                }
+                out[o] = new Tok(0, v);
+                o = o + 1;
+            } else {
+                if (c == 43) { out[o] = new Tok(1, 0); o = o + 1; }
+                if (c == 42) { out[o] = new Tok(2, 0); o = o + 1; }
+                if (c == 40) { out[o] = new Tok(3, 0); o = o + 1; }
+                if (c == 41) { out[o] = new Tok(4, 0); o = o + 1; }
+                if (c == 45) { out[o] = new Tok(5, 0); o = o + 1; }
+                i = i + 1;
+            }
+        }
+        out[o] = new Tok(6, 0);
+        Tok[] trimmed = new Tok[o + 1];
+        for (int k = 0; k <= o; k = k + 1) { trimmed[k] = out[k]; }
+        return trimmed;
+    }
+
+    static int eval(Node n) {
+        if (n.op == 0) { return n.value; }
+        int l = Main.eval(n.left);
+        int r = Main.eval(n.right);
+        if (n.op == 1) { return l + r; }
+        if (n.op == 2) { return l * r; }
+        return l - r;
+    }
+
+    // Constant folding: rebuilds the tree bottom-up (allocation churn).
+    static Node fold(Node n) {
+        if (n.op == 0) { return n; }
+        Node l = Main.fold(n.left);
+        Node r = Main.fold(n.right);
+        if (l.op == 0 && r.op == 0) {
+            Node leaf = new Node(0);
+            if (n.op == 1) { leaf.value = l.value + r.value; }
+            if (n.op == 2) { leaf.value = l.value * r.value; }
+            if (n.op == 5) { leaf.value = l.value - r.value; }
+            return leaf;
+        }
+        Node parent = new Node(n.op);
+        parent.left = l;
+        parent.right = r;
+        return parent;
+    }
+
+    // Deterministic expression generator.
+    static String gen(int depth) {
+        if (depth == 0 || Random.next(4) == 0) {
+            return "" + Random.next(100);
+        }
+        int op = Random.next(3);
+        String lhs = Main.gen(depth - 1);
+        String rhs = Main.gen(depth - 1);
+        if (op == 0) { return "(" + lhs + "+" + rhs + ")"; }
+        if (op == 1) { return "(" + lhs + "*" + rhs + ")"; }
+        return "(" + lhs + "-" + rhs + ")";
+    }
+
+    static int main(int n) {
+        int check = 0;
+        for (int iter = 0; iter < n; iter = iter + 1) {
+            Random.setSeed(1000 + iter);
+            for (int e = 0; e < 12; e = e + 1) {
+                String src = Main.gen(5);
+                Tok[] toks = Main.lex(src);
+                Parser p = new Parser(toks);
+                Node tree = p.expr();
+                int direct = Main.eval(tree);
+                Node folded = Main.fold(tree);
+                if (folded.op != 0) { return -1; }
+                if (folded.value != direct) { return -2; }
+                check = (check + direct + src.len()) % 1000000007;
+                if (check < 0) { check = check + 1000000007; }
+            }
+        }
+        return check;
+    }
+}
+"#;

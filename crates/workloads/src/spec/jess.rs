@@ -1,0 +1,75 @@
+//! `jess` — forward-chaining rule engine (202_jess analogue).
+//!
+//! Facts are objects; rules scan the working memory and assert derived
+//! facts until fixpoint. Object-reference heavy with a moderate barrier
+//! count (the paper reports 7.9M for jess).
+
+pub const SOURCE: &str = r#"
+class Fact {
+    int kind;
+    int a;
+    int b;
+    init(int kind, int a, int b) {
+        this.kind = kind;
+        this.a = a;
+        this.b = b;
+    }
+}
+
+class Main {
+    static bool exists(Vector facts, int kind, int a, int b) {
+        for (int i = 0; i < facts.count(); i = i + 1) {
+            Fact f = facts.get(i) as Fact;
+            if (f.kind == kind && f.a == a && f.b == b) { return true; }
+        }
+        return false;
+    }
+
+    static int main(int n) {
+        int check = 0;
+        for (int iter = 0; iter < n; iter = iter + 1) {
+            Random.setSeed(7 + iter);
+            Vector facts = new Vector();
+            for (int i = 0; i < 60; i = i + 1) {
+                facts.add(new Fact(Random.next(3), Random.next(20), Random.next(20)));
+            }
+            // Rule 1: kind0(a,b) & kind1(b,c) => kind2(a,c)
+            // Rule 2: kind2(a,a)              => kind0(a,a+1)
+            bool changed = true;
+            int rounds = 0;
+            while (changed && rounds < 6) {
+                changed = false;
+                rounds = rounds + 1;
+                int m = facts.count();
+                for (int i = 0; i < m; i = i + 1) {
+                    Fact f = facts.get(i) as Fact;
+                    if (f.kind == 0) {
+                        for (int j = 0; j < m; j = j + 1) {
+                            Fact g = facts.get(j) as Fact;
+                            if (g.kind == 1 && g.a == f.b) {
+                                if (!Main.exists(facts, 2, f.a, g.b)) {
+                                    facts.add(new Fact(2, f.a, g.b));
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    if (f.kind == 2 && f.a == f.b) {
+                        if (!Main.exists(facts, 0, f.a, f.a + 1)) {
+                            facts.add(new Fact(0, f.a, f.a + 1));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            int sum = 0;
+            for (int i = 0; i < facts.count(); i = i + 1) {
+                Fact f = facts.get(i) as Fact;
+                sum = sum + f.kind * 31 + f.a * 7 + f.b;
+            }
+            check = (check + sum + facts.count()) % 1000000007;
+        }
+        return check;
+    }
+}
+"#;

@@ -1,0 +1,91 @@
+//! The seven SPEC JVM98-analogue benchmarks (Figure 3 / Table 1).
+//!
+//! Each benchmark is a deterministic Cup program whose `Main.main(int n)`
+//! runs `n` iterations and returns a checksum, so every platform
+//! configuration can be verified to compute the same answer. The
+//! behavioural profiles mirror the SPEC programs the paper measured:
+//!
+//! | ours       | SPEC analogue | profile |
+//! |------------|---------------|---------|
+//! | compress   | 201_compress  | integer array crunching, ~no barriers |
+//! | jess       | 202_jess      | forward-chaining rule engine, object-heavy |
+//! | db         | 209_db        | in-memory database, the most barriers |
+//! | javac      | 213_javac     | compiler front-end (lex/parse/eval) |
+//! | mpegaudio  | 222_mpegaudio | float filterbank, few allocations |
+//! | mtrt       | 227_mtrt      | two-thread ray tracer |
+//! | jack       | 228_jack      | parser generator, thousands of throws |
+
+mod compress;
+mod db;
+mod jack;
+mod javac;
+mod jess;
+mod mpegaudio;
+mod mtrt;
+
+/// One benchmark: name, guest source, and the default iteration count used
+/// by the Figure 3 harness.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecBenchmark {
+    /// Benchmark name (the SPEC analogue's).
+    pub name: &'static str,
+    /// Cup source of the guest program.
+    pub source: &'static str,
+    /// Iterations for the figure/table harness.
+    pub default_n: i64,
+    /// Iterations for smoke tests.
+    pub test_n: i64,
+}
+
+/// All seven, in the paper's order.
+pub fn all_benchmarks() -> [SpecBenchmark; 7] {
+    [
+        SpecBenchmark {
+            name: "compress",
+            source: compress::SOURCE,
+            default_n: 60,
+            test_n: 1,
+        },
+        SpecBenchmark {
+            name: "jess",
+            source: jess::SOURCE,
+            default_n: 40,
+            test_n: 1,
+        },
+        SpecBenchmark {
+            name: "db",
+            source: db::SOURCE,
+            default_n: 60,
+            test_n: 1,
+        },
+        SpecBenchmark {
+            name: "javac",
+            source: javac::SOURCE,
+            default_n: 40,
+            test_n: 1,
+        },
+        SpecBenchmark {
+            name: "mpegaudio",
+            source: mpegaudio::SOURCE,
+            default_n: 12,
+            test_n: 1,
+        },
+        SpecBenchmark {
+            name: "mtrt",
+            source: mtrt::SOURCE,
+            default_n: 6,
+            test_n: 1,
+        },
+        SpecBenchmark {
+            name: "jack",
+            source: jack::SOURCE,
+            default_n: 40,
+            test_n: 1,
+        },
+    ]
+}
+
+/// Benchmark by name.
+pub fn by_name(name: &str) -> Option<SpecBenchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}

@@ -1,0 +1,49 @@
+//! `mpegaudio` — float filterbank (222_mpegaudio analogue).
+//!
+//! A 32-subband windowed synthesis over a pseudo-random sample buffer:
+//! float-multiply-accumulate loops over `float[]`, almost no allocation and
+//! very few reference stores — the floating-point decoder profile.
+
+pub const SOURCE: &str = r#"
+class Main {
+    static int main(int n) {
+        int size = 512;
+        float[] window = new float[size];
+        for (int i = 0; i < size; i = i + 1) {
+            float x = i * 1.0;
+            window[i] = 1.0 / (1.0 + x / 100.0);
+        }
+        float[] samples = new float[size];
+        Random.setSeed(5);
+        for (int i = 0; i < size; i = i + 1) {
+            samples[i] = (Random.next(2000) - 1000) * 0.001;
+        }
+        float acc = 0.0;
+        for (int iter = 0; iter < n; iter = iter + 1) {
+            for (int frame = 0; frame < 24; frame = frame + 1) {
+                // Synthesis: 32 subbands, each a windowed dot product.
+                for (int sb = 0; sb < 32; sb = sb + 1) {
+                    float sum = 0.0;
+                    int stride = sb + 1;
+                    for (int i = 0; i < size; i = i + 1) {
+                        sum = sum + samples[i] * window[(i * stride) % size];
+                    }
+                    acc = acc + sum;
+                    while (acc > 1000000.0) { acc = acc - 1000000.0; }
+                    while (acc < -1000000.0) { acc = acc + 1000000.0; }
+                }
+                // Shift the sample window.
+                float carry = samples[0];
+                for (int i = 0; i < size - 1; i = i + 1) {
+                    samples[i] = samples[i + 1];
+                }
+                samples[size - 1] = carry * 0.5 + 0.1;
+            }
+        }
+        float scaled = acc * 1000.0;
+        int check = scaled.toInt();
+        if (check < 0) { check = -check; }
+        return check % 1000000007;
+    }
+}
+"#;

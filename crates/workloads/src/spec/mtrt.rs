@@ -1,0 +1,121 @@
+//! `mtrt` — multi-threaded ray tracer (227_mtrt analogue).
+//!
+//! Two green threads render the top and bottom halves of a small scene of
+//! spheres (quadratic intersection with `Math.sqrt`, depth shading),
+//! synchronising through per-process statics — SPEC's mtrt is exactly a
+//! two-thread raytracer.
+
+pub const SOURCE: &str = r#"
+class Sphere {
+    float cx;
+    float cy;
+    float cz;
+    float r;
+    int color;
+    init(float cx, float cy, float cz, float r, int color) {
+        this.cx = cx;
+        this.cy = cy;
+        this.cz = cz;
+        this.r = r;
+        this.color = color;
+    }
+}
+
+class Scene {
+    static Sphere[] spheres;
+    static int[] pixels;
+    static int width;
+    static int height;
+    static int done0;
+    static int done1;
+}
+
+// Per-ray hit record: like SPEC's mtrt, the tracer allocates intersection
+// objects as it works (object churn plus reference stores).
+class Hit {
+    Sphere sphere;
+    float t;
+}
+
+class Tracer {
+    // Renders rows [y0, y1) of the image.
+    static void renderHalf(int half) {
+        int w = Scene.width;
+        int h = Scene.height;
+        int y0 = 0;
+        int y1 = h / 2;
+        if (half == 1) { y0 = h / 2; y1 = h; }
+        for (int y = y0; y < y1; y = y + 1) {
+            for (int x = 0; x < w; x = x + 1) {
+                Scene.pixels[y * w + x] = Tracer.trace(x, y, w, h);
+            }
+        }
+        if (half == 0) { Scene.done0 = 1; } else { Scene.done1 = 1; }
+    }
+
+    // Casts a ray from the origin through pixel (x, y); returns a shaded
+    // colour for the nearest sphere hit, 0 for the background.
+    static int trace(int x, int y, int w, int h) {
+        float dx = (x * 2.0 - w) / w;
+        float dy = (y * 2.0 - h) / h;
+        float dz = 1.0;
+        float len = Math.sqrt(dx * dx + dy * dy + dz * dz);
+        dx = dx / len;
+        dy = dy / len;
+        dz = dz / len;
+        Hit nearest = new Hit();
+        nearest.t = 100000.0;
+        for (int i = 0; i < Scene.spheres.len(); i = i + 1) {
+            Sphere s = Scene.spheres[i];
+            // |o + t*d - c|^2 = r^2 with o = origin.
+            float b = -2.0 * (dx * s.cx + dy * s.cy + dz * s.cz);
+            float c = s.cx * s.cx + s.cy * s.cy + s.cz * s.cz - s.r * s.r;
+            float disc = b * b - 4.0 * c;
+            if (disc > 0.0) {
+                float t = (-b - Math.sqrt(disc)) / 2.0;
+                if (t > 0.1 && t < nearest.t) {
+                    nearest.t = t;
+                    nearest.sphere = s;
+                }
+            }
+        }
+        if (nearest.sphere == null) { return 0; }
+        // Depth shading: nearer is brighter.
+        float shade = 255.0 / (1.0 + nearest.t * 0.25);
+        return nearest.sphere.color + shade.toInt();
+    }
+}
+
+class Main {
+    static int main(int n) {
+        int check = 0;
+        for (int iter = 0; iter < n; iter = iter + 1) {
+            Scene.width = 48;
+            Scene.height = 32;
+            Scene.pixels = new int[Scene.width * Scene.height];
+            Scene.spheres = new Sphere[5];
+            Random.setSeed(42 + iter);
+            for (int i = 0; i < 5; i = i + 1) {
+                Scene.spheres[i] = new Sphere(
+                    (Random.next(200) - 100) * 0.02,
+                    (Random.next(200) - 100) * 0.02,
+                    3.0 + Random.next(50) * 0.1,
+                    0.5 + Random.next(10) * 0.05,
+                    (i + 1) * 1000);
+            }
+            Scene.done0 = 0;
+            Scene.done1 = 0;
+            // Second rendering thread for the bottom half.
+            Proc.thread("Tracer", "renderHalf", 1);
+            Tracer.renderHalf(0);
+            while (Scene.done1 == 0) { Sys.yield(); }
+            int sum = 0;
+            for (int i = 0; i < Scene.pixels.len(); i = i + 1) {
+                sum = (sum + Scene.pixels[i] * (i % 17 + 1)) % 1000000007;
+            }
+            check = (check + sum) % 1000000007;
+        }
+        return check;
+    }
+}
+"#;

@@ -1,0 +1,174 @@
+//! Workload smoke tests: every benchmark compiles, runs, and computes the
+//! same checksum on every platform; the servlet experiment produces the
+//! Figure 4 shape at miniature scale.
+
+use crate::machine::MachineModel;
+use crate::runner::{platforms, run_spec};
+use crate::servlet::{run_servlet_experiment, Deployment, ServletParams};
+use crate::spec::{all_benchmarks, by_name};
+
+#[test]
+fn every_benchmark_runs_on_the_reference_platform() {
+    let reference = platforms()[5]; // KaffeOS, No Heap Pointer
+    for bench in all_benchmarks() {
+        let result = run_spec(&bench, &reference, bench.test_n);
+        assert!(
+            result.checksum > 0,
+            "{} produced checksum {}",
+            bench.name,
+            result.checksum
+        );
+        assert!(result.virtual_seconds > 0.0);
+    }
+}
+
+#[test]
+fn checksums_agree_across_all_platforms() {
+    for bench in all_benchmarks() {
+        let mut checksums = Vec::new();
+        for platform in platforms() {
+            let result = run_spec(&bench, &platform, bench.test_n);
+            checksums.push((platform.name, result.checksum));
+        }
+        let first = checksums[0].1;
+        for (name, checksum) in &checksums {
+            assert_eq!(
+                *checksum, first,
+                "{} differs on {name}: {checksum} vs {first}",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn platform_virtual_times_are_ordered_like_the_paper() {
+    // IBM < Kaffe00 < KaffeOS variants < Kaffe99... Figure 3 actually has
+    // the KaffeOS variants slightly *faster* than Kaffe99 and slower than
+    // Kaffe00; check those orderings per benchmark.
+    let p = platforms();
+    for bench in [by_name("db").unwrap(), by_name("jess").unwrap()] {
+        let ibm = run_spec(&bench, &p[0], bench.test_n).virtual_seconds;
+        let k00 = run_spec(&bench, &p[1], bench.test_n).virtual_seconds;
+        let k99 = run_spec(&bench, &p[2], bench.test_n).virtual_seconds;
+        let kos_nwb = run_spec(&bench, &p[3], bench.test_n).virtual_seconds;
+        let kos_nhp = run_spec(&bench, &p[5], bench.test_n).virtual_seconds;
+        assert!(ibm < k00, "{}: IBM {ibm} < Kaffe00 {k00}", bench.name);
+        assert!(
+            k00 < kos_nwb,
+            "{}: Kaffe00 {k00} < KaffeOS {kos_nwb}",
+            bench.name
+        );
+        assert!(
+            kos_nwb < k99,
+            "{}: KaffeOS-NoWB {kos_nwb} < Kaffe99 {k99} (back-ported features)",
+            bench.name
+        );
+        assert!(
+            kos_nhp > kos_nwb,
+            "{}: barriers cost something ({kos_nhp} vs {kos_nwb})",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn compress_executes_far_fewer_barriers_than_db() {
+    let reference = platforms()[5];
+    let compress = run_spec(&by_name("compress").unwrap(), &reference, 1);
+    let db = run_spec(&by_name("db").unwrap(), &reference, 1);
+    assert!(
+        db.barriers_executed > 20 * compress.barriers_executed.max(1),
+        "db {} vs compress {}",
+        db.barriers_executed,
+        compress.barriers_executed
+    );
+}
+
+#[test]
+fn jack_is_disproportionately_slow_on_kaffe99() {
+    // The slow-exception-dispatch story: jack's Kaffe99/KaffeOS gap is
+    // larger than compress's.
+    let p = platforms();
+    let jack = by_name("jack").unwrap();
+    let compress = by_name("compress").unwrap();
+    let jack_gap =
+        run_spec(&jack, &p[2], 2).virtual_seconds / run_spec(&jack, &p[3], 2).virtual_seconds;
+    let compress_gap = run_spec(&compress, &p[2], 1).virtual_seconds
+        / run_spec(&compress, &p[3], 1).virtual_seconds;
+    assert!(
+        jack_gap > compress_gap * 1.2,
+        "jack gap {jack_gap:.2} vs compress gap {compress_gap:.2}"
+    );
+}
+
+mod servlet_shape {
+    use super::*;
+
+    fn params(deployment: Deployment, servlets: usize, with_memhog: bool) -> ServletParams {
+        ServletParams {
+            deployment,
+            servlets,
+            with_memhog,
+            // Enough service work that the hog fills the (small) shared
+            // heap several times before the servlets can finish.
+            total_requests: 300,
+            mono_heap_bytes: 2 << 20,
+            machine: MachineModel::default(),
+        }
+    }
+
+    #[test]
+    fn kaffeos_serves_all_requests_with_and_without_memhog() {
+        let clean = run_servlet_experiment(params(Deployment::KaffeOsProcs, 3, false));
+        assert_eq!(clean.requests_served, 300);
+        let attacked = run_servlet_experiment(params(Deployment::KaffeOsProcs, 3, true));
+        assert_eq!(attacked.requests_served, 300);
+        assert!(attacked.memhog_restarts > 0, "hog was killed and restarted");
+        assert_eq!(attacked.vm_restarts, 0, "no whole-VM crash under KaffeOS");
+        // Consistent performance: the attack costs something, but not an
+        // order of magnitude.
+        assert!(
+            attacked.virtual_seconds < clean.virtual_seconds * 10.0,
+            "KaffeOS stays consistent: {} vs {}",
+            attacked.virtual_seconds,
+            clean.virtual_seconds
+        );
+    }
+
+    #[test]
+    fn monolithic_crashes_under_memhog_but_finishes() {
+        let attacked = run_servlet_experiment(params(Deployment::MonolithicShared, 3, true));
+        assert_eq!(attacked.requests_served, 300, "requests eventually served");
+        assert!(attacked.vm_restarts > 0, "whole VM crashed at least once");
+        let clean = run_servlet_experiment(params(Deployment::MonolithicShared, 3, false));
+        assert_eq!(clean.vm_restarts, 0);
+        assert!(
+            attacked.virtual_seconds > 2.0 * clean.virtual_seconds,
+            "attack devastates the shared VM: {} vs {}",
+            attacked.virtual_seconds,
+            clean.virtual_seconds
+        );
+    }
+
+    #[test]
+    fn monolithic_is_fastest_when_everyone_behaves() {
+        let mono = run_servlet_experiment(params(Deployment::MonolithicShared, 3, false));
+        let kos = run_servlet_experiment(params(Deployment::KaffeOsProcs, 3, false));
+        assert!(
+            mono.virtual_seconds < kos.virtual_seconds,
+            "IBM/n beats KaffeOS absent an attacker: {} vs {}",
+            mono.virtual_seconds,
+            kos.virtual_seconds
+        );
+    }
+
+    #[test]
+    fn vm_per_servlet_isolates_but_pays_startup() {
+        let one = run_servlet_experiment(params(Deployment::VmPerServlet, 2, false));
+        assert_eq!(one.requests_served, 300);
+        let attacked = run_servlet_experiment(params(Deployment::VmPerServlet, 2, true));
+        assert_eq!(attacked.requests_served, 300);
+        assert_eq!(attacked.vm_restarts, 0, "only the hog's own JVM dies");
+    }
+}

@@ -1,0 +1,106 @@
+//! Multi-tenant resource policy: one VM hosting tenants with different
+//! memory limits (soft and hard/reserved), CPU budgets, and CPU shares —
+//! the "CPU and memory limits can be placed on the process, and the
+//! process can be killed if it is uncooperative" story of §1.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use kaffeos::{ExitStatus, KaffeOs, KaffeOsConfig, SpawnOpts};
+
+const TENANT: &str = r#"
+class Main {
+    static int main(int weight) {
+        int done = 0;
+        while (true) {
+            // A unit of tenant work: build and hash a small report.
+            String report = "tenant report ";
+            for (int i = 0; i < 20; i = i + 1) {
+                report = report + (done * 31 + i) % 97;
+            }
+            done = done + 1;
+            if (report.len() < 5) { return -1; }
+        }
+        return done;
+    }
+}
+"#;
+
+fn main() {
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    os.register_image("tenant", TENANT).unwrap();
+
+    // Bronze: small soft limit, small CPU share, tight CPU budget.
+    let bronze = os
+        .spawn_with(
+            "tenant",
+            "1",
+            SpawnOpts {
+                mem_limit: Some(1 << 20),
+                cpu_share: 50,
+                cpu_limit: Some(20_000_000),
+                ..SpawnOpts::default()
+            },
+        )
+        .unwrap();
+    // Silver: default share.
+    let silver = os
+        .spawn_with(
+            "tenant",
+            "2",
+            SpawnOpts {
+                mem_limit: Some(4 << 20),
+                cpu_share: 100,
+                ..SpawnOpts::default()
+            },
+        )
+        .unwrap();
+    // Gold: triple share plus a hard (reserved) memory limit.
+    let gold = os
+        .spawn_with(
+            "tenant",
+            "3",
+            SpawnOpts {
+                mem_limit: Some(16 << 20),
+                mem_hard: true,
+                cpu_share: 300,
+                ..SpawnOpts::default()
+            },
+        )
+        .unwrap();
+
+    let root = os.space().root_memlimit();
+    println!(
+        "machine budget in use after spawning (gold's 16 MB is reserved): {} MB",
+        os.space().limits().current(root) >> 20
+    );
+
+    // Run a fixed window of machine time.
+    os.run(Some(250_000_000));
+
+    println!("\nafter a 0.5 s (virtual) window:");
+    for (name, pid) in [("bronze", bronze), ("silver", silver), ("gold", gold)] {
+        let cpu = os.cpu(pid);
+        let status = match os.status(pid) {
+            Some(ExitStatus::CpuLimitExceeded) => "killed: CPU budget exhausted".to_string(),
+            Some(other) => format!("{other:?}"),
+            None => "running".to_string(),
+        };
+        println!(
+            "  {name:<7} share-weighted cpu = {:>9} cycles   {status}",
+            cpu.total()
+        );
+    }
+    println!(
+        "\ngold received ~3x silver's CPU (weighted scheduling); bronze hit its\n\
+         20M-cycle budget and was killed safely — its memory was reclaimed."
+    );
+    for pid in [silver, gold] {
+        os.kill(pid).unwrap();
+    }
+    os.run(None);
+    os.kernel_gc();
+    println!(
+        "machine budget in use after teardown: {} bytes",
+        os.space().limits().current(root)
+    );
+}

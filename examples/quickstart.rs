@@ -1,0 +1,67 @@
+//! Quickstart: boot KaffeOS, run two isolated guest processes, inspect
+//! their output, exit codes, and resource accounting.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kaffeos::{KaffeOs, KaffeOsConfig};
+
+fn main() {
+    // Boot a VM with the default configuration: per-process heaps, the
+    // 41-cycle page-lookup write barrier, 256 MB machine budget.
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+
+    // Guest programs are written in Cup, a small Java-like language, and
+    // cross into the kernel only through Sys/Proc/Shm intrinsics.
+    os.register_image(
+        "greeter",
+        r#"
+        class Main {
+            static int main(String who) {
+                Sys.print("hello, " + who + "!");
+                Sys.print("my pid is " + Proc.self_pid());
+                return 0;
+            }
+        }
+        "#,
+    )
+    .expect("greeter compiles");
+
+    os.register_image(
+        "counter",
+        r#"
+        class Main {
+            static int main(int n) {
+                int acc = 0;
+                for (int i = 1; i <= n; i = i + 1) { acc = acc + i; }
+                Sys.print("sum(1..=" + n + ") = " + acc);
+                return acc % 256;
+            }
+        }
+        "#,
+    )
+    .expect("counter compiles");
+
+    // Each spawn creates a process: its own heap, memory limit, namespace
+    // and statics — as if it had the whole VM to itself.
+    let greeter = os.spawn("greeter", "world", None).unwrap();
+    let counter = os.spawn("counter", "100", Some(4 << 20)).unwrap();
+
+    let report = os.run(None);
+
+    for pid in [greeter, counter] {
+        println!("--- {:?} ---", pid);
+        for line in os.stdout(pid) {
+            println!("  {line}");
+        }
+        println!("  status: {:?}", os.status(pid));
+        let cpu = os.cpu(pid);
+        println!(
+            "  cpu: {} cycles exec, {} gc, {} kernel",
+            cpu.exec, cpu.gc, cpu.kernel
+        );
+    }
+    println!(
+        "\nvm: {:.6} virtual seconds, {} scheduler quanta, {} write barriers",
+        report.virtual_seconds, report.quanta, report.barrier.executed
+    );
+}

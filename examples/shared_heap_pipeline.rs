@@ -1,0 +1,99 @@
+//! Direct sharing: a producer/consumer pipeline communicating through a
+//! frozen shared heap (§2, "Direct sharing between processes").
+//!
+//! The producer creates a shared heap of `Slot` objects (a ring buffer),
+//! freezes it, and streams integers through the mutable *primitive* fields;
+//! the consumer looks the heap up, reads the values, and prints a digest.
+//! Reference fields of shared objects are immutable after the freeze —
+//! uncomment nothing here, but see the `frozen_reference_fields_*` kernel
+//! test for the SegmentationViolation this would raise.
+//!
+//! Run with: `cargo run --release --example shared_heap_pipeline`
+
+use kaffeos::{KaffeOs, KaffeOsConfig};
+
+/// Shared message types come from the central shared namespace so both
+/// processes agree on them (§3.1).
+const SHARED_TYPES: &str = r#"
+class Slot {
+    int seq;      // sequence number; 0 = empty
+    int payload;
+}
+"#;
+
+const PRODUCER: &str = r#"
+class Main {
+    static int main(int count) {
+        int ring = 8;
+        Shm.create("pipe", "Slot", ring);
+        for (int i = 0; i < count; i = i + 1) {
+            Slot s = Shm.get("pipe", i % ring) as Slot;
+            // Wait for the consumer to drain the slot.
+            while (s.seq != 0) { Sys.yield(); }
+            s.payload = i * i;
+            s.seq = i + 1;
+        }
+        Sys.print("producer: sent " + count + " messages");
+        // Signal end-of-stream.
+        Slot s = Shm.get("pipe", count % ring) as Slot;
+        while (s.seq != 0) { Sys.yield(); }
+        s.payload = -1;
+        s.seq = count + 1;
+        return 0;
+    }
+}
+"#;
+
+const CONSUMER: &str = r#"
+class Main {
+    static int main() {
+        while (Shm.lookup("pipe") < 0) { Sys.yield(); }
+        int ring = 8;
+        int expect = 1;
+        int sum = 0;
+        while (true) {
+            Slot s = Shm.get("pipe", (expect - 1) % ring) as Slot;
+            while (s.seq != expect) { Sys.yield(); }
+            int v = s.payload;
+            s.seq = 0; // release the slot
+            if (v == -1) { break; }
+            sum = (sum + v) % 1000003;
+            expect = expect + 1;
+        }
+        Sys.print("consumer: digest = " + sum);
+        return sum;
+    }
+}
+"#;
+
+fn main() {
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    os.load_shared_source(SHARED_TYPES).unwrap();
+    os.register_image("producer", PRODUCER).unwrap();
+    os.register_image("consumer", CONSUMER).unwrap();
+
+    let producer = os.spawn("producer", "100", None).unwrap();
+    let consumer = os.spawn("consumer", "", None).unwrap();
+    os.run(None);
+
+    for pid in [producer, consumer] {
+        for line in os.stdout(pid) {
+            println!("{line}");
+        }
+    }
+    println!("producer status: {:?}", os.status(producer));
+    println!("consumer status: {:?}", os.status(consumer));
+
+    // Both sharers were charged the full heap size while attached; now
+    // that both exited, the heap is orphaned and the kernel collector
+    // merges and reclaims it.
+    println!(
+        "shared heaps registered before kernel GC: {}",
+        os.shm_registry().len()
+    );
+    os.kernel_gc();
+    println!(
+        "shared heaps registered after kernel GC:  {} (orphan merged and reclaimed)",
+        os.shm_registry().len()
+    );
+}

@@ -1,0 +1,21 @@
+//! KaffeOS reproduction suite — umbrella crate.
+//!
+//! Re-exports the workspace crates and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! * [`kaffeos`] — the kernel: processes, isolation, resource management,
+//!   and sharing (the paper's contribution).
+//! * [`kaffeos_vm`] — the type-safe bytecode VM substrate.
+//! * [`kaffeos_heap`] — multi-heap object store, write barriers, per-heap
+//!   GC, entry/exit items.
+//! * [`kaffeos_memlimit`] — hierarchical memory limits.
+//! * [`kaffeos_cupc`] — the Cup guest-language compiler.
+//! * [`kaffeos_workloads`] — SPEC JVM98-analogue benchmarks and the
+//!   servlet denial-of-service experiment.
+
+pub use kaffeos;
+pub use kaffeos_cupc;
+pub use kaffeos_heap;
+pub use kaffeos_memlimit;
+pub use kaffeos_vm;
+pub use kaffeos_workloads;

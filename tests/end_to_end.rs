@@ -1,0 +1,329 @@
+//! Cross-crate integration: Cup source through the compiler, verifier,
+//! kernel, scheduler, GC, and accounting in one flow.
+
+use kaffeos::{ExitStatus, KaffeOs, KaffeOsConfig, Pid};
+
+fn spawn(os: &mut KaffeOs, name: &str, src: &str, args: &str, limit: Option<u64>) -> Pid {
+    os.register_image(name, src).expect("compiles");
+    os.spawn(name, args, limit).expect("spawns")
+}
+
+#[test]
+fn full_pipeline_source_to_exit_code() {
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    let pid = spawn(
+        &mut os,
+        "pipeline",
+        r#"
+        class Acc {
+            int total;
+            void add(int v) { this.total = this.total + v; }
+        }
+        class Main {
+            static int main(int n) {
+                Acc acc = new Acc();
+                for (int i = 1; i <= n; i = i + 1) {
+                    try {
+                        if (i % 7 == 0) { throw new Exception("skip " + i); }
+                        acc.add(i);
+                    } catch (Exception e) {
+                        acc.add(0 - 1);
+                    }
+                }
+                return acc.total;
+            }
+        }
+        "#,
+        "50",
+        None,
+    );
+    os.run(None);
+    // sum(1..=50) minus multiples of 7 (7,14,...,49 → sum 196), minus 7.
+    let expected = 50 * 51 / 2 - 196 - 7;
+    assert_eq!(os.status(pid), Some(ExitStatus::Exited(expected)));
+}
+
+#[test]
+fn whole_system_runs_are_deterministic() {
+    let run_once = || {
+        let mut os = KaffeOs::new(KaffeOsConfig::default());
+        let a = spawn(
+            &mut os,
+            "a",
+            r#"
+            class Main {
+                static int main() {
+                    int acc = 0;
+                    for (int i = 0; i < 5000; i = i + 1) {
+                        int[] junk = new int[Sys.rand(64) + 1];
+                        junk[0] = i;
+                        acc = acc + junk[0] % 13;
+                    }
+                    return acc;
+                }
+            }
+            "#,
+            "",
+            Some(1 << 20),
+        );
+        let b = spawn(
+            &mut os,
+            "b",
+            r#"
+            class Main {
+                static int main() {
+                    String s = "";
+                    for (int i = 0; i < 300; i = i + 1) { s = "" + i; }
+                    return s.len();
+                }
+            }
+            "#,
+            "",
+            Some(1 << 20),
+        );
+        let report = os.run(None);
+        (
+            report.clock,
+            report.quanta,
+            report.barrier.executed,
+            os.status(a),
+            os.status(b),
+            os.cpu(a),
+            os.cpu(b),
+        )
+    };
+    assert_eq!(run_once(), run_once(), "bit-identical virtual execution");
+}
+
+#[test]
+fn uncooperative_process_cannot_block_others() {
+    // A spinner that never yields still cannot starve others: the
+    // preemptive scheduler time-slices it.
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    let spinner = spawn(
+        &mut os,
+        "spinner",
+        "class Main { static int main() { while (true) { } return 0; } }",
+        "",
+        None,
+    );
+    let worker = spawn(
+        &mut os,
+        "worker",
+        r#"
+        class Main {
+            static int main() {
+                int acc = 0;
+                for (int i = 0; i < 100000; i = i + 1) { acc = acc + i; }
+                return 7;
+            }
+        }
+        "#,
+        "",
+        None,
+    );
+    // Run long enough for the worker; the spinner is still going.
+    os.run(Some(60_000_000));
+    assert_eq!(os.status(worker), Some(ExitStatus::Exited(7)));
+    assert!(os.is_alive(spinner));
+    os.kill(spinner).unwrap();
+    os.run(None);
+    assert_eq!(os.status(spinner), Some(ExitStatus::Killed));
+}
+
+#[test]
+fn cross_process_isolation_holds_under_churn() {
+    // Three processes churn memory near their limits; each sees only its
+    // own data and all finish with correct results.
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    let src = r#"
+        class Node {
+            int value;
+            Node next;
+            init(int v) { this.value = v; }
+        }
+        class Main {
+            static int main(int seed) {
+                int acc = 0;
+                for (int round = 0; round < 200; round = round + 1) {
+                    Node head = null;
+                    for (int i = 0; i < 500; i = i + 1) {
+                        Node fresh = new Node(seed * 1000 + i);
+                        fresh.next = head;
+                        head = fresh;
+                    }
+                    Node cur = head;
+                    while (cur != null) {
+                        acc = (acc + cur.value) % 1000003;
+                        cur = cur.next;
+                    }
+                }
+                return acc;
+            }
+        }
+    "#;
+    os.register_image("churn", src).unwrap();
+    let pids: Vec<(Pid, i64)> = (1..=3)
+        .map(|seed| {
+            let pid = os.spawn("churn", &seed.to_string(), Some(1 << 20)).unwrap();
+            (pid, seed)
+        })
+        .collect();
+    os.run(None);
+    let mut results = Vec::new();
+    for (pid, seed) in pids {
+        match os.status(pid) {
+            Some(ExitStatus::Exited(v)) => results.push((seed, v)),
+            other => panic!("churn {seed} ended with {other:?}"),
+        }
+    }
+    // Results differ by seed — no cross-contamination.
+    assert_ne!(results[0].1, results[1].1);
+    assert_ne!(results[1].1, results[2].1);
+    // And GC was actually exercised within the 1 MB limits.
+    assert!(os.cpu(Pid(1)).gc > 0);
+}
+
+#[test]
+fn process_tree_spawn_wait_exit_codes() {
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    os.register_image(
+        "leaf",
+        "class Main { static int main(int n) { return n * n; } }",
+    )
+    .unwrap();
+    os.register_image(
+        "parent",
+        r#"
+        class Main {
+            static int main() {
+                int a = Proc.spawn("leaf", "3", 0);
+                int b = Proc.spawn("leaf", "4", 0);
+                return Proc.wait(a) + Proc.wait(b);
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let root = os.spawn("parent", "", None).unwrap();
+    os.run(None);
+    assert_eq!(os.status(root), Some(ExitStatus::Exited(25)));
+}
+
+#[test]
+fn memory_of_an_entire_process_tree_is_reclaimed() {
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    os.register_image(
+        "allocator",
+        r#"
+        class Main {
+            static int main() {
+                int[][] keep = new int[][32];
+                for (int i = 0; i < 32; i = i + 1) { keep[i] = new int[512]; }
+                return keep.len();
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    os.register_image(
+        "parent",
+        r#"
+        class Main {
+            static int main() {
+                int a = Proc.spawn("allocator", "", 0);
+                int b = Proc.spawn("allocator", "", 0);
+                return Proc.wait(a) + Proc.wait(b);
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let root = os.spawn("parent", "", None).unwrap();
+    os.run(None);
+    assert_eq!(os.status(root), Some(ExitStatus::Exited(64)));
+    // All three processes are dead; kernel GC reclaims every byte.
+    os.kernel_gc();
+    assert_eq!(
+        os.space().limits().current(os.space().root_memlimit()),
+        0,
+        "full reclamation across the whole tree"
+    );
+    os.kernel_gc();
+    assert!(os.space().heap_bytes(os.space().kernel_heap()).unwrap() < 1024);
+}
+
+#[test]
+fn segmentation_violation_travels_end_to_end() {
+    // A cross-process reference attempt: P2 obtains a shared object and
+    // tries to store a private object into it — the heap-level write
+    // barrier rejects it, the VM maps it to a guest exception, the guest
+    // catches it and reports through its exit code.
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    os.load_shared_source("class Box { int x; Box other; }")
+        .unwrap();
+    let pid = spawn(
+        &mut os,
+        "violator",
+        r#"
+        class Private { int y; }
+        class Main {
+            static int main() {
+                Shm.create("boxes", "Box", 1);
+                Box b = Shm.get("boxes", 0) as Box;
+                Private mine = new Private();
+                mine.y = 9;
+                try {
+                    b.other = null; // frozen ref field: even null store fails
+                    return -1;
+                } catch (SegmentationViolation e) {
+                    b.x = mine.y; // primitive stores still fine
+                    return b.x;
+                }
+            }
+        }
+        "#,
+        "",
+        None,
+    );
+    os.run(None);
+    assert_eq!(os.status(pid), Some(ExitStatus::Exited(9)));
+}
+
+#[test]
+fn barrier_variants_agree_on_program_results() {
+    use kaffeos::BarrierKind;
+    let src = r#"
+        class Pair { Pair next; int v; }
+        class Main {
+            static int main() {
+                Pair head = null;
+                int acc = 0;
+                for (int i = 0; i < 2000; i = i + 1) {
+                    Pair p = new Pair();
+                    p.v = i;
+                    p.next = head;
+                    head = p;
+                    if (i % 3 == 0) { head = head.next; }
+                }
+                while (head != null) { acc = (acc + head.v) % 99991; head = head.next; }
+                return acc;
+            }
+        }
+    "#;
+    let mut results = Vec::new();
+    for barrier in [
+        BarrierKind::HeapPointer,
+        BarrierKind::NoHeapPointer,
+        BarrierKind::FakeHeapPointer,
+    ] {
+        let mut os = KaffeOs::new(KaffeOsConfig::kaffeos(barrier));
+        let pid = spawn(&mut os, "pairs", src, "", Some(1 << 20));
+        os.run(None);
+        let Some(ExitStatus::Exited(v)) = os.status(pid) else {
+            panic!("{barrier:?} failed: {:?}", os.status(pid));
+        };
+        results.push(v);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+}
