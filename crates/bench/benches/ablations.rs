@@ -11,12 +11,32 @@
 //!   +4 bytes per object cost the collector.
 //! * **memlimit_overhead** — debit/credit through soft chains of varying
 //!   depth, and hard-limit reservations.
+//!
+//! Plain `fn main()` harness (`harness = false`): each case is warmed up,
+//! then timed over a fixed number of iterations with `std::time::Instant`.
+//! Run with `cargo bench -p kaffeos-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use kaffeos_heap::{BarrierKind, ClassId, HeapSpace, ProcTag, SpaceConfig, Value};
 use kaffeos_memlimit::{Kind, MemLimitTree};
 
 const CLS: ClassId = ClassId(1);
+
+/// Times `iters` runs of `f` after `warmup` unrecorded runs and prints
+/// mean ns/iteration.
+fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per = total.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per:>14.1} ns/iter  ({iters} iters)");
+}
 
 fn space_with(kind: BarrierKind) -> HeapSpace {
     HeapSpace::new(SpaceConfig {
@@ -37,11 +57,8 @@ fn user_heap(space: &mut HeapSpace, tag: u32) -> kaffeos_heap::HeapId {
 /// Direct sharing vs copying: move 64 integer "messages" from producer to
 /// consumer either through mutable primitive fields of one shared object
 /// batch, or by allocating a copy of each message in the consumer's heap.
-fn bench_ipc_shared_vs_copy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ipc");
-    group.sample_size(40);
-
-    group.bench_function("shared_heap_direct", |b| {
+fn bench_ipc_shared_vs_copy() {
+    {
         let mut space = space_with(BarrierKind::NoHeapPointer);
         let producer_heap = user_heap(&mut space, 1);
         let _consumer_heap = user_heap(&mut space, 2);
@@ -60,7 +77,7 @@ fn bench_ipc_shared_vs_copy(c: &mut Criterion) {
         }
         space.freeze_shared(shm).unwrap();
         space.limits_mut().remove(shm_ml).unwrap();
-        b.iter(|| {
+        bench("ipc/shared_heap_direct", 100, 5_000, || {
             // Producer writes, consumer reads — no allocation, no copies.
             for (i, &cell) in cells.iter().enumerate() {
                 space.store_prim(cell, 0, Value::Int(i as i64)).unwrap();
@@ -69,11 +86,11 @@ fn bench_ipc_shared_vs_copy(c: &mut Criterion) {
             for &cell in &cells {
                 sum += space.load(cell, 0).unwrap().as_int();
             }
-            sum
+            std::hint::black_box(sum);
         });
-    });
+    }
 
-    group.bench_function("copy_between_heaps", |b| {
+    {
         let mut space = space_with(BarrierKind::NoHeapPointer);
         let producer_heap = user_heap(&mut space, 1);
         let consumer_heap = user_heap(&mut space, 2);
@@ -84,7 +101,7 @@ fn bench_ipc_shared_vs_copy(c: &mut Criterion) {
                 obj
             })
             .collect();
-        b.iter(|| {
+        bench("ipc/copy_between_heaps", 100, 5_000, || {
             // Kernel-style copy: allocate a fresh object in the consumer
             // heap per message and copy the payload.
             let mut sum = 0i64;
@@ -98,20 +115,16 @@ fn bench_ipc_shared_vs_copy(c: &mut Criterion) {
             }
             // The copies become garbage; collect them.
             space.gc(consumer_heap, &[]).unwrap();
-            sum
+            std::hint::black_box(sum);
         });
-    });
-    group.finish();
+    }
 }
 
 /// Separate kernel/user heaps vs one combined heap: with 20k long-lived
 /// "kernel" objects, collecting only the user heap skips scanning them —
 /// the generational-ish effect the paper observed.
-fn bench_separate_kernel_gc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("separate_kernel_gc");
-    group.sample_size(20);
-
-    group.bench_function("split_heaps", |b| {
+fn bench_separate_kernel_gc() {
+    {
         let mut space = space_with(BarrierKind::NoHeapPointer);
         let user = user_heap(&mut space, 1);
         let kernel = space.kernel_heap();
@@ -129,16 +142,16 @@ fn bench_separate_kernel_gc(c: &mut Criterion) {
         space
             .store_ref(anchor, 0, Value::Ref(prev.unwrap()), false)
             .unwrap();
-        b.iter(|| {
+        bench("separate_kernel_gc/split_heaps", 5, 200, || {
             for _ in 0..500 {
                 space.alloc_fields(user, CLS, 1).unwrap();
             }
             // Only the small user heap is scanned.
-            space.gc(user, &[anchor]).unwrap()
+            space.gc(user, &[anchor]).unwrap();
         });
-    });
+    }
 
-    group.bench_function("combined_heap", |b| {
+    {
         let mut space = space_with(BarrierKind::NoHeapPointer);
         let user = user_heap(&mut space, 1);
         let anchor = space.alloc_fields(user, CLS, 1).unwrap();
@@ -153,82 +166,68 @@ fn bench_separate_kernel_gc(c: &mut Criterion) {
         space
             .store_ref(anchor, 0, Value::Ref(prev.unwrap()), false)
             .unwrap();
-        b.iter(|| {
+        bench("separate_kernel_gc/combined_heap", 5, 200, || {
             for _ in 0..500 {
                 space.alloc_fields(user, CLS, 1).unwrap();
             }
             // Every collection re-marks all 20k long-lived objects.
-            space.gc(user, &[anchor]).unwrap()
+            space.gc(user, &[anchor]).unwrap();
         });
-    });
-    group.finish();
+    }
 }
 
 /// The Fake Heap Pointer experiment: identical barrier, +4 bytes/object.
-fn bench_heap_pointer_padding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heap_pointer_padding");
-    group.sample_size(30);
+fn bench_heap_pointer_padding() {
     for kind in [BarrierKind::NoHeapPointer, BarrierKind::FakeHeapPointer] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &kind| {
-                let mut space = space_with(kind);
-                let heap = user_heap(&mut space, 1);
-                b.iter(|| {
-                    for _ in 0..2000 {
-                        space.alloc_fields(heap, CLS, 3).unwrap();
-                    }
-                    space.gc(heap, &[]).unwrap()
-                });
+        let mut space = space_with(kind);
+        let heap = user_heap(&mut space, 1);
+        bench(
+            &format!("heap_pointer_padding/{}", kind.label()),
+            5,
+            200,
+            || {
+                for _ in 0..2000 {
+                    space.alloc_fields(heap, CLS, 3).unwrap();
+                }
+                space.gc(heap, &[]).unwrap();
             },
         );
     }
-    group.finish();
 }
 
 /// Memlimit debit/credit through soft chains and hard reservations.
-fn bench_memlimit_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memlimit");
+fn bench_memlimit_overhead() {
     for depth in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("soft_chain", depth),
-            &depth,
-            |b, &depth| {
-                let mut tree = MemLimitTree::new();
-                let mut node = tree.create_root(u64::MAX, "root");
-                for i in 0..depth {
-                    node = tree
-                        .create_child(node, Kind::Soft, 1 << 40, format!("n{i}"))
-                        .unwrap();
-                }
-                b.iter(|| {
-                    for _ in 0..1000 {
-                        tree.debit(node, 64).unwrap();
-                        tree.credit(node, 64).unwrap();
-                    }
-                });
-            },
-        );
+        let mut tree = MemLimitTree::new();
+        let mut node = tree.create_root(u64::MAX, "root");
+        for i in 0..depth {
+            node = tree
+                .create_child(node, Kind::Soft, 1 << 40, format!("n{i}"))
+                .unwrap();
+        }
+        bench(&format!("memlimit/soft_chain/{depth}"), 100, 5_000, || {
+            for _ in 0..1000 {
+                tree.debit(node, 64).unwrap();
+                tree.credit(node, 64).unwrap();
+            }
+        });
     }
-    group.bench_function("hard_reservation_create_remove", |b| {
+    {
         let mut tree = MemLimitTree::new();
         let root = tree.create_root(1 << 40, "root");
-        b.iter(|| {
+        bench("memlimit/hard_reservation_create_remove", 100, 5_000, || {
             for _ in 0..100 {
                 let child = tree.create_child(root, Kind::Hard, 1 << 20, "h").unwrap();
                 tree.remove(child).unwrap();
             }
         });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_ipc_shared_vs_copy,
-    bench_separate_kernel_gc,
-    bench_heap_pointer_padding,
-    bench_memlimit_overhead
-);
-criterion_main!(benches);
+fn main() {
+    println!("== kaffeos-bench ablations ==");
+    bench_ipc_shared_vs_copy();
+    bench_separate_kernel_gc();
+    bench_heap_pointer_padding();
+    bench_memlimit_overhead();
+}

@@ -1,11 +1,31 @@
 //! Micro-benchmarks: the write barrier (§4.1's 25 vs 41 cycles story, but
 //! in host wall time), allocation, per-heap GC, and exception dispatch.
+//!
+//! Plain `fn main()` harness (`harness = false`): each case is warmed up,
+//! then timed over a fixed number of iterations with `std::time::Instant`.
+//! Run with `cargo bench -p kaffeos-bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use kaffeos_heap::{BarrierKind, ClassId, HeapSpace, ProcTag, SpaceConfig, Value};
 use kaffeos_memlimit::Kind;
 
 const CLS: ClassId = ClassId(1);
+
+/// Times `iters` runs of `f` after `warmup` unrecorded runs and prints
+/// mean ns/iteration.
+fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per = total.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per:>14.1} ns/iter  ({iters} iters)");
+}
 
 fn user_heap(space: &mut HeapSpace) -> kaffeos_heap::HeapId {
     let root = space.root_memlimit();
@@ -17,61 +37,50 @@ fn user_heap(space: &mut HeapSpace) -> kaffeos_heap::HeapId {
 }
 
 /// Same-heap reference stores under each barrier implementation.
-fn bench_write_barrier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("write_barrier");
-    group.sample_size(30);
+fn bench_write_barrier() {
     for kind in BarrierKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &kind| {
-                let mut space = HeapSpace::new(SpaceConfig {
-                    barrier: kind,
-                    user_budget: 64 << 20,
-                });
-                let heap = user_heap(&mut space);
-                let src = space.alloc_fields(heap, CLS, 4).unwrap();
-                let dst = space.alloc_fields(heap, CLS, 1).unwrap();
-                b.iter(|| {
-                    for slot in 0..4 {
-                        space.store_ref(src, slot, Value::Ref(dst), false).unwrap();
-                    }
-                });
-            },
-        );
+        let mut space = HeapSpace::new(SpaceConfig {
+            barrier: kind,
+            user_budget: 64 << 20,
+        });
+        let heap = user_heap(&mut space);
+        let src = space.alloc_fields(heap, CLS, 4).unwrap();
+        let dst = space.alloc_fields(heap, CLS, 1).unwrap();
+        bench(&format!("write_barrier/{}", kind.label()), 100, 10_000, || {
+            for slot in 0..4 {
+                space.store_ref(src, slot, Value::Ref(dst), false).unwrap();
+            }
+        });
     }
-    group.finish();
 }
 
 /// Cross-heap stores: the barrier's entry/exit item maintenance path.
-fn bench_cross_heap_store(c: &mut Criterion) {
-    c.bench_function("cross_heap_store_user_to_kernel", |b| {
-        let mut space = HeapSpace::new(SpaceConfig::default());
-        let heap = user_heap(&mut space);
-        let kernel = space.kernel_heap();
-        let kobj = space.alloc_fields(kernel, CLS, 1).unwrap();
-        let uobj = space.alloc_fields(heap, CLS, 1).unwrap();
-        b.iter(|| {
-            space.store_ref(uobj, 0, Value::Ref(kobj), false).unwrap();
-            space.store_ref(uobj, 0, Value::Null, false).unwrap();
-        });
+fn bench_cross_heap_store() {
+    let mut space = HeapSpace::new(SpaceConfig::default());
+    let heap = user_heap(&mut space);
+    let kernel = space.kernel_heap();
+    let kobj = space.alloc_fields(kernel, CLS, 1).unwrap();
+    let uobj = space.alloc_fields(heap, CLS, 1).unwrap();
+    bench("cross_heap_store_user_to_kernel", 100, 10_000, || {
+        space.store_ref(uobj, 0, Value::Ref(kobj), false).unwrap();
+        space.store_ref(uobj, 0, Value::Null, false).unwrap();
     });
 }
 
 /// Allocation fast path and one full collection.
-fn bench_alloc_and_gc(c: &mut Criterion) {
-    c.bench_function("alloc_1000_objects", |b| {
+fn bench_alloc_and_gc() {
+    {
         let mut space = HeapSpace::new(SpaceConfig::default());
         let heap = user_heap(&mut space);
-        b.iter(|| {
+        bench("alloc_1000_objects", 5, 200, || {
             for _ in 0..1000 {
                 space.alloc_fields(heap, CLS, 2).unwrap();
             }
             space.gc(heap, &[]).unwrap();
         });
-    });
+    }
 
-    c.bench_function("gc_half_live_heap", |b| {
+    {
         let mut space = HeapSpace::new(SpaceConfig::default());
         let heap = user_heap(&mut space);
         // 1000 live (list-linked), garbage re-created per iteration.
@@ -85,19 +94,19 @@ fn bench_alloc_and_gc(c: &mut Criterion) {
             prev = Some(obj);
         }
         roots.push(prev.unwrap());
-        b.iter(|| {
+        bench("gc_half_live_heap", 5, 200, || {
             for _ in 0..1000 {
                 space.alloc_fields(heap, CLS, 1).unwrap();
             }
-            space.gc(heap, &roots).unwrap()
+            space.gc(heap, &roots).unwrap();
         });
-    });
+    }
 }
 
 /// Fast (Kaffe00/KaffeOS) vs slow (Kaffe99) exception dispatch — the jack
 /// story, measured in host time: the slow path really materialises a stack
 /// trace per throw.
-fn bench_exception_dispatch(c: &mut Criterion) {
+fn bench_exception_dispatch() {
     use kaffeos::{Engine, ExitStatus, KaffeOs, KaffeOsConfig};
     let source = r#"
         class Main {
@@ -111,33 +120,27 @@ fn bench_exception_dispatch(c: &mut Criterion) {
             }
         }
     "#;
-    let mut group = c.benchmark_group("exception_dispatch");
-    group.sample_size(20);
     for (name, engine) in [
         ("fast_kaffeos", Engine::KAFFEOS),
         ("slow_kaffe99", Engine::KAFFE99),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut os = KaffeOs::new(KaffeOsConfig {
-                    engine,
-                    ..KaffeOsConfig::default()
-                });
-                os.register_image("thrower", source).unwrap();
-                let pid = os.spawn("thrower", "500", None).unwrap();
-                os.run(None);
-                assert_eq!(os.status(pid), Some(ExitStatus::Exited(500)));
+        bench(&format!("exception_dispatch/{name}"), 2, 20, || {
+            let mut os = KaffeOs::new(KaffeOsConfig {
+                engine,
+                ..KaffeOsConfig::default()
             });
+            os.register_image("thrower", source).unwrap();
+            let pid = os.spawn("thrower", "500", None).unwrap();
+            os.run(None);
+            assert_eq!(os.status(pid), Some(ExitStatus::Exited(500)));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_write_barrier,
-    bench_cross_heap_store,
-    bench_alloc_and_gc,
-    bench_exception_dispatch
-);
-criterion_main!(benches);
+fn main() {
+    println!("== kaffeos-bench micro ==");
+    bench_write_barrier();
+    bench_cross_heap_store();
+    bench_alloc_and_gc();
+    bench_exception_dispatch();
+}

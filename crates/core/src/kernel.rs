@@ -19,6 +19,7 @@ use kaffeos_vm::{
     step, ClassDef, ClassTable, Engine, ExecCtx, RunExit, Thread, ThreadState, VmException,
 };
 
+use crate::faults::{AuditReport, AuditViolation, FaultPlan};
 use crate::process::{CpuAccount, ExitStatus, ParkReason, Pid, ProcState, Process, SpawnOpts};
 use crate::shm::{SharedHeap, ShmRegistry};
 use crate::stdlib;
@@ -106,6 +107,12 @@ pub enum KernelError {
     /// The machine budget cannot cover the request (e.g. a hard
     /// reservation at spawn).
     OutOfMemory,
+    /// A heap operation the kernel performs on a process' behalf failed.
+    Heap(kaffeos_heap::HeapError),
+    /// A kernel bookkeeping step that must not fail did fail. Surfaced as
+    /// a typed error instead of a panic so an injected fault can never
+    /// take down more than the process it targeted.
+    Internal(&'static str),
 }
 
 impl core::fmt::Display for KernelError {
@@ -118,11 +125,19 @@ impl core::fmt::Display for KernelError {
             KernelError::BadEntry(e) => write!(f, "bad entry point {e}"),
             KernelError::DuplicateImage(n) => write!(f, "duplicate image {n}"),
             KernelError::OutOfMemory => write!(f, "out of memory"),
+            KernelError::Heap(e) => write!(f, "heap error: {e}"),
+            KernelError::Internal(msg) => write!(f, "internal kernel invariant broken: {msg}"),
         }
     }
 }
 
 impl std::error::Error for KernelError {}
+
+impl From<kaffeos_heap::HeapError> for KernelError {
+    fn from(e: kaffeos_heap::HeapError) -> Self {
+        KernelError::Heap(e)
+    }
+}
 
 impl From<kaffeos_cupc::CompileError> for KernelError {
     fn from(e: kaffeos_cupc::CompileError) -> Self {
@@ -197,6 +212,11 @@ pub struct KaffeOs {
     mono_intern: HashMap<String, ObjRef>,
     /// Number of classes in the shared namespace (for the §3.2 ratio).
     shared_class_count: usize,
+    /// Installed fault-injection schedule, if any.
+    faults: Option<FaultPlan>,
+    /// Internal errors the kernel degraded past instead of panicking.
+    /// Non-empty means an invariant record is suspect; `audit` reports it.
+    kernel_faults: Vec<String>,
 }
 
 impl KaffeOs {
@@ -236,8 +256,7 @@ impl KaffeOs {
             None
         };
         let mono_ns = if config.monolithic {
-            let ns = table.create_namespace("mono", Some(shared_ns));
-            ns
+            table.create_namespace("mono", Some(shared_ns))
         } else {
             template_ns
         };
@@ -275,6 +294,8 @@ impl KaffeOs {
             mono_statics: HashMap::new(),
             mono_intern: HashMap::new(),
             shared_class_count,
+            faults: None,
+            kernel_faults: Vec::new(),
         }
     }
 
@@ -367,7 +388,10 @@ impl KaffeOs {
                     }
                 }
             }
-            (self.mono_heap.expect("mono heap"), None, self.mono_ns)
+            let heap = self
+                .mono_heap
+                .ok_or(KernelError::Internal("monolithic heap missing at spawn"))?;
+            (heap, None, self.mono_ns)
         } else {
             let root = self.space.root_memlimit();
             let bytes = opts.mem_limit.unwrap_or(self.config.default_process_limit);
@@ -549,6 +573,220 @@ impl KaffeOs {
             .unwrap_or(false)
     }
 
+    // ---- fault injection and auditing (the chaos-kernel harness) -----------
+
+    /// Records an internal error the kernel degraded past instead of
+    /// panicking; [`KaffeOs::audit`] reports the first one.
+    fn kernel_fault(&mut self, detail: String) {
+        self.kernel_faults.push(detail);
+    }
+
+    /// Internal errors recorded by graceful degradation this run.
+    pub fn kernel_faults(&self) -> &[String] {
+        &self.kernel_faults
+    }
+
+    /// Installs a fault-injection schedule. The allocation fault (if armed)
+    /// is armed on the heap space immediately; the sweep/GC/illegal-write
+    /// mechanisms fire from the scheduler loop.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        if let Some(fault) = plan.alloc_fault {
+            self.space.set_alloc_fault(fault);
+        }
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any (counters reflect what has fired).
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Disarms fault injection (the plan's counters are returned).
+    pub fn clear_faults(&mut self) -> Option<FaultPlan> {
+        self.space.clear_alloc_fault();
+        self.faults.take()
+    }
+
+    /// Fires the quantum-boundary fault mechanisms: the termination sweep
+    /// and the illegal cross-heap write probe.
+    fn apply_quantum_faults(&mut self) {
+        let Some(mut plan) = self.faults.take() else {
+            return;
+        };
+        if plan.kill_sweep {
+            let live: Vec<Pid> = self
+                .procs
+                .iter()
+                .filter(|p| !matches!(p.state, ProcState::Dead(_)))
+                .map(|p| p.pid)
+                .collect();
+            if !live.is_empty() {
+                let victim = live[(plan.next() % live.len() as u64) as usize];
+                plan.kills_injected += 1;
+                if let Err(e) = self.kill(victim) {
+                    self.kernel_fault(format!("fault sweep: kill({victim:?}) failed: {e}"));
+                }
+            }
+        }
+        if plan.illegal_writes && self.config.barrier.enforces() && !self.config.monolithic {
+            self.inject_illegal_write(&mut plan);
+        }
+        self.faults = Some(plan);
+    }
+
+    /// Attempts one illegal user-to-user cross-heap reference store between
+    /// two seeded-chosen live processes. The write barrier must reject it
+    /// with a segmentation violation; an accepted write is an audit
+    /// violation. The two probe objects are unreachable garbage afterwards
+    /// and are reclaimed by ordinary collection.
+    fn inject_illegal_write(&mut self, plan: &mut FaultPlan) {
+        let live: Vec<HeapId> = self
+            .procs
+            .iter()
+            .filter(|p| !matches!(p.state, ProcState::Dead(_)))
+            .map(|p| p.heap)
+            .collect();
+        if live.len() < 2 {
+            return;
+        }
+        let a = (plan.next() % live.len() as u64) as usize;
+        let b = (a + 1 + (plan.next() % (live.len() as u64 - 1)) as usize) % live.len();
+        let class = self.string_class.heap_class();
+        // Either allocation may fail (the armed allocation fault or a full
+        // memlimit) — a failed probe is simply skipped.
+        let Ok(src) = self.space.alloc_fields(live[a], class, 1) else {
+            return;
+        };
+        let Ok(dst) = self.space.alloc_fields(live[b], class, 1) else {
+            return;
+        };
+        plan.illegal_writes_attempted += 1;
+        match self.space.store_ref(src, 0, Value::Ref(dst), false) {
+            Err(kaffeos_heap::HeapError::SegViolation(_)) => {}
+            Ok(_) => {
+                plan.illegal_writes_accepted += 1;
+            }
+            Err(e) => {
+                // Any other rejection still contains the write, but means
+                // the probe hit an unexpected path worth recording.
+                self.kernel_fault(format!(
+                    "illegal-write probe failed with a non-barrier error: {e:?}"
+                ));
+            }
+        }
+    }
+
+    /// Re-derives every invariant the kernel's isolation and accounting
+    /// story depends on, reporting the first violation:
+    ///
+    /// 1. the heap space's audit (entry/exit reference-count conservation,
+    ///    page ownership, counter recounts, memlimit-tree conservation);
+    /// 2. no internal error was degraded past during the run;
+    /// 3. full reclamation: every dead process' heap is gone, its memlimit
+    ///    removed, and no shared heap still charges it;
+    /// 4. exact accounting: every live process' memlimit debit equals its
+    ///    heap's accounted bytes plus its shared-heap charges;
+    /// 5. shared-heap registry sanity: heaps alive and frozen, all sharers
+    ///    live;
+    /// 6. report conservation: pids map one-to-one onto process-table rows
+    ///    so no [`RunReport`] row is lost or double-counted;
+    /// 7. the barrier rejected every injected illegal write.
+    pub fn audit(&self) -> Result<AuditReport, AuditViolation> {
+        let space = self.space.audit()?;
+
+        if let Some(detail) = self.kernel_faults.first() {
+            return Err(AuditViolation::KernelFault {
+                detail: detail.clone(),
+            });
+        }
+
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.pid.0 as usize != i + 1 {
+                return Err(AuditViolation::ReportConservation {
+                    detail: format!("row {i} holds pid {:?}", p.pid),
+                });
+            }
+            if matches!(p.state, ProcState::Dead(_)) {
+                if !self.config.monolithic && self.space.heap_alive(p.heap) {
+                    return Err(AuditViolation::DeadHeapSurvives { pid: p.pid });
+                }
+                if p.memlimit.is_some() {
+                    return Err(AuditViolation::DeadMemlimitSurvives { pid: p.pid });
+                }
+                if let Some(name) = self.shm.charged_to(p.pid).into_iter().next() {
+                    return Err(AuditViolation::DeadStillCharged { pid: p.pid, name });
+                }
+            } else if !self.config.monolithic {
+                let Some(ml) = p.memlimit else {
+                    return Err(AuditViolation::ReportConservation {
+                        detail: format!("live process {:?} has no memlimit", p.pid),
+                    });
+                };
+                let accounted = self.space.accounted_bytes(p.heap).unwrap_or(u64::MAX);
+                let shm_charged: u64 = self
+                    .shm
+                    .charged_to(p.pid)
+                    .iter()
+                    .filter_map(|name| self.shm.get(name))
+                    .map(|s| s.size)
+                    .sum();
+                let current = self.space.limits().current(ml);
+                if accounted.saturating_add(shm_charged) != current {
+                    return Err(AuditViolation::ProcessAccounting {
+                        pid: p.pid,
+                        current,
+                        accounted,
+                        shm_charged,
+                    });
+                }
+            }
+        }
+
+        for (name, shm) in self.shm.iter() {
+            if !self.space.heap_alive(shm.heap)
+                || self.space.snapshot(shm.heap).map(|s| !s.frozen).unwrap_or(true)
+            {
+                return Err(AuditViolation::ShmHeapBroken { name: name.clone() });
+            }
+            for &sharer in &shm.sharers {
+                if !self.is_alive(sharer) {
+                    return Err(AuditViolation::ShmSharerDead {
+                        name: name.clone(),
+                        pid: sharer,
+                    });
+                }
+            }
+        }
+
+        if let Some(plan) = &self.faults {
+            if plan.illegal_writes_accepted > 0 {
+                return Err(AuditViolation::IllegalWriteAccepted {
+                    count: plan.illegal_writes_accepted,
+                });
+            }
+        }
+
+        let live = self
+            .procs
+            .iter()
+            .filter(|p| !matches!(p.state, ProcState::Dead(_)))
+            .count() as u64;
+        Ok(AuditReport {
+            space,
+            processes: self.procs.len() as u64,
+            live,
+            dead: self.procs.len() as u64 - live,
+            user_bytes_charged: self.space.limits().current(self.space.root_memlimit()),
+            shared_heaps: self.shm.len() as u64,
+            alloc_faults_fired: self.space.alloc_faults_fired(),
+            kills_injected: self.faults.as_ref().map_or(0, |p| p.kills_injected),
+            illegal_writes_attempted: self
+                .faults
+                .as_ref()
+                .map_or(0, |p| p.illegal_writes_attempted),
+        })
+    }
+
     // ---- termination (§2, "Safe termination of processes") -----------------
 
     /// Requests termination of a process. User-mode threads die at their
@@ -596,7 +834,10 @@ impl KaffeOs {
     /// its heap into the kernel heap (full reclamation, §2), removes its
     /// memlimit, and wakes waiters.
     fn reap(&mut self, pid: Pid, status: ExitStatus) {
-        let idx = self.proc_index(pid).expect("reaping unknown pid");
+        let Some(idx) = self.proc_index(pid) else {
+            self.kernel_fault(format!("reap of unknown pid {pid:?}"));
+            return;
+        };
         debug_assert!(!matches!(self.procs[idx].state, ProcState::Dead(_)));
 
         // Release any monitors still held by (now dead) threads.
@@ -615,10 +856,11 @@ impl KaffeOs {
         for name in charged {
             if let Some(size) = self.shm.remove_sharer(&name, pid) {
                 if let Some(ml) = self.procs[idx].memlimit {
-                    self.space
-                        .limits_mut()
-                        .credit(ml, size)
-                        .expect("shm charge was debited");
+                    if let Err(e) = self.space.limits_mut().credit(ml, size) {
+                        self.kernel_fault(format!(
+                            "reap {pid:?}: shm charge for {name} was not debited: {e:?}"
+                        ));
+                    }
                 }
             }
         }
@@ -627,17 +869,21 @@ impl KaffeOs {
             // Merge the heap; everything unreachable becomes kernel garbage
             // collected by the next kernel GC cycle.
             let heap = self.procs[idx].heap;
-            let report = self
-                .space
-                .merge_into_kernel(heap)
-                .expect("merge of a live process heap");
-            self.kernel_cpu.gc += report.cycles;
-            self.clock += report.cycles;
+            match self.space.merge_into_kernel(heap) {
+                Ok(report) => {
+                    self.kernel_cpu.gc += report.cycles;
+                    self.clock += report.cycles;
+                }
+                Err(e) => {
+                    self.kernel_fault(format!("reap {pid:?}: heap merge failed: {e:?}"));
+                }
+            }
             if let Some(ml) = self.procs[idx].memlimit {
-                self.space
-                    .limits_mut()
-                    .drain_and_remove(ml)
-                    .expect("memlimit removable after merge");
+                if let Err(e) = self.space.limits_mut().drain_and_remove(ml) {
+                    self.kernel_fault(format!(
+                        "reap {pid:?}: memlimit not removable after merge: {e:?}"
+                    ));
+                }
             }
             self.procs[idx].memlimit = None;
         }
@@ -689,7 +935,7 @@ impl KaffeOs {
             .map(|t| t.stack_scan_size())
             .sum::<u64>()
             * costs::GC_STACK_SCAN_PER_SLOT;
-        let report = self.space.gc(heap, &roots).expect("collecting a live heap");
+        let report = self.space.gc(heap, &roots)?;
         self.procs[idx].cpu.gc += report.cycles + scan;
         self.clock += report.cycles + scan;
         // Sharer release: if this process no longer holds exit items into a
@@ -712,7 +958,7 @@ impl KaffeOs {
                         self.space
                             .limits_mut()
                             .credit(ml, size)
-                            .expect("shm charge was debited");
+                            .map_err(|_| KernelError::Internal("shm charge was not debited"))?;
                     }
                 }
             }
@@ -734,12 +980,17 @@ impl KaffeOs {
         for name in self.shm.orphans() {
             if let Some(shm) = self.shm.remove(&name) {
                 if self.space.heap_alive(shm.heap) {
-                    let report = self
-                        .space
-                        .merge_into_kernel(shm.heap)
-                        .expect("merging an orphaned shared heap");
-                    self.kernel_cpu.gc += report.cycles;
-                    self.clock += report.cycles;
+                    match self.space.merge_into_kernel(shm.heap) {
+                        Ok(report) => {
+                            self.kernel_cpu.gc += report.cycles;
+                            self.clock += report.cycles;
+                        }
+                        Err(e) => {
+                            self.kernel_fault(format!(
+                                "kernel_gc: orphan shared-heap merge of {name} failed: {e:?}"
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -747,7 +998,22 @@ impl KaffeOs {
         // registry are on *shared* heaps, not the kernel heap, so the
         // kernel heap is collected with no external roots.
         let kernel = self.space.kernel_heap();
-        let report = self.space.gc(kernel, &[]).expect("kernel heap is alive");
+        let report = match self.space.gc(kernel, &[]) {
+            Ok(report) => report,
+            Err(e) => {
+                self.kernel_fault(format!("kernel_gc: kernel heap collection failed: {e:?}"));
+                kaffeos_heap::GcReport {
+                    heap: kernel,
+                    charged_to: ProcTag(0),
+                    cycles: 0,
+                    objects_freed: 0,
+                    bytes_freed: 0,
+                    objects_live: 0,
+                    exit_items_freed: 0,
+                    roots: 0,
+                }
+            }
+        };
         self.kernel_cpu.gc += report.cycles;
         self.clock += report.cycles;
         self.last_kernel_gc = self.clock;
@@ -833,6 +1099,7 @@ impl KaffeOs {
             let exit = self.run_quantum(idx, tidx);
             self.dispatch_exit(pid, tidx, exit);
             self.enforce_cpu_limit(pid);
+            self.apply_quantum_faults();
         }
         self.report(deadlocked)
     }
@@ -949,6 +1216,10 @@ impl KaffeOs {
             monitors: &mut self.monitors,
             extra_roots: &extra,
             extra_scan_slots,
+            gc_every_safepoint: self
+                .faults
+                .as_ref()
+                .is_some_and(|plan| plan.gc_every_safepoint),
         };
         let exit = step(thread, &mut ctx, time_slice.max(1));
         let cycles = thread.drain_cycles();
@@ -963,7 +1234,9 @@ impl KaffeOs {
     /// Enforces the per-process CPU budget; returns true if the process
     /// was terminated for exceeding it.
     fn enforce_cpu_limit(&mut self, pid: Pid) -> bool {
-        let idx = self.proc_index(pid).expect("live process");
+        let Some(idx) = self.proc_index(pid) else {
+            return false;
+        };
         let Some(limit) = self.procs[idx].cpu_limit else {
             return false;
         };
@@ -978,7 +1251,9 @@ impl KaffeOs {
         // `kill` may have completed the reap with status Killed if every
         // thread was parked; rewrite the status in that case, otherwise
         // remember the reason for the eventual reap.
-        let idx = self.proc_index(pid).expect("live process");
+        let Some(idx) = self.proc_index(pid) else {
+            return true;
+        };
         match &self.procs[idx].state {
             ProcState::Dead(ExitStatus::Killed) => {
                 self.procs[idx].state = ProcState::Dead(ExitStatus::CpuLimitExceeded);
@@ -993,7 +1268,10 @@ impl KaffeOs {
 
     /// Routes a quantum's exit back into kernel state.
     fn dispatch_exit(&mut self, pid: Pid, tidx: usize, exit: RunExit) {
-        let idx = self.proc_index(pid).expect("live process");
+        let Some(idx) = self.proc_index(pid) else {
+            self.kernel_fault(format!("dispatch_exit for unknown pid {pid:?}"));
+            return;
+        };
         match exit {
             RunExit::Preempted => {
                 self.run_queue.push_back((pid, tidx));
@@ -1041,12 +1319,16 @@ impl KaffeOs {
                 self.procs[idx].cpu.kernel += SYSCALL_BASE_CYCLES;
                 match self.syscall(pid, tidx, id, args) {
                     SyscallOutcome::Resume(value) => {
-                        let idx = self.proc_index(pid).expect("live process");
+                        let Some(idx) = self.proc_index(pid) else {
+                            return;
+                        };
                         self.procs[idx].threads[tidx].resume_with(value);
                         self.run_queue.push_back((pid, tidx));
                     }
                     SyscallOutcome::Raise(ex) => {
-                        let idx = self.proc_index(pid).expect("live process");
+                        let Some(idx) = self.proc_index(pid) else {
+                            return;
+                        };
                         self.procs[idx].threads[tidx].pending_exception = Some(ex);
                         self.run_queue.push_back((pid, tidx));
                     }
@@ -1089,7 +1371,9 @@ impl KaffeOs {
     // ---- syscall service -------------------------------------------------------
 
     fn syscall(&mut self, pid: Pid, tidx: usize, id: u16, args: Vec<Value>) -> SyscallOutcome {
-        let idx = self.proc_index(pid).expect("live process");
+        let Some(idx) = self.proc_index(pid) else {
+            return SyscallOutcome::Resume(None);
+        };
         match id {
             sysno::PRINT => {
                 let text = self.arg_str(&args, 0).unwrap_or_default();
@@ -1152,7 +1436,9 @@ impl KaffeOs {
                 // so a kill of *this* process is deferred until the wait
                 // returns (kernel_depth), per §2.
                 self.procs[target_idx].waiters.push((pid, tidx));
-                let idx = self.proc_index(pid).expect("live process");
+                let Some(idx) = self.proc_index(pid) else {
+                    return SyscallOutcome::Resume(Some(Value::Int(-3)));
+                };
                 self.procs[idx]
                     .parked
                     .insert(tidx, ParkReason::WaitFor(target));
@@ -1210,7 +1496,9 @@ impl KaffeOs {
         method: &str,
         arg: i64,
     ) -> Result<u32, String> {
-        let idx = self.proc_index(pid).expect("live process");
+        let idx = self
+            .proc_index(pid)
+            .ok_or_else(|| format!("proc.thread: unknown pid {pid:?}"))?;
         let ns = self.procs[idx].ns;
         let cidx = self
             .table
@@ -1249,7 +1537,9 @@ impl KaffeOs {
     /// the NIC drains (network time is not CPU time, so parked waiting
     /// costs no cycles — but it *is* wall time on the virtual clock).
     fn net_send(&mut self, pid: Pid, tidx: usize, bytes: u64) -> SyscallOutcome {
-        let idx = self.proc_index(pid).expect("live process");
+        let Some(idx) = self.proc_index(pid) else {
+            return SyscallOutcome::Resume(None);
+        };
         self.procs[idx].net_sent += bytes;
         let total = self.procs[idx].net_sent as i64;
         let Some(bps) = self.procs[idx].net_bps else {
@@ -1288,7 +1578,9 @@ impl KaffeOs {
     // ---- shared heaps (§2, "Direct sharing between processes") --------------
 
     fn shm_create(&mut self, pid: Pid, args: &[Value]) -> SyscallOutcome {
-        let idx = self.proc_index(pid).expect("live process");
+        let Some(idx) = self.proc_index(pid) else {
+            return SyscallOutcome::Resume(None);
+        };
         let Some(name) = self.arg_str(args, 0) else {
             return SyscallOutcome::Raise(VmException::Builtin(
                 kaffeos_vm::BuiltinEx::NullPointer,
@@ -1302,7 +1594,7 @@ impl KaffeOs {
             ));
         };
         let count = self.arg_int(args, 2);
-        if self.shm.contains(&name) || count < 1 || count > SHM_MAX_OBJECTS {
+        if self.shm.contains(&name) || !(1..=SHM_MAX_OBJECTS).contains(&count) {
             return SyscallOutcome::Raise(VmException::Builtin(
                 kaffeos_vm::BuiltinEx::IllegalState,
                 format!("shm.create({name})"),
@@ -1361,9 +1653,11 @@ impl KaffeOs {
                             kaffeos_vm::TypeDesc::Float => Value::Float(0.0),
                             _ => continue,
                         };
-                        self.space
-                            .store_prim(obj, slot, default)
-                            .expect("freshly allocated object");
+                        if let Err(e) = self.space.store_prim(obj, slot, default) {
+                            self.kernel_fault(format!(
+                                "shm.create({name}): zeroing a fresh object failed: {e:?}"
+                            ));
+                        }
                     }
                     objects.push(obj);
                 }
@@ -1383,11 +1677,23 @@ impl KaffeOs {
         // Freeze: size fixed for life, reference fields immutable. The
         // population charge is credited and the creator is charged the
         // full size like any other sharer.
-        let size = self.space.freeze_shared(heap).expect("fresh shared heap");
-        self.space
-            .limits_mut()
-            .remove(shm_ml)
-            .expect("population charge was credited at freeze");
+        let size = match self.space.freeze_shared(heap) {
+            Ok(size) => size,
+            Err(e) => {
+                self.kernel_fault(format!("shm.create({name}): freeze failed: {e:?}"));
+                let _ = self.space.merge_into_kernel(heap);
+                let _ = self.space.limits_mut().drain_and_remove(shm_ml);
+                return SyscallOutcome::Raise(VmException::Builtin(
+                    kaffeos_vm::BuiltinEx::IllegalState,
+                    format!("shm.create({name}): freeze"),
+                ));
+            }
+        };
+        if let Err(e) = self.space.limits_mut().remove(shm_ml) {
+            self.kernel_fault(format!(
+                "shm.create({name}): population charge not fully credited at freeze: {e:?}"
+            ));
+        }
         if self.space.limits_mut().debit(creator_ml, size).is_err() {
             let _ = self.space.merge_into_kernel(heap);
             return SyscallOutcome::Raise(VmException::Builtin(
@@ -1409,7 +1715,9 @@ impl KaffeOs {
     }
 
     fn shm_lookup(&mut self, pid: Pid, args: &[Value]) -> SyscallOutcome {
-        let idx = self.proc_index(pid).expect("live process");
+        let Some(idx) = self.proc_index(pid) else {
+            return SyscallOutcome::Resume(Some(Value::Int(-1)));
+        };
         let Some(name) = self.arg_str(args, 0) else {
             return SyscallOutcome::Resume(Some(Value::Int(-1)));
         };

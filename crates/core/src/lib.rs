@@ -44,18 +44,22 @@
 //! user/kernel boundary only through `Sys.*` / `Proc.*` / `Shm.*`
 //! intrinsics, which this crate services.
 
+mod faults;
 mod kernel;
 mod process;
 mod shm;
 pub mod stdlib;
 pub mod syscalls;
 
+pub use faults::{AuditReport, AuditViolation, FaultPlan};
 pub use kernel::{KaffeOs, KaffeOsConfig, KernelError, ProcessReport, RunReport};
 pub use process::{CpuAccount, ExitStatus, ParkReason, Pid, ProcState, Process, SpawnOpts};
 pub use shm::{SharedHeap, ShmRegistry};
 
 // Re-export the pieces users need to configure and inspect a VM.
-pub use kaffeos_heap::{BarrierKind, BarrierStats, SegViolationKind};
+pub use kaffeos_heap::{
+    AllocFault, BarrierKind, BarrierStats, SegViolationKind, SpaceAuditReport, SpaceAuditViolation,
+};
 pub use kaffeos_vm::Engine;
 
 #[cfg(test)]

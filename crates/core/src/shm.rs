@@ -64,15 +64,11 @@ impl ShmRegistry {
     /// Records `pid` as a sharer (on `shm.lookup`); idempotent.
     pub fn add_sharer(&mut self, name: &str, pid: Pid) -> bool {
         match self.heaps.get_mut(name) {
-            Some(shm) => {
-                if !shm.sharers.contains(&pid) {
-                    shm.sharers.push(pid);
-                    true
-                } else {
-                    false
-                }
+            Some(shm) if !shm.sharers.contains(&pid) => {
+                shm.sharers.push(pid);
+                true
             }
-            None => false,
+            _ => false,
         }
     }
 
@@ -107,6 +103,11 @@ impl ShmRegistry {
             .filter(|(_, s)| s.sharers.contains(&pid))
             .map(|(n, _)| n.clone())
             .collect()
+    }
+
+    /// Iterates over all registered shared heaps.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &SharedHeap)> {
+        self.heaps.iter()
     }
 
     /// Number of live shared heaps.

@@ -126,6 +126,7 @@ impl Host {
                     monitors: &mut self.monitors,
                     extra_roots: &[],
                     extra_scan_slots: 0,
+                    gc_every_safepoint: false,
                 };
                 step(&mut thread, &mut ctx, u64::MAX)
             };
@@ -299,7 +300,7 @@ fn arrays_and_nested_arrays() {
             }
         }
     "#;
-    assert_eq!(run_main_int(src, vec![Value::Int(5)]), 0 + 1 + 4 + 9 + 16);
+    assert_eq!(run_main_int(src, vec![Value::Int(5)]), 1 + 4 + 9 + 16);
 }
 
 #[test]
@@ -745,7 +746,7 @@ mod language_coverage {
         "#;
         // even i: inner adds i. i=0:0, 2:2, 4:4, 6:6, 8:8 then break after 8?
         // break happens when i > 6, i.e. after i=8's inner loop.
-        assert_eq!(run_main_int(src, vec![]), 0 + 2 + 4 + 6 + 8);
+        assert_eq!(run_main_int(src, vec![]), 2 + 4 + 6 + 8);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub enum HeapError {
     /// Store into a frozen shared heap during population, or freezing a
     /// non-shared heap, etc.
     BadHeapState(HeapId),
+    /// An internal bookkeeping step that must not fail did fail — a broken
+    /// kernel invariant surfaced as an error (instead of a panic) so the
+    /// kernel can contain the damage to one process.
+    Internal(&'static str),
 }
 
 impl fmt::Display for HeapError {
@@ -54,6 +58,7 @@ impl fmt::Display for HeapError {
             }
             HeapError::KindMismatch(r) => write!(f, "payload kind mismatch on {r:?}"),
             HeapError::BadHeapState(h) => write!(f, "bad heap state for {h:?}"),
+            HeapError::Internal(msg) => write!(f, "internal heap invariant broken: {msg}"),
         }
     }
 }

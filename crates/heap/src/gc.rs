@@ -88,7 +88,7 @@ impl HeapSpace {
                 self.heap_core_mut(heap)
                     .exits
                     .get_mut(&root)
-                    .expect("exit item just ensured")
+                    .ok_or(HeapError::Internal("exit item missing right after ensure"))?
                     .marked = true;
             }
         }
@@ -131,7 +131,7 @@ impl HeapSpace {
                     self.heap_core_mut(heap)
                         .exits
                         .get_mut(&target)
-                        .expect("exit item just ensured")
+                        .ok_or(HeapError::Internal("exit item missing right after ensure"))?
                         .marked = true;
                 }
             }
@@ -173,9 +173,9 @@ impl HeapSpace {
         }
         if bytes_freed > 0 {
             if let Some(ml) = self.heap_core(heap).memlimit {
-                self.limits
-                    .credit(ml, bytes_freed)
-                    .expect("swept bytes were debited at allocation");
+                self.limits.credit(ml, bytes_freed).map_err(|_| {
+                    HeapError::Internal("swept bytes were not debited at allocation")
+                })?;
             }
         }
 
@@ -189,7 +189,7 @@ impl HeapSpace {
             .collect();
         let exit_items_freed = dead_exits.len() as u64;
         for target in dead_exits {
-            self.drop_exit_item(heap, target);
+            self.drop_exit_item(heap, target)?;
         }
 
         let core = self.heap_core(heap);
@@ -210,7 +210,9 @@ impl HeapSpace {
             if !o.marked {
                 // Mark eagerly so each object is traced once.
                 if let Ok(slot) = usize::try_from(obj.index) {
-                    self.slots[slot].obj.as_mut().expect("checked above").marked = true;
+                    if let Some(o) = self.slots[slot].obj.as_mut() {
+                        o.marked = true;
+                    }
                 }
                 stack.push(obj);
             }
@@ -221,24 +223,24 @@ impl HeapSpace {
 
     /// Removes `heap`'s exit item for `target`, decrementing the remote
     /// entry item and destroying it at zero.
-    pub(crate) fn drop_exit_item(&mut self, heap: HeapId, target: ObjRef) {
+    pub(crate) fn drop_exit_item(&mut self, heap: HeapId, target: ObjRef) -> Result<(), HeapError> {
         let removed = self.heap_core_mut(heap).exits.remove(&target);
         debug_assert!(removed.is_some(), "dropping absent exit item");
         if removed.map(|e| e.accounted).unwrap_or(false) {
             let exit_bytes = self.size_model().exit_item as u64;
             if let Some(ml) = self.heap_core(heap).memlimit {
-                self.limits
-                    .credit(ml, exit_bytes)
-                    .expect("exit item bytes were debited at creation");
+                self.limits.credit(ml, exit_bytes).map_err(|_| {
+                    HeapError::Internal("exit item bytes were not debited at creation")
+                })?;
             }
         }
         // The target heap may already be dead (merged); entry items were
         // destroyed with it. The target object itself may even have been
         // swept already if its entry item went away first.
         let Ok(target_heap) = self.heap_of(target) else {
-            return;
+            return Ok(());
         };
-        self.decrement_entry(target_heap, target);
+        self.decrement_entry(target_heap, target)
     }
 
     /// Merges `heap` into the kernel heap (§2, "Full reclamation of
@@ -267,9 +269,9 @@ impl HeapSpace {
         //    objects, plus its exit items (destroyed below). Entry items are
         //    credited as they are destroyed.
         if let Some(ml) = memlimit {
-            self.limits
-                .credit(ml, bytes_moved)
-                .expect("heap bytes were debited from its memlimit");
+            self.limits.credit(ml, bytes_moved).map_err(|_| {
+                HeapError::Internal("heap bytes were not debited from its memlimit")
+            })?;
         }
 
         // 2. Retag pages and object headers onto the kernel heap.
@@ -309,15 +311,15 @@ impl HeapSpace {
             self.heap_core_mut(heap).exits.remove(&target);
             if accounted {
                 if let Some(ml) = memlimit {
-                    self.limits
-                        .credit(ml, exit_bytes)
-                        .expect("exit item bytes were debited at creation");
+                    self.limits.credit(ml, exit_bytes).map_err(|_| {
+                        HeapError::Internal("exit item bytes were not debited at creation")
+                    })?;
                 }
             }
             // Targets are on other heaps by construction; after the page
             // retag above, former merged-heap→kernel targets read as kernel.
             let target_heap = self.heap_of(target)?;
-            self.decrement_entry(target_heap, target);
+            self.decrement_entry(target_heap, target)?;
         }
 
         // 4. Collapse kernel exit items that pointed into the merged heap.
@@ -338,7 +340,7 @@ impl HeapSpace {
             self.heap_core_mut(kernel).exits.remove(&target);
             // The matching entry item lives in the (still-live) merged
             // heap's table; decrement there so the pair dies together.
-            self.decrement_entry(heap, target);
+            self.decrement_entry(heap, target)?;
         }
 
         // 5. Any remaining entry items of the merged heap now describe
@@ -353,9 +355,9 @@ impl HeapSpace {
         for (slot, entry) in leftover {
             if entry.accounted {
                 if let Some(ml) = memlimit {
-                    self.limits
-                        .credit(ml, entry_bytes)
-                        .expect("entry item bytes were debited at creation");
+                    self.limits.credit(ml, entry_bytes).map_err(|_| {
+                        HeapError::Internal("entry item bytes were not debited at creation")
+                    })?;
                 }
             }
             if entry.refs > 0 {
@@ -389,11 +391,11 @@ impl HeapSpace {
         })
     }
 
-    fn decrement_entry(&mut self, heap: HeapId, target: ObjRef) {
+    fn decrement_entry(&mut self, heap: HeapId, target: ObjRef) -> Result<(), HeapError> {
         let entry_bytes = self.size_model().entry_item as u64;
         let core = self.heap_core_mut(heap);
         let Some(entry) = core.entries.get_mut(&target.index) else {
-            return;
+            return Ok(());
         };
         entry.refs = entry.refs.saturating_sub(1);
         if entry.refs == 0 {
@@ -401,12 +403,13 @@ impl HeapSpace {
             core.entries.remove(&target.index);
             if accounted {
                 if let Some(ml) = self.heap_core(heap).memlimit {
-                    self.limits
-                        .credit(ml, entry_bytes)
-                        .expect("entry item bytes were debited at creation");
+                    self.limits.credit(ml, entry_bytes).map_err(|_| {
+                        HeapError::Internal("entry item bytes were not debited at creation")
+                    })?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Shared heaps whose last sharer is gone: no entry item holds a live

@@ -28,6 +28,7 @@
 //! and exit item is debited from the owning heap's
 //! [`kaffeos_memlimit::MemLimitTree`] node and credited back when swept.
 
+mod audit;
 mod barrier;
 mod error;
 mod gc;
@@ -38,6 +39,7 @@ mod refs;
 mod space;
 mod value;
 
+pub use audit::{SpaceAuditReport, SpaceAuditViolation};
 pub use barrier::{BarrierKind, BarrierStats, SegViolationKind};
 pub use error::HeapError;
 pub use gc::{GcReport, MergeReport};
@@ -45,7 +47,7 @@ pub use heap::{HeapKind, HeapSnapshot};
 pub use layout::{costs, SizeModel};
 pub use object::{ObjData, Object};
 pub use refs::{ClassId, HeapId, ObjRef, ProcTag};
-pub use space::{HeapSpace, SpaceConfig};
+pub use space::{AllocFault, HeapSpace, SpaceConfig};
 pub use value::Value;
 
 #[cfg(test)]

@@ -62,6 +62,24 @@ pub struct HeapSpace {
     pub(crate) limits: MemLimitTree,
     root_limit: MemLimitId,
     pub(crate) stats: BarrierStats,
+    /// Allocation attempts seen so far (successful or not); the index space
+    /// the fault injector addresses.
+    alloc_counter: u64,
+    /// Armed allocation fault, if any.
+    alloc_fault: Option<AllocFault>,
+    /// Injected allocation failures fired so far.
+    alloc_faults_fired: u64,
+}
+
+/// An armed allocation fault: fail the allocation whose zero-based attempt
+/// index reaches `at` — once, or persistently for every attempt from `at`
+/// onward. Deterministic: driven purely by the attempt counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocFault {
+    /// Zero-based allocation-attempt index at which to fail.
+    pub at: u64,
+    /// Keep failing every allocation from `at` onward instead of one-shot.
+    pub persistent: bool,
 }
 
 impl HeapSpace {
@@ -98,7 +116,33 @@ impl HeapSpace {
             limits,
             root_limit,
             stats: BarrierStats::default(),
+            alloc_counter: 0,
+            alloc_fault: None,
+            alloc_faults_fired: 0,
         }
+    }
+
+    // ----- fault injection --------------------------------------------------
+
+    /// Arms an allocation fault (see [`AllocFault`]). Replaces any armed
+    /// fault; the attempt counter is not reset.
+    pub fn set_alloc_fault(&mut self, fault: AllocFault) {
+        self.alloc_fault = Some(fault);
+    }
+
+    /// Disarms any armed allocation fault.
+    pub fn clear_alloc_fault(&mut self) {
+        self.alloc_fault = None;
+    }
+
+    /// Allocation attempts seen so far (the fault index space).
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_counter
+    }
+
+    /// Injected allocation failures that have fired.
+    pub fn alloc_faults_fired(&self) -> u64 {
+        self.alloc_faults_fired
     }
 
     /// The kernel heap.
@@ -232,9 +276,9 @@ impl HeapSpace {
         if let Some(ml) = ml {
             // Return the population charge; the kernel re-charges sharers
             // (including the creator) the fixed size directly.
-            self.limits
-                .credit(ml, bytes)
-                .expect("population bytes were debited from this memlimit");
+            self.limits.credit(ml, bytes).map_err(|_| {
+                HeapError::Internal("population bytes were not debited from this memlimit")
+            })?;
         }
         let core = self.heap_core_mut(heap);
         core.frozen = true;
@@ -275,7 +319,8 @@ impl HeapSpace {
             .filter_map(|i| {
                 let h = &self.heaps[i];
                 h.alive
-                    .then(|| self.snapshot(h.id(i as u32)).expect("alive heap"))
+                    .then(|| self.snapshot(h.id(i as u32)))
+                    .and_then(|s| s.ok())
             })
             .collect()
     }
@@ -358,10 +403,43 @@ impl HeapSpace {
             return Err(HeapError::BadHeapState(heap));
         }
         let bytes = self.size_model.object_bytes(&data) as u32;
+        // Fault injection: every allocation attempt consumes one index, and
+        // an armed fault fails the attempt *before* any state changes, so an
+        // injected OOM is indistinguishable from a genuine limit miss.
+        let attempt = self.alloc_counter;
+        self.alloc_counter += 1;
+        if let Some(fault) = self.alloc_fault {
+            let fire = if fault.persistent {
+                attempt >= fault.at
+            } else {
+                attempt == fault.at
+            };
+            if fire {
+                if !fault.persistent {
+                    self.alloc_fault = None;
+                }
+                self.alloc_faults_fired += 1;
+                let node = self.heap_core(heap).memlimit.unwrap_or(self.root_limit);
+                return Err(HeapError::OutOfMemory(kaffeos_memlimit::LimitExceeded {
+                    node,
+                    requested: bytes as u64,
+                    available: 0,
+                }));
+            }
+        }
         if let Some(ml) = self.heap_core(heap).memlimit {
             self.limits.debit(ml, bytes as u64)?;
         }
-        let index = self.take_slot(heap);
+        let index = match self.take_slot(heap) {
+            Ok(index) => index,
+            Err(e) => {
+                // Roll back the debit so a failed allocation is a no-op.
+                if let Some(ml) = self.heap_core(heap).memlimit {
+                    let _ = self.limits.credit(ml, bytes as u64);
+                }
+                return Err(e);
+            }
+        };
         let slot = &mut self.slots[index as usize];
         debug_assert!(slot.obj.is_none(), "allocated into occupied slot");
         slot.obj = Some(Object {
@@ -383,9 +461,9 @@ impl HeapSpace {
 
     /// Pops a free slot for `heap`, growing the global table by a fresh page
     /// if needed.
-    fn take_slot(&mut self, heap: HeapId) -> u32 {
+    fn take_slot(&mut self, heap: HeapId) -> Result<u32, HeapError> {
         if let Some(index) = self.heap_core_mut(heap).free_slots.pop() {
-            return index;
+            return Ok(index);
         }
         let page = self.page_owner.len() as u32;
         let start = page * PAGE_SLOTS;
@@ -396,7 +474,9 @@ impl HeapSpace {
         core.pages.push(page);
         // Reverse so that slots are handed out in ascending order.
         core.free_slots.extend((start..start + PAGE_SLOTS).rev());
-        core.free_slots.pop().expect("fresh page has free slots")
+        core.free_slots
+            .pop()
+            .ok_or(HeapError::Internal("fresh page has no free slots"))
     }
 
     // ----- object access --------------------------------------------------
@@ -556,8 +636,8 @@ impl HeapSpace {
         let exit_bytes = self.size_model.exit_item as u64;
         let src_ml = self.heap_core(src).memlimit;
         let exit_accounted = account && src_ml.is_some();
-        if exit_accounted {
-            self.limits.debit(src_ml.expect("checked"), exit_bytes)?;
+        if let (true, Some(ml)) = (account, src_ml) {
+            self.limits.debit(ml, exit_bytes)?;
         }
         self.heap_core_mut(src).exits.insert(
             target,
@@ -575,16 +655,16 @@ impl HeapSpace {
             return Ok(true);
         }
         let entry_accounted = account && dst_ml.is_some();
-        if entry_accounted {
+        if let (true, Some(ml)) = (account, dst_ml) {
             // Entry items live in the destination heap; charging can in
             // principle fail, in which case the store fails cleanly after
             // rolling back the exit item.
-            if let Err(e) = self.limits.debit(dst_ml.expect("checked"), entry_bytes) {
+            if let Err(e) = self.limits.debit(ml, entry_bytes) {
                 self.heap_core_mut(src).exits.remove(&target);
-                if exit_accounted {
+                if let (true, Some(src_ml)) = (exit_accounted, src_ml) {
                     self.limits
-                        .credit(src_ml.expect("checked"), exit_bytes)
-                        .expect("exit bytes were just debited");
+                        .credit(src_ml, exit_bytes)
+                        .map_err(|_| HeapError::Internal("exit-item rollback credit failed"))?;
                 }
                 return Err(HeapError::OutOfMemory(e));
             }

@@ -1,7 +1,7 @@
 use kaffeos_memlimit::Kind;
 
 use crate::{
-    BarrierKind, ClassId, HeapError, HeapKind, HeapSpace, ObjData, SegViolationKind, SpaceConfig,
+    BarrierKind, ClassId, HeapError, HeapSpace, SegViolationKind, SpaceConfig,
     Value,
 };
 

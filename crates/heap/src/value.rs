@@ -6,9 +6,10 @@ use crate::refs::ObjRef;
 /// The VM layer maps the guest language's `boolean`/`char`/`byte` onto
 /// `Int`; the heap layer only distinguishes reference values (which GC must
 /// trace and write barriers must check) from primitives.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Value {
     /// The null reference.
+    #[default]
     Null,
     /// Integer primitive (guest `int`, `bool`, `char`).
     Int(i64),
@@ -64,11 +65,5 @@ impl Value {
             Value::Float(f) => f != 0.0,
             Value::Ref(_) => true,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }

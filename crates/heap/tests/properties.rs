@@ -14,15 +14,48 @@
 //!    its memlimit drains to zero.
 //! 4. **Accounting balance** — a heap's memlimit `current` always equals
 //!    its live accounted bytes (objects + accounted entry/exit items).
+//!
+//! Operation sequences come from a seeded SplitMix64 generator; each case
+//! replays exactly from its seed (printed on failure).
 
 use kaffeos_heap::{
     BarrierKind, ClassId, HeapError, HeapSpace, ObjRef, ProcTag, SpaceConfig, Value,
 };
 use kaffeos_memlimit::Kind;
-use proptest::prelude::*;
 
 const CLS: ClassId = ClassId(1);
 const NPROCS: usize = 3;
+const CASES: u64 = 96;
+
+/// Deterministic SplitMix64 sequence generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+
+    fn any_usize(&mut self) -> usize {
+        self.next() as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -51,31 +84,35 @@ enum Op {
     },
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..NPROCS, 1usize..5).prop_map(|(proc, fields)| Op::Alloc { proc, fields }),
-            (
-                0..NPROCS,
-                any::<usize>(),
-                0usize..5,
-                0..NPROCS,
-                any::<usize>()
-            )
-                .prop_map(|(proc, src, field, dst_proc, dst)| Op::Store {
-                    proc,
-                    src,
-                    field,
-                    dst_proc,
-                    dst
-                }),
-            (0..NPROCS, any::<usize>(), 0usize..5)
-                .prop_map(|(proc, src, field)| { Op::StoreNull { proc, src, field } }),
-            (0..NPROCS, any::<usize>()).prop_map(|(proc, which)| Op::DropRoot { proc, which }),
-            (0..NPROCS).prop_map(|proc| Op::Gc { proc }),
-        ],
-        1..80,
-    )
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.range(1, 80);
+    (0..n)
+        .map(|_| match rng.below(5) {
+            0 => Op::Alloc {
+                proc: rng.below(NPROCS),
+                fields: rng.range(1, 5),
+            },
+            1 => Op::Store {
+                proc: rng.below(NPROCS),
+                src: rng.any_usize(),
+                field: rng.below(5),
+                dst_proc: rng.below(NPROCS),
+                dst: rng.any_usize(),
+            },
+            2 => Op::StoreNull {
+                proc: rng.below(NPROCS),
+                src: rng.any_usize(),
+                field: rng.below(5),
+            },
+            3 => Op::DropRoot {
+                proc: rng.below(NPROCS),
+                which: rng.any_usize(),
+            },
+            _ => Op::Gc {
+                proc: rng.below(NPROCS),
+            },
+        })
+        .collect()
 }
 
 struct Fixture {
@@ -167,7 +204,7 @@ fn run_ops(f: &mut Fixture, ops: &[Op]) {
 }
 
 /// Checks invariant 1: no user→other-user edge exists anywhere.
-fn assert_no_illegal_edges(f: &Fixture) -> Result<(), TestCaseError> {
+fn assert_no_illegal_edges(f: &Fixture) {
     for (p, &heap) in f.heaps.iter().enumerate() {
         for &root in &f.roots[p] {
             // Walk everything reachable from this process' roots.
@@ -183,7 +220,7 @@ fn assert_no_illegal_edges(f: &Fixture) -> Result<(), TestCaseError> {
                     let target_heap = f.space.heap_of(target).unwrap();
                     if obj_heap != target_heap {
                         // The only legal cross edges here are →kernel.
-                        prop_assert_eq!(
+                        assert_eq!(
                             target_heap,
                             f.space.kernel_heap(),
                             "illegal cross-heap edge from {:?} ({:?}) to {:?} ({:?})",
@@ -199,21 +236,24 @@ fn assert_no_illegal_edges(f: &Fixture) -> Result<(), TestCaseError> {
             let _ = heap;
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn barrier_keeps_heaps_separated(ops in ops()) {
+#[test]
+fn barrier_keeps_heaps_separated() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0001 ^ case);
+        let ops = gen_ops(&mut rng);
         let mut f = fixture(BarrierKind::NoHeapPointer);
         run_ops(&mut f, &ops);
-        assert_no_illegal_edges(&f)?;
+        assert_no_illegal_edges(&f);
     }
+}
 
-    #[test]
-    fn gc_preserves_reachable_objects(ops in ops()) {
+#[test]
+fn gc_preserves_reachable_objects() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0002 ^ case);
+        let ops = gen_ops(&mut rng);
         let mut f = fixture(BarrierKind::NoHeapPointer);
         run_ops(&mut f, &ops);
         // Collect every heap, then verify everything reachable from roots
@@ -230,15 +270,22 @@ proptest! {
                     if !seen.insert(obj) {
                         continue;
                     }
-                    prop_assert!(f.space.get(obj).is_ok(), "reachable {obj:?} was swept");
+                    assert!(
+                        f.space.get(obj).is_ok(),
+                        "case {case}: reachable {obj:?} was swept"
+                    );
                     stack.extend(f.space.get(obj).unwrap().references());
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn gc_reclaims_all_garbage(ops in ops()) {
+#[test]
+fn gc_reclaims_all_garbage() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0003 ^ case);
+        let ops = gen_ops(&mut rng);
         let mut f = fixture(BarrierKind::NoHeapPointer);
         run_ops(&mut f, &ops);
         // Drop all roots; two collections of every heap reclaim everything
@@ -254,21 +301,31 @@ proptest! {
         }
         for (p, &heap) in f.heaps.iter().enumerate() {
             let snap = f.space.snapshot(heap).unwrap();
-            prop_assert_eq!(snap.objects, 0, "heap {} still has objects", p);
-            prop_assert_eq!(snap.bytes_used, 0);
-            prop_assert_eq!(f.space.limits().current(f.limits[p]), 0,
-                "memlimit {} not drained", p);
+            assert_eq!(snap.objects, 0, "case {case}: heap {p} still has objects");
+            assert_eq!(snap.bytes_used, 0, "case {case}");
+            assert_eq!(
+                f.space.limits().current(f.limits[p]),
+                0,
+                "case {case}: memlimit {p} not drained"
+            );
         }
     }
+}
 
-    #[test]
-    fn termination_fully_reclaims_memory(ops in ops()) {
+#[test]
+fn termination_fully_reclaims_memory() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0004 ^ case);
+        let ops = gen_ops(&mut rng);
         let mut f = fixture(BarrierKind::NoHeapPointer);
         run_ops(&mut f, &ops);
         // Terminate process 0: merge its heap, remove its memlimit.
         let report = f.space.merge_into_kernel(f.heaps[0]).unwrap();
-        prop_assert_eq!(f.space.limits().current(f.limits[0]), 0,
-            "terminated process' memlimit must drain to zero");
+        assert_eq!(
+            f.space.limits().current(f.limits[0]),
+            0,
+            "case {case}: terminated process' memlimit must drain to zero"
+        );
         f.space.limits_mut().remove(f.limits[0]).unwrap();
         f.roots[0].clear();
         // Kernel GC (no process-0 roots) reclaims all its objects.
@@ -276,18 +333,26 @@ proptest! {
         let before = f.space.heap_bytes(kernel).unwrap();
         f.space.gc(kernel, &[]).unwrap();
         let after = f.space.heap_bytes(kernel).unwrap();
-        prop_assert!(after <= before - report.bytes_moved || report.bytes_moved == 0,
-            "kernel GC reclaimed {} of {} merged bytes", before - after, report.bytes_moved);
+        assert!(
+            after <= before - report.bytes_moved || report.bytes_moved == 0,
+            "case {case}: kernel GC reclaimed {} of {} merged bytes",
+            before - after,
+            report.bytes_moved
+        );
         // Other processes are untouched: their roots still resolve.
         for p in 1..NPROCS {
             for &root in &f.roots[p] {
-                prop_assert!(f.space.get(root).is_ok());
+                assert!(f.space.get(root).is_ok(), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn accounting_balances_after_gc(ops in ops()) {
+#[test]
+fn accounting_balances_after_gc() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0005 ^ case);
+        let ops = gen_ops(&mut rng);
         let mut f = fixture(BarrierKind::HeapPointer);
         run_ops(&mut f, &ops);
         for p in 0..NPROCS {
@@ -299,16 +364,24 @@ proptest! {
         for (p, &heap) in f.heaps.iter().enumerate() {
             let snap = f.space.snapshot(heap).unwrap();
             let ml_current = f.space.limits().current(f.limits[p]);
-            prop_assert!(ml_current >= snap.bytes_used,
-                "memlimit {} below live bytes", p);
+            assert!(
+                ml_current >= snap.bytes_used,
+                "case {case}: memlimit {p} below live bytes"
+            );
             let item_bound = (snap.entry_items + snap.exit_items) as u64 * 16;
-            prop_assert!(ml_current <= snap.bytes_used + item_bound,
-                "memlimit {} exceeds live bytes + items", p);
+            assert!(
+                ml_current <= snap.bytes_used + item_bound,
+                "case {case}: memlimit {p} exceeds live bytes + items"
+            );
         }
     }
+}
 
-    #[test]
-    fn stale_refs_never_resolve(ops in ops()) {
+#[test]
+fn stale_refs_never_resolve() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0006 ^ case);
+        let ops = gen_ops(&mut rng);
         let mut f = fixture(BarrierKind::NoHeapPointer);
         // Track everything ever allocated.
         let mut all: Vec<ObjRef> = Vec::new();
@@ -330,8 +403,8 @@ proptest! {
         for obj in all {
             match f.space.get(obj) {
                 Err(HeapError::StaleRef(_)) => {}
-                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
-                Ok(_) => prop_assert!(false, "rootless object survived GC"),
+                Err(e) => panic!("case {case}: unexpected error {e:?}"),
+                Ok(_) => panic!("case {case}: rootless object survived GC"),
             }
         }
     }

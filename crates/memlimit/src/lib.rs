@@ -22,7 +22,7 @@ mod error;
 mod tree;
 
 pub use error::{LimitError, LimitExceeded};
-pub use tree::{Kind, MemLimitId, MemLimitSnapshot, MemLimitTree};
+pub use tree::{Kind, LimitAuditError, MemLimitId, MemLimitSnapshot, MemLimitTree};
 
 #[cfg(test)]
 mod tests;

@@ -1,5 +1,22 @@
 use crate::error::{LimitError, LimitExceeded};
 
+/// A conservation violation found by [`MemLimitTree::audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitAuditError {
+    /// The node at which the violation was detected.
+    pub node: MemLimitId,
+    /// Human-readable description of the inconsistency.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LimitAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memlimit {:?}: {}", self.node, self.detail)
+    }
+}
+
+impl std::error::Error for LimitAuditError {}
+
 /// Whether a memlimit reserves its maximum from its parent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kind {
@@ -341,6 +358,75 @@ impl MemLimitTree {
     /// True if the tree has no live nodes.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Checks structural conservation over the whole tree:
+    ///
+    /// * every live node's parent is alive and its `children` count matches
+    ///   the number of live children pointing at it;
+    /// * for every node, the sum of its children's contributions (a soft
+    ///   child's `current`, a hard child's full `limit` — the reservation)
+    ///   does not exceed the node's own `current`. The remainder is the
+    ///   node's direct debits, which cannot be negative.
+    ///
+    /// Used by the kernel's fault auditor after injected faults; a violation
+    /// means a debit/credit pair was lost or double-applied somewhere.
+    pub fn audit(&self) -> Result<(), LimitAuditError> {
+        let live: Vec<MemLimitId> = (0..self.nodes.len())
+            .filter_map(|i| {
+                let n = &self.nodes[i];
+                n.alive.then_some(MemLimitId {
+                    index: i as u32,
+                    generation: n.generation,
+                })
+            })
+            .collect();
+        for &id in &live {
+            let node = self.node(id);
+            if let Some(p) = node.parent {
+                if !self.is_alive(p) {
+                    return Err(LimitAuditError {
+                        node: id,
+                        detail: format!("parent {p:?} is dead"),
+                    });
+                }
+            }
+        }
+        for &id in &live {
+            let node = self.node(id);
+            let mut child_count = 0u32;
+            let mut contributed = 0u64;
+            for &c in &live {
+                let child = self.node(c);
+                if child.parent != Some(id) {
+                    continue;
+                }
+                child_count += 1;
+                contributed = contributed.saturating_add(match child.kind {
+                    Kind::Hard => child.limit,
+                    Kind::Soft => child.current,
+                });
+            }
+            if child_count != node.children {
+                return Err(LimitAuditError {
+                    node: id,
+                    detail: format!(
+                        "children count {} but {} live children found",
+                        node.children, child_count
+                    ),
+                });
+            }
+            if contributed > node.current {
+                return Err(LimitAuditError {
+                    node: id,
+                    detail: format!(
+                        "children contribute {} bytes but node's current is only {}",
+                        contributed, node.current
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     fn insert(&mut self, mut node: Node) -> MemLimitId {

@@ -6,9 +6,38 @@
 //! 2. A node's `current` equals the sum of successful debits minus credits
 //!    applied at or below it through soft chains.
 //! 3. Failed operations leave the tree byte-for-byte unchanged.
+//!
+//! Sequences are drawn from a seeded SplitMix64 generator (the container
+//! has no registry access, so no proptest): every case replays exactly from
+//! its seed, and a failure message names the seed to rerun.
 
 use kaffeos_memlimit::{Kind, MemLimitId, MemLimitTree};
-use proptest::prelude::*;
+
+/// Deterministic SplitMix64 sequence generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,13 +47,25 @@ enum Op {
     Credit { node: usize, bytes: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<usize>(), 1u64..2000).prop_map(|(parent, limit)| Op::CreateSoft { parent, limit }),
-        (any::<usize>(), 1u64..500).prop_map(|(parent, limit)| Op::CreateHard { parent, limit }),
-        (any::<usize>(), 1u64..800).prop_map(|(node, bytes)| Op::Debit { node, bytes }),
-        (any::<usize>(), 1u64..800).prop_map(|(node, bytes)| Op::Credit { node, bytes }),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.below(4) {
+        0 => Op::CreateSoft {
+            parent: rng.below(usize::MAX),
+            limit: rng.range(1, 2000),
+        },
+        1 => Op::CreateHard {
+            parent: rng.below(usize::MAX),
+            limit: rng.range(1, 500),
+        },
+        2 => Op::Debit {
+            node: rng.below(usize::MAX),
+            bytes: rng.range(1, 800),
+        },
+        _ => Op::Credit {
+            node: rng.below(usize::MAX),
+            bytes: rng.range(1, 800),
+        },
+    }
 }
 
 /// Shadow model: tracks per-node outstanding debits (applied at that node
@@ -95,14 +136,19 @@ fn expected_current(t: &MemLimitTree, shadow: &Shadow, idx: usize) -> u64 {
     total
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn invariants_hold_under_arbitrary_ops() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xA11CE ^ case);
+        let nops = rng.range(1, 60) as usize;
+        let ops: Vec<Op> = (0..nops).map(|_| gen_op(&mut rng)).collect();
 
-    #[test]
-    fn invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op_strategy(), 1..60)) {
         let mut t = MemLimitTree::new();
         let root = t.create_root(10_000, "root");
-        let mut shadow = Shadow { ids: vec![root], direct: vec![0] };
+        let mut shadow = Shadow {
+            ids: vec![root],
+            direct: vec![0],
+        };
 
         for op in ops {
             match op {
@@ -128,7 +174,7 @@ proptest! {
                         Err(_) => {
                             // Failed debit changes nothing.
                             for (k, &n) in shadow.ids.iter().enumerate() {
-                                prop_assert_eq!(t.current(n), before[k]);
+                                assert_eq!(t.current(n), before[k], "case {case}");
                             }
                         }
                     }
@@ -150,23 +196,37 @@ proptest! {
             }
             // Invariant 1: current <= limit everywhere.
             for &n in &shadow.ids {
-                prop_assert!(t.current(n) <= t.limit(n),
-                    "current {} > limit {} at {:?}", t.current(n), t.limit(n), n);
+                assert!(
+                    t.current(n) <= t.limit(n),
+                    "case {case}: current {} > limit {} at {:?}",
+                    t.current(n),
+                    t.limit(n),
+                    n
+                );
             }
             // Invariant 2: current matches the shadow model.
             for i in 0..shadow.ids.len() {
                 let want = expected_current(&t, &shadow, i);
-                prop_assert_eq!(t.current(shadow.ids[i]), want,
-                    "node {} current mismatch", i);
+                assert_eq!(
+                    t.current(shadow.ids[i]),
+                    want,
+                    "case {case}: node {i} current mismatch"
+                );
             }
+            // Invariant 3: the tree's own auditor agrees.
+            t.audit().unwrap_or_else(|e| panic!("case {case}: audit failed: {e}"));
         }
     }
+}
 
-    #[test]
-    fn debit_credit_roundtrip_is_identity(
-        limits in proptest::collection::vec(1u64..1000, 1..8),
-        bytes in 1u64..100,
-    ) {
+#[test]
+fn debit_credit_roundtrip_is_identity() {
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0xB0B ^ case);
+        let nlimits = rng.range(1, 8) as usize;
+        let limits: Vec<u64> = (0..nlimits).map(|_| rng.range(1, 1000)).collect();
+        let bytes = rng.range(1, 100);
+
         // Build a soft chain, debit at the leaf, credit at the leaf: every
         // node must return to zero.
         let mut t = MemLimitTree::new();
@@ -183,7 +243,7 @@ proptest! {
             t.credit(leaf, bytes).unwrap();
         }
         for &n in &chain {
-            prop_assert_eq!(t.current(n), 0);
+            assert_eq!(t.current(n), 0, "case {case}");
         }
     }
 }

@@ -237,6 +237,11 @@ pub struct ExecCtx<'a> {
     /// Stack slots behind `extra_roots` (scan effort for the other
     /// threads' stacks — charged per collection as GC crosstalk, §2).
     pub extra_scan_slots: u64,
+    /// Fault injection: collect the process heap at *every* safe point.
+    /// Harness-only (the kernel arms it from a `FaultPlan`); the forced
+    /// collections are not charged to the guest so CPU accounting stays
+    /// comparable with un-injected runs.
+    pub gc_every_safepoint: bool,
 }
 
 /// Heap class tags for primitive arrays (distinct from any `ClassIdx`).
@@ -262,13 +267,24 @@ pub fn step(thread: &mut Thread, ctx: &mut ExecCtx<'_>, fuel: u64) -> RunExit {
 
     // Kernel-injected exception takes effect first.
     if let Some(ex) = thread.pending_exception.take() {
-        match raise(thread, ctx, ex) {
-            Some(exit) => return exit,
-            None => {}
+        if let Some(exit) = raise(thread, ctx, ex) {
+            return exit;
         }
     }
 
     loop {
+        // Fault injection: a forced collection at every safe point shakes
+        // out GC-unsafety (missing roots, premature sweeps) that normal
+        // allocation-triggered collections would rarely reach.
+        if ctx.gc_every_safepoint {
+            let mut roots = thread.stack_roots();
+            roots.extend(ctx.statics.values().copied());
+            roots.extend(ctx.intern.values().copied());
+            roots.extend_from_slice(ctx.extra_roots);
+            if let Err(e) = ctx.space.gc(ctx.heap, &roots) {
+                return RunExit::Fault(crate::VmError::Heap(e));
+            }
+        }
         // Safe point: termination (deferred while in kernel mode), then fuel.
         if thread.kill_requested && thread.kernel_depth == 0 {
             release_all_monitors(thread, ctx);

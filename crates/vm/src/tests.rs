@@ -102,6 +102,7 @@ impl TestVm {
             monitors: &mut self.monitors,
             extra_roots: &[],
             extra_scan_slots: 0,
+            gc_every_safepoint: false,
         }
     }
 
@@ -699,7 +700,7 @@ mod statics_and_reloading {
         let mut statics = HashMap::new();
         let mut intern = HashMap::new();
         let mut monitors = HashMap::new();
-        let mut run = |table: &ClassTable,
+        let run = |table: &ClassTable,
                        space: &mut HeapSpace,
                        statics: &mut HashMap<_, _>,
                        intern: &mut HashMap<_, _>,
@@ -721,6 +722,7 @@ mod statics_and_reloading {
                 monitors,
                 extra_roots: &[],
                 extra_scan_slots: 0,
+                gc_every_safepoint: false,
             };
             match step(&mut thread, &mut ctx, u64::MAX) {
                 RunExit::Finished(Some(Value::Int(v))) => v,
@@ -1677,6 +1679,7 @@ mod engines {
             monitors: &mut vm.monitors,
             extra_roots: &[],
             extra_scan_slots: 0,
+            gc_every_safepoint: false,
         };
         match step(&mut thread, &mut ctx, u64::MAX) {
             RunExit::Finished(_) => thread.cycles,
@@ -1757,6 +1760,7 @@ mod engines {
                 monitors: &mut vm.monitors,
                 extra_roots: &[],
                 extra_scan_slots: 0,
+                gc_every_safepoint: false,
             };
             match step(&mut thread, &mut ctx, u64::MAX) {
                 RunExit::Finished(Some(Value::Int(200))) => thread.cycles,

@@ -9,6 +9,9 @@
 //!
 //! (Debug builds make this stronger: the interpreter's `debug_assert!`s on
 //! type confusion fire if the verifier ever lets a bad program through.)
+//!
+//! Instruction sequences come from a seeded SplitMix64 generator so every
+//! case replays exactly; a failing case names its seed.
 
 use std::collections::HashMap;
 
@@ -18,77 +21,102 @@ use kaffeos_vm::{
     step, ClassBuilder, ClassTable, Const, Engine, ExecCtx, IntrinsicRegistry, MethodBuilder, Op,
     RunExit, Thread, TypeDesc,
 };
-use proptest::prelude::*;
 
-/// Instruction generator over small operand spaces. Pool indices are drawn
-/// from a fixed 6-entry pool; locals from 0..4; jump targets from 0..LEN+2
+/// Deterministic SplitMix64 sequence generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Random instruction over small operand spaces. Pool indices are drawn
+/// from a fixed 8-entry pool; locals from 0..4; jump targets from 0..LEN+2
 /// (some deliberately out of range).
-fn op_strategy(code_len: u32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::ConstNull),
-        (-3i64..100).prop_map(Op::ConstInt),
-        (-2.0f64..2.0).prop_map(Op::ConstFloat),
-        (0u16..8).prop_map(Op::ConstStr),
-        (0u16..4).prop_map(Op::Load),
-        (0u16..4).prop_map(Op::Store),
-        Just(Op::Pop),
-        Just(Op::Dup),
-        Just(Op::Swap),
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::Div),
-        Just(Op::Rem),
-        Just(Op::Neg),
-        Just(Op::Shl),
-        Just(Op::Shr),
-        Just(Op::And),
-        Just(Op::Or),
-        Just(Op::Xor),
-        Just(Op::FAdd),
-        Just(Op::FSub),
-        Just(Op::FMul),
-        Just(Op::FDiv),
-        Just(Op::FNeg),
-        Just(Op::I2F),
-        Just(Op::F2I),
-        Just(Op::CmpEq),
-        Just(Op::CmpLt),
-        Just(Op::FCmpLt),
-        Just(Op::RefEq),
-        Just(Op::RefNe),
-        (0..code_len + 2).prop_map(Op::Jump),
-        (0..code_len + 2).prop_map(Op::JumpIfTrue),
-        (0..code_len + 2).prop_map(Op::JumpIfFalse),
-        Just(Op::Return),
-        Just(Op::ReturnVal),
-        (0u16..8).prop_map(Op::New),
-        (0u16..8).prop_map(Op::GetField),
-        (0u16..8).prop_map(Op::PutField),
-        (0u16..8).prop_map(Op::GetStatic),
-        (0u16..8).prop_map(Op::PutStatic),
-        Just(Op::NullCheck),
-        (0u16..8).prop_map(Op::InstanceOf),
-        (0u16..8).prop_map(Op::CheckCast),
-        (0u16..8).prop_map(Op::NewArray),
-        Just(Op::ALoad),
-        Just(Op::AStore),
-        Just(Op::ArrayLen),
-        (0u16..8).prop_map(Op::CallStatic),
-        (0u16..8).prop_map(Op::CallVirtual),
-        (0u16..8).prop_map(Op::CallSpecial),
-        Just(Op::Throw),
-        Just(Op::StrConcat),
-        Just(Op::StrLen),
-        Just(Op::StrCharAt),
-        Just(Op::StrEq),
-        Just(Op::Intern),
-        Just(Op::ToStr),
-        Just(Op::Substr),
-        Just(Op::ParseInt),
-        Just(Op::MonitorEnter),
-        Just(Op::MonitorExit),
-    ]
+fn gen_op(rng: &mut Rng, code_len: u32) -> Op {
+    match rng.below(62) {
+        0 => Op::ConstNull,
+        1 => Op::ConstInt(-3 + rng.below(103) as i64),
+        2 => Op::ConstFloat(-2.0 + rng.below(4000) as f64 / 1000.0),
+        3 => Op::ConstStr(rng.below(8) as u16),
+        4 => Op::Load(rng.below(4) as u16),
+        5 => Op::Store(rng.below(4) as u16),
+        6 => Op::Pop,
+        7 => Op::Dup,
+        8 => Op::Swap,
+        9 => Op::Add,
+        10 => Op::Sub,
+        11 => Op::Mul,
+        12 => Op::Div,
+        13 => Op::Rem,
+        14 => Op::Neg,
+        15 => Op::Shl,
+        16 => Op::Shr,
+        17 => Op::And,
+        18 => Op::Or,
+        19 => Op::Xor,
+        20 => Op::FAdd,
+        21 => Op::FSub,
+        22 => Op::FMul,
+        23 => Op::FDiv,
+        24 => Op::FNeg,
+        25 => Op::I2F,
+        26 => Op::F2I,
+        27 => Op::CmpEq,
+        28 => Op::CmpLt,
+        29 => Op::FCmpLt,
+        30 => Op::RefEq,
+        31 => Op::RefNe,
+        32 => Op::Jump(rng.below((code_len + 2) as u64) as u32),
+        33 => Op::JumpIfTrue(rng.below((code_len + 2) as u64) as u32),
+        34 => Op::JumpIfFalse(rng.below((code_len + 2) as u64) as u32),
+        35 => Op::Return,
+        36 => Op::ReturnVal,
+        37 => Op::New(rng.below(8) as u16),
+        38 => Op::GetField(rng.below(8) as u16),
+        39 => Op::PutField(rng.below(8) as u16),
+        40 => Op::GetStatic(rng.below(8) as u16),
+        41 => Op::PutStatic(rng.below(8) as u16),
+        42 => Op::NullCheck,
+        43 => Op::InstanceOf(rng.below(8) as u16),
+        44 => Op::CheckCast(rng.below(8) as u16),
+        45 => Op::NewArray(rng.below(8) as u16),
+        46 => Op::ALoad,
+        47 => Op::AStore,
+        48 => Op::ArrayLen,
+        49 => Op::CallStatic(rng.below(8) as u16),
+        50 => Op::CallVirtual(rng.below(8) as u16),
+        51 => Op::CallSpecial(rng.below(8) as u16),
+        52 => Op::Throw,
+        53 => Op::StrConcat,
+        54 => Op::StrLen,
+        55 => Op::StrCharAt,
+        56 => Op::StrEq,
+        57 => Op::Intern,
+        58 => Op::ToStr,
+        59 => Op::Substr,
+        60 => Op::ParseInt,
+        _ => {
+            if rng.below(2) == 0 {
+                Op::MonitorEnter
+            } else {
+                Op::MonitorExit
+            }
+        }
+    }
 }
 
 fn base_classes() -> Vec<kaffeos_vm::ClassDef> {
@@ -135,13 +163,13 @@ fn base_classes() -> Vec<kaffeos_vm::ClassDef> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[test]
+fn accepted_bytecode_never_panics() {
+    for case in 0..512u64 {
+        let mut rng = Rng::new(0xF422 ^ case.wrapping_mul(0x9E37));
+        let nops = 1 + rng.below(23) as usize;
+        let ops: Vec<Op> = (0..nops).map(|_| gen_op(&mut rng, 24)).collect();
 
-    #[test]
-    fn accepted_bytecode_never_panics(
-        ops in proptest::collection::vec(op_strategy(24), 1..24),
-    ) {
         let mut space = HeapSpace::new(SpaceConfig::default());
         let root = space.root_memlimit();
         let ml = space
@@ -157,14 +185,29 @@ proptest! {
         // Fixed 8-entry constant pool covering every Const variant the
         // generated ops index into.
         let mut b = ClassBuilder::new("Fuzz");
-        b.pool(Const::Str("int".to_string()));                         // 0
-        b.pool(Const::Class("Object".to_string()));                    // 1
-        b.pool(Const::Field { class: "Target".to_string(), name: "x".to_string() });      // 2
-        b.pool(Const::Field { class: "Target".to_string(), name: "obj".to_string() });    // 3
-        b.pool(Const::Field { class: "Target".to_string(), name: "counter".to_string() });// 4
-        b.pool(Const::Method { class: "Target".to_string(), name: "poke".to_string() });  // 5
-        b.pool(Const::Method { class: "Target".to_string(), name: "make".to_string() });  // 6
-        b.pool(Const::Class("Target".to_string()));                    // 7
+        b.pool(Const::Str("int".to_string())); // 0
+        b.pool(Const::Class("Object".to_string())); // 1
+        b.pool(Const::Field {
+            class: "Target".to_string(),
+            name: "x".to_string(),
+        }); // 2
+        b.pool(Const::Field {
+            class: "Target".to_string(),
+            name: "obj".to_string(),
+        }); // 3
+        b.pool(Const::Field {
+            class: "Target".to_string(),
+            name: "counter".to_string(),
+        }); // 4
+        b.pool(Const::Method {
+            class: "Target".to_string(),
+            name: "poke".to_string(),
+        }); // 5
+        b.pool(Const::Method {
+            class: "Target".to_string(),
+            name: "make".to_string(),
+        }); // 6
+        b.pool(Const::Class("Target".to_string())); // 7
         let def = b
             .method(
                 MethodBuilder::of_static("main")
@@ -199,12 +242,13 @@ proptest! {
                     string_class,
                     monitors: &mut monitors,
                     extra_roots: &[],
-            extra_scan_slots: 0,
+                    extra_scan_slots: 0,
+                    gc_every_safepoint: false,
                 };
                 let exit = step(&mut thread, &mut ctx, 200_000);
-                prop_assert!(
+                assert!(
                     !matches!(exit, RunExit::Fault(_)),
-                    "verifier accepted bytecode that faulted: {exit:?}"
+                    "case {case}: verifier accepted bytecode that faulted: {exit:?}"
                 );
                 // A GC over whatever the program built must also be safe.
                 let roots = thread.stack_roots();

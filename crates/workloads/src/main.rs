@@ -1,0 +1,152 @@
+//! Fault-injection runner: drives a small multi-process workload under a
+//! seeded [`FaultPlan`] and audits every kernel invariant afterwards.
+//!
+//! ```text
+//! cargo run -p kaffeos-workloads -- --faults seed=42
+//! ```
+//!
+//! The seed fully determines the experiment (which mechanisms arm, where
+//! the injected OOM lands, which victims the termination sweep picks), so
+//! any failure reported here replays exactly. Exits non-zero if the audit
+//! finds a violation or a process outlives teardown.
+
+use std::process::ExitCode;
+
+use kaffeos::{FaultPlan, KaffeOs, KaffeOsConfig, Pid, SpawnOpts};
+use kaffeos_workloads::spec;
+
+const SHMER: &str = r#"
+    class Main {
+        static int main(int n) {
+            try {
+                if (Shm.lookup("box") < 0) {
+                    Shm.create("box", "Cell", 16);
+                }
+                Cell c = Shm.get("box", n % 16) as Cell;
+                c.value = n;
+                return c.value;
+            } catch (Exception e) {
+                return -5;
+            }
+        }
+    }
+"#;
+
+fn build_os() -> KaffeOs {
+    let mut os = KaffeOs::new(KaffeOsConfig::default());
+    os.load_shared_source("class Cell { int value; }")
+        .expect("shared class compiles");
+    os.register_image("shmer", SHMER).expect("shmer compiles");
+    for name in ["compress", "db", "jack"] {
+        let bench = spec::by_name(name).expect("known benchmark");
+        os.register_image(name, bench.source)
+            .expect("benchmark compiles");
+    }
+    os
+}
+
+fn spawn_workload(os: &mut KaffeOs) -> Vec<Pid> {
+    [("compress", "1"), ("db", "1"), ("jack", "1"), ("shmer", "3")]
+        .iter()
+        .map(|(image, arg)| {
+            os.spawn_with(
+                image,
+                arg,
+                SpawnOpts {
+                    mem_limit: Some(8 << 20),
+                    ..SpawnOpts::default()
+                },
+            )
+            .expect("spawn succeeds")
+        })
+        .collect()
+}
+
+fn run_faults(seed: u64) -> Result<(), String> {
+    let plan = FaultPlan::from_seed(seed);
+    println!("seed {seed:#x} arms: {plan:?}");
+
+    let mut os = build_os();
+    os.install_faults(plan);
+    let pids = spawn_workload(&mut os);
+    os.run(Some(os.clock() + 2_000_000_000));
+
+    // Mid-run audit: every invariant must hold while faults are active.
+    os.audit()
+        .map_err(|v| format!("audit while faulted: {v}"))?;
+
+    // Teardown: kill survivors, drain, collect twice, audit again. The
+    // cleared plan keeps the injection counters for the final summary.
+    let fired = os.clear_faults();
+    for &pid in &pids {
+        let _ = os.kill(pid);
+    }
+    os.run(Some(os.clock() + 500_000_000));
+    os.kernel_gc();
+    os.kernel_gc();
+    for &pid in &pids {
+        if os.is_alive(pid) {
+            return Err(format!("{pid:?} survived teardown"));
+        }
+    }
+    let report = os
+        .audit()
+        .map_err(|v| format!("audit after teardown: {v}"))?;
+    let root = os.space().root_memlimit();
+    if os.space().limits().current(root) != 0 {
+        return Err(format!(
+            "machine budget did not drain: {} bytes",
+            os.space().limits().current(root)
+        ));
+    }
+
+    println!("statuses:");
+    for &pid in &pids {
+        println!("  {pid:?}: {:?}", os.status(pid));
+    }
+    println!("audit report: {report:#?}");
+    if let Some(fired) = fired {
+        println!(
+            "injections: {} alloc faults, {} kills, {} illegal writes (0 accepted required: {})",
+            report.alloc_faults_fired, fired.kills_injected, fired.illegal_writes_attempted,
+            fired.illegal_writes_accepted
+        );
+        if fired.illegal_writes_accepted > 0 {
+            return Err(format!(
+                "barrier accepted {} illegal writes",
+                fired.illegal_writes_accepted
+            ));
+        }
+    }
+    println!("seed {seed:#x}: all invariants held");
+    Ok(())
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: kaffeos-workloads --faults seed=<N>");
+    eprintln!("       (N may be decimal or 0x-prefixed hex)");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.iter().any(|a| a == "--faults") {
+        return usage();
+    }
+    let Some(seed) = args.iter().find_map(|a| {
+        let n = a.strip_prefix("seed=")?;
+        match n.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => n.parse().ok(),
+        }
+    }) else {
+        return usage();
+    };
+    match run_faults(seed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("FAULT EXPERIMENT FAILED (seed {seed:#x}): {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
