@@ -157,6 +157,8 @@ pub enum AuditViolation {
     /// The kernel degraded gracefully past an internal error during this
     /// run; the state survived but the invariant record is suspect.
     KernelFault {
+        /// Which degradation path recorded the fault.
+        kind: kaffeos_trace::KernelFaultKind,
         /// The first recorded fault.
         detail: String,
     },
@@ -220,8 +222,8 @@ impl fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuditViolation::Space(e) => write!(f, "heap space: {e}"),
-            AuditViolation::KernelFault { detail } => {
-                write!(f, "kernel degraded past an internal error: {detail}")
+            AuditViolation::KernelFault { kind, detail } => {
+                write!(f, "kernel degraded past an internal error [{kind}]: {detail}")
             }
             AuditViolation::DeadHeapSurvives { pid } => {
                 write!(f, "dead process {pid:?} still has a live heap")

@@ -50,6 +50,13 @@ pub struct KaffeOsConfig {
     /// Kernel GC cycle period in clock cycles (orphan check + kernel heap
     /// collection, §2).
     pub kernel_gc_period: u64,
+    /// Record structured trace events at every kernel edge. Off by
+    /// default; when off, zero events are recorded and no payload is ever
+    /// constructed, and tracing has no cycle model, so the virtual clock
+    /// is bit-identical either way.
+    pub trace: bool,
+    /// Ring capacity (events retained) when `trace` is on.
+    pub trace_capacity: usize,
 }
 
 impl Default for KaffeOsConfig {
@@ -62,6 +69,8 @@ impl Default for KaffeOsConfig {
             time_slice: 50_000,
             monolithic: false,
             kernel_gc_period: 50_000_000,
+            trace: false,
+            trace_capacity: kaffeos_trace::DEFAULT_CAPACITY,
         }
     }
 }
@@ -216,7 +225,11 @@ pub struct KaffeOs {
     faults: Option<FaultPlan>,
     /// Internal errors the kernel degraded past instead of panicking.
     /// Non-empty means an invariant record is suspect; `audit` reports it.
-    kernel_faults: Vec<String>,
+    /// Always recorded (independently of tracing) because the auditor
+    /// depends on it; with tracing on each is also emitted as an event.
+    kernel_faults: Vec<kaffeos_trace::KernelFault>,
+    /// Structured event sink shared with the heap space and memlimit tree.
+    sink: kaffeos_trace::TraceSink,
 }
 
 impl KaffeOs {
@@ -226,6 +239,12 @@ impl KaffeOs {
             barrier: config.barrier,
             user_budget: config.user_budget,
         });
+        let sink = if config.trace {
+            kaffeos_trace::TraceSink::enabled(config.trace_capacity)
+        } else {
+            kaffeos_trace::TraceSink::disabled()
+        };
+        space.set_trace_sink(sink.clone());
         let mut table = ClassTable::new(build_registry());
         let shared_ns = table.create_namespace("shared", None);
         let shared_class_count =
@@ -296,6 +315,7 @@ impl KaffeOs {
             shared_class_count,
             faults: None,
             kernel_faults: Vec::new(),
+            sink,
         }
     }
 
@@ -493,6 +513,10 @@ impl KaffeOs {
             .push(Thread::new(tid, &self.table, midx, thread_args));
         self.procs.push(proc);
         self.run_queue.push_back((pid, 0));
+        self.trace_emit(pid.0, || kaffeos_trace::Payload::Spawn {
+            pid: pid.0,
+            image: image.to_string(),
+        });
         Ok(pid)
     }
 
@@ -573,16 +597,70 @@ impl KaffeOs {
             .unwrap_or(false)
     }
 
+    // ---- tracing (the observability plane) ---------------------------------
+
+    /// True if structured event tracing is recording.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// The retained trace events, oldest first (empty when disabled).
+    pub fn trace_events(&self) -> Vec<kaffeos_trace::Event> {
+        self.sink.events()
+    }
+
+    /// The retained trace as JSON lines — the deterministic golden-trace
+    /// format: same workload + same fault seed ⇒ byte-identical output.
+    pub fn trace_jsonl(&self) -> String {
+        self.sink.jsonl()
+    }
+
+    /// The retained trace in Chrome `trace_event` format, loadable in
+    /// `chrome://tracing` / Perfetto.
+    pub fn trace_chrome(&self) -> String {
+        self.sink.chrome()
+    }
+
+    /// Per-process counters derived from the event stream. Maintained
+    /// incrementally, so exact even after the ring has dropped old events.
+    pub fn metrics(&self) -> kaffeos_trace::MetricsSnapshot {
+        self.sink.metrics()
+    }
+
+    /// The memlimit node of a live process, for cross-checking trace
+    /// charge/credit accounting against the tree.
+    pub fn proc_memlimit(&self, pid: Pid) -> Option<kaffeos_memlimit::MemLimitId> {
+        self.proc_index(pid).and_then(|i| self.procs[i].memlimit)
+    }
+
+    /// Stamps the sink with the current clock and the attributed pid, then
+    /// records the payload built by `f` (never called when disabled).
+    fn trace_emit(&self, pid: u32, f: impl FnOnce() -> kaffeos_trace::Payload) {
+        if self.sink.is_enabled() {
+            self.sink.set_clock(self.clock);
+            self.sink.set_pid(pid);
+            self.sink.emit_with(f);
+        }
+    }
+
     // ---- fault injection and auditing (the chaos-kernel harness) -----------
 
     /// Records an internal error the kernel degraded past instead of
     /// panicking; [`KaffeOs::audit`] reports the first one.
-    fn kernel_fault(&mut self, detail: String) {
-        self.kernel_faults.push(detail);
+    fn kernel_fault(&mut self, kind: kaffeos_trace::KernelFaultKind, detail: String) {
+        if self.sink.is_enabled() {
+            self.sink.set_clock(self.clock);
+            self.sink.emit_with(|| kaffeos_trace::Payload::KernelFault {
+                kind,
+                detail: detail.clone(),
+            });
+        }
+        self.kernel_faults
+            .push(kaffeos_trace::KernelFault { kind, detail });
     }
 
     /// Internal errors recorded by graceful degradation this run.
-    pub fn kernel_faults(&self) -> &[String] {
+    pub fn kernel_faults(&self) -> &[kaffeos_trace::KernelFault] {
         &self.kernel_faults
     }
 
@@ -623,8 +701,14 @@ impl KaffeOs {
             if !live.is_empty() {
                 let victim = live[(plan.next() % live.len() as u64) as usize];
                 plan.kills_injected += 1;
+                self.trace_emit(0, || kaffeos_trace::Payload::FaultInjected {
+                    kind: kaffeos_trace::InjectionKind::KillSweep { victim: victim.0 },
+                });
                 if let Err(e) = self.kill(victim) {
-                    self.kernel_fault(format!("fault sweep: kill({victim:?}) failed: {e}"));
+                    self.kernel_fault(
+                        kaffeos_trace::KernelFaultKind::Sweep,
+                        format!("fault sweep: kill({victim:?}) failed: {e}"),
+                    );
                 }
             }
         }
@@ -661,6 +745,9 @@ impl KaffeOs {
             return;
         };
         plan.illegal_writes_attempted += 1;
+        self.trace_emit(0, || kaffeos_trace::Payload::FaultInjected {
+            kind: kaffeos_trace::InjectionKind::IllegalWrite,
+        });
         match self.space.store_ref(src, 0, Value::Ref(dst), false) {
             Err(kaffeos_heap::HeapError::SegViolation(_)) => {}
             Ok(_) => {
@@ -669,9 +756,10 @@ impl KaffeOs {
             Err(e) => {
                 // Any other rejection still contains the write, but means
                 // the probe hit an unexpected path worth recording.
-                self.kernel_fault(format!(
-                    "illegal-write probe failed with a non-barrier error: {e:?}"
-                ));
+                self.kernel_fault(
+                    kaffeos_trace::KernelFaultKind::Probe,
+                    format!("illegal-write probe failed with a non-barrier error: {e:?}"),
+                );
             }
         }
     }
@@ -694,9 +782,10 @@ impl KaffeOs {
     pub fn audit(&self) -> Result<AuditReport, AuditViolation> {
         let space = self.space.audit()?;
 
-        if let Some(detail) = self.kernel_faults.first() {
+        if let Some(fault) = self.kernel_faults.first() {
             return Err(AuditViolation::KernelFault {
-                detail: detail.clone(),
+                kind: fault.kind,
+                detail: fault.detail.clone(),
             });
         }
 
@@ -798,9 +887,26 @@ impl KaffeOs {
         if matches!(self.procs[idx].state, ProcState::Dead(_)) {
             return Ok(());
         }
+        self.trace_emit(pid.0, || kaffeos_trace::Payload::KillRequested { target: pid.0 });
         self.procs[idx].state = ProcState::Dying;
         for t in &mut self.procs[idx].threads {
             t.kill_requested = true;
+        }
+        if self.sink.is_enabled() {
+            // Threads inside the kernel survive until they leave it: record
+            // each deferral so traces show why a kill was not immediate.
+            let deferred: Vec<u32> = self.procs[idx]
+                .threads
+                .iter()
+                .filter(|t| t.kernel_depth > 0 && !matches!(t.state, ThreadState::Done))
+                .map(|t| t.id)
+                .collect();
+            for thread in deferred {
+                self.trace_emit(pid.0, || kaffeos_trace::Payload::KillDeferred {
+                    target: pid.0,
+                    thread,
+                });
+            }
         }
         // Parked / monitor-blocked threads sit at a safe point between
         // quanta: finish them now unless they are in kernel mode.
@@ -835,7 +941,10 @@ impl KaffeOs {
     /// memlimit, and wakes waiters.
     fn reap(&mut self, pid: Pid, status: ExitStatus) {
         let Some(idx) = self.proc_index(pid) else {
-            self.kernel_fault(format!("reap of unknown pid {pid:?}"));
+            self.kernel_fault(
+                kaffeos_trace::KernelFaultKind::Reap,
+                format!("reap of unknown pid {pid:?}"),
+            );
             return;
         };
         debug_assert!(!matches!(self.procs[idx].state, ProcState::Dead(_)));
@@ -855,11 +964,15 @@ impl KaffeOs {
         let charged = self.shm.charged_to(pid);
         for name in charged {
             if let Some(size) = self.shm.remove_sharer(&name, pid) {
+                self.trace_emit(pid.0, || kaffeos_trace::Payload::ShmDetached {
+                    name: name.clone(),
+                });
                 if let Some(ml) = self.procs[idx].memlimit {
                     if let Err(e) = self.space.limits_mut().credit(ml, size) {
-                        self.kernel_fault(format!(
-                            "reap {pid:?}: shm charge for {name} was not debited: {e:?}"
-                        ));
+                        self.kernel_fault(
+                            kaffeos_trace::KernelFaultKind::ShmCredit,
+                            format!("reap {pid:?}: shm charge for {name} was not debited: {e:?}"),
+                        );
                     }
                 }
             }
@@ -869,20 +982,35 @@ impl KaffeOs {
             // Merge the heap; everything unreachable becomes kernel garbage
             // collected by the next kernel GC cycle.
             let heap = self.procs[idx].heap;
+            if self.sink.is_enabled() {
+                // The merge emits heap-layer events stamped with the sink
+                // clock; make sure it reads the pre-merge kernel clock.
+                self.sink.set_clock(self.clock);
+                self.sink.set_pid(pid.0);
+            }
             match self.space.merge_into_kernel(heap) {
                 Ok(report) => {
                     self.kernel_cpu.gc += report.cycles;
                     self.clock += report.cycles;
                 }
                 Err(e) => {
-                    self.kernel_fault(format!("reap {pid:?}: heap merge failed: {e:?}"));
+                    self.kernel_fault(
+                        kaffeos_trace::KernelFaultKind::HeapMerge,
+                        format!("reap {pid:?}: heap merge failed: {e:?}"),
+                    );
                 }
+            }
+            if self.sink.is_enabled() {
+                // Credits from removing the memlimit happen after the merge
+                // advanced the clock.
+                self.sink.set_clock(self.clock);
             }
             if let Some(ml) = self.procs[idx].memlimit {
                 if let Err(e) = self.space.limits_mut().drain_and_remove(ml) {
-                    self.kernel_fault(format!(
-                        "reap {pid:?}: memlimit not removable after merge: {e:?}"
-                    ));
+                    self.kernel_fault(
+                        kaffeos_trace::KernelFaultKind::MemlimitRemove,
+                        format!("reap {pid:?}: memlimit not removable after merge: {e:?}"),
+                    );
                 }
             }
             self.procs[idx].memlimit = None;
@@ -907,6 +1035,15 @@ impl KaffeOs {
         // Wake waiters with the exit code.
         let waiters = std::mem::take(&mut self.procs[idx].waiters);
         let code = status.wait_code();
+        self.trace_emit(pid.0, || kaffeos_trace::Payload::Exit {
+            kind: match &status {
+                ExitStatus::Exited(_) => kaffeos_trace::ExitKind::Exited,
+                ExitStatus::Killed => kaffeos_trace::ExitKind::Killed,
+                ExitStatus::CpuLimitExceeded => kaffeos_trace::ExitKind::CpuLimitExceeded,
+                ExitStatus::UncaughtException { .. } => kaffeos_trace::ExitKind::UncaughtException,
+            },
+            code,
+        });
         for (wpid, wtidx) in waiters {
             if let Some(widx) = self.proc_index(wpid) {
                 if matches!(self.procs[widx].state, ProcState::Dead(_)) {
@@ -935,9 +1072,17 @@ impl KaffeOs {
             .map(|t| t.stack_scan_size())
             .sum::<u64>()
             * costs::GC_STACK_SCAN_PER_SLOT;
+        if self.sink.is_enabled() {
+            // Heap-layer GC events are stamped with the sink clock.
+            self.sink.set_clock(self.clock);
+            self.sink.set_pid(pid.0);
+        }
         let report = self.space.gc(heap, &roots)?;
         self.procs[idx].cpu.gc += report.cycles + scan;
         self.clock += report.cycles + scan;
+        if self.sink.is_enabled() {
+            self.sink.set_clock(self.clock);
+        }
         // Sharer release: if this process no longer holds exit items into a
         // charged shared heap, credit it (§2: "After the process garbage
         // collects the last exit item to a shared heap, that shared heap's
@@ -954,6 +1099,9 @@ impl KaffeOs {
                 .unwrap_or(false);
             if !still_referencing {
                 if let Some(size) = self.shm.remove_sharer(&name, pid) {
+                    self.trace_emit(pid.0, || kaffeos_trace::Payload::ShmDetached {
+                        name: name.clone(),
+                    });
                     if let Some(ml) = self.procs[idx].memlimit {
                         self.space
                             .limits_mut()
@@ -979,16 +1127,26 @@ impl KaffeOs {
         // heap" (§2).
         for name in self.shm.orphans() {
             if let Some(shm) = self.shm.remove(&name) {
+                self.trace_emit(0, || kaffeos_trace::Payload::ShmOrphaned {
+                    name: name.clone(),
+                });
                 if self.space.heap_alive(shm.heap) {
+                    if self.sink.is_enabled() {
+                        self.sink.set_clock(self.clock);
+                        self.sink.set_pid(0);
+                    }
                     match self.space.merge_into_kernel(shm.heap) {
                         Ok(report) => {
                             self.kernel_cpu.gc += report.cycles;
                             self.clock += report.cycles;
                         }
                         Err(e) => {
-                            self.kernel_fault(format!(
-                                "kernel_gc: orphan shared-heap merge of {name} failed: {e:?}"
-                            ));
+                            self.kernel_fault(
+                                kaffeos_trace::KernelFaultKind::OrphanMerge,
+                                format!(
+                                    "kernel_gc: orphan shared-heap merge of {name} failed: {e:?}"
+                                ),
+                            );
                         }
                     }
                 }
@@ -998,10 +1156,17 @@ impl KaffeOs {
         // registry are on *shared* heaps, not the kernel heap, so the
         // kernel heap is collected with no external roots.
         let kernel = self.space.kernel_heap();
+        if self.sink.is_enabled() {
+            self.sink.set_clock(self.clock);
+            self.sink.set_pid(0);
+        }
         let report = match self.space.gc(kernel, &[]) {
             Ok(report) => report,
             Err(e) => {
-                self.kernel_fault(format!("kernel_gc: kernel heap collection failed: {e:?}"));
+                self.kernel_fault(
+                    kaffeos_trace::KernelFaultKind::KernelGc,
+                    format!("kernel_gc: kernel heap collection failed: {e:?}"),
+                );
                 kaffeos_heap::GcReport {
                     heap: kernel,
                     charged_to: ProcTag(0),
@@ -1121,7 +1286,7 @@ impl KaffeOs {
                     }
                 }
             }
-            let due: Vec<(usize, i64)> = self.procs[idx]
+            let mut due: Vec<(usize, i64)> = self.procs[idx]
                 .parked
                 .iter()
                 .filter_map(|(&tidx, reason)| match reason {
@@ -1131,6 +1296,9 @@ impl KaffeOs {
                     _ => None,
                 })
                 .collect();
+            // `parked` is a HashMap; sort so wake order (and therefore the
+            // run queue and every trace) is deterministic.
+            due.sort_unstable_by_key(|&(tidx, _)| tidx);
             for (tidx, result) in due {
                 self.procs[idx].parked.remove(&tidx);
                 self.procs[idx].threads[tidx].resume_with(Some(Value::Int(result)));
@@ -1154,6 +1322,14 @@ impl KaffeOs {
 
     /// Executes one time slice of one thread.
     fn run_quantum(&mut self, idx: usize, tidx: usize) -> RunExit {
+        let pid_u32 = self.procs[idx].pid.0;
+        let thread_id = self.procs[idx].threads[tidx].id;
+        // Stamps the sink with the quantum-start clock; heap events emitted
+        // while the guest runs carry this timestamp (the kernel clock only
+        // advances when the quantum's cycles are drained below).
+        self.trace_emit(pid_u32, || kaffeos_trace::Payload::QuantumStart {
+            thread: thread_id,
+        });
         // Extra GC roots: other threads of the heap-sharing group. In
         // KaffeOS mode that is the process' other threads; in monolithic
         // mode every thread of every process shares the heap (that very
@@ -1228,6 +1404,17 @@ impl KaffeOs {
         proc.cpu.exec += cycles - gc_cycles;
         proc.cpu.gc += gc_cycles;
         self.clock += cycles;
+        if self.sink.is_enabled() {
+            // QuantumEnd keeps the quantum-*start* timestamp still on the
+            // sink; the Chrome exporter computes the end as `at + cycles`
+            // (stamping the advanced clock would double-count the quantum).
+            self.sink.set_pid(pid_u32);
+            self.sink.emit_with(|| kaffeos_trace::Payload::QuantumEnd {
+                thread: thread_id,
+                cycles,
+            });
+            self.sink.set_clock(self.clock);
+        }
         exit
     }
 
@@ -1269,7 +1456,10 @@ impl KaffeOs {
     /// Routes a quantum's exit back into kernel state.
     fn dispatch_exit(&mut self, pid: Pid, tidx: usize, exit: RunExit) {
         let Some(idx) = self.proc_index(pid) else {
-            self.kernel_fault(format!("dispatch_exit for unknown pid {pid:?}"));
+            self.kernel_fault(
+                kaffeos_trace::KernelFaultKind::Dispatch,
+                format!("dispatch_exit for unknown pid {pid:?}"),
+            );
             return;
         };
         match exit {
@@ -1317,7 +1507,16 @@ impl KaffeOs {
                 self.kernel_cpu.kernel += SYSCALL_BASE_CYCLES;
                 self.clock += SYSCALL_BASE_CYCLES;
                 self.procs[idx].cpu.kernel += SYSCALL_BASE_CYCLES;
-                match self.syscall(pid, tidx, id, args) {
+                self.trace_emit(pid.0, || kaffeos_trace::Payload::SyscallEnter {
+                    sysno: id,
+                    name: sysno::name(id),
+                });
+                let outcome = self.syscall(pid, tidx, id, args);
+                self.trace_emit(pid.0, || kaffeos_trace::Payload::SyscallLeave {
+                    sysno: id,
+                    name: sysno::name(id),
+                });
+                match outcome {
                     SyscallOutcome::Resume(value) => {
                         let Some(idx) = self.proc_index(pid) else {
                             return;
@@ -1654,9 +1853,10 @@ impl KaffeOs {
                             _ => continue,
                         };
                         if let Err(e) = self.space.store_prim(obj, slot, default) {
-                            self.kernel_fault(format!(
-                                "shm.create({name}): zeroing a fresh object failed: {e:?}"
-                            ));
+                            self.kernel_fault(
+                                kaffeos_trace::KernelFaultKind::ShmCreate,
+                                format!("shm.create({name}): zeroing a fresh object failed: {e:?}"),
+                            );
                         }
                     }
                     objects.push(obj);
@@ -1680,7 +1880,10 @@ impl KaffeOs {
         let size = match self.space.freeze_shared(heap) {
             Ok(size) => size,
             Err(e) => {
-                self.kernel_fault(format!("shm.create({name}): freeze failed: {e:?}"));
+                self.kernel_fault(
+                    kaffeos_trace::KernelFaultKind::ShmCreate,
+                    format!("shm.create({name}): freeze failed: {e:?}"),
+                );
                 let _ = self.space.merge_into_kernel(heap);
                 let _ = self.space.limits_mut().drain_and_remove(shm_ml);
                 return SyscallOutcome::Raise(VmException::Builtin(
@@ -1690,9 +1893,10 @@ impl KaffeOs {
             }
         };
         if let Err(e) = self.space.limits_mut().remove(shm_ml) {
-            self.kernel_fault(format!(
-                "shm.create({name}): population charge not fully credited at freeze: {e:?}"
-            ));
+            self.kernel_fault(
+                kaffeos_trace::KernelFaultKind::ShmCreate,
+                format!("shm.create({name}): population charge not fully credited at freeze: {e:?}"),
+            );
         }
         if self.space.limits_mut().debit(creator_ml, size).is_err() {
             let _ = self.space.merge_into_kernel(heap);
@@ -1710,6 +1914,11 @@ impl KaffeOs {
             objects,
             sharers: vec![pid],
         });
+        self.trace_emit(pid.0, || kaffeos_trace::Payload::ShmFrozen {
+            name: name.clone(),
+            bytes: size,
+        });
+        self.trace_emit(pid.0, || kaffeos_trace::Payload::ShmAttached { name: name.clone() });
         self.procs[idx].charged_shm.push(name);
         SyscallOutcome::Resume(Some(Value::Int(count)))
     }
@@ -1740,6 +1949,7 @@ impl KaffeOs {
             }
         }
         self.shm.add_sharer(&name, pid);
+        self.trace_emit(pid.0, || kaffeos_trace::Payload::ShmAttached { name: name.clone() });
         self.procs[idx].charged_shm.push(name);
         SyscallOutcome::Resume(Some(Value::Int(count)))
     }

@@ -60,6 +60,7 @@ pub use shm::{SharedHeap, ShmRegistry};
 pub use kaffeos_heap::{
     AllocFault, BarrierKind, BarrierStats, SegViolationKind, SpaceAuditReport, SpaceAuditViolation,
 };
+pub use kaffeos_trace as trace;
 pub use kaffeos_vm::Engine;
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! **orphaned**, and the kernel collector merges it into the kernel heap at
 //! the start of its next cycle.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kaffeos_heap::{HeapId, ObjRef};
 
@@ -33,10 +33,11 @@ pub struct SharedHeap {
 }
 
 /// The kernel's table of live shared heaps, keyed by their name in the
-/// central shared namespace.
+/// central shared namespace. A `BTreeMap` so every iteration (orphan
+/// sweeps, audits, `charged_to`) is deterministic across instances.
 #[derive(Debug, Default)]
 pub struct ShmRegistry {
-    heaps: HashMap<String, SharedHeap>,
+    heaps: BTreeMap<String, SharedHeap>,
 }
 
 impl ShmRegistry {

@@ -54,6 +54,33 @@ pub mod sysno {
     pub const NET_SENT: u16 = 18;
     /// Number of registered syscalls.
     pub const COUNT: u16 = 19;
+
+    /// Registry name of a syscall number, for trace events. Unknown ids
+    /// (impossible through the registry) map to `"sys.unknown"`.
+    pub fn name(id: u16) -> &'static str {
+        match id {
+            PRINT => "sys.print",
+            CYCLES => "sys.cycles",
+            CLOCK => "sys.clock",
+            YIELD => "sys.yield",
+            RAND => "sys.rand",
+            HEAP_USED => "sys.heap_used",
+            HEAP_LIMIT => "sys.heap_limit",
+            GC => "sys.gc",
+            SELF_PID => "proc.self_pid",
+            SPAWN => "proc.spawn",
+            KILL => "proc.kill",
+            WAIT => "proc.wait",
+            EXIT => "proc.exit",
+            SHM_CREATE => "shm.create",
+            SHM_LOOKUP => "shm.lookup",
+            SHM_GET => "shm.get",
+            THREAD => "proc.thread",
+            NET_SEND => "net.send",
+            NET_SENT => "net.sent",
+            _ => "sys.unknown",
+        }
+    }
 }
 
 /// Builds the intrinsic registry the class loader links against.

@@ -58,6 +58,18 @@ fn build_os() -> KaffeOs {
     os
 }
 
+fn build_os_traced() -> KaffeOs {
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        trace: true,
+        ..KaffeOsConfig::default()
+    });
+    os.load_shared_source("class Cell { int value; }").unwrap();
+    for (name, src) in SMALL_IMAGES {
+        os.register_image(name, src).unwrap();
+    }
+    os
+}
+
 fn spawn_workload(os: &mut KaffeOs) -> Vec<Pid> {
     [("alloc", "2"), ("shmer", "1"), ("brief", "0")]
         .iter()
@@ -170,6 +182,36 @@ fn same_seed_replays_to_identical_audit_reports() {
         let a = run(seed);
         let b = run(seed);
         assert_eq!(a, b, "seed {seed:#x} did not replay identically");
+    }
+}
+
+/// The golden-trace contract: the same workload and fault seed must produce
+/// **byte-identical** traces across two fresh kernel instances — both the
+/// JSON-lines golden format and the Chrome `trace_event` export. Any hidden
+/// nondeterminism (hash-map iteration, unsorted GC roots, unordered wakes)
+/// shows up here as the first diverging line.
+#[test]
+fn same_seed_replays_to_byte_identical_traces() {
+    let run = |seed: u64| {
+        let mut os = build_os_traced();
+        os.install_faults(FaultPlan::from_seed(seed));
+        spawn_workload(&mut os);
+        os.run(Some(20_000_000));
+        os.kernel_gc();
+        (os.trace_jsonl(), os.trace_chrome())
+    };
+    for seed in [1u64, 7, 42, 0xDEAD, 0xFEED_5EED] {
+        let (jsonl_a, chrome_a) = run(seed);
+        let (jsonl_b, chrome_b) = run(seed);
+        assert!(
+            jsonl_a.lines().count() > 10,
+            "seed {seed:#x}: traced run recorded almost nothing"
+        );
+        assert_eq!(
+            jsonl_a, jsonl_b,
+            "seed {seed:#x}: JSON-lines traces diverged"
+        );
+        assert_eq!(chrome_a, chrome_b, "seed {seed:#x}: Chrome traces diverged");
     }
 }
 

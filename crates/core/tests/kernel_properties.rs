@@ -144,6 +144,18 @@ fn build_os() -> KaffeOs {
     os
 }
 
+fn build_os_traced() -> KaffeOs {
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        trace: true,
+        ..KaffeOsConfig::default()
+    });
+    os.load_shared_source("class Cell { int value; }").unwrap();
+    for (name, src) in IMAGES {
+        os.register_image(name, src).unwrap();
+    }
+    os
+}
+
 fn apply(os: &mut KaffeOs, pids: &mut Vec<Pid>, op: &Op) {
     match *op {
         Op::Spawn {
@@ -258,6 +270,77 @@ fn identical_op_sequences_replay_identically() {
             run(&ops),
             "case {case}: virtual execution must be deterministic"
         );
+    }
+}
+
+/// Cross-checks the trace-derived accounting against the kernel's own
+/// state: every live process' memlimit debit must equal the net of the
+/// charge/credit events the trace recorded at its node. Metrics counters
+/// are maintained incrementally in the sink, so this holds even if the
+/// event ring has dropped old events.
+fn reconcile_metrics(os: &KaffeOs, pids: &[Pid], case: u64, step: usize) {
+    let metrics = os.metrics();
+    assert_eq!(
+        metrics.kernel_faults, 0,
+        "case {case} step {step}: the trace recorded a kernel fault"
+    );
+    assert_eq!(
+        os.trace_events().len() as u64,
+        metrics
+            .events_recorded
+            .saturating_sub(metrics.events_dropped),
+        "case {case} step {step}: ring length disagrees with the counters"
+    );
+    for &pid in pids {
+        if !os.is_alive(pid) {
+            continue;
+        }
+        let ml = os
+            .proc_memlimit(pid)
+            .expect("live process has a memlimit node");
+        let key = (ml.index() as u32, ml.generation());
+        let net = metrics.net_bytes_by_node.get(&key).copied().unwrap_or(0);
+        let current = os.space().limits().current(ml) as i64;
+        assert_eq!(
+            net, current,
+            "case {case} step {step}: {pid:?} trace net {net} bytes \
+             but the memlimit tree records {current}"
+        );
+    }
+}
+
+/// The same fuzz sequences as `kernel_survives_arbitrary_op_sequences`,
+/// but with tracing on and the trace-vs-tree reconciliation run after
+/// every op. After full teardown every node's net must have returned to
+/// zero and every traced process must carry its exit event.
+#[test]
+fn traced_fuzz_reconciles_metrics_with_the_memlimit_tree() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0xC0DE_0003 ^ case.wrapping_mul(0x9E37));
+        let ops = gen_ops(&mut rng, 30);
+        let mut os = build_os_traced();
+        let mut pids: Vec<Pid> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            apply(&mut os, &mut pids, op);
+            if let Err(v) = os.audit() {
+                panic!("case {case}: audit after {op:?}: {v}");
+            }
+            reconcile_metrics(&os, &pids, case, step);
+        }
+        teardown_and_check(&mut os, &pids, case);
+        let metrics = os.metrics();
+        assert!(
+            metrics.net_bytes_by_node.is_empty(),
+            "case {case}: nodes still carry traced bytes after teardown: {:?}",
+            metrics.net_bytes_by_node
+        );
+        for &pid in &pids {
+            let pm = metrics
+                .per_process
+                .get(&pid.0)
+                .unwrap_or_else(|| panic!("case {case}: {pid:?} never traced"));
+            assert!(pm.exited, "case {case}: {pid:?} has no exit event");
+        }
     }
 }
 

@@ -1,0 +1,202 @@
+//! Event-stream semantics: the trace must tell the story of a shared
+//! heap's life in order (freeze → attach → detach-on-kill → orphan), carry
+//! monotonic sequence numbers and clocks, and record *nothing* — not one
+//! event, not one closure — when tracing is disabled.
+
+use kaffeos::trace::Payload;
+use kaffeos::{KaffeOs, KaffeOsConfig};
+
+fn build_os(trace: bool) -> KaffeOs {
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        trace,
+        ..KaffeOsConfig::default()
+    });
+    os.load_shared_source("class Cell { int value; }").unwrap();
+    os.register_image(
+        "creator",
+        r#"class Main {
+               static int main() {
+                   Shm.create("box", "Cell", 4);
+                   while (true) { }
+                   return 0;
+               }
+           }"#,
+    )
+    .unwrap();
+    os.register_image(
+        "sharer",
+        r#"class Main {
+               static int main() {
+                   Shm.lookup("box");
+                   while (true) { }
+                   return 0;
+               }
+           }"#,
+    )
+    .unwrap();
+    os
+}
+
+/// Freeze, attach (creator then sharer), kill-while-attached (the reap
+/// detaches), and finally the orphan merge by the kernel collector — the
+/// trace must contain exactly this sequence for the heap, in this order.
+#[test]
+fn shm_lifecycle_events_appear_in_order() {
+    let mut os = build_os(true);
+    let creator = os.spawn("creator", "", Some(1 << 20)).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+    assert!(os.shm_registry().contains("box"), "creator froze the heap");
+
+    let sharer = os.spawn("sharer", "", Some(1 << 20)).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+
+    // Kill the sharer while it is attached: its reap credits the charge
+    // and must record the detach.
+    os.kill(sharer).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+    assert!(!os.is_alive(sharer), "sharer dies at a safe point");
+
+    os.kill(creator).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+    assert!(!os.is_alive(creator));
+
+    // Last sharer gone: the kernel collector merges the orphan.
+    os.kernel_gc();
+    os.audit().expect("lifecycle run audits clean");
+    assert_eq!(os.shm_registry().len(), 0, "orphan was merged");
+
+    let lifecycle: Vec<(u32, String)> = os
+        .trace_events()
+        .iter()
+        .filter_map(|e| match &e.payload {
+            Payload::ShmFrozen { name, bytes } => {
+                assert!(*bytes > 0, "frozen heap has a size");
+                Some((e.pid, format!("frozen:{name}")))
+            }
+            Payload::ShmAttached { name } => Some((e.pid, format!("attached:{name}"))),
+            Payload::ShmDetached { name } => Some((e.pid, format!("detached:{name}"))),
+            Payload::ShmOrphaned { name } => Some((e.pid, format!("orphaned:{name}"))),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        lifecycle,
+        vec![
+            (creator.0, "frozen:box".to_string()),
+            (creator.0, "attached:box".to_string()),
+            (sharer.0, "attached:box".to_string()),
+            (sharer.0, "detached:box".to_string()),
+            (creator.0, "detached:box".to_string()),
+            (0, "orphaned:box".to_string()),
+        ],
+        "shared-heap lifecycle out of order"
+    );
+}
+
+/// Sequence numbers are gapless from zero and timestamps never go
+/// backwards — the ordering contract every consumer of the trace relies on.
+#[test]
+fn sequence_numbers_are_gapless_and_clocks_monotonic() {
+    let mut os = build_os(true);
+    let creator = os.spawn("creator", "", Some(1 << 20)).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+    os.kill(creator).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+    os.kernel_gc();
+
+    let events = os.trace_events();
+    assert!(events.len() > 20, "expected a substantial stream");
+    let mut last_at = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64, "sequence numbers must be gapless");
+        assert!(
+            e.at >= last_at,
+            "event {i} at clock {} after clock {last_at}",
+            e.at
+        );
+        last_at = e.at;
+    }
+}
+
+/// With tracing off (the default), the kernel records nothing at all: no
+/// events, no metrics, empty exports. Combined with the sink's
+/// closure-skipping `emit_with`, the disabled path does zero work.
+#[test]
+fn disabled_tracing_records_nothing() {
+    let mut os = build_os(false);
+    let creator = os.spawn("creator", "", Some(1 << 20)).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+    os.kill(creator).unwrap();
+    os.run(Some(os.clock() + 5_000_000));
+    os.kernel_gc();
+    os.audit().expect("untraced run audits clean");
+
+    assert!(!os.trace_enabled());
+    assert!(os.trace_events().is_empty());
+    let metrics = os.metrics();
+    assert_eq!(metrics.events_recorded, 0);
+    assert_eq!(metrics.events_dropped, 0);
+    assert!(metrics.per_process.is_empty());
+    assert!(metrics.net_bytes_by_node.is_empty());
+    assert_eq!(os.trace_jsonl(), "");
+    assert_eq!(
+        os.trace_chrome(),
+        "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n"
+    );
+}
+
+/// The ring is bounded: a tiny capacity drops the oldest events but the
+/// incremental metrics stay exact, and the retained window is the newest
+/// `capacity` events.
+#[test]
+fn bounded_ring_drops_oldest_but_metrics_stay_exact() {
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        trace: true,
+        trace_capacity: 32,
+        ..KaffeOsConfig::default()
+    });
+    os.register_image(
+        "churn",
+        r#"class Main {
+               static int main() {
+                   int acc = 0;
+                   for (int i = 0; i < 500; i = i + 1) {
+                       int[] junk = new int[64];
+                       acc = acc + junk[0] + i;
+                   }
+                   return acc;
+               }
+           }"#,
+    )
+    .unwrap();
+    let pid = os.spawn("churn", "", Some(1 << 20)).unwrap();
+    os.run(Some(os.clock() + 100_000_000));
+    assert!(!os.is_alive(pid));
+
+    let metrics = os.metrics();
+    let events = os.trace_events();
+    assert_eq!(events.len(), 32, "ring holds exactly its capacity");
+    assert!(
+        metrics.events_dropped > 0,
+        "the workload must overflow a 32-event ring"
+    );
+    assert_eq!(
+        metrics.events_recorded,
+        metrics.events_dropped + events.len() as u64
+    );
+    // The retained window is the tail of the stream: consecutive seqs
+    // ending at the last recorded event.
+    let first_seq = events[0].seq;
+    assert_eq!(first_seq, metrics.events_dropped, "oldest events dropped");
+    // Exactness under overflow: the per-process counters still cover the
+    // early events the ring dropped.
+    let pm = metrics.per_process.get(&pid.0).expect("process was traced");
+    assert!(pm.exited);
+    assert!(
+        pm.charges as usize > events.len(),
+        "metrics must count charges beyond the retained window \
+         ({} charges, {} retained events)",
+        pm.charges,
+        events.len()
+    );
+}

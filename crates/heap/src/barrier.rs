@@ -101,6 +101,17 @@ pub enum SegViolationKind {
 }
 
 impl SegViolationKind {
+    /// Short stable label used by trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            SegViolationKind::UserToUser => "user-to-user",
+            SegViolationKind::SharedToUser => "shared-to-user",
+            SegViolationKind::SharedToShared => "shared-to-shared",
+            SegViolationKind::FrozenSharedField => "frozen-shared-field",
+            SegViolationKind::UntrustedKernelWrite => "untrusted-kernel-write",
+        }
+    }
+
     /// Human-readable message carried by the guest-visible exception.
     pub fn message(self) -> &'static str {
         match self {
@@ -161,7 +172,7 @@ pub fn check_edge(
 }
 
 /// Counters behind Table 1 and the barrier micro-benchmarks.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BarrierStats {
     /// Barriers executed (every reference store, including null stores —
     /// the check runs regardless of the value written).

@@ -63,6 +63,8 @@ impl HeapSpace {
     /// that stack-held cross-heap references keep their targets alive.
     pub fn gc(&mut self, heap: HeapId, roots: &[ObjRef]) -> Result<GcReport, HeapError> {
         self.check_heap(heap)?;
+        self.trace()
+            .emit_with(|| kaffeos_trace::Payload::GcBegin { heap: heap.index });
         let mut cycles: u64 = 0;
 
         // Phase 0: clear exit-item marks.
@@ -70,9 +72,16 @@ impl HeapSpace {
             exit.marked = false;
         }
 
+        // Canonicalise the visit order: callers gather roots from hash maps
+        // (statics, intern tables) whose iteration order varies per instance.
+        // The marked set is order-independent, but the *trace* (exit-item
+        // materialisation events) is not — sorting makes runs byte-identical.
+        let mut ordered: Vec<ObjRef> = roots.to_vec();
+        ordered.sort_unstable();
+
         // Phase 1: seed the mark stack.
         let mut stack: Vec<ObjRef> = Vec::new();
-        for &root in roots {
+        for &root in &ordered {
             cycles += costs::GC_PER_ROOT;
             // A stale root is a caller bug; skip defensively in release.
             let Ok(root_heap) = self.heap_of(root) else {
@@ -193,6 +202,12 @@ impl HeapSpace {
         }
 
         let core = self.heap_core(heap);
+        self.trace().emit_with(|| kaffeos_trace::Payload::GcEnd {
+            heap: heap.index,
+            bytes_freed,
+            objects_freed,
+            cycles,
+        });
         Ok(GcReport {
             heap,
             charged_to: core.owner,
@@ -226,6 +241,12 @@ impl HeapSpace {
     pub(crate) fn drop_exit_item(&mut self, heap: HeapId, target: ObjRef) -> Result<(), HeapError> {
         let removed = self.heap_core_mut(heap).exits.remove(&target);
         debug_assert!(removed.is_some(), "dropping absent exit item");
+        if removed.is_some() {
+            self.trace().emit_with(|| kaffeos_trace::Payload::ExitItemDropped {
+                heap: heap.index,
+                target: target.index,
+            });
+        }
         if removed.map(|e| e.accounted).unwrap_or(false) {
             let exit_bytes = self.size_model().exit_item as u64;
             if let Some(ml) = self.heap_core(heap).memlimit {
@@ -309,6 +330,10 @@ impl HeapSpace {
         for (target, accounted) in exits {
             cycles += costs::MERGE_PER_OBJECT;
             self.heap_core_mut(heap).exits.remove(&target);
+            self.trace().emit_with(|| kaffeos_trace::Payload::ExitItemDropped {
+                heap: heap.index,
+                target: target.index,
+            });
             if accounted {
                 if let Some(ml) = memlimit {
                     self.limits.credit(ml, exit_bytes).map_err(|_| {
@@ -338,6 +363,10 @@ impl HeapSpace {
         for target in kernel_exits {
             cycles += costs::MERGE_PER_OBJECT;
             self.heap_core_mut(kernel).exits.remove(&target);
+            self.trace().emit_with(|| kaffeos_trace::Payload::ExitItemDropped {
+                heap: kernel.index,
+                target: target.index,
+            });
             // The matching entry item lives in the (still-live) merged
             // heap's table; decrement there so the pair dies together.
             self.decrement_entry(heap, target)?;
@@ -351,7 +380,9 @@ impl HeapSpace {
         //    robustness rather than dropping a non-zero count on the floor.
         let entry_bytes = self.size_model().entry_item as u64;
         let leftover: Vec<(u32, crate::heap::EntryItem)> =
-            self.heap_core_mut(heap).entries.drain().collect();
+            std::mem::take(&mut self.heap_core_mut(heap).entries)
+                .into_iter()
+                .collect();
         for (slot, entry) in leftover {
             if entry.accounted {
                 if let Some(ml) = memlimit {
@@ -382,6 +413,11 @@ impl HeapSpace {
         core.objects = 0;
         core.memlimit = None;
 
+        self.trace().emit_with(|| kaffeos_trace::Payload::HeapMerged {
+            heap: heap.index,
+            bytes: bytes_moved,
+            objects: objects_moved,
+        });
         Ok(MergeReport {
             bytes_moved,
             objects_moved,
@@ -401,6 +437,10 @@ impl HeapSpace {
         if entry.refs == 0 {
             let accounted = entry.accounted;
             core.entries.remove(&target.index);
+            self.trace().emit_with(|| kaffeos_trace::Payload::EntryItemDropped {
+                heap: heap.index,
+                slot: target.index,
+            });
             if accounted {
                 if let Some(ml) = self.heap_core(heap).memlimit {
                     self.limits.credit(ml, entry_bytes).map_err(|_| {

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kaffeos_memlimit::MemLimitId;
 
@@ -63,9 +63,9 @@ pub(crate) struct HeapCore {
     /// Live object count (including unreachable-but-unswept).
     pub objects: u64,
     /// Entry items keyed by local slot index.
-    pub entries: HashMap<u32, EntryItem>,
+    pub entries: BTreeMap<u32, EntryItem>,
     /// Exit items keyed by remote reference.
-    pub exits: HashMap<ObjRef, ExitItem>,
+    pub exits: BTreeMap<ObjRef, ExitItem>,
     /// Shared heap only: set when the heap is frozen.
     pub frozen: bool,
     /// Monotonic count of collections run on this heap.

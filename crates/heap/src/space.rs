@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kaffeos_memlimit::{MemLimitId, MemLimitTree};
 
@@ -69,6 +69,8 @@ pub struct HeapSpace {
     alloc_fault: Option<AllocFault>,
     /// Injected allocation failures fired so far.
     alloc_faults_fired: u64,
+    /// Trace sink for barrier/entry/exit/fault events; disabled by default.
+    sink: kaffeos_trace::TraceSink,
 }
 
 /// An armed allocation fault: fail the allocation whose zero-based attempt
@@ -98,8 +100,8 @@ impl HeapSpace {
             free_slots: Vec::new(),
             bytes_used: 0,
             objects: 0,
-            entries: HashMap::new(),
-            exits: HashMap::new(),
+            entries: BTreeMap::new(),
+            exits: BTreeMap::new(),
             frozen: false,
             gc_count: 0,
         };
@@ -119,7 +121,20 @@ impl HeapSpace {
             alloc_counter: 0,
             alloc_fault: None,
             alloc_faults_fired: 0,
+            sink: kaffeos_trace::TraceSink::disabled(),
         }
+    }
+
+    /// Installs the trace sink used by the space *and* its memlimit tree.
+    /// The default sink is disabled and records nothing.
+    pub fn set_trace_sink(&mut self, sink: kaffeos_trace::TraceSink) {
+        self.limits.set_trace_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// The space's trace sink (cheap to clone; disabled unless installed).
+    pub fn trace(&self) -> &kaffeos_trace::TraceSink {
+        &self.sink
     }
 
     // ----- fault injection --------------------------------------------------
@@ -226,8 +241,8 @@ impl HeapSpace {
             free_slots: Vec::new(),
             bytes_used: 0,
             objects: 0,
-            entries: HashMap::new(),
-            exits: HashMap::new(),
+            entries: BTreeMap::new(),
+            exits: BTreeMap::new(),
             frozen: false,
             gc_count: 0,
         };
@@ -419,6 +434,9 @@ impl HeapSpace {
                     self.alloc_fault = None;
                 }
                 self.alloc_faults_fired += 1;
+                self.sink.emit_with(|| kaffeos_trace::Payload::FaultInjected {
+                    kind: kaffeos_trace::InjectionKind::AllocOom,
+                });
                 let node = self.heap_core(heap).memlimit.unwrap_or(self.root_limit);
                 return Err(HeapError::OutOfMemory(kaffeos_memlimit::LimitExceeded {
                     node,
@@ -584,6 +602,9 @@ impl HeapSpace {
             // for same-heap or null stores — reassignment itself is illegal.
             if self.get(obj)?.frozen {
                 self.stats.violations += 1;
+                self.sink.emit_with(|| kaffeos_trace::Payload::BarrierViolation {
+                    kind: SegViolationKind::FrozenSharedField.label(),
+                });
                 return Err(HeapError::SegViolation(SegViolationKind::FrozenSharedField));
             }
             if let Value::Ref(target) = val {
@@ -592,6 +613,9 @@ impl HeapSpace {
                 let dst_kind = self.heap_core(dst_heap).kind;
                 if let Err(kind) = check_edge(src_kind, dst_kind, src_heap == dst_heap, trusted) {
                     self.stats.violations += 1;
+                    self.sink.emit_with(|| kaffeos_trace::Payload::BarrierViolation {
+                        kind: kind.label(),
+                    });
                     return Err(HeapError::SegViolation(kind));
                 }
                 if src_heap != dst_heap {
@@ -647,6 +671,10 @@ impl HeapSpace {
             },
         );
         self.stats.cross_heap_created += 1;
+        self.sink.emit_with(|| kaffeos_trace::Payload::ExitItemCreated {
+            heap: src.index,
+            target: target.index,
+        });
 
         let entry_bytes = self.size_model.entry_item as u64;
         let dst_ml = self.heap_core(dst).memlimit;
@@ -676,6 +704,10 @@ impl HeapSpace {
                 accounted: entry_accounted,
             },
         );
+        self.sink.emit_with(|| kaffeos_trace::Payload::EntryItemCreated {
+            heap: dst.index,
+            slot: target.index,
+        });
         Ok(true)
     }
 

@@ -46,6 +46,13 @@ impl MemLimitId {
     pub fn index(self) -> usize {
         self.index as usize
     }
+
+    /// Generation of the slot; together with [`index`](MemLimitId::index)
+    /// this uniquely names a node across slot reuse (trace events key on
+    /// the pair).
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
 }
 
 #[derive(Debug)]
@@ -83,6 +90,7 @@ pub struct MemLimitSnapshot {
 pub struct MemLimitTree {
     nodes: Vec<Node>,
     free: Vec<u32>,
+    sink: kaffeos_trace::TraceSink,
 }
 
 impl MemLimitTree {
@@ -90,6 +98,15 @@ impl MemLimitTree {
     /// root (typically sized to the machine's physical memory).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs the trace sink that [`debit`] and [`credit`] report to.
+    /// The default sink is disabled and records nothing.
+    ///
+    /// [`debit`]: MemLimitTree::debit
+    /// [`credit`]: MemLimitTree::credit
+    pub fn set_trace_sink(&mut self, sink: kaffeos_trace::TraceSink) {
+        self.sink = sink;
     }
 
     /// Creates a root memlimit with the given maximum. Multiple roots are
@@ -172,6 +189,14 @@ impl MemLimitTree {
                 node.parent
             };
         }
+        // One event at the node the caller named, not per percolation step:
+        // soft-ancestor updates are derivable from the tree shape, and a
+        // single event keeps the node's net trace equal to its direct use.
+        self.sink.emit_with(|| kaffeos_trace::Payload::Charge {
+            node: id.index,
+            node_gen: id.generation,
+            bytes,
+        });
         Ok(())
     }
 
@@ -206,6 +231,11 @@ impl MemLimitTree {
                 node.parent
             };
         }
+        self.sink.emit_with(|| kaffeos_trace::Payload::Credit {
+            node: id.index,
+            node_gen: id.generation,
+            bytes,
+        });
         Ok(())
     }
 

@@ -281,6 +281,11 @@ pub fn step(thread: &mut Thread, ctx: &mut ExecCtx<'_>, fuel: u64) -> RunExit {
             roots.extend(ctx.statics.values().copied());
             roots.extend(ctx.intern.values().copied());
             roots.extend_from_slice(ctx.extra_roots);
+            ctx.space
+                .trace()
+                .emit_with(|| kaffeos_trace::Payload::FaultInjected {
+                    kind: kaffeos_trace::InjectionKind::ForcedGc,
+                });
             if let Err(e) = ctx.space.gc(ctx.heap, &roots) {
                 return RunExit::Fault(crate::VmError::Heap(e));
             }

@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! cargo run -p kaffeos-workloads -- --faults seed=42
+//! cargo run -p kaffeos-workloads -- --faults seed=42 --trace out.json
 //! ```
 //!
 //! The seed fully determines the experiment (which mechanisms arm, where
 //! the injected OOM lands, which victims the termination sweep picks), so
-//! any failure reported here replays exactly. Exits non-zero if the audit
-//! finds a violation or a process outlives teardown.
+//! any failure reported here replays exactly. With `--trace <path>` the run
+//! records the kernel's structured event stream and writes it as a Chrome
+//! `trace_event` file (load in `chrome://tracing` / Perfetto); the JSON
+//! lines form is written alongside with a `.jsonl` suffix. Exits non-zero
+//! if the audit finds a violation or a process outlives teardown.
 
 use std::process::ExitCode;
 
@@ -32,8 +36,11 @@ const SHMER: &str = r#"
     }
 "#;
 
-fn build_os() -> KaffeOs {
-    let mut os = KaffeOs::new(KaffeOsConfig::default());
+fn build_os(trace: bool) -> KaffeOs {
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        trace,
+        ..KaffeOsConfig::default()
+    });
     os.load_shared_source("class Cell { int value; }")
         .expect("shared class compiles");
     os.register_image("shmer", SHMER).expect("shmer compiles");
@@ -62,11 +69,11 @@ fn spawn_workload(os: &mut KaffeOs) -> Vec<Pid> {
         .collect()
 }
 
-fn run_faults(seed: u64) -> Result<(), String> {
+fn run_faults(seed: u64, trace_path: Option<&str>) -> Result<(), String> {
     let plan = FaultPlan::from_seed(seed);
     println!("seed {seed:#x} arms: {plan:?}");
 
-    let mut os = build_os();
+    let mut os = build_os(trace_path.is_some());
     os.install_faults(plan);
     let pids = spawn_workload(&mut os);
     os.run(Some(os.clock() + 2_000_000_000));
@@ -100,6 +107,19 @@ fn run_faults(seed: u64) -> Result<(), String> {
         ));
     }
 
+    if let Some(path) = trace_path {
+        std::fs::write(path, os.trace_chrome())
+            .map_err(|e| format!("writing trace {path}: {e}"))?;
+        let jsonl_path = format!("{path}.jsonl");
+        std::fs::write(&jsonl_path, os.trace_jsonl())
+            .map_err(|e| format!("writing trace {jsonl_path}: {e}"))?;
+        let metrics = os.metrics();
+        println!(
+            "trace: {} events recorded ({} dropped by the ring) -> {path}, {jsonl_path}",
+            metrics.events_recorded, metrics.events_dropped
+        );
+    }
+
     println!("statuses:");
     for &pid in &pids {
         println!("  {pid:?}: {:?}", os.status(pid));
@@ -123,7 +143,7 @@ fn run_faults(seed: u64) -> Result<(), String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: kaffeos-workloads --faults seed=<N>");
+    eprintln!("usage: kaffeos-workloads --faults seed=<N> [--trace <path>]");
     eprintln!("       (N may be decimal or 0x-prefixed hex)");
     ExitCode::FAILURE
 }
@@ -142,7 +162,14 @@ fn main() -> ExitCode {
     }) else {
         return usage();
     };
-    match run_faults(seed) {
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Some(path.as_str()),
+            None => return usage(),
+        },
+        None => None,
+    };
+    match run_faults(seed, trace_path) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("FAULT EXPERIMENT FAILED (seed {seed:#x}): {msg}");

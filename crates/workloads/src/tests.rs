@@ -72,6 +72,46 @@ fn platform_virtual_times_are_ordered_like_the_paper() {
     }
 }
 
+/// Tracing must be free when disabled and *virtually* free when enabled:
+/// the event plane has no cycle model, so the Figure 3 numbers — virtual
+/// seconds (bit-for-bit) and every barrier counter — are identical with
+/// tracing off and on. Only the recorded event count may differ.
+#[test]
+fn tracing_never_perturbs_figure3_numbers() {
+    use kaffeos::{ExitStatus, KaffeOs, KaffeOsConfig};
+
+    let bench = by_name("compress").unwrap();
+    let reference = platforms()[5]; // KaffeOS, No Heap Pointer
+    let run = |trace: bool| {
+        let mut os = KaffeOs::new(KaffeOsConfig {
+            trace,
+            ..reference.config()
+        });
+        os.register_image(bench.name, bench.source).unwrap();
+        let pid = os.spawn(bench.name, "1", None).unwrap();
+        let report = os.run(None);
+        let checksum = match os.status(pid) {
+            Some(ExitStatus::Exited(v)) => v,
+            other => panic!("compress ended with {other:?}"),
+        };
+        (
+            report.virtual_seconds.to_bits(),
+            report.barrier,
+            os.clock(),
+            checksum,
+            os.trace_events().len(),
+        )
+    };
+    let (vs_off, barrier_off, clock_off, sum_off, events_off) = run(false);
+    let (vs_on, barrier_on, clock_on, sum_on, events_on) = run(true);
+    assert_eq!(events_off, 0, "disabled tracing must record zero events");
+    assert!(events_on > 0, "enabled tracing must record the run");
+    assert_eq!(vs_off, vs_on, "virtual seconds must be bit-identical");
+    assert_eq!(clock_off, clock_on, "the virtual clock must not move");
+    assert_eq!(barrier_off, barrier_on, "barrier stats must be identical");
+    assert_eq!(sum_off, sum_on, "the checksum must be unaffected");
+}
+
 #[test]
 fn compress_executes_far_fewer_barriers_than_db() {
     let reference = platforms()[5];
