@@ -1,0 +1,68 @@
+//! Profiled vs unprofiled overhead: the virtual-time sampler costs some
+//! wall-clock time, but may not move a single *virtual* number — same
+//! clock, same checksum, bit-identical virtual seconds. This harness
+//! measures the wall-time price and asserts the virtual contract.
+//!
+//! Usage: `cargo run --release -p kaffeos-bench --bin profile_overhead [--quick]`
+
+use std::time::Instant;
+
+use kaffeos::{ExitStatus, KaffeOs, KaffeOsConfig};
+use kaffeos_bench::{quick_mode, rule};
+use kaffeos_workloads::{platforms, spec};
+
+fn run(bench: &spec::SpecBenchmark, n: i64, profile: bool) -> (f64, u64, u64, i64, usize) {
+    let reference = platforms()[5]; // KaffeOS, No Heap Pointer
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        profile,
+        ..reference.config()
+    });
+    os.register_image(bench.name, bench.source).unwrap();
+    let pid = os.spawn(bench.name, &n.to_string(), None).unwrap();
+    let start = Instant::now();
+    let report = os.run(None);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let checksum = match os.status(pid) {
+        Some(ExitStatus::Exited(v)) => v,
+        other => panic!("{} ended with {other:?}", bench.name),
+    };
+    let samples = os.profile_folded().lines().count();
+    (
+        wall_ms,
+        report.virtual_seconds.to_bits(),
+        os.clock(),
+        checksum,
+        samples,
+    )
+}
+
+fn main() {
+    let quick = quick_mode();
+    println!("Profiler overhead: wall-clock cost of virtual-time sampling");
+    println!(
+        "{:<12}{:>12}{:>12}{:>10}{:>10}   (virtual numbers asserted identical)",
+        "benchmark", "off ms", "on ms", "overhead", "stacks"
+    );
+    rule(58);
+    for name in ["compress", "db"] {
+        let bench = spec::by_name(name).expect("known benchmark");
+        let n = if quick { bench.test_n } else { bench.default_n };
+        let (off_ms, vs_off, clock_off, sum_off, stacks_off) = run(&bench, n, false);
+        let (on_ms, vs_on, clock_on, sum_on, stacks_on) = run(&bench, n, true);
+        assert_eq!(vs_off, vs_on, "{name}: virtual seconds moved");
+        assert_eq!(clock_off, clock_on, "{name}: virtual clock moved");
+        assert_eq!(sum_off, sum_on, "{name}: checksum moved");
+        assert_eq!(stacks_off, 0, "{name}: disabled profiler sampled");
+        assert!(stacks_on > 0, "{name}: enabled profiler sampled nothing");
+        let overhead = 100.0 * (on_ms - off_ms) / off_ms;
+        println!(
+            "{:<12}{:>11.1} {:>11.1} {:>8.1}%{:>10}",
+            name, off_ms, on_ms, overhead, stacks_on
+        );
+    }
+    println!();
+    println!(
+        "the virtual clock, checksums and Figure 3 seconds are identical \
+         with the profiler on and off; only wall-clock time is spent."
+    );
+}

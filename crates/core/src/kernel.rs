@@ -15,8 +15,10 @@ use kaffeos_heap::{
     costs, BarrierKind, BarrierStats, HeapId, HeapSpace, ObjRef, ProcTag, SpaceConfig, Value,
 };
 use kaffeos_memlimit::Kind;
+use kaffeos_trace::SampleKind;
 use kaffeos_vm::{
-    step, ClassDef, ClassTable, Engine, ExecCtx, RunExit, Thread, ThreadState, VmException,
+    step, ClassDef, ClassTable, Engine, ExecCtx, MethodIdx, RunExit, Thread, ThreadState,
+    VmException,
 };
 
 use crate::faults::{AuditReport, AuditViolation, FaultPlan};
@@ -27,6 +29,28 @@ use crate::syscalls::{build_registry, sysno};
 
 /// Fixed kernel-entry cost per syscall, in cycles.
 const SYSCALL_BASE_CYCLES: u64 = 300;
+
+/// Resolves a raw `(method index, pc)` stack walk into interned profiler
+/// frame ids, outermost first; the leaf is refined by its pc bucket. An
+/// empty walk (thread finished or killed at the boundary) becomes the
+/// synthetic `(no stack)` frame.
+fn resolve_frames(
+    p: &mut kaffeos_trace::ProfileStore,
+    table: &ClassTable,
+    stack: &[(u32, u32)],
+) -> Vec<u32> {
+    let Some((&(leaf_method, leaf_pc), callers)) = stack.split_last() else {
+        return vec![p.intern("(no stack)")];
+    };
+    let mut frames = Vec::with_capacity(stack.len());
+    for &(m, _) in callers {
+        frames.push(p.method_frame(m, || table.qualified_name(MethodIdx(m))));
+    }
+    frames.push(p.leaf_frame(leaf_method, leaf_pc, || {
+        table.qualified_name(MethodIdx(leaf_method))
+    }));
+    frames
+}
 /// Upper bound on objects in one shared heap.
 const SHM_MAX_OBJECTS: i64 = 1 << 20;
 
@@ -57,6 +81,12 @@ pub struct KaffeOsConfig {
     pub trace: bool,
     /// Ring capacity (events retained) when `trace` is on.
     pub trace_capacity: usize,
+    /// Record weighted stack samples at virtual-time edges (quantum ends,
+    /// syscall dispatch, GC) plus latency histograms. Off by default; the
+    /// same `Option`-sink contract as `trace`: when off nothing runs, and
+    /// sampling has no cycle model, so the virtual clock is bit-identical
+    /// either way.
+    pub profile: bool,
 }
 
 impl Default for KaffeOsConfig {
@@ -71,6 +101,7 @@ impl Default for KaffeOsConfig {
             kernel_gc_period: 50_000_000,
             trace: false,
             trace_capacity: kaffeos_trace::DEFAULT_CAPACITY,
+            profile: false,
         }
     }
 }
@@ -230,6 +261,9 @@ pub struct KaffeOs {
     kernel_faults: Vec<kaffeos_trace::KernelFault>,
     /// Structured event sink shared with the heap space and memlimit tree.
     sink: kaffeos_trace::TraceSink,
+    /// Profiler sink shared with the heap space (GC pause histograms are
+    /// recorded at the collector's choke point).
+    profile: kaffeos_trace::ProfileSink,
 }
 
 impl KaffeOs {
@@ -245,6 +279,12 @@ impl KaffeOs {
             kaffeos_trace::TraceSink::disabled()
         };
         space.set_trace_sink(sink.clone());
+        let profile = if config.profile {
+            kaffeos_trace::ProfileSink::enabled()
+        } else {
+            kaffeos_trace::ProfileSink::disabled()
+        };
+        space.set_profile_sink(profile.clone());
         let mut table = ClassTable::new(build_registry());
         let shared_ns = table.create_namespace("shared", None);
         let shared_class_count =
@@ -316,6 +356,7 @@ impl KaffeOs {
             faults: None,
             kernel_faults: Vec::new(),
             sink,
+            profile,
         }
     }
 
@@ -394,6 +435,7 @@ impl KaffeOs {
             .ok_or_else(|| KernelError::UnknownImage(image.to_string()))?;
         let pid = Pid(self.procs.len() as u32 + 1);
         let label = format!("{image}#{}", pid.0);
+        self.profile.set_label(pid.0, &label);
 
         let (heap, memlimit, ns) = if self.config.monolithic {
             // Load image classes once into the single namespace.
@@ -641,6 +683,128 @@ impl KaffeOs {
             self.sink.set_pid(pid);
             self.sink.emit_with(f);
         }
+    }
+
+    // ---- profiling & introspection (the virtual-time profiler) -------------
+
+    /// True if the sampling profiler is recording.
+    pub fn profile_enabled(&self) -> bool {
+        self.profile.is_enabled()
+    }
+
+    /// The profile as Brendan-Gregg folded stacks — deterministic: same
+    /// workload + same fault seed ⇒ byte-identical output (empty when
+    /// profiling is off).
+    pub fn profile_folded(&self) -> String {
+        self.profile.folded()
+    }
+
+    /// The profile as a self-contained SVG flamegraph (empty when off).
+    pub fn profile_flamegraph_svg(&self) -> String {
+        self.profile.flamegraph_svg()
+    }
+
+    /// GC pause / syscall latency / quantum jitter histograms as
+    /// deterministic text (empty when off).
+    pub fn profile_histograms(&self) -> String {
+        self.profile.histograms_text()
+    }
+
+    /// Per-process profile summary: sample totals by pool plus the top
+    /// five leaf frames (empty when off).
+    pub fn profile_summary(&self, pid: Pid) -> String {
+        self.profile.summary(pid.0)
+    }
+
+    /// Per-pid sampled cycle totals, split exec/GC/kernel (empty when off).
+    pub fn profile_totals(&self) -> std::collections::BTreeMap<u32, kaffeos_trace::PidTotals> {
+        self.profile.totals()
+    }
+
+    /// Top `n` leaf frames for `pid` by sampled weight (empty when off).
+    pub fn profile_top_leaves(&self, pid: Pid, n: usize) -> Vec<(String, u64)> {
+        self.profile.top_leaves(pid.0, n)
+    }
+
+    /// procfs-style status text for one process — the text `proc.status`
+    /// serves to guests. Always available (profiling not required); empty
+    /// for an unknown pid.
+    pub fn proc_status_text(&self, pid: Pid) -> String {
+        use std::fmt::Write as _;
+        let Some(idx) = self.proc_index(pid) else {
+            return String::new();
+        };
+        let p = &self.procs[idx];
+        let state = match &p.state {
+            ProcState::Running => "running".to_string(),
+            ProcState::Dying => "dying".to_string(),
+            ProcState::Dead(status) => format!("dead({})", status.wait_code()),
+        };
+        let heap_used = self.space.heap_bytes(p.heap).unwrap_or(0);
+        let heap_limit = p
+            .memlimit
+            .map(|ml| self.space.limits().limit(ml))
+            .unwrap_or(self.config.user_budget);
+        let mut out = String::new();
+        let _ = writeln!(out, "pid:\t{}", p.pid.0);
+        let _ = writeln!(out, "name:\t{}", p.name);
+        let _ = writeln!(out, "image:\t{}", p.image);
+        let _ = writeln!(out, "state:\t{state}");
+        let _ = writeln!(out, "threads:\t{}", p.threads.len());
+        let _ = writeln!(out, "cpu_exec:\t{}", p.cpu.exec);
+        let _ = writeln!(out, "cpu_gc:\t{}", p.cpu.gc);
+        let _ = writeln!(out, "cpu_kernel:\t{}", p.cpu.kernel);
+        let _ = writeln!(out, "heap_used:\t{heap_used}");
+        let _ = writeln!(out, "heap_limit:\t{heap_limit}");
+        let _ = writeln!(out, "net_sent:\t{}", p.net_sent);
+        out
+    }
+
+    /// The whole memlimit tree rendered as indented text — the text
+    /// `proc.meminfo` serves to guests. Always available.
+    pub fn meminfo_text(&self) -> String {
+        self.space
+            .limits()
+            .render_tree(self.space.root_memlimit())
+    }
+
+    /// A `kaffeos-top` snapshot: one row per process with the CPU split,
+    /// heap pressure against the memlimit, and — when the profiler is on —
+    /// the hottest sampled leaf frame. Rows are in pid order, so the table
+    /// is deterministic like everything else derived from virtual time.
+    pub fn top_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10}  TOP-METHOD",
+            "PID", "NAME", "STATE", "EXEC", "GC", "KERNEL", "HEAP", "LIMIT"
+        );
+        for p in &self.procs {
+            let state = match &p.state {
+                ProcState::Running => "running".to_string(),
+                ProcState::Dying => "dying".to_string(),
+                ProcState::Dead(status) => format!("dead({})", status.wait_code()),
+            };
+            let heap_used = self.space.heap_bytes(p.heap).unwrap_or(0);
+            let heap_limit = p
+                .memlimit
+                .map(|ml| self.space.limits().limit(ml))
+                .unwrap_or(self.config.user_budget);
+            let top = self
+                .profile
+                .top_leaves(p.pid.0, 1)
+                .into_iter()
+                .next()
+                .map(|(frame, _)| frame)
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10}  {top}",
+                p.pid.0, p.name, state, p.cpu.exec, p.cpu.gc, p.cpu.kernel, heap_used, heap_limit
+            );
+        }
+        out
     }
 
     // ---- fault injection and auditing (the chaos-kernel harness) -----------
@@ -1083,6 +1247,18 @@ impl KaffeOs {
         if self.sink.is_enabled() {
             self.sink.set_clock(self.clock);
         }
+        // Kernel-initiated collections (the `sys.gc` path, embedder calls)
+        // have no single running thread to walk; the whole pause lands
+        // under the synthetic `[gc]` frame. Together with the quantum
+        // boundary's GC share this covers every `cpu.gc` increment, so the
+        // profiler's per-pid GC totals reconcile exactly.
+        if self.profile.is_enabled() {
+            let pause = report.cycles + scan;
+            self.profile.with(|p| {
+                let frame = p.intern("[gc]");
+                p.add_sample(pid.0, vec![frame], pause, SampleKind::Gc);
+            });
+        }
         // Sharer release: if this process no longer holds exit items into a
         // charged shared heap, credit it (§2: "After the process garbage
         // collects the last exit item to a shared heap, that shared heap's
@@ -1397,13 +1573,20 @@ impl KaffeOs {
                 .as_ref()
                 .is_some_and(|plan| plan.gc_every_safepoint),
         };
-        let exit = step(thread, &mut ctx, time_slice.max(1));
-        let cycles = thread.drain_cycles();
-        let gc_cycles = std::mem::take(&mut thread.gc_cycles);
+        let granted = time_slice.max(1);
+        let exit = step(thread, &mut ctx, granted);
+        let drained = thread.drain_cycles();
+        // Stack walk for the profiler, taken at the quantum boundary —
+        // exactly where the drained cycles stopped accruing. Gated so a
+        // disabled profiler allocates nothing.
+        let sampled_stack = self
+            .profile
+            .is_enabled()
+            .then(|| thread.sample_stack());
         let proc = &mut self.procs[idx];
-        proc.cpu.exec += cycles - gc_cycles;
-        proc.cpu.gc += gc_cycles;
-        self.clock += cycles;
+        proc.cpu.exec += drained.exec();
+        proc.cpu.gc += drained.gc;
+        self.clock += drained.total;
         if self.sink.is_enabled() {
             // QuantumEnd keeps the quantum-*start* timestamp still on the
             // sink; the Chrome exporter computes the end as `at + cycles`
@@ -1411,9 +1594,27 @@ impl KaffeOs {
             self.sink.set_pid(pid_u32);
             self.sink.emit_with(|| kaffeos_trace::Payload::QuantumEnd {
                 thread: thread_id,
-                cycles,
+                cycles: drained.total,
+                gc_cycles: drained.gc,
             });
             self.sink.set_clock(self.clock);
+        }
+        if let Some(stack) = sampled_stack {
+            let table = &self.table;
+            self.profile.with(|p| {
+                let frames = resolve_frames(p, table, &stack);
+                p.record_quantum_jitter(granted.abs_diff(drained.total));
+                if drained.gc > 0 {
+                    // The GC share gets its own sample under a synthetic
+                    // leaf, so flamegraphs separate mutator time from the
+                    // collections the same stack triggered.
+                    let gc_leaf = p.intern("[gc]");
+                    let mut gc_frames = frames.clone();
+                    gc_frames.push(gc_leaf);
+                    p.add_sample(pid_u32, gc_frames, drained.gc, SampleKind::Gc);
+                }
+                p.add_sample(pid_u32, frames, drained.exec(), SampleKind::Exec);
+            });
         }
         exit
     }
@@ -1504,9 +1705,24 @@ impl KaffeOs {
                 let _ = self.kill(pid);
             }
             RunExit::Syscall { id, args } => {
+                let clock_at_entry = self.clock;
                 self.kernel_cpu.kernel += SYSCALL_BASE_CYCLES;
                 self.clock += SYSCALL_BASE_CYCLES;
                 self.procs[idx].cpu.kernel += SYSCALL_BASE_CYCLES;
+                // Kernel-mode sample: exactly the base cost billed to
+                // `cpu.kernel` above, on the stack that made the call, under
+                // a synthetic `[sys:name]` leaf. Clock advances *inside* the
+                // syscall (GC, reaps) are charged elsewhere and sampled at
+                // their own points, so per-pid kernel totals reconcile.
+                if self.profile.is_enabled() {
+                    let stack = self.procs[idx].threads[tidx].sample_stack();
+                    let table = &self.table;
+                    self.profile.with(|p| {
+                        let mut frames = resolve_frames(p, table, &stack);
+                        frames.push(p.intern(&format!("[sys:{}]", sysno::name(id))));
+                        p.add_sample(pid.0, frames, SYSCALL_BASE_CYCLES, SampleKind::Kernel);
+                    });
+                }
                 self.trace_emit(pid.0, || kaffeos_trace::Payload::SyscallEnter {
                     sysno: id,
                     name: sysno::name(id),
@@ -1516,6 +1732,10 @@ impl KaffeOs {
                     sysno: id,
                     name: sysno::name(id),
                 });
+                // Latency = every cycle the virtual clock moved while the
+                // kernel serviced the call (base cost + GC + teardown...).
+                self.profile
+                    .record_syscall_latency(sysno::name(id), self.clock - clock_at_entry);
                 match outcome {
                     SyscallOutcome::Resume(value) => {
                         let Some(idx) = self.proc_index(pid) else {
@@ -1679,6 +1899,23 @@ impl KaffeOs {
             sysno::SHM_CREATE => self.shm_create(pid, &args),
             sysno::SHM_LOOKUP => self.shm_lookup(pid, &args),
             sysno::SHM_GET => self.shm_get(pid, &args),
+            // The procfs plane: kernel accounting state rendered to text
+            // and returned as a guest string on the *caller's* heap — the
+            // bytes are charged to whoever asked, like everything else.
+            sysno::PROC_STATUS => {
+                let target = Pid(self.arg_int(&args, 0) as u32);
+                let text = self.proc_status_text(target);
+                self.resume_str(pid, &text)
+            }
+            sysno::PROC_MEMINFO => {
+                let text = self.meminfo_text();
+                self.resume_str(pid, &text)
+            }
+            sysno::PROC_PROFILE => {
+                let target = Pid(self.arg_int(&args, 0) as u32);
+                let text = self.profile_summary(target);
+                self.resume_str(pid, &text)
+            }
             other => {
                 debug_assert!(false, "unknown syscall {other}");
                 SyscallOutcome::Resume(None)
@@ -1758,6 +1995,26 @@ impl KaffeOs {
             .parked
             .insert(tidx, ParkReason::Until(busy_until, total));
         SyscallOutcome::Parked
+    }
+
+    /// Allocates `text` as a guest string on the caller's heap and resumes
+    /// the syscall with it; allocation failure surfaces as the caller's own
+    /// `OutOfMemoryError` (the reply is charged to the asking process).
+    fn resume_str(&mut self, pid: Pid, text: &str) -> SyscallOutcome {
+        let Some(idx) = self.proc_index(pid) else {
+            return SyscallOutcome::Resume(None);
+        };
+        let heap = self.procs[idx].heap;
+        match self
+            .space
+            .alloc_str(heap, self.string_class.heap_class(), text)
+        {
+            Ok(s) => SyscallOutcome::Resume(Some(Value::Ref(s))),
+            Err(_) => SyscallOutcome::Raise(VmException::Builtin(
+                kaffeos_vm::BuiltinEx::OutOfMemory,
+                "procfs reply allocation failed".to_string(),
+            )),
+        }
     }
 
     fn arg_str(&self, args: &[Value], i: usize) -> Option<String> {

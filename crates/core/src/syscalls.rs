@@ -52,8 +52,16 @@ pub mod sysno {
     pub const NET_SEND: u16 = 17;
     /// `net.sent() -> Int` — total bytes this process has transmitted.
     pub const NET_SENT: u16 = 18;
+    /// `proc.status(pid) -> Str` — procfs-style status text for a process
+    /// (state, CPU split, heap use), or an empty string for an unknown pid.
+    pub const PROC_STATUS: u16 = 19;
+    /// `proc.meminfo() -> Str` — the whole memlimit tree, rendered.
+    pub const PROC_MEMINFO: u16 = 20;
+    /// `proc.profile(pid) -> Str` — the profiler's per-process summary
+    /// (empty when profiling is disabled).
+    pub const PROC_PROFILE: u16 = 21;
     /// Number of registered syscalls.
-    pub const COUNT: u16 = 19;
+    pub const COUNT: u16 = 22;
 
     /// Registry name of a syscall number, for trace events. Unknown ids
     /// (impossible through the registry) map to `"sys.unknown"`.
@@ -78,6 +86,9 @@ pub mod sysno {
             THREAD => "proc.thread",
             NET_SEND => "net.send",
             NET_SENT => "net.sent",
+            PROC_STATUS => "proc.status",
+            PROC_MEMINFO => "proc.meminfo",
+            PROC_PROFILE => "proc.profile",
             _ => "sys.unknown",
         }
     }
@@ -113,6 +124,12 @@ pub fn build_registry() -> IntrinsicRegistry {
     // per-process NIC in virtual time.
     r.register("net.send", vec![Int], Some(Int));
     r.register("net.sent", vec![], Some(Int));
+    // The procfs-style introspection plane: kernel accounting state served
+    // to guests as plain text, so in-VM tools (a `top`, a debugger) need no
+    // privileged channel.
+    r.register("proc.status", vec![Int], Some(Str));
+    r.register("proc.meminfo", vec![], Some(Str));
+    r.register("proc.profile", vec![Int], Some(Str));
     debug_assert_eq!(r.len(), sysno::COUNT as usize);
     r
 }
@@ -143,6 +160,9 @@ mod tests {
         assert_eq!(r.by_name("proc.thread"), Some(sysno::THREAD));
         assert_eq!(r.by_name("net.send"), Some(sysno::NET_SEND));
         assert_eq!(r.by_name("net.sent"), Some(sysno::NET_SENT));
+        assert_eq!(r.by_name("proc.status"), Some(sysno::PROC_STATUS));
+        assert_eq!(r.by_name("proc.meminfo"), Some(sysno::PROC_MEMINFO));
+        assert_eq!(r.by_name("proc.profile"), Some(sysno::PROC_PROFILE));
         assert_eq!(r.len(), sysno::COUNT as usize);
     }
 }

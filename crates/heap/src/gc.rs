@@ -208,6 +208,10 @@ impl HeapSpace {
             objects_freed,
             cycles,
         });
+        // Pause histogram: recorded here, at the single choke point every
+        // collection passes through, so allocation-triggered GCs inside the
+        // interpreter are covered as well as kernel-initiated ones.
+        self.profile().record_gc_pause(heap.index, cycles);
         Ok(GcReport {
             heap,
             charged_to: core.owner,

@@ -71,6 +71,8 @@ pub struct HeapSpace {
     alloc_faults_fired: u64,
     /// Trace sink for barrier/entry/exit/fault events; disabled by default.
     sink: kaffeos_trace::TraceSink,
+    /// Profile sink for GC pause histograms; disabled by default.
+    profile: kaffeos_trace::ProfileSink,
 }
 
 /// An armed allocation fault: fail the allocation whose zero-based attempt
@@ -122,6 +124,7 @@ impl HeapSpace {
             alloc_fault: None,
             alloc_faults_fired: 0,
             sink: kaffeos_trace::TraceSink::disabled(),
+            profile: kaffeos_trace::ProfileSink::disabled(),
         }
     }
 
@@ -135,6 +138,17 @@ impl HeapSpace {
     /// The space's trace sink (cheap to clone; disabled unless installed).
     pub fn trace(&self) -> &kaffeos_trace::TraceSink {
         &self.sink
+    }
+
+    /// Installs the profile sink: collections record their pause cycles
+    /// into the per-heap histogram. Disabled by default.
+    pub fn set_profile_sink(&mut self, profile: kaffeos_trace::ProfileSink) {
+        self.profile = profile;
+    }
+
+    /// The space's profile sink (disabled unless installed).
+    pub fn profile(&self) -> &kaffeos_trace::ProfileSink {
+        &self.profile
     }
 
     // ----- fault injection --------------------------------------------------

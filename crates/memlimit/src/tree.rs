@@ -380,6 +380,56 @@ impl MemLimitTree {
             .collect()
     }
 
+    /// Renders the subtree under `root` as an indented procfs-style text
+    /// table, one node per line:
+    ///
+    /// ```text
+    /// machine                hard      0/16777216 (0%)
+    ///   proc1:compress       hard 524288/8388608 (6%)
+    /// ```
+    ///
+    /// Children print in slot order (creation order for never-reused
+    /// slots), so equal trees render byte-identically — the text is served
+    /// verbatim through the kernel's `proc.meminfo` syscall.
+    pub fn render_tree(&self, root: MemLimitId) -> String {
+        let mut out = String::new();
+        self.render_node(&mut out, root, 0);
+        out
+    }
+
+    fn render_node(&self, out: &mut String, id: MemLimitId, depth: usize) {
+        use std::fmt::Write as _;
+        let node = self.node(id);
+        let pct = node
+            .current
+            .saturating_mul(100)
+            .checked_div(node.limit)
+            .unwrap_or(0);
+        let name = format!("{}{}", "  ".repeat(depth), node.label);
+        let _ = writeln!(
+            out,
+            "{name:<28} {:<4} {}/{} ({pct}%)",
+            match node.kind {
+                Kind::Hard => "hard",
+                Kind::Soft => "soft",
+            },
+            node.current,
+            node.limit
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.alive && n.parent == Some(id) {
+                self.render_node(
+                    out,
+                    MemLimitId {
+                        index: i as u32,
+                        generation: n.generation,
+                    },
+                    depth + 1,
+                );
+            }
+        }
+    }
+
     /// Number of live nodes.
     pub fn len(&self) -> usize {
         self.nodes.iter().filter(|n| n.alive).count()

@@ -1,0 +1,208 @@
+//! Hand-rolled log₂-bucketed histograms for virtual-time latency data.
+//!
+//! The profiler records three latency families — GC pause cycles per heap,
+//! syscall latency per syscall name, and quantum jitter — and none of them
+//! justifies an external dependency: a fixed 65-bucket power-of-two
+//! histogram captures the shape (and the exact count/sum/min/max) with a
+//! few words of state and zero allocation per sample.
+//!
+//! Bucketing: value 0 lands in bucket 0; a value `v ≥ 1` lands in bucket
+//! `64 - v.leading_zeros()`, i.e. bucket `k ≥ 1` covers `[2^(k-1), 2^k)`.
+//! `u64::MAX` therefore lands in bucket 64, the last slot. The mapping is
+//! pure integer arithmetic, so rendered output is byte-identical across
+//! platforms and runs — histograms are part of the golden profile format.
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log₂ histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index a value lands in: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// The half-open value range `[lo, hi)` bucket `index` covers; bucket 0 is
+/// the point `[0, 1)` and bucket 64's upper bound saturates at `u64::MAX`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 1),
+        64 => (1 << 63, u64::MAX),
+        k => (1 << (k - 1), 1 << k),
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (integer division), or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Count in bucket `index`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Renders the histogram as deterministic text: a summary line followed
+    /// by one line per non-empty bucket with its `[lo,hi)` bounds and count.
+    /// Buckets appear in ascending order, so equal histograms render to
+    /// byte-identical strings.
+    pub fn render(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "count={} sum={} min={} max={} mean={}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            self.mean()
+        );
+        for (index, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = bucket_bounds(index);
+            let _ = writeln!(out, "  [{lo},{hi}) {n}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_one_and_max_land_in_their_edge_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(64), 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn bucket_bounds_are_half_open_powers_of_two() {
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(1), (1, 2));
+        assert_eq!(bucket_bounds(2), (2, 4));
+        assert_eq!(bucket_bounds(10), (512, 1024));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+        // Every representable value maps into its bucket's bounds.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX - 1] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && (v < hi || hi == u64::MAX), "{v} outside [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeroed_summary_only() {
+        let h = LogHistogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0);
+        let mut text = String::new();
+        h.render(&mut text);
+        assert_eq!(text, "count=0 sum=0 min=0 max=0 mean=0\n");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 900, 3, 0, 17, 900, 1] {
+            h.record(v);
+        }
+        let mut a = String::new();
+        h.render(&mut a);
+        let mut b = String::new();
+        h.clone().render(&mut b);
+        assert_eq!(a, b);
+        let bucket_lines: Vec<&str> = a.lines().skip(1).collect();
+        assert!(!bucket_lines.is_empty());
+        let mut sorted = bucket_lines.clone();
+        sorted.sort_by_key(|l| {
+            l.trim_start()
+                .strip_prefix('[')
+                .and_then(|r| r.split(',').next())
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(0)
+        });
+        assert_eq!(bucket_lines, sorted, "buckets render in ascending order");
+    }
+}

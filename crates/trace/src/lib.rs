@@ -32,6 +32,12 @@
 //! information as per-process counters, maintained incrementally so it
 //! stays exact even after the ring has dropped old events.
 
+pub mod hist;
+pub mod profile;
+
+pub use hist::LogHistogram;
+pub use profile::{PidTotals, ProfileSink, ProfileStore, SampleKind};
+
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
@@ -203,8 +209,10 @@ pub enum Payload {
     QuantumEnd {
         /// Thread id that ran.
         thread: u32,
-        /// Cycles the quantum consumed.
+        /// Cycles the quantum consumed (mutator + GC share).
         cycles: u64,
+        /// Of those, cycles spent in allocation-triggered collections.
+        gc_cycles: u64,
     },
     /// A thread crossed into the kernel.
     SyscallEnter {
@@ -392,6 +400,9 @@ pub struct ProcessMetrics {
     pub quanta: u64,
     /// Cycles consumed across those quanta.
     pub cycles: u64,
+    /// Of those quantum cycles, the share spent in allocation-triggered
+    /// collections (mirrors the kernel's exec/GC CPU split).
+    pub quantum_gc_cycles: u64,
     /// Syscalls entered.
     pub syscalls: u64,
     /// Collections attributed to this process.
@@ -447,7 +458,13 @@ impl MetricsSnapshot {
         self.events_recorded += 1;
         match payload {
             Payload::QuantumStart { .. } => self.proc_mut(pid).quanta += 1,
-            Payload::QuantumEnd { cycles, .. } => self.proc_mut(pid).cycles += cycles,
+            Payload::QuantumEnd {
+                cycles, gc_cycles, ..
+            } => {
+                let p = self.proc_mut(pid);
+                p.cycles += cycles;
+                p.quantum_gc_cycles += gc_cycles;
+            }
             Payload::SyscallEnter { .. } => self.proc_mut(pid).syscalls += 1,
             Payload::GcEnd {
                 bytes_freed,
@@ -683,8 +700,15 @@ fn push_payload_fields(out: &mut String, payload: &Payload) {
         Payload::QuantumStart { thread } => {
             let _ = write!(out, ",\"thread\":{thread}");
         }
-        Payload::QuantumEnd { thread, cycles } => {
-            let _ = write!(out, ",\"thread\":{thread},\"cycles\":{cycles}");
+        Payload::QuantumEnd {
+            thread,
+            cycles,
+            gc_cycles,
+        } => {
+            let _ = write!(
+                out,
+                ",\"thread\":{thread},\"cycles\":{cycles},\"gc_cycles\":{gc_cycles}"
+            );
         }
         Payload::SyscallEnter { sysno, name } | Payload::SyscallLeave { sysno, name } => {
             let _ = write!(out, ",\"sysno\":{sysno},\"name\":\"{name}\"");
@@ -796,7 +820,7 @@ pub fn export_chrome<'a>(events: impl Iterator<Item = &'a Event>) -> String {
     for e in events {
         let (ph, name, tid, end_cycles): (&str, &str, u32, u64) = match &e.payload {
             Payload::QuantumStart { thread } => ("B", "quantum", *thread, 0),
-            Payload::QuantumEnd { thread, cycles } => ("E", "quantum", *thread, *cycles),
+            Payload::QuantumEnd { thread, cycles, .. } => ("E", "quantum", *thread, *cycles),
             Payload::SyscallEnter { name, .. } => ("B", name, 0, 0),
             Payload::SyscallLeave { name, .. } => ("E", name, 0, 0),
             Payload::GcBegin { .. } => ("B", "gc", 0, 0),

@@ -478,6 +478,14 @@ impl ClassTable {
         &self.methods[idx.0 as usize]
     }
 
+    /// `Class.method` display name for a method — the profiler's frame
+    /// label. Namespaces are deliberately omitted: per-process class loads
+    /// of the same source share one hot name in the flamegraph.
+    pub fn qualified_name(&self, idx: MethodIdx) -> String {
+        let m = self.method(idx);
+        format!("{}.{}", self.class(m.class).name, m.name)
+    }
+
     /// The class behind a heap-layer tag.
     pub fn from_heap_class(&self, id: kaffeos_heap::ClassId) -> ClassIdx {
         debug_assert!((id.0 as usize) < self.classes.len());

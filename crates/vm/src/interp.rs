@@ -166,9 +166,30 @@ impl Thread {
         roots
     }
 
-    /// Drains the accumulated cycle count (scheduler accounting).
-    pub fn drain_cycles(&mut self) -> u64 {
-        core::mem::take(&mut self.cycles)
+    /// Drains the accumulated cycle count (scheduler accounting), taking
+    /// the total *and* its GC share in one step. The two counters advance
+    /// together on the allocation-triggered GC path, so draining them
+    /// separately risks a caller taking `cycles` but leaving `gc_cycles`
+    /// behind — which silently mis-splits the next quantum's exec/GC
+    /// attribution. Returning both makes losing the split impossible.
+    pub fn drain_cycles(&mut self) -> DrainedCycles {
+        let total = core::mem::take(&mut self.cycles);
+        let gc = core::mem::take(&mut self.gc_cycles);
+        DrainedCycles {
+            total,
+            // Defensive: gc is accumulated strictly alongside total, so it
+            // can never exceed it; clamp rather than let an exec share
+            // underflow if that invariant is ever broken.
+            gc: gc.min(total),
+        }
+    }
+
+    /// The current call stack as `(raw method index, pc)` pairs, outermost
+    /// first — the profiler's stack-walk hook. Raw indices keep the VM
+    /// crate decoupled from the profile store; the kernel resolves them to
+    /// qualified names (and interns them) lazily.
+    pub fn sample_stack(&self) -> Vec<(u32, u32)> {
+        self.frames.iter().map(|f| (f.method.0, f.pc)).collect()
     }
 
     /// Total stack slots (locals + operands) across all frames — the work
@@ -179,6 +200,24 @@ impl Thread {
             .iter()
             .map(|f| (f.locals.len() + f.stack.len()) as u64)
             .sum()
+    }
+}
+
+/// One atomic drain of a thread's cycle counters: the total consumed since
+/// the last drain and, of that, the share spent in allocation-triggered
+/// collections (`gc <= total` always).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainedCycles {
+    /// Cycles consumed since the last drain.
+    pub total: u64,
+    /// Of `total`, cycles spent collecting the process heap.
+    pub gc: u64,
+}
+
+impl DrainedCycles {
+    /// The mutator (non-GC) share.
+    pub fn exec(&self) -> u64 {
+        self.total - self.gc
     }
 }
 

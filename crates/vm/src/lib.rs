@@ -33,8 +33,8 @@ pub use classes::{ClassIdx, ClassTable, LoadedClass, MethodIdx, Namespace, RCons
 pub use classfile::{ClassBuilder, ClassDef, FieldDef, MethodBuilder, MethodDef};
 pub use engine::{Engine, OpCosts};
 pub use interp::{
-    step, BuiltinEx, ExecCtx, Frame, RunExit, Thread, ThreadState, VmException, FLOAT_ARRAY_CLASS,
-    INT_ARRAY_CLASS, MAX_FRAMES, REF_ARRAY_CLASS,
+    step, BuiltinEx, DrainedCycles, ExecCtx, Frame, RunExit, Thread, ThreadState, VmException,
+    FLOAT_ARRAY_CLASS, INT_ARRAY_CLASS, MAX_FRAMES, REF_ARRAY_CLASS,
 };
 pub use intrinsics::{IntrinsicDef, IntrinsicRegistry};
 pub use verify::{verify_class, VerifyError};

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p kaffeos-workloads -- --faults seed=42
 //! cargo run -p kaffeos-workloads -- --faults seed=42 --trace out.json
+//! cargo run -p kaffeos-workloads -- --faults seed=42 --profile prof --top
 //! ```
 //!
 //! The seed fully determines the experiment (which mechanisms arm, where
@@ -11,8 +12,13 @@
 //! any failure reported here replays exactly. With `--trace <path>` the run
 //! records the kernel's structured event stream and writes it as a Chrome
 //! `trace_event` file (load in `chrome://tracing` / Perfetto); the JSON
-//! lines form is written alongside with a `.jsonl` suffix. Exits non-zero
-//! if the audit finds a violation or a process outlives teardown.
+//! lines form is written alongside with a `.jsonl` suffix. With
+//! `--profile <base>` the virtual-time sampling profiler records the run
+//! and writes `<base>.folded` (Brendan-Gregg folded stacks), `<base>.svg`
+//! (flamegraph) and `<base>.hist` (GC pause / syscall latency / quantum
+//! jitter histograms) — all byte-identical across reruns of the same seed.
+//! `--top` prints a `kaffeos-top` snapshot table before teardown. Exits
+//! non-zero if the audit finds a violation or a process outlives teardown.
 
 use std::process::ExitCode;
 
@@ -36,9 +42,10 @@ const SHMER: &str = r#"
     }
 "#;
 
-fn build_os(trace: bool) -> KaffeOs {
+fn build_os(trace: bool, profile: bool) -> KaffeOs {
     let mut os = KaffeOs::new(KaffeOsConfig {
         trace,
+        profile,
         ..KaffeOsConfig::default()
     });
     os.load_shared_source("class Cell { int value; }")
@@ -69,11 +76,17 @@ fn spawn_workload(os: &mut KaffeOs) -> Vec<Pid> {
         .collect()
 }
 
-fn run_faults(seed: u64, trace_path: Option<&str>) -> Result<(), String> {
+fn run_faults(
+    seed: u64,
+    trace_path: Option<&str>,
+    profile_base: Option<&str>,
+    top: bool,
+) -> Result<(), String> {
     let plan = FaultPlan::from_seed(seed);
     println!("seed {seed:#x} arms: {plan:?}");
 
-    let mut os = build_os(trace_path.is_some());
+    // `--top` wants the TOP-METHOD column, so it turns the profiler on too.
+    let mut os = build_os(trace_path.is_some(), profile_base.is_some() || top);
     os.install_faults(plan);
     let pids = spawn_workload(&mut os);
     os.run(Some(os.clock() + 2_000_000_000));
@@ -81,6 +94,11 @@ fn run_faults(seed: u64, trace_path: Option<&str>) -> Result<(), String> {
     // Mid-run audit: every invariant must hold while faults are active.
     os.audit()
         .map_err(|v| format!("audit while faulted: {v}"))?;
+
+    if top {
+        println!("kaffeos-top @ {} cycles:", os.clock());
+        print!("{}", os.top_text());
+    }
 
     // Teardown: kill survivors, drain, collect twice, audit again. The
     // cleared plan keeps the injection counters for the final summary.
@@ -120,6 +138,19 @@ fn run_faults(seed: u64, trace_path: Option<&str>) -> Result<(), String> {
         );
     }
 
+    if let Some(base) = profile_base {
+        for (suffix, body) in [
+            ("folded", os.profile_folded()),
+            ("svg", os.profile_flamegraph_svg()),
+            ("hist", os.profile_histograms()),
+        ] {
+            let path = format!("{base}.{suffix}");
+            std::fs::write(&path, &body).map_err(|e| format!("writing profile {path}: {e}"))?;
+        }
+        let sampled: u64 = os.profile_totals().values().map(|t| t.total()).sum();
+        println!("profile: {sampled} cycles sampled -> {base}.folded, {base}.svg, {base}.hist");
+    }
+
     println!("statuses:");
     for &pid in &pids {
         println!("  {pid:?}: {:?}", os.status(pid));
@@ -143,8 +174,12 @@ fn run_faults(seed: u64, trace_path: Option<&str>) -> Result<(), String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: kaffeos-workloads --faults seed=<N> [--trace <path>]");
+    eprintln!(
+        "usage: kaffeos-workloads --faults seed=<N> [--trace <path>] [--profile <base>] [--top]"
+    );
     eprintln!("       (N may be decimal or 0x-prefixed hex)");
+    eprintln!("       --profile writes <base>.folded, <base>.svg and <base>.hist");
+    eprintln!("       --top prints a kaffeos-top snapshot table before teardown");
     ExitCode::FAILURE
 }
 
@@ -162,14 +197,21 @@ fn main() -> ExitCode {
     }) else {
         return usage();
     };
-    let trace_path = match args.iter().position(|a| a == "--trace") {
+    let path_after = |flag: &str| match args.iter().position(|a| a == flag) {
         Some(i) => match args.get(i + 1) {
-            Some(path) => Some(path.as_str()),
-            None => return usage(),
+            Some(path) => Ok(Some(path.as_str())),
+            None => Err(()),
         },
-        None => None,
+        None => Ok(None),
     };
-    match run_faults(seed, trace_path) {
+    let Ok(trace_path) = path_after("--trace") else {
+        return usage();
+    };
+    let Ok(profile_base) = path_after("--profile") else {
+        return usage();
+    };
+    let top = args.iter().any(|a| a == "--top");
+    match run_faults(seed, trace_path, profile_base, top) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("FAULT EXPERIMENT FAILED (seed {seed:#x}): {msg}");

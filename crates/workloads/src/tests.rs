@@ -112,6 +112,53 @@ fn tracing_never_perturbs_figure3_numbers() {
     assert_eq!(sum_off, sum_on, "the checksum must be unaffected");
 }
 
+/// The profiler has the same contract as tracing: an Option-sink with no
+/// cycle model, sampled only at virtual-time edges, so the Figure 3
+/// numbers — virtual seconds (bit-for-bit), the clock, every barrier
+/// counter and the checksum — are identical with profiling off and on.
+/// Only the recorded profile may differ (empty off, populated on).
+#[test]
+fn profiler_never_perturbs_figure3_numbers() {
+    use kaffeos::{ExitStatus, KaffeOs, KaffeOsConfig};
+
+    let bench = by_name("compress").unwrap();
+    let reference = platforms()[5]; // KaffeOS, No Heap Pointer
+    let run = |profile: bool| {
+        let mut os = KaffeOs::new(KaffeOsConfig {
+            profile,
+            ..reference.config()
+        });
+        os.register_image(bench.name, bench.source).unwrap();
+        let pid = os.spawn(bench.name, "1", None).unwrap();
+        let report = os.run(None);
+        let checksum = match os.status(pid) {
+            Some(ExitStatus::Exited(v)) => v,
+            other => panic!("compress ended with {other:?}"),
+        };
+        (
+            report.virtual_seconds.to_bits(),
+            report.barrier,
+            os.clock(),
+            checksum,
+            os.profile_folded(),
+        )
+    };
+    let (vs_off, barrier_off, clock_off, sum_off, folded_off) = run(false);
+    let (vs_on, barrier_on, clock_on, sum_on, folded_on) = run(true);
+    assert!(
+        folded_off.is_empty(),
+        "disabled profiling must record zero samples"
+    );
+    assert!(
+        !folded_on.is_empty(),
+        "enabled profiling must sample the run"
+    );
+    assert_eq!(vs_off, vs_on, "virtual seconds must be bit-identical");
+    assert_eq!(clock_off, clock_on, "the virtual clock must not move");
+    assert_eq!(barrier_off, barrier_on, "barrier stats must be identical");
+    assert_eq!(sum_off, sum_on, "the checksum must be unaffected");
+}
+
 #[test]
 fn compress_executes_far_fewer_barriers_than_db() {
     let reference = platforms()[5];
