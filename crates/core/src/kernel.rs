@@ -9,6 +9,7 @@
 //! threads additionally carry a `kernel_depth` that defers kills while set.
 
 use std::collections::{HashMap, VecDeque};
+use kaffeos_heap::FxHashMap;
 use std::sync::Arc;
 
 use kaffeos_heap::{
@@ -234,7 +235,7 @@ pub struct KaffeOs {
     /// Namespace used to type-check images at registration time.
     template_ns: u32,
     string_class: kaffeos_vm::ClassIdx,
-    monitors: HashMap<ObjRef, (u32, u32)>,
+    monitors: FxHashMap<ObjRef, (u32, u32)>,
     procs: Vec<Process>,
     run_queue: VecDeque<(Pid, usize)>,
     clock: u64,
@@ -248,8 +249,8 @@ pub struct KaffeOs {
     /// Monolithic mode: the single heap, namespace, and shared tables.
     mono_heap: Option<HeapId>,
     mono_ns: u32,
-    mono_statics: HashMap<kaffeos_vm::ClassIdx, ObjRef>,
-    mono_intern: HashMap<String, ObjRef>,
+    mono_statics: FxHashMap<kaffeos_vm::ClassIdx, ObjRef>,
+    mono_intern: FxHashMap<String, ObjRef>,
     /// Number of classes in the shared namespace (for the §3.2 ratio).
     shared_class_count: usize,
     /// Installed fault-injection schedule, if any.
@@ -264,6 +265,10 @@ pub struct KaffeOs {
     /// Profiler sink shared with the heap space (GC pause histograms are
     /// recorded at the collector's choke point).
     profile: kaffeos_trace::ProfileSink,
+    /// Host-side total of bytecode instructions executed across all
+    /// quanta. Observational only (throughput benchmarks); never feeds
+    /// back into the clock, scheduling, or accounting.
+    ops_executed: u64,
 }
 
 impl KaffeOs {
@@ -337,7 +342,7 @@ impl KaffeOs {
             shared_ns,
             template_ns,
             string_class,
-            monitors: HashMap::new(),
+            monitors: FxHashMap::default(),
             procs: Vec::new(),
             run_queue: VecDeque::new(),
             clock: 0,
@@ -350,13 +355,14 @@ impl KaffeOs {
             last_kernel_gc: 0,
             mono_heap,
             mono_ns,
-            mono_statics: HashMap::new(),
-            mono_intern: HashMap::new(),
+            mono_statics: FxHashMap::default(),
+            mono_intern: FxHashMap::default(),
             shared_class_count,
             faults: None,
             kernel_faults: Vec::new(),
             sink,
             profile,
+            ops_executed: 0,
         }
     }
 
@@ -491,8 +497,8 @@ impl KaffeOs {
             heap,
             memlimit,
             ns,
-            statics: HashMap::new(),
-            intern: HashMap::new(),
+            statics: FxHashMap::default(),
+            intern: FxHashMap::default(),
             threads: Vec::new(),
             parked: HashMap::new(),
             cpu: CpuAccount::default(),
@@ -605,6 +611,13 @@ impl KaffeOs {
     /// Virtual seconds at the modelled 500 MHz clock.
     pub fn virtual_seconds(&self) -> f64 {
         costs::cycles_to_seconds(self.clock)
+    }
+
+    /// Host-side count of bytecode instructions executed so far. Purely
+    /// observational — throughput benchmarks divide this by host wall time;
+    /// it never influences the virtual clock or scheduling.
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
     }
 
     /// Write-barrier counters (Table 1).
@@ -1091,6 +1104,7 @@ impl KaffeOs {
                 self.monitors.remove(&m);
             }
             t.frames.clear();
+            t.values.clear();
             t.state = ThreadState::Done;
             self.procs[idx].parked.remove(&i);
         }
@@ -1576,6 +1590,7 @@ impl KaffeOs {
         let granted = time_slice.max(1);
         let exit = step(thread, &mut ctx, granted);
         let drained = thread.drain_cycles();
+        self.ops_executed += core::mem::take(&mut thread.ops);
         // Stack walk for the profiler, taken at the quantum boundary —
         // exactly where the drained cycles stopped accruing. Gated so a
         // disabled profiler allocates nothing.
@@ -1719,7 +1734,7 @@ impl KaffeOs {
                     let table = &self.table;
                     self.profile.with(|p| {
                         let mut frames = resolve_frames(p, table, &stack);
-                        frames.push(p.intern(&format!("[sys:{}]", sysno::name(id))));
+                        frames.push(p.intern(sysno::sys_label(id)));
                         p.add_sample(pid.0, frames, SYSCALL_BASE_CYCLES, SampleKind::Kernel);
                     });
                 }

@@ -1,6 +1,7 @@
 //! The process abstraction: the unit of resource ownership and control.
 
 use std::collections::HashMap;
+use kaffeos_heap::FxHashMap;
 
 use kaffeos_heap::{HeapId, ObjRef};
 use kaffeos_memlimit::MemLimitId;
@@ -147,9 +148,9 @@ pub struct Process {
     /// Class-loader namespace (delegates to the shared namespace).
     pub ns: u32,
     /// Per-process statics objects (process heap residents, GC roots).
-    pub statics: HashMap<ClassIdx, ObjRef>,
+    pub statics: FxHashMap<ClassIdx, ObjRef>,
     /// Per-process string intern table (§3.3).
-    pub intern: HashMap<String, ObjRef>,
+    pub intern: FxHashMap<String, ObjRef>,
     /// Threads; slots are never reused within a process.
     pub threads: Vec<Thread>,
     /// Kernel-side park reasons per thread index.

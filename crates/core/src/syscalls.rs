@@ -92,6 +92,37 @@ pub mod sysno {
             _ => "sys.unknown",
         }
     }
+
+    /// Pre-formatted `[sys:name]` profiler leaf label for a syscall number.
+    /// Static so the sampler's hot path hands the profile store a ready
+    /// string instead of formatting one per sample.
+    pub fn sys_label(id: u16) -> &'static str {
+        match id {
+            PRINT => "[sys:sys.print]",
+            CYCLES => "[sys:sys.cycles]",
+            CLOCK => "[sys:sys.clock]",
+            YIELD => "[sys:sys.yield]",
+            RAND => "[sys:sys.rand]",
+            HEAP_USED => "[sys:sys.heap_used]",
+            HEAP_LIMIT => "[sys:sys.heap_limit]",
+            GC => "[sys:sys.gc]",
+            SELF_PID => "[sys:proc.self_pid]",
+            SPAWN => "[sys:proc.spawn]",
+            KILL => "[sys:proc.kill]",
+            WAIT => "[sys:proc.wait]",
+            EXIT => "[sys:proc.exit]",
+            SHM_CREATE => "[sys:shm.create]",
+            SHM_LOOKUP => "[sys:shm.lookup]",
+            SHM_GET => "[sys:shm.get]",
+            THREAD => "[sys:proc.thread]",
+            NET_SEND => "[sys:net.send]",
+            NET_SENT => "[sys:net.sent]",
+            PROC_STATUS => "[sys:proc.status]",
+            PROC_MEMINFO => "[sys:proc.meminfo]",
+            PROC_PROFILE => "[sys:proc.profile]",
+            _ => "[sys:sys.unknown]",
+        }
+    }
 }
 
 /// Builds the intrinsic registry the class loader links against.
@@ -164,5 +195,18 @@ mod tests {
         assert_eq!(r.by_name("proc.meminfo"), Some(sysno::PROC_MEMINFO));
         assert_eq!(r.by_name("proc.profile"), Some(sysno::PROC_PROFILE));
         assert_eq!(r.len(), sysno::COUNT as usize);
+    }
+
+    #[test]
+    fn sys_labels_match_names() {
+        // The static label table is a cache of `[sys:{name}]`; keep the two
+        // from drifting apart.
+        for id in 0..=sysno::COUNT {
+            assert_eq!(
+                sysno::sys_label(id),
+                format!("[sys:{}]", sysno::name(id)),
+                "label cache out of sync for syscall {id}"
+            );
+        }
     }
 }

@@ -332,3 +332,74 @@ fn gc_at_every_safepoint_is_transparent() {
     );
     assert_eq!(clean, stormy, "forced GC at safepoints changed results");
 }
+
+// ---------------------------------------------------------------------------
+// Pre-optimisation golden fixtures (host fast-path regression gate)
+// ---------------------------------------------------------------------------
+
+/// Seeds pinned into `tests/fixtures/trace_seed<N>.jsonl`.
+const TRACE_FIXTURE_SEEDS: [u64; 3] = [1, 2, 3];
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// One standard workload run through the interpreter/GC fast paths under a
+/// fault seed, returning the JSON-lines event stream.
+fn golden_trace(seed: u64) -> String {
+    let mut os = build_os_traced();
+    os.install_faults(FaultPlan::from_seed(seed));
+    spawn_workload(&mut os);
+    os.run(Some(20_000_000));
+    os.kernel_gc();
+    os.trace_jsonl()
+}
+
+/// Points at the first diverging line so a broken run is debuggable without
+/// dumping two full traces.
+fn assert_same_text(got: &str, want: &str, label: &str) {
+    if got == want {
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(g, w, "{label}: first divergence at line {}", i + 1);
+    }
+    panic!(
+        "{label}: line counts diverged (got {}, want {})",
+        got.lines().count(),
+        want.lines().count()
+    );
+}
+
+/// The traces produced by the optimised fast paths (flat value stacks,
+/// allocation-free GC marking, FxHash tables) must be byte-identical to the
+/// fixtures captured **before** those optimisations landed: virtual time is
+/// a pure function of (program, seed), and host-side speed must never leak
+/// into it. Regeneration is deliberate only (see `regenerate_trace_fixtures`).
+#[test]
+fn traces_match_pre_optimisation_fixtures() {
+    for seed in TRACE_FIXTURE_SEEDS {
+        let path = fixture_path(&format!("trace_seed{seed}.jsonl"));
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let got = golden_trace(seed);
+        assert_same_text(&got, &want, &format!("seed {seed} trace"));
+    }
+}
+
+/// Writes the golden trace fixtures. Run only when virtual behaviour is
+/// *meant* to change (a new opcode cost, a scheduler change), never for a
+/// host-side optimisation:
+/// `cargo test -p kaffeos --test fault_injection -- --ignored regenerate`
+#[test]
+#[ignore = "writes golden fixtures; run only on a deliberate virtual-behaviour change"]
+fn regenerate_trace_fixtures() {
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    for seed in TRACE_FIXTURE_SEEDS {
+        let path = fixture_path(&format!("trace_seed{seed}.jsonl"));
+        std::fs::write(&path, golden_trace(seed)).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

@@ -271,3 +271,65 @@ fn top_table_renders_a_row_per_process() {
     );
     assert_eq!(top, os.top_text(), "snapshot must be stable");
 }
+
+// ---------------------------------------------------------------------------
+// Pre-optimisation golden fixtures (host fast-path regression gate)
+// ---------------------------------------------------------------------------
+
+/// Seeds pinned into `tests/fixtures/profile_seed<N>.folded` / `.hist`.
+const PROFILE_FIXTURE_SEEDS: [u64; 3] = [1, 2, 3];
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// One profiled standard-workload run under a fault seed: folded stacks
+/// plus latency histograms.
+fn golden_profile(seed: u64) -> (String, String) {
+    let mut os = build_os(true, false);
+    os.install_faults(FaultPlan::from_seed(seed));
+    spawn_workload(&mut os);
+    os.run(Some(20_000_000));
+    os.kernel_gc();
+    (os.profile_folded(), os.profile_histograms())
+}
+
+/// The folded stacks and histograms produced by the optimised fast paths
+/// must be byte-identical to fixtures captured **before** the flat value
+/// stacks, allocation-free GC marking, and FxHash tables landed — the
+/// profiler samples at virtual-time edges only, so host-side speed must be
+/// invisible to it.
+#[test]
+fn profiles_match_pre_optimisation_fixtures() {
+    for seed in PROFILE_FIXTURE_SEEDS {
+        let (folded, hist) = golden_profile(seed);
+        for (suffix, got) in [("folded", &folded), ("hist", &hist)] {
+            let path = fixture_path(&format!("profile_seed{seed}.{suffix}"));
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+            assert_eq!(
+                got, &want,
+                "seed {seed}: {suffix} diverged from the pre-optimisation fixture"
+            );
+        }
+    }
+}
+
+/// Writes the golden profile fixtures. Run only when virtual behaviour is
+/// *meant* to change, never for a host-side optimisation:
+/// `cargo test -p kaffeos --test profile_introspection -- --ignored regenerate`
+#[test]
+#[ignore = "writes golden fixtures; run only on a deliberate virtual-behaviour change"]
+fn regenerate_profile_fixtures() {
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    for seed in PROFILE_FIXTURE_SEEDS {
+        let (folded, hist) = golden_profile(seed);
+        for (suffix, body) in [("folded", folded), ("hist", hist)] {
+            let path = fixture_path(&format!("profile_seed{seed}.{suffix}"));
+            std::fs::write(&path, body).unwrap();
+            println!("wrote {}", path.display());
+        }
+    }
+}

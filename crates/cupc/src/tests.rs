@@ -1,6 +1,6 @@
 //! End-to-end compiler tests: Cup source → bytecode → verifier → VM.
 
-use std::collections::HashMap;
+use kaffeos_heap::FxHashMap;
 
 use kaffeos_heap::{HeapSpace, SpaceConfig, Value};
 use kaffeos_memlimit::Kind;
@@ -60,9 +60,9 @@ struct Host {
     ns: u32,
     heap: kaffeos_heap::HeapId,
     string_class: kaffeos_vm::ClassIdx,
-    statics: HashMap<kaffeos_vm::ClassIdx, kaffeos_heap::ObjRef>,
-    intern: HashMap<String, kaffeos_heap::ObjRef>,
-    monitors: HashMap<kaffeos_heap::ObjRef, (u32, u32)>,
+    statics: FxHashMap<kaffeos_vm::ClassIdx, kaffeos_heap::ObjRef>,
+    intern: FxHashMap<String, kaffeos_heap::ObjRef>,
+    monitors: FxHashMap<kaffeos_heap::ObjRef, (u32, u32)>,
     printed: Vec<String>,
 }
 
@@ -90,9 +90,9 @@ impl Host {
             ns,
             heap,
             string_class,
-            statics: HashMap::new(),
-            intern: HashMap::new(),
-            monitors: HashMap::new(),
+            statics: FxHashMap::default(),
+            intern: FxHashMap::default(),
+            monitors: FxHashMap::default(),
             printed: Vec::new(),
         }
     }

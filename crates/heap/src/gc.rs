@@ -40,6 +40,27 @@ pub struct GcReport {
     pub roots: u64,
 }
 
+/// Persistent GC working memory, owned by the [`HeapSpace`] and reused
+/// across collections: once the buffers have grown to the workload's
+/// high-water mark, a steady-state `gc()` performs **no host allocation**.
+/// Purely host-side — buffer reuse can never change mark order, trace
+/// events, or cycle accounting, all of which are functions of heap content
+/// and (sorted) root order alone.
+#[derive(Debug, Default)]
+pub struct GcScratch {
+    /// Depth-first mark stack (phases 1–2).
+    mark_stack: Vec<ObjRef>,
+    /// Per-object `references()` buffer (phase 2) — replaces the old
+    /// per-object `collect()` that allocated inside the trace loop.
+    refs: Vec<ObjRef>,
+    /// Sorted copy of the caller's roots (phase 1).
+    roots: Vec<ObjRef>,
+    /// Entry-item root slots, then freed slots (phases 1 and 3, disjoint).
+    slots: Vec<u32>,
+    /// Dead exit items (phase 4).
+    exits: Vec<ObjRef>,
+}
+
 /// Result of merging a heap into the kernel heap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MergeReport {
@@ -62,6 +83,21 @@ impl HeapSpace {
     /// roots pointing at *other* heaps materialise exit items in `heap` so
     /// that stack-held cross-heap references keep their targets alive.
     pub fn gc(&mut self, heap: HeapId, roots: &[ObjRef]) -> Result<GcReport, HeapError> {
+        // Detach the persistent scratch so the collector can borrow the
+        // space mutably; reattach afterwards (error paths included) so the
+        // grown buffers are kept for the next collection.
+        let mut scratch = core::mem::take(&mut self.gc_scratch);
+        let result = self.gc_with_scratch(heap, roots, &mut scratch);
+        self.gc_scratch = scratch;
+        result
+    }
+
+    fn gc_with_scratch(
+        &mut self,
+        heap: HeapId,
+        roots: &[ObjRef],
+        scratch: &mut GcScratch,
+    ) -> Result<GcReport, HeapError> {
         self.check_heap(heap)?;
         self.trace()
             .emit_with(|| kaffeos_trace::Payload::GcBegin { heap: heap.index });
@@ -76,12 +112,14 @@ impl HeapSpace {
         // (statics, intern tables) whose iteration order varies per instance.
         // The marked set is order-independent, but the *trace* (exit-item
         // materialisation events) is not — sorting makes runs byte-identical.
-        let mut ordered: Vec<ObjRef> = roots.to_vec();
-        ordered.sort_unstable();
+        scratch.roots.clear();
+        scratch.roots.extend_from_slice(roots);
+        scratch.roots.sort_unstable();
 
         // Phase 1: seed the mark stack.
-        let mut stack: Vec<ObjRef> = Vec::new();
-        for &root in &ordered {
+        scratch.mark_stack.clear();
+        for i in 0..scratch.roots.len() {
+            let root = scratch.roots[i];
             cycles += costs::GC_PER_ROOT;
             // A stale root is a caller bug; skip defensively in release.
             let Ok(root_heap) = self.heap_of(root) else {
@@ -89,7 +127,7 @@ impl HeapSpace {
                 continue;
             };
             if root_heap == heap {
-                self.mark_push(root, &mut stack);
+                self.mark_push(root, &mut scratch.mark_stack);
             } else {
                 // Stack-held cross-heap reference: retain via an
                 // (unaccounted) exit item so a collection can never fail.
@@ -102,14 +140,16 @@ impl HeapSpace {
             }
         }
         // Entry items with live remote references are roots too.
-        let entry_roots: Vec<u32> = self
-            .heap_core(heap)
-            .entries
-            .iter()
-            .filter(|(_, e)| e.refs > 0)
-            .map(|(&slot, _)| slot)
-            .collect();
-        for slot_index in entry_roots {
+        scratch.slots.clear();
+        scratch.slots.extend(
+            self.heap_core(heap)
+                .entries
+                .iter()
+                .filter(|(_, e)| e.refs > 0)
+                .map(|(&slot, _)| slot),
+        );
+        for i in 0..scratch.slots.len() {
+            let slot_index = scratch.slots[i];
             cycles += costs::GC_PER_ROOT;
             let generation = self.slots[slot_index as usize].generation;
             self.mark_push(
@@ -117,20 +157,23 @@ impl HeapSpace {
                     index: slot_index,
                     generation,
                 },
-                &mut stack,
+                &mut scratch.mark_stack,
             );
         }
 
         // Phase 2: trace within the heap; cross-heap references mark their
-        // exit items instead of being traced into.
-        while let Some(obj) = stack.pop() {
+        // exit items instead of being traced into. `scratch.refs` replaces a
+        // per-object `collect()` — same visit order, no allocation.
+        while let Some(obj) = scratch.mark_stack.pop() {
             cycles += costs::GC_MARK_PER_OBJECT;
-            let targets: Vec<ObjRef> = self.get(obj)?.references().collect();
-            cycles += targets.len() as u64 * costs::GC_TRACE_PER_FIELD;
-            for target in targets {
+            scratch.refs.clear();
+            scratch.refs.extend(self.get(obj)?.references());
+            cycles += scratch.refs.len() as u64 * costs::GC_TRACE_PER_FIELD;
+            for i in 0..scratch.refs.len() {
+                let target = scratch.refs[i];
                 let target_heap = self.heap_of(target)?;
                 if target_heap == heap {
-                    self.mark_push(target, &mut stack);
+                    self.mark_push(target, &mut scratch.mark_stack);
                 } else {
                     // The write barrier created this exit item when the
                     // reference was stored; `ensure` self-heals (unaccounted)
@@ -146,13 +189,16 @@ impl HeapSpace {
             }
         }
 
-        // Phase 3: sweep the heap's pages.
+        // Phase 3: sweep the heap's pages. The page list is detached rather
+        // than cloned (the sweep only touches `self.slots`) and reattached
+        // before anything else can observe the heap core.
         let mut objects_freed = 0u64;
         let mut bytes_freed = 0u64;
         let mut objects_live = 0u64;
-        let pages = self.heap_core(heap).pages.clone();
-        let mut freed_slots: Vec<u32> = Vec::new();
-        for page in pages {
+        let pages = core::mem::take(&mut self.heap_core_mut(heap).pages);
+        scratch.slots.clear();
+        let freed_slots = &mut scratch.slots;
+        for &page in &pages {
             let start = page * PAGE_SLOTS;
             for index in start..start + PAGE_SLOTS {
                 cycles += costs::GC_SWEEP_PER_SLOT;
@@ -175,9 +221,10 @@ impl HeapSpace {
         }
         {
             let core = self.heap_core_mut(heap);
+            core.pages = pages;
             core.bytes_used -= bytes_freed;
             core.objects -= objects_freed;
-            core.free_slots.extend(&freed_slots);
+            core.free_slots.extend(freed_slots.iter());
             core.gc_count += 1;
         }
         if bytes_freed > 0 {
@@ -189,15 +236,17 @@ impl HeapSpace {
         }
 
         // Phase 4: sweep exit items; destroy entry items that drop to zero.
-        let dead_exits: Vec<ObjRef> = self
-            .heap_core(heap)
-            .exits
-            .iter()
-            .filter(|(_, e)| !e.marked)
-            .map(|(&target, _)| target)
-            .collect();
-        let exit_items_freed = dead_exits.len() as u64;
-        for target in dead_exits {
+        scratch.exits.clear();
+        scratch.exits.extend(
+            self.heap_core(heap)
+                .exits
+                .iter()
+                .filter(|(_, e)| !e.marked)
+                .map(|(&target, _)| target),
+        );
+        let exit_items_freed = scratch.exits.len() as u64;
+        for i in 0..scratch.exits.len() {
+            let target = scratch.exits[i];
             self.drop_exit_item(heap, target)?;
         }
 

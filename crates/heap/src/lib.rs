@@ -31,6 +31,7 @@
 mod audit;
 mod barrier;
 mod error;
+pub mod fxhash;
 mod gc;
 mod heap;
 mod layout;
@@ -42,6 +43,7 @@ mod value;
 pub use audit::{SpaceAuditReport, SpaceAuditViolation};
 pub use barrier::{BarrierKind, BarrierStats, SegViolationKind};
 pub use error::HeapError;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use gc::{GcReport, MergeReport};
 pub use heap::{HeapKind, HeapSnapshot};
 pub use layout::{costs, SizeModel};

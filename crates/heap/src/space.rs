@@ -73,6 +73,9 @@ pub struct HeapSpace {
     sink: kaffeos_trace::TraceSink,
     /// Profile sink for GC pause histograms; disabled by default.
     profile: kaffeos_trace::ProfileSink,
+    /// Persistent GC working buffers, reused across collections so a
+    /// steady-state `gc()` allocates nothing on the host.
+    pub(crate) gc_scratch: crate::gc::GcScratch,
 }
 
 /// An armed allocation fault: fail the allocation whose zero-based attempt
@@ -125,6 +128,7 @@ impl HeapSpace {
             alloc_faults_fired: 0,
             sink: kaffeos_trace::TraceSink::disabled(),
             profile: kaffeos_trace::ProfileSink::disabled(),
+            gc_scratch: crate::gc::GcScratch::default(),
         }
     }
 
@@ -514,6 +518,7 @@ impl HeapSpace {
     // ----- object access --------------------------------------------------
 
     /// Immutable access to an object.
+    #[inline]
     pub fn get(&self, obj: ObjRef) -> Result<&Object, HeapError> {
         let slot = self
             .slots
@@ -525,6 +530,7 @@ impl HeapSpace {
         slot.obj.as_ref().ok_or(HeapError::StaleRef(obj))
     }
 
+    #[inline]
     fn get_mut(&mut self, obj: ObjRef) -> Result<&mut Object, HeapError> {
         let slot = self
             .slots
@@ -540,6 +546,7 @@ impl HeapSpace {
     /// finds it: object header for *Heap Pointer*, page-table lookup for the
     /// page-based variants. Both paths always agree; the distinction matters
     /// for the modelled cycle costs, not the answer.
+    #[inline]
     pub fn heap_of(&self, obj: ObjRef) -> Result<HeapId, HeapError> {
         let by_header = self.get(obj)?.heap;
         if self.barrier.uses_page_lookup() {
@@ -553,6 +560,7 @@ impl HeapSpace {
     }
 
     /// Loads a field or array element.
+    #[inline]
     pub fn load(&self, obj: ObjRef, index: usize) -> Result<Value, HeapError> {
         let o = self.get(obj)?;
         let slots: &[Value] = match &o.data {
@@ -573,6 +581,7 @@ impl HeapSpace {
     /// Stores a primitive into a field or element. No barrier: primitive
     /// fields of shared objects stay mutable after freezing (§2), and
     /// primitive stores can never create cross-heap references.
+    #[inline]
     pub fn store_prim(&mut self, obj: ObjRef, index: usize, val: Value) -> Result<(), HeapError> {
         debug_assert!(
             !matches!(val, Value::Ref(_)),
@@ -726,6 +735,7 @@ impl HeapSpace {
     }
 
     /// Array length / field count of an object.
+    #[inline]
     pub fn slot_count(&self, obj: ObjRef) -> Result<usize, HeapError> {
         Ok(self.get(obj)?.data.len())
     }
@@ -739,6 +749,7 @@ impl HeapSpace {
     }
 
     /// Class of an object.
+    #[inline]
     pub fn class_of(&self, obj: ObjRef) -> Result<ClassId, HeapError> {
         Ok(self.get(obj)?.class)
     }

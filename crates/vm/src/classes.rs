@@ -7,7 +7,7 @@
 //! while reloaded classes get a fresh [`ClassIdx`] — and therefore fresh
 //! statics — per process (§3.2).
 
-use std::collections::HashMap;
+use kaffeos_heap::FxHashMap;
 use std::sync::Arc;
 
 use crate::bytecode::{Const, TypeDesc};
@@ -111,6 +111,10 @@ pub struct MethodRt {
     pub is_static: bool,
     /// Verified body.
     pub code: crate::bytecode::Code,
+    /// Cached `Class.method` display name (see
+    /// [`ClassTable::qualified_name`]) — built once at load time so the
+    /// profiler's miss path never formats.
+    pub qname: String,
 }
 
 impl MethodRt {
@@ -142,7 +146,7 @@ pub struct LoadedClass {
     /// Virtual dispatch table (inherited slots first).
     pub vtable: Vec<MethodIdx>,
     /// Method name → vtable slot.
-    pub vslots: HashMap<String, u16>,
+    pub vslots: FxHashMap<String, u16>,
     /// Resolved constant pool.
     pub rpool: Vec<RConst>,
 }
@@ -171,7 +175,7 @@ pub struct Namespace {
     /// Delegation target, consulted first.
     pub parent: Option<u32>,
     /// Classes loaded directly into this namespace.
-    pub classes: HashMap<String, ClassIdx>,
+    pub classes: FxHashMap<String, ClassIdx>,
 }
 
 /// Global table of namespaces, loaded classes, and methods.
@@ -210,7 +214,7 @@ impl ClassTable {
             id,
             name: name.into(),
             parent,
-            classes: HashMap::new(),
+            classes: FxHashMap::default(),
         });
         id
     }
@@ -287,7 +291,7 @@ impl ClassTable {
                 let sc = &self.classes[s.0 as usize];
                 (sc.vtable.clone(), sc.vslots.clone())
             }
-            None => (Vec::new(), HashMap::new()),
+            None => (Vec::new(), FxHashMap::default()),
         };
         let mut methods = Vec::new();
         for m in &def.methods {
@@ -299,6 +303,7 @@ impl ClassTable {
                 ret: m.ret.clone(),
                 is_static: m.is_static,
                 code: m.code.clone(),
+                qname: format!("{}.{}", def.name, m.name),
             });
             methods.push(midx);
             if !m.is_static {
@@ -482,8 +487,7 @@ impl ClassTable {
     /// label. Namespaces are deliberately omitted: per-process class loads
     /// of the same source share one hot name in the flamegraph.
     pub fn qualified_name(&self, idx: MethodIdx) -> String {
-        let m = self.method(idx);
-        format!("{}.{}", self.class(m.class).name, m.name)
+        self.method(idx).qname.clone()
     }
 
     /// The class behind a heap-layer tag.

@@ -9,8 +9,24 @@
 //!
 //! Anything privileged exits as [`RunExit::Syscall`]; the kernel services
 //! the request and resumes the thread.
-
-use std::collections::HashMap;
+//!
+//! # Host representation
+//!
+//! Each thread keeps **one contiguous value stack** (`Thread::values`);
+//! frames are small plain-old-data records holding base offsets into it
+//! (`[f0.locals, f0.stack, f1.locals, f1.stack, …]`). Calls overlay the
+//! callee's leading locals onto the caller's pushed arguments in place, so
+//! a call allocates nothing once the vectors reach their high-water mark —
+//! the `Vec<Frame>`/`Vec<Value>` capacity reuse *is* the frame pool.
+//!
+//! The dispatch loop ([`run_dispatch`]) caches the top frame's state (pc,
+//! code slice, constant pool, stack bases) in locals and reloads it only
+//! when the frame changes; `frame.pc` is written back before any exit or
+//! helper that can observe it (raise, syscall, preemption, the profiler).
+//! All of this is host-side layout only: iterating `values` front to back
+//! visits exactly the slots (and order) the old per-frame vectors did, and
+//! the cached-pc loop executes the same ops charging the same cycles, so
+//! GC root order, scan sizes, and every virtual number are unchanged.
 
 use kaffeos_heap::{HeapError, HeapId, HeapSpace, ObjRef, Value};
 
@@ -20,6 +36,15 @@ use crate::engine::{Engine, OpCosts, BASE_COSTS};
 
 /// Deepest call stack before `StackOverflowError`.
 pub const MAX_FRAMES: usize = 256;
+
+// The dispatch loop copies one `Op` and pushes/pops 16-byte `Value`s on
+// nearly every instruction; these compile-time bounds keep future opcode or
+// value variants from silently fattening both hot structs.
+const _: () = assert!(core::mem::size_of::<Op>() <= 16, "Op grew past 16 bytes");
+const _: () = assert!(
+    core::mem::size_of::<Value>() <= 16,
+    "Value grew past 16 bytes"
+);
 
 /// VM-raised exception kinds, materialised into guest objects (by class
 /// name) when thrown so guest `catch` clauses work uniformly.
@@ -68,8 +93,12 @@ pub enum VmException {
     Builtin(BuiltinEx, String),
 }
 
-/// One activation record.
-#[derive(Debug, Clone)]
+/// One activation record: plain old data, pointing into the thread's
+/// contiguous value stack. Locals live at
+/// `values[locals_base..stack_base]`, the operand stack of the *top* frame
+/// at `values[stack_base..]` (inner frames' operand remainders sit between
+/// their `stack_base` and the next frame's `locals_base`).
+#[derive(Debug, Clone, Copy)]
 pub struct Frame {
     /// Executing method.
     pub method: MethodIdx,
@@ -77,10 +106,11 @@ pub struct Frame {
     pub class: ClassIdx,
     /// Next instruction index.
     pub pc: u32,
-    /// Local variable slots (receiver + params first).
-    pub locals: Vec<Value>,
-    /// Operand stack.
-    pub stack: Vec<Value>,
+    /// First value-stack slot of this frame's locals.
+    pub locals_base: u32,
+    /// First value-stack slot of this frame's operand stack
+    /// (`locals_base + max_locals`).
+    pub stack_base: u32,
 }
 
 /// Scheduler-visible thread state.
@@ -99,8 +129,12 @@ pub enum ThreadState {
 pub struct Thread {
     /// VM-wide thread id (monitor ownership key).
     pub id: u32,
-    /// Call stack, outermost first.
+    /// Call stack, outermost first (offsets into `values`).
     pub frames: Vec<Frame>,
+    /// The contiguous value stack all frames share: locals and operand
+    /// stacks, outermost frame first. Scanning it front to back visits
+    /// slots in exactly the order the per-frame representation did.
+    pub values: Vec<Value>,
     /// Modelled cycles consumed since the last drain by the scheduler.
     pub cycles: u64,
     /// Of `cycles`, the share spent in allocation-triggered collections of
@@ -120,6 +154,10 @@ pub struct Thread {
     pub pending_exception: Option<VmException>,
     /// Monitors currently held, innermost last (released on kill/unwind).
     pub held_monitors: Vec<ObjRef>,
+    /// Host-side instruction counter: bytecode ops executed since the last
+    /// drain. Purely observational (throughput benchmarks); never feeds
+    /// back into cycles, scheduling, or any other virtual quantity.
+    pub ops: u64,
 }
 
 impl Thread {
@@ -127,17 +165,19 @@ impl Thread {
     pub fn new(id: u32, table: &ClassTable, method: MethodIdx, args: Vec<Value>) -> Self {
         let m = table.method(method);
         debug_assert_eq!(args.len(), m.arg_slots(), "bad arg count for thread entry");
-        let mut locals = args;
-        locals.resize(m.code.max_locals as usize, Value::Null);
+        let mut values = args;
+        values.resize(m.code.max_locals as usize, Value::Null);
+        let stack_base = values.len() as u32;
         Thread {
             id,
             frames: vec![Frame {
                 method,
                 class: m.class,
                 pc: 0,
-                locals,
-                stack: Vec::new(),
+                locals_base: 0,
+                stack_base,
             }],
+            values,
             cycles: 0,
             gc_cycles: 0,
             kill_requested: false,
@@ -145,23 +185,21 @@ impl Thread {
             state: ThreadState::Runnable,
             pending_exception: None,
             held_monitors: Vec::new(),
+            ops: 0,
         }
     }
 
     /// Pushes a syscall result after the kernel services a [`RunExit::Syscall`].
     pub fn resume_with(&mut self, result: Option<Value>) {
-        if let (Some(v), Some(frame)) = (result, self.frames.last_mut()) {
-            frame.stack.push(v);
+        if let (Some(v), Some(_)) = (result, self.frames.last()) {
+            self.values.push(v);
         }
     }
 
     /// All references live on this thread's stacks (GC roots).
     pub fn stack_roots(&self) -> Vec<ObjRef> {
-        let mut roots = Vec::new();
-        for frame in &self.frames {
-            roots.extend(frame.locals.iter().filter_map(|v| v.as_ref()));
-            roots.extend(frame.stack.iter().filter_map(|v| v.as_ref()));
-        }
+        let mut roots = Vec::with_capacity(self.values.len() + self.held_monitors.len());
+        roots.extend(self.values.iter().filter_map(|v| v.as_ref()));
         roots.extend(self.held_monitors.iter().copied());
         roots
     }
@@ -176,10 +214,10 @@ impl Thread {
         let total = core::mem::take(&mut self.cycles);
         let gc = core::mem::take(&mut self.gc_cycles);
         DrainedCycles {
-            total,
             // Defensive: gc is accumulated strictly alongside total, so it
             // can never exceed it; clamp rather than let an exec share
             // underflow if that invariant is ever broken.
+            total,
             gc: gc.min(total),
         }
     }
@@ -194,12 +232,10 @@ impl Thread {
 
     /// Total stack slots (locals + operands) across all frames — the work
     /// a collector does scanning this thread, whether or not the slots
-    /// hold references.
+    /// hold references. With the contiguous representation this is simply
+    /// the value stack's length (the same sum the per-frame layout gave).
     pub fn stack_scan_size(&self) -> u64 {
-        self.frames
-            .iter()
-            .map(|f| (f.locals.len() + f.stack.len()) as u64)
-            .sum()
+        self.values.len() as u64
     }
 }
 
@@ -262,13 +298,13 @@ pub struct ExecCtx<'a> {
     pub engine: Engine,
     /// Per-process statics objects, keyed by class (lazily created here on
     /// first static access; they are GC roots the kernel must pass to `gc`).
-    pub statics: &'a mut HashMap<ClassIdx, ObjRef>,
+    pub statics: &'a mut kaffeos_heap::FxHashMap<ClassIdx, ObjRef>,
     /// Per-process string intern table (§3.3).
-    pub intern: &'a mut HashMap<String, ObjRef>,
+    pub intern: &'a mut kaffeos_heap::FxHashMap<String, ObjRef>,
     /// The `String` class in this namespace (for string allocation tags).
     pub string_class: ClassIdx,
     /// VM-wide monitor table: object → (owner thread, recursion depth).
-    pub monitors: &'a mut HashMap<ObjRef, (u32, u32)>,
+    pub monitors: &'a mut kaffeos_heap::FxHashMap<ObjRef, (u32, u32)>,
     /// Roots beyond this thread's own stacks (other threads of the same
     /// process, kernel pins) used when an allocation failure triggers a
     /// collection of the process heap.
@@ -292,7 +328,7 @@ pub const REF_ARRAY_CLASS: kaffeos_heap::ClassId = kaffeos_heap::ClassId(u32::MA
 
 const COSTS: OpCosts = BASE_COSTS;
 
-/// Outcome of executing a single instruction.
+/// Outcome of a frame-changing helper (call, return).
 enum StepFlow {
     Continue,
     Exit(RunExit),
@@ -311,797 +347,863 @@ pub fn step(thread: &mut Thread, ctx: &mut ExecCtx<'_>, fuel: u64) -> RunExit {
         }
     }
 
-    loop {
-        // Fault injection: a forced collection at every safe point shakes
-        // out GC-unsafety (missing roots, premature sweeps) that normal
-        // allocation-triggered collections would rarely reach.
-        if ctx.gc_every_safepoint {
-            let mut roots = thread.stack_roots();
-            roots.extend(ctx.statics.values().copied());
-            roots.extend(ctx.intern.values().copied());
-            roots.extend_from_slice(ctx.extra_roots);
-            ctx.space
-                .trace()
-                .emit_with(|| kaffeos_trace::Payload::FaultInjected {
-                    kind: kaffeos_trace::InjectionKind::ForcedGc,
-                });
-            if let Err(e) = ctx.space.gc(ctx.heap, &roots) {
-                return RunExit::Fault(crate::VmError::Heap(e));
-            }
-        }
-        // Safe point: termination (deferred while in kernel mode), then fuel.
-        if thread.kill_requested && thread.kernel_depth == 0 {
-            release_all_monitors(thread, ctx);
-            thread.frames.clear();
-            thread.state = ThreadState::Done;
-            return RunExit::Killed;
-        }
-        if thread.cycles - start_cycles >= fuel {
-            return RunExit::Preempted;
-        }
-
-        let flow = exec_one(thread, ctx);
-        match flow {
-            StepFlow::Continue => {}
-            StepFlow::Exit(exit) => {
-                if matches!(exit, RunExit::Finished(_) | RunExit::Unhandled(_)) {
-                    thread.state = ThreadState::Done;
-                }
-                if let RunExit::Blocked(obj) = exit {
-                    thread.state = ThreadState::Blocked(obj);
-                }
-                return exit;
-            }
-            StepFlow::Raise(ex) => {
-                if let Some(exit) = raise(thread, ctx, ex) {
-                    thread.state = ThreadState::Done;
-                    return exit;
-                }
-            }
-        }
+    // The injected variant re-runs fault hooks at every safe point; the
+    // fast variant hoists the (quantum-invariant) checks out of the loop.
+    let exit = if ctx.gc_every_safepoint {
+        run_dispatch::<true>(thread, ctx, fuel, start_cycles)
+    } else {
+        run_dispatch::<false>(thread, ctx, fuel, start_cycles)
+    };
+    match &exit {
+        RunExit::Finished(_) | RunExit::Unhandled(_) => thread.state = ThreadState::Done,
+        RunExit::Blocked(obj) => thread.state = ThreadState::Blocked(*obj),
+        _ => {}
     }
+    exit
 }
 
 macro_rules! pop {
-    ($frame:expr) => {
-        match $frame.stack.pop() {
+    ($thread:expr, $stack_base:expr) => {{
+        debug_assert!(
+            $thread.values.len() > $stack_base,
+            "operand stack underflow (verifier bug)"
+        );
+        match $thread.values.pop() {
             Some(v) => v,
-            None => {
-                debug_assert!(false, "operand stack underflow (verifier bug)");
-                Value::Null
-            }
+            None => Value::Null,
         }
-    };
+    }};
 }
 
-/// Executes the current instruction of the top frame.
-fn exec_one(thread: &mut Thread, ctx: &mut ExecCtx<'_>) -> StepFlow {
+/// Honours a termination request: releases monitors, drops all frames.
+fn honour_kill(thread: &mut Thread, ctx: &mut ExecCtx<'_>) -> RunExit {
+    release_all_monitors(thread, ctx);
+    thread.frames.clear();
+    thread.values.clear();
+    thread.state = ThreadState::Done;
+    RunExit::Killed
+}
+
+/// Fault-injection hook: one forced collection of the process heap, traced.
+fn forced_gc(thread: &mut Thread, ctx: &mut ExecCtx<'_>) -> Result<(), HeapError> {
+    let mut roots = thread.stack_roots();
+    roots.extend(ctx.statics.values().copied());
+    roots.extend(ctx.intern.values().copied());
+    roots.extend_from_slice(ctx.extra_roots);
+    ctx.space
+        .trace()
+        .emit_with(|| kaffeos_trace::Payload::FaultInjected {
+            kind: kaffeos_trace::InjectionKind::ForcedGc,
+        });
+    ctx.space.gc(ctx.heap, &roots).map(|_| ())
+}
+
+/// The dispatch loop. `INJECT` compiles in the per-safe-point fault hooks
+/// (forced GC, kill re-check); the fast variant checks termination once per
+/// quantum — the kernel only flips `kill_requested`/`kernel_depth` between
+/// quanta, so the per-op check of the injected loop observes exactly the
+/// same values. Virtual behaviour (ops executed, cycles charged, preemption
+/// boundaries) is identical in both variants.
+fn run_dispatch<const INJECT: bool>(
+    thread: &mut Thread,
+    ctx: &mut ExecCtx<'_>,
+    fuel: u64,
+    start_cycles: u64,
+) -> RunExit {
     let engine = ctx.engine;
-    let Some(frame) = thread.frames.last_mut() else {
-        return StepFlow::Exit(RunExit::Finished(None));
-    };
-    let method = ctx.table.method(frame.method);
-    let Some(&op) = method.code.ops.get(frame.pc as usize) else {
-        // Falling off the end of a void method is an implicit return.
-        return do_return(thread, ctx, None);
-    };
-    let class = ctx.table.class(frame.class);
-    frame.pc += 1;
+    // Copy the shared table reference out of `ctx` so per-frame method and
+    // pool borrows are independent of later `&mut ctx` uses.
+    let table = ctx.table;
 
-    match op {
-        // ----- constants & locals ------------------------------------
-        Op::ConstNull => {
-            thread.cycles += engine.scaled(COSTS.local);
-            frame.stack.push(Value::Null);
-        }
-        Op::ConstInt(v) => {
-            thread.cycles += engine.scaled(COSTS.local);
-            frame.stack.push(Value::Int(v));
-        }
-        Op::ConstFloat(v) => {
-            thread.cycles += engine.scaled(COSTS.local);
-            frame.stack.push(Value::Float(v));
-        }
-        Op::ConstStr(idx) => {
-            thread.cycles += engine.scaled(COSTS.string);
-            let RConst::Str(s) = &class.rpool[idx as usize] else {
-                return fault(format!("ConstStr on non-Str pool entry {idx}"));
+    if !INJECT && thread.kill_requested && thread.kernel_depth == 0 {
+        return honour_kill(thread, ctx);
+    }
+
+    'frame: loop {
+        // (Re)load the top frame's hot state into locals; it stays valid
+        // until the frame set changes (call, return, unwind, exit).
+        let Some(top) = thread.frames.last() else {
+            return RunExit::Finished(None);
+        };
+        let method = table.method(top.method);
+        let class = table.class(top.class);
+        let ops: &[Op] = &method.code.ops;
+        let locals_base = top.locals_base as usize;
+        let stack_base = top.stack_base as usize;
+        let mut pc = top.pc as usize;
+
+        // Write the cached pc back to the frame — required before any exit
+        // or helper that observes `frame.pc` (raise, profiler, resume).
+        macro_rules! sync_pc {
+            () => {
+                thread.frames.last_mut().expect("frame").pc = pc as u32
             };
-            let s = s.clone();
-            match intern_string(thread, ctx, &s) {
-                Ok(obj) => thread
-                    .frames
-                    .last_mut()
-                    .expect("frame")
-                    .stack
-                    .push(Value::Ref(obj)),
-                Err(ex) => return StepFlow::Raise(ex),
+        }
+        // Exception dispatch: unwind to a handler (and reload the frame
+        // state) or exit with the escaping exception.
+        macro_rules! throw {
+            ($ex:expr) => {{
+                sync_pc!();
+                match raise(thread, ctx, $ex) {
+                    None => continue 'frame,
+                    Some(exit) => return exit,
+                }
+            }};
+        }
+        // Frame-changing helper result: reload state or exit.
+        macro_rules! flow {
+            ($f:expr) => {{
+                sync_pc!();
+                match $f {
+                    StepFlow::Continue => continue 'frame,
+                    StepFlow::Exit(exit) => return exit,
+                    StepFlow::Raise(ex) => match raise(thread, ctx, ex) {
+                        None => continue 'frame,
+                        Some(exit) => return exit,
+                    },
+                }
+            }};
+        }
+        macro_rules! fault {
+            ($($msg:tt)*) => {{
+                sync_pc!();
+                return RunExit::Fault(crate::VmError::BadBytecode(format!($($msg)*)));
+            }};
+        }
+
+        loop {
+            if INJECT {
+                // Fault injection: a forced collection at every safe point
+                // shakes out GC-unsafety (missing roots, premature sweeps)
+                // that normal allocation-triggered collections would rarely
+                // reach. Kill/fuel are then re-checked per op, exactly like
+                // the pre-hoisting interpreter loop.
+                if let Err(e) = forced_gc(thread, ctx) {
+                    sync_pc!();
+                    return RunExit::Fault(crate::VmError::Heap(e));
+                }
+                if thread.kill_requested && thread.kernel_depth == 0 {
+                    return honour_kill(thread, ctx);
+                }
             }
-        }
-        Op::Load(slot) => {
-            thread.cycles += engine.scaled(COSTS.local);
-            let v = frame.locals[slot as usize];
-            frame.stack.push(v);
-        }
-        Op::Store(slot) => {
-            thread.cycles += engine.scaled(COSTS.local);
-            let v = pop!(frame);
-            frame.locals[slot as usize] = v;
-        }
-        Op::Pop => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let _ = pop!(frame);
-        }
-        Op::Dup => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let v = *frame.stack.last().unwrap_or(&Value::Null);
-            frame.stack.push(v);
-        }
-        Op::Swap => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let len = frame.stack.len();
-            if len >= 2 {
-                frame.stack.swap(len - 1, len - 2);
+            // Safe point: preemption fuel.
+            if thread.cycles - start_cycles >= fuel {
+                sync_pc!();
+                return RunExit::Preempted;
             }
-        }
 
-        // ----- integer arithmetic --------------------------------------
-        Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Shl | Op::Shr => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let b = pop!(frame).as_int();
-            let a = pop!(frame).as_int();
-            let r = match op {
-                Op::Add => a.wrapping_add(b),
-                Op::Sub => a.wrapping_sub(b),
-                Op::Mul => a.wrapping_mul(b),
-                Op::And => a & b,
-                Op::Or => a | b,
-                Op::Xor => a ^ b,
-                Op::Shl => a.wrapping_shl(b as u32 & 63),
-                Op::Shr => a.wrapping_shr(b as u32 & 63),
-                _ => unreachable!(),
+            thread.ops += 1;
+            let Some(&op) = ops.get(pc) else {
+                // Falling off the end of a void method is an implicit return.
+                flow!(do_return(thread, None));
             };
-            frame.stack.push(Value::Int(r));
-        }
-        Op::Div | Op::Rem => {
-            thread.cycles += engine.scaled(COSTS.simple * 4);
-            let b = pop!(frame).as_int();
-            let a = pop!(frame).as_int();
-            if b == 0 {
-                return StepFlow::Raise(VmException::Builtin(
-                    BuiltinEx::Arithmetic,
-                    "division by zero".to_string(),
-                ));
-            }
-            let r = if op == Op::Div {
-                a.wrapping_div(b)
-            } else {
-                a.wrapping_rem(b)
-            };
-            frame.stack.push(Value::Int(r));
-        }
-        Op::Neg => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let a = pop!(frame).as_int();
-            frame.stack.push(Value::Int(a.wrapping_neg()));
-        }
+            pc += 1;
 
-        // ----- float arithmetic -------------------------------------------
-        Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
-            thread.cycles += engine.scaled(COSTS.simple * 2);
-            let b = pop!(frame).as_float();
-            let a = pop!(frame).as_float();
-            let r = match op {
-                Op::FAdd => a + b,
-                Op::FSub => a - b,
-                Op::FMul => a * b,
-                Op::FDiv => a / b,
-                _ => unreachable!(),
-            };
-            frame.stack.push(Value::Float(r));
-        }
-        Op::FNeg => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let a = pop!(frame).as_float();
-            frame.stack.push(Value::Float(-a));
-        }
-        Op::I2F => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let a = pop!(frame).as_int();
-            frame.stack.push(Value::Float(a as f64));
-        }
-        Op::F2I => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let a = pop!(frame).as_float();
-            frame.stack.push(Value::Int(a as i64));
-        }
-
-        // ----- comparisons ---------------------------------------------------
-        Op::CmpEq | Op::CmpNe | Op::CmpLt | Op::CmpLe | Op::CmpGt | Op::CmpGe => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let b = pop!(frame).as_int();
-            let a = pop!(frame).as_int();
-            let r = match op {
-                Op::CmpEq => a == b,
-                Op::CmpNe => a != b,
-                Op::CmpLt => a < b,
-                Op::CmpLe => a <= b,
-                Op::CmpGt => a > b,
-                Op::CmpGe => a >= b,
-                _ => unreachable!(),
-            };
-            frame.stack.push(Value::Int(r as i64));
-        }
-        Op::FCmpEq | Op::FCmpLt | Op::FCmpLe | Op::FCmpGt | Op::FCmpGe => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let b = pop!(frame).as_float();
-            let a = pop!(frame).as_float();
-            let r = match op {
-                Op::FCmpEq => a == b,
-                Op::FCmpLt => a < b,
-                Op::FCmpLe => a <= b,
-                Op::FCmpGt => a > b,
-                Op::FCmpGe => a >= b,
-                _ => unreachable!(),
-            };
-            frame.stack.push(Value::Int(r as i64));
-        }
-        Op::RefEq | Op::RefNe => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let b = pop!(frame);
-            let a = pop!(frame);
-            let eq = match (a, b) {
-                (Value::Null, Value::Null) => true,
-                (Value::Ref(x), Value::Ref(y)) => x == y,
-                _ => false,
-            };
-            let r = if op == Op::RefEq { eq } else { !eq };
-            frame.stack.push(Value::Int(r as i64));
-        }
-
-        // ----- control flow ---------------------------------------------------
-        Op::Jump(target) => {
-            thread.cycles += engine.scaled(COSTS.branch);
-            frame.pc = target;
-        }
-        Op::JumpIfTrue(target) => {
-            thread.cycles += engine.scaled(COSTS.branch);
-            if pop!(frame).is_truthy() {
-                frame.pc = target;
-            }
-        }
-        Op::JumpIfFalse(target) => {
-            thread.cycles += engine.scaled(COSTS.branch);
-            if !pop!(frame).is_truthy() {
-                frame.pc = target;
-            }
-        }
-        Op::Return => {
-            thread.cycles += engine.scaled(COSTS.ret);
-            return do_return(thread, ctx, None);
-        }
-        Op::ReturnVal => {
-            thread.cycles += engine.scaled(COSTS.ret);
-            let v = pop!(frame);
-            return do_return(thread, ctx, Some(v));
-        }
-
-        // ----- objects -----------------------------------------------------------
-        Op::New(idx) => {
-            thread.cycles += engine.scaled(COSTS.alloc);
-            let RConst::Class(cidx) = class.rpool[idx as usize] else {
-                return fault(format!("New on non-Class pool entry {idx}"));
-            };
-            let nfields = ctx.table.class(cidx).instance_fields.len();
-            thread.cycles += engine.scaled(COSTS.simple) * nfields as u64;
-            let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
-                ctx.space.alloc_fields(ctx.heap, cidx.heap_class(), nfields)
-            });
-            match alloc {
-                Ok(obj) => {
-                    if let Err(e) = init_default_fields(ctx, cidx, obj, false) {
-                        return StepFlow::Raise(heap_exception(e));
+            match op {
+                // ----- constants & locals ------------------------------------
+                Op::ConstNull => {
+                    thread.cycles += engine.scaled(COSTS.local);
+                    thread.values.push(Value::Null);
+                }
+                Op::ConstInt(v) => {
+                    thread.cycles += engine.scaled(COSTS.local);
+                    thread.values.push(Value::Int(v));
+                }
+                Op::ConstFloat(v) => {
+                    thread.cycles += engine.scaled(COSTS.local);
+                    thread.values.push(Value::Float(v));
+                }
+                Op::ConstStr(idx) => {
+                    thread.cycles += engine.scaled(COSTS.string);
+                    let RConst::Str(s) = &class.rpool[idx as usize] else {
+                        fault!("ConstStr on non-Str pool entry {idx}");
+                    };
+                    match intern_string(thread, ctx, s) {
+                        Ok(obj) => thread.values.push(Value::Ref(obj)),
+                        Err(ex) => throw!(ex),
                     }
-                    thread
-                        .frames
-                        .last_mut()
-                        .expect("frame")
-                        .stack
-                        .push(Value::Ref(obj));
                 }
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::GetField(idx) => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let RConst::InstanceField { slot, .. } = class.rpool[idx as usize] else {
-                return fault(format!("GetField on bad pool entry {idx}"));
-            };
-            let Value::Ref(obj) = pop!(frame) else {
-                return npe("field access on null");
-            };
-            match ctx.space.load(obj, slot as usize) {
-                Ok(v) => frame.stack.push(v),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::PutField(idx) => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let RConst::InstanceField { slot, ref ty, .. } = class.rpool[idx as usize] else {
-                return fault(format!("PutField on bad pool entry {idx}"));
-            };
-            let is_ref = ty.is_reference();
-            let v = pop!(frame);
-            let Value::Ref(obj) = pop!(frame) else {
-                return npe("field store on null");
-            };
-            let result = if is_ref {
-                let mut pinned = vec![obj];
-                pinned.extend(v.as_ref());
-                with_gc_retry(thread, ctx, &pinned, |ctx| {
-                    ctx.space.store_ref(obj, slot as usize, v, ctx.trusted)
-                })
-                .map(|barrier_cycles| thread.cycles += barrier_cycles)
-            } else {
-                ctx.space.store_prim(obj, slot as usize, v)
-            };
-            if let Err(e) = result {
-                return StepFlow::Raise(heap_exception(e));
-            }
-        }
-        Op::GetStatic(idx) => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let RConst::StaticField {
-                class: cidx, slot, ..
-            } = class.rpool[idx as usize]
-            else {
-                return fault(format!("GetStatic on bad pool entry {idx}"));
-            };
-            let statics = match statics_object(thread, ctx, cidx) {
-                Ok(obj) => obj,
-                Err(ex) => return StepFlow::Raise(ex),
-            };
-            match ctx.space.load(statics, slot as usize) {
-                Ok(v) => thread.frames.last_mut().expect("frame").stack.push(v),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::PutStatic(idx) => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let RConst::StaticField {
-                class: cidx,
-                slot,
-                ref ty,
-            } = class.rpool[idx as usize]
-            else {
-                return fault(format!("PutStatic on bad pool entry {idx}"));
-            };
-            let is_ref = ty.is_reference();
-            let v = pop!(frame);
-            let statics = match statics_object(thread, ctx, cidx) {
-                Ok(obj) => obj,
-                Err(ex) => return StepFlow::Raise(ex),
-            };
-            let result = if is_ref {
-                let mut pinned = vec![statics];
-                pinned.extend(v.as_ref());
-                with_gc_retry(thread, ctx, &pinned, |ctx| {
-                    ctx.space.store_ref(statics, slot as usize, v, ctx.trusted)
-                })
-                .map(|barrier_cycles| thread.cycles += barrier_cycles)
-            } else {
-                ctx.space.store_prim(statics, slot as usize, v)
-            };
-            if let Err(e) = result {
-                return StepFlow::Raise(heap_exception(e));
-            }
-        }
-        Op::NullCheck => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let v = *frame.stack.last().unwrap_or(&Value::Null);
-            let _ = pop!(frame);
-            if !matches!(v, Value::Ref(_)) {
-                return npe("explicit null check");
-            }
-        }
-        Op::InstanceOf(idx) => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let RConst::Class(target) = class.rpool[idx as usize] else {
-                return fault(format!("InstanceOf on bad pool entry {idx}"));
-            };
-            let v = pop!(frame);
-            let r = value_instance_of(ctx, v, target);
-            frame.stack.push(Value::Int(r as i64));
-        }
-        Op::CheckCast(idx) => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let RConst::Class(target) = class.rpool[idx as usize] else {
-                return fault(format!("CheckCast on bad pool entry {idx}"));
-            };
-            let v = *frame.stack.last().unwrap_or(&Value::Null);
-            if !matches!(v, Value::Null) && !value_instance_of(ctx, v, target) {
-                return StepFlow::Raise(VmException::Builtin(
-                    BuiltinEx::ClassCast,
-                    format!("cannot cast to {}", ctx.table.class(target).name),
-                ));
-            }
-        }
-
-        // ----- arrays -------------------------------------------------------------
-        Op::NewArray(idx) => {
-            thread.cycles += engine.scaled(COSTS.alloc);
-            let len = pop!(frame).as_int();
-            if len < 0 {
-                return StepFlow::Raise(VmException::Builtin(
-                    BuiltinEx::IndexOutOfBounds,
-                    format!("negative array length {len}"),
-                ));
-            }
-            let (tag, elem_bytes, fill) = match class.rpool[idx as usize] {
-                RConst::Class(cidx) => (cidx.heap_class(), 4, Value::Null),
-                RConst::Str(ref s) if &**s == "int" => (INT_ARRAY_CLASS, 4, Value::Int(0)),
-                RConst::Str(ref s) if &**s == "float" => (FLOAT_ARRAY_CLASS, 8, Value::Float(0.0)),
-                // "str" and "["-prefixed nested-array descriptors: element
-                // values are references, 4 bytes each under the 32-bit model.
-                RConst::Str(ref s) if &**s == "str" || s.starts_with('[') => {
-                    (REF_ARRAY_CLASS, 4, Value::Null)
+                Op::Load(slot) => {
+                    thread.cycles += engine.scaled(COSTS.local);
+                    let v = thread.values[locals_base + slot as usize];
+                    thread.values.push(v);
                 }
-                _ => return fault(format!("NewArray on bad pool entry {idx}")),
-            };
-            thread.cycles += engine.scaled(COSTS.simple) * (len as u64 / 8).max(1);
-            let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
-                ctx.space
-                    .alloc_array(ctx.heap, tag, elem_bytes, len as usize, fill)
-            });
-            match alloc {
-                Ok(obj) => thread
-                    .frames
-                    .last_mut()
-                    .expect("frame")
-                    .stack
-                    .push(Value::Ref(obj)),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::ALoad => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let index = pop!(frame).as_int();
-            let Value::Ref(arr) = pop!(frame) else {
-                return npe("array load on null");
-            };
-            let len = match ctx.space.slot_count(arr) {
-                Ok(n) => n,
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            };
-            if index < 0 || index as usize >= len {
-                return StepFlow::Raise(VmException::Builtin(
-                    BuiltinEx::IndexOutOfBounds,
-                    format!("index {index} out of bounds for length {len}"),
-                ));
-            }
-            match ctx.space.load(arr, index as usize) {
-                Ok(v) => frame.stack.push(v),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::AStore => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let v = pop!(frame);
-            let index = pop!(frame).as_int();
-            let Value::Ref(arr) = pop!(frame) else {
-                return npe("array store on null");
-            };
-            let len = match ctx.space.slot_count(arr) {
-                Ok(n) => n,
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            };
-            if index < 0 || index as usize >= len {
-                return StepFlow::Raise(VmException::Builtin(
-                    BuiltinEx::IndexOutOfBounds,
-                    format!("index {index} out of bounds for length {len}"),
-                ));
-            }
-            let result = if v.is_reference() {
-                let mut pinned = vec![arr];
-                pinned.extend(v.as_ref());
-                with_gc_retry(thread, ctx, &pinned, |ctx| {
-                    ctx.space.store_ref(arr, index as usize, v, ctx.trusted)
-                })
-                .map(|barrier_cycles| thread.cycles += barrier_cycles)
-            } else {
-                ctx.space.store_prim(arr, index as usize, v)
-            };
-            if let Err(e) = result {
-                return StepFlow::Raise(heap_exception(e));
-            }
-        }
-        Op::ArrayLen => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let Value::Ref(arr) = pop!(frame) else {
-                return npe("array length of null");
-            };
-            match ctx.space.slot_count(arr) {
-                Ok(n) => frame.stack.push(Value::Int(n as i64)),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-
-        // ----- calls -----------------------------------------------------------------
-        Op::CallStatic(idx) => {
-            let RConst::DirectMethod(midx) = class.rpool[idx as usize] else {
-                return fault(format!("CallStatic on bad pool entry {idx}"));
-            };
-            return push_frame(thread, ctx, midx);
-        }
-        Op::CallVirtual(idx) => {
-            let RConst::VirtualMethod { vslot, nargs, .. } = class.rpool[idx as usize] else {
-                return fault(format!("CallVirtual on bad pool entry {idx}"));
-            };
-            // Receiver sits below the arguments.
-            let stack_len = frame.stack.len();
-            let recv_pos = stack_len.checked_sub(nargs as usize);
-            let Some(recv_pos) = recv_pos else {
-                return fault("virtual call with short stack".to_string());
-            };
-            let Value::Ref(recv) = frame.stack[recv_pos] else {
-                return npe("virtual call on null");
-            };
-            let recv_class = match ctx.space.class_of(recv) {
-                Ok(id) => ctx.table.from_heap_class(id),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            };
-            let midx = ctx.table.class(recv_class).vtable[vslot as usize];
-            return push_frame(thread, ctx, midx);
-        }
-        Op::CallSpecial(idx) => {
-            let RConst::VirtualMethod {
-                class: cidx, vslot, ..
-            } = class.rpool[idx as usize]
-            else {
-                return fault(format!("CallSpecial on bad pool entry {idx}"));
-            };
-            let midx = ctx.table.class(cidx).vtable[vslot as usize];
-            return push_frame(thread, ctx, midx);
-        }
-        Op::Syscall(idx) => {
-            thread.cycles += engine.scaled(COSTS.call);
-            let RConst::Intrinsic { id, nargs, .. } = class.rpool[idx as usize] else {
-                return fault(format!("Syscall on bad pool entry {idx}"));
-            };
-            let split = frame.stack.len().saturating_sub(nargs as usize);
-            let args = frame.stack.split_off(split);
-            return StepFlow::Exit(RunExit::Syscall { id, args });
-        }
-
-        // ----- exceptions ---------------------------------------------------------------
-        Op::Throw => {
-            let Value::Ref(ex) = pop!(frame) else {
-                return npe("throw of null");
-            };
-            return StepFlow::Raise(VmException::Guest(ex));
-        }
-
-        // ----- strings --------------------------------------------------------------------
-        Op::StrConcat => {
-            let b = pop!(frame);
-            let a = pop!(frame);
-            let sa = render(ctx, a);
-            let sb = render(ctx, b);
-            thread.cycles +=
-                engine.scaled(COSTS.string + COSTS.string_per_char * (sa.len() + sb.len()) as u64);
-            let joined = format!("{sa}{sb}");
-            let string_tag = ctx.string_class.heap_class();
-            match with_gc_retry(thread, ctx, &[], |ctx| {
-                ctx.space.alloc_str(ctx.heap, string_tag, joined.as_str())
-            }) {
-                Ok(obj) => thread
-                    .frames
-                    .last_mut()
-                    .expect("frame")
-                    .stack
-                    .push(Value::Ref(obj)),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::StrLen => {
-            thread.cycles += engine.scaled(COSTS.simple);
-            let Value::Ref(s) = pop!(frame) else {
-                return npe("length of null string");
-            };
-            match ctx.space.str_value(s) {
-                Ok(v) => {
-                    let n = v.chars().count() as i64;
-                    frame.stack.push(Value::Int(n));
+                Op::Store(slot) => {
+                    thread.cycles += engine.scaled(COSTS.local);
+                    let v = pop!(thread, stack_base);
+                    thread.values[locals_base + slot as usize] = v;
                 }
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::StrCharAt => {
-            thread.cycles += engine.scaled(COSTS.field);
-            let index = pop!(frame).as_int();
-            let Value::Ref(s) = pop!(frame) else {
-                return npe("charAt on null string");
-            };
-            let ch = match ctx.space.str_value(s) {
-                Ok(v) => v.chars().nth(index.max(0) as usize),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            };
-            match ch {
-                Some(c) => frame.stack.push(Value::Int(c as i64)),
-                None => {
-                    return StepFlow::Raise(VmException::Builtin(
-                        BuiltinEx::IndexOutOfBounds,
-                        format!("string index {index}"),
-                    ))
+                Op::Pop => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let _ = pop!(thread, stack_base);
                 }
-            }
-        }
-        Op::StrEq => {
-            let b = pop!(frame);
-            let a = pop!(frame);
-            let r = match (a, b) {
-                (Value::Ref(x), Value::Ref(y)) => {
-                    let sx = ctx.space.str_value(x).ok();
-                    let sy = ctx.space.str_value(y).ok();
-                    thread.cycles += engine.scaled(
-                        COSTS.string
-                            + COSTS.string_per_char * sx.map(|s| s.len()).unwrap_or(0) as u64,
+                Op::Dup => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    debug_assert!(
+                        thread.values.len() > stack_base,
+                        "Dup on empty operand stack"
                     );
-                    match (sx, sy) {
-                        (Some(sx), Some(sy)) => sx == sy,
-                        _ => false,
+                    let v = *thread.values.last().unwrap_or(&Value::Null);
+                    thread.values.push(v);
+                }
+                Op::Swap => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let len = thread.values.len();
+                    if len >= stack_base + 2 {
+                        thread.values.swap(len - 1, len - 2);
                     }
                 }
-                (Value::Null, Value::Null) => true,
-                _ => false,
-            };
-            thread
-                .frames
-                .last_mut()
-                .expect("frame")
-                .stack
-                .push(Value::Int(r as i64));
-        }
-        Op::Intern => {
-            thread.cycles += engine.scaled(COSTS.string);
-            let Value::Ref(s) = pop!(frame) else {
-                return npe("intern of null");
-            };
-            let text = match ctx.space.str_value(s) {
-                Ok(v) => v.to_string(),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            };
-            match intern_string(thread, ctx, &text) {
-                Ok(obj) => thread
-                    .frames
-                    .last_mut()
-                    .expect("frame")
-                    .stack
-                    .push(Value::Ref(obj)),
-                Err(ex) => return StepFlow::Raise(ex),
-            }
-        }
-        Op::ToStr => {
-            let v = pop!(frame);
-            let s = render(ctx, v);
-            thread.cycles += engine.scaled(COSTS.string + COSTS.string_per_char * s.len() as u64);
-            let string_tag = ctx.string_class.heap_class();
-            match with_gc_retry(thread, ctx, &[], |ctx| {
-                ctx.space.alloc_str(ctx.heap, string_tag, s.as_str())
-            }) {
-                Ok(obj) => thread
-                    .frames
-                    .last_mut()
-                    .expect("frame")
-                    .stack
-                    .push(Value::Ref(obj)),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::Substr => {
-            thread.cycles += engine.scaled(COSTS.string);
-            let end = pop!(frame).as_int();
-            let start = pop!(frame).as_int();
-            let Value::Ref(s) = pop!(frame) else {
-                return npe("substring of null");
-            };
-            let text = match ctx.space.str_value(s) {
-                Ok(v) => v.to_string(),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            };
-            let chars: Vec<char> = text.chars().collect();
-            let n = chars.len() as i64;
-            if start < 0 || end < start || end > n {
-                return StepFlow::Raise(VmException::Builtin(
-                    BuiltinEx::IndexOutOfBounds,
-                    format!("substring [{start}, {end}) of length {n}"),
-                ));
-            }
-            let sub: String = chars[start as usize..end as usize].iter().collect();
-            thread.cycles += engine.scaled(COSTS.string_per_char * sub.len() as u64);
-            let string_tag = ctx.string_class.heap_class();
-            match with_gc_retry(thread, ctx, &[], |ctx| {
-                ctx.space.alloc_str(ctx.heap, string_tag, sub.as_str())
-            }) {
-                Ok(obj) => thread
-                    .frames
-                    .last_mut()
-                    .expect("frame")
-                    .stack
-                    .push(Value::Ref(obj)),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            }
-        }
-        Op::ParseInt => {
-            thread.cycles += engine.scaled(COSTS.string);
-            let Value::Ref(s) = pop!(frame) else {
-                return npe("parseInt of null");
-            };
-            let text = match ctx.space.str_value(s) {
-                Ok(v) => v.trim().to_string(),
-                Err(e) => return StepFlow::Raise(heap_exception(e)),
-            };
-            match text.parse::<i64>() {
-                Ok(v) => frame.stack.push(Value::Int(v)),
-                Err(_) => {
-                    return StepFlow::Raise(VmException::Builtin(
-                        BuiltinEx::Arithmetic,
-                        format!("not a number: {text:?}"),
-                    ))
-                }
-            }
-        }
 
-        // ----- monitors ------------------------------------------------------
-        Op::MonitorEnter => {
-            thread.cycles += engine.scaled(COSTS.monitor) + engine.lock_extra;
-            let Value::Ref(obj) = pop!(frame) else {
-                return npe("monitorenter on null");
-            };
-            match ctx.monitors.get_mut(&obj) {
-                None => {
-                    ctx.monitors.insert(obj, (thread.id, 1));
-                    thread.held_monitors.push(obj);
+                // ----- integer arithmetic --------------------------------------
+                Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Shl
+                | Op::Shr => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let b = pop!(thread, stack_base).as_int();
+                    let a = pop!(thread, stack_base).as_int();
+                    let r = match op {
+                        Op::Add => a.wrapping_add(b),
+                        Op::Sub => a.wrapping_sub(b),
+                        Op::Mul => a.wrapping_mul(b),
+                        Op::And => a & b,
+                        Op::Or => a | b,
+                        Op::Xor => a ^ b,
+                        Op::Shl => a.wrapping_shl(b as u32 & 63),
+                        Op::Shr => a.wrapping_shr(b as u32 & 63),
+                        _ => unreachable!(),
+                    };
+                    thread.values.push(Value::Int(r));
                 }
-                Some((owner, depth)) if *owner == thread.id => *depth += 1,
-                Some(_) => {
-                    // Rewind pc so the acquire retries when rescheduled.
-                    thread.frames.last_mut().expect("frame").pc -= 1;
-                    thread
-                        .frames
-                        .last_mut()
-                        .expect("frame")
-                        .stack
-                        .push(Value::Ref(obj));
-                    return StepFlow::Exit(RunExit::Blocked(obj));
+                Op::Div | Op::Rem => {
+                    thread.cycles += engine.scaled(COSTS.simple * 4);
+                    let b = pop!(thread, stack_base).as_int();
+                    let a = pop!(thread, stack_base).as_int();
+                    if b == 0 {
+                        throw!(VmException::Builtin(
+                            BuiltinEx::Arithmetic,
+                            "division by zero".to_string(),
+                        ));
+                    }
+                    let r = if op == Op::Div {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    thread.values.push(Value::Int(r));
                 }
-            }
-        }
-        Op::MonitorExit => {
-            thread.cycles += engine.scaled(COSTS.monitor) + engine.lock_extra;
-            let Value::Ref(obj) = pop!(frame) else {
-                return npe("monitorexit on null");
-            };
-            match ctx.monitors.get_mut(&obj) {
-                Some((owner, depth)) if *owner == thread.id => {
-                    *depth -= 1;
-                    if *depth == 0 {
-                        ctx.monitors.remove(&obj);
-                        if let Some(pos) = thread.held_monitors.iter().rposition(|&m| m == obj) {
-                            thread.held_monitors.remove(pos);
+                Op::Neg => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let a = pop!(thread, stack_base).as_int();
+                    thread.values.push(Value::Int(a.wrapping_neg()));
+                }
+
+                // ----- float arithmetic -------------------------------------------
+                Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
+                    thread.cycles += engine.scaled(COSTS.simple * 2);
+                    let b = pop!(thread, stack_base).as_float();
+                    let a = pop!(thread, stack_base).as_float();
+                    let r = match op {
+                        Op::FAdd => a + b,
+                        Op::FSub => a - b,
+                        Op::FMul => a * b,
+                        Op::FDiv => a / b,
+                        _ => unreachable!(),
+                    };
+                    thread.values.push(Value::Float(r));
+                }
+                Op::FNeg => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let a = pop!(thread, stack_base).as_float();
+                    thread.values.push(Value::Float(-a));
+                }
+                Op::I2F => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let a = pop!(thread, stack_base).as_int();
+                    thread.values.push(Value::Float(a as f64));
+                }
+                Op::F2I => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let a = pop!(thread, stack_base).as_float();
+                    thread.values.push(Value::Int(a as i64));
+                }
+
+                // ----- comparisons ---------------------------------------------------
+                Op::CmpEq | Op::CmpNe | Op::CmpLt | Op::CmpLe | Op::CmpGt | Op::CmpGe => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let b = pop!(thread, stack_base).as_int();
+                    let a = pop!(thread, stack_base).as_int();
+                    let r = match op {
+                        Op::CmpEq => a == b,
+                        Op::CmpNe => a != b,
+                        Op::CmpLt => a < b,
+                        Op::CmpLe => a <= b,
+                        Op::CmpGt => a > b,
+                        Op::CmpGe => a >= b,
+                        _ => unreachable!(),
+                    };
+                    thread.values.push(Value::Int(r as i64));
+                }
+                Op::FCmpEq | Op::FCmpLt | Op::FCmpLe | Op::FCmpGt | Op::FCmpGe => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let b = pop!(thread, stack_base).as_float();
+                    let a = pop!(thread, stack_base).as_float();
+                    let r = match op {
+                        Op::FCmpEq => a == b,
+                        Op::FCmpLt => a < b,
+                        Op::FCmpLe => a <= b,
+                        Op::FCmpGt => a > b,
+                        Op::FCmpGe => a >= b,
+                        _ => unreachable!(),
+                    };
+                    thread.values.push(Value::Int(r as i64));
+                }
+                Op::RefEq | Op::RefNe => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let b = pop!(thread, stack_base);
+                    let a = pop!(thread, stack_base);
+                    let eq = match (a, b) {
+                        (Value::Null, Value::Null) => true,
+                        (Value::Ref(x), Value::Ref(y)) => x == y,
+                        _ => false,
+                    };
+                    let r = if op == Op::RefEq { eq } else { !eq };
+                    thread.values.push(Value::Int(r as i64));
+                }
+
+                // ----- control flow ---------------------------------------------------
+                Op::Jump(target) => {
+                    thread.cycles += engine.scaled(COSTS.branch);
+                    pc = target as usize;
+                }
+                Op::JumpIfTrue(target) => {
+                    thread.cycles += engine.scaled(COSTS.branch);
+                    if pop!(thread, stack_base).is_truthy() {
+                        pc = target as usize;
+                    }
+                }
+                Op::JumpIfFalse(target) => {
+                    thread.cycles += engine.scaled(COSTS.branch);
+                    if !pop!(thread, stack_base).is_truthy() {
+                        pc = target as usize;
+                    }
+                }
+                Op::Return => {
+                    thread.cycles += engine.scaled(COSTS.ret);
+                    flow!(do_return(thread, None));
+                }
+                Op::ReturnVal => {
+                    thread.cycles += engine.scaled(COSTS.ret);
+                    let v = pop!(thread, stack_base);
+                    flow!(do_return(thread, Some(v)));
+                }
+
+                // ----- objects -----------------------------------------------------------
+                Op::New(idx) => {
+                    thread.cycles += engine.scaled(COSTS.alloc);
+                    let RConst::Class(cidx) = class.rpool[idx as usize] else {
+                        fault!("New on non-Class pool entry {idx}");
+                    };
+                    let nfields = table.class(cidx).instance_fields.len();
+                    thread.cycles += engine.scaled(COSTS.simple) * nfields as u64;
+                    let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.alloc_fields(ctx.heap, cidx.heap_class(), nfields)
+                    });
+                    match alloc {
+                        Ok(obj) => {
+                            if let Err(e) = init_default_fields(ctx, cidx, obj, false) {
+                                throw!(heap_exception(e));
+                            }
+                            thread.values.push(Value::Ref(obj));
+                        }
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::GetField(idx) => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let RConst::InstanceField { slot, .. } = class.rpool[idx as usize] else {
+                        fault!("GetField on bad pool entry {idx}");
+                    };
+                    let Value::Ref(obj) = pop!(thread, stack_base) else {
+                        throw!(npe("field access on null"));
+                    };
+                    match ctx.space.load(obj, slot as usize) {
+                        Ok(v) => thread.values.push(v),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::PutField(idx) => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let RConst::InstanceField { slot, ref ty, .. } = class.rpool[idx as usize]
+                    else {
+                        fault!("PutField on bad pool entry {idx}");
+                    };
+                    let is_ref = ty.is_reference();
+                    let v = pop!(thread, stack_base);
+                    let Value::Ref(obj) = pop!(thread, stack_base) else {
+                        throw!(npe("field store on null"));
+                    };
+                    let result = if is_ref {
+                        // Fixed-size pin buffer: no per-store heap allocation.
+                        let mut pinned = [obj; 2];
+                        let mut n = 1;
+                        if let Some(r) = v.as_ref() {
+                            pinned[1] = r;
+                            n = 2;
+                        }
+                        with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                            ctx.space.store_ref(obj, slot as usize, v, ctx.trusted)
+                        })
+                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                    } else {
+                        ctx.space.store_prim(obj, slot as usize, v)
+                    };
+                    if let Err(e) = result {
+                        throw!(heap_exception(e));
+                    }
+                }
+                Op::GetStatic(idx) => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let RConst::StaticField {
+                        class: cidx, slot, ..
+                    } = class.rpool[idx as usize]
+                    else {
+                        fault!("GetStatic on bad pool entry {idx}");
+                    };
+                    let statics = match statics_object(thread, ctx, cidx) {
+                        Ok(obj) => obj,
+                        Err(ex) => throw!(ex),
+                    };
+                    match ctx.space.load(statics, slot as usize) {
+                        Ok(v) => thread.values.push(v),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::PutStatic(idx) => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let RConst::StaticField {
+                        class: cidx,
+                        slot,
+                        ref ty,
+                    } = class.rpool[idx as usize]
+                    else {
+                        fault!("PutStatic on bad pool entry {idx}");
+                    };
+                    let is_ref = ty.is_reference();
+                    let v = pop!(thread, stack_base);
+                    let statics = match statics_object(thread, ctx, cidx) {
+                        Ok(obj) => obj,
+                        Err(ex) => throw!(ex),
+                    };
+                    let result = if is_ref {
+                        let mut pinned = [statics; 2];
+                        let mut n = 1;
+                        if let Some(r) = v.as_ref() {
+                            pinned[1] = r;
+                            n = 2;
+                        }
+                        with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                            ctx.space.store_ref(statics, slot as usize, v, ctx.trusted)
+                        })
+                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                    } else {
+                        ctx.space.store_prim(statics, slot as usize, v)
+                    };
+                    if let Err(e) = result {
+                        throw!(heap_exception(e));
+                    }
+                }
+                Op::NullCheck => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let v = pop!(thread, stack_base);
+                    if !matches!(v, Value::Ref(_)) {
+                        throw!(npe("explicit null check"));
+                    }
+                }
+                Op::InstanceOf(idx) => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let RConst::Class(target) = class.rpool[idx as usize] else {
+                        fault!("InstanceOf on bad pool entry {idx}");
+                    };
+                    let v = pop!(thread, stack_base);
+                    let r = value_instance_of(ctx, v, target);
+                    thread.values.push(Value::Int(r as i64));
+                }
+                Op::CheckCast(idx) => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let RConst::Class(target) = class.rpool[idx as usize] else {
+                        fault!("CheckCast on bad pool entry {idx}");
+                    };
+                    debug_assert!(
+                        thread.values.len() > stack_base,
+                        "CheckCast on empty operand stack"
+                    );
+                    let v = *thread.values.last().unwrap_or(&Value::Null);
+                    if !matches!(v, Value::Null) && !value_instance_of(ctx, v, target) {
+                        throw!(VmException::Builtin(
+                            BuiltinEx::ClassCast,
+                            format!("cannot cast to {}", table.class(target).name),
+                        ));
+                    }
+                }
+
+                // ----- arrays -------------------------------------------------------------
+                Op::NewArray(idx) => {
+                    thread.cycles += engine.scaled(COSTS.alloc);
+                    let len = pop!(thread, stack_base).as_int();
+                    if len < 0 {
+                        throw!(VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("negative array length {len}"),
+                        ));
+                    }
+                    let (tag, elem_bytes, fill) = match class.rpool[idx as usize] {
+                        RConst::Class(cidx) => (cidx.heap_class(), 4, Value::Null),
+                        RConst::Str(ref s) if &**s == "int" => (INT_ARRAY_CLASS, 4, Value::Int(0)),
+                        RConst::Str(ref s) if &**s == "float" => {
+                            (FLOAT_ARRAY_CLASS, 8, Value::Float(0.0))
+                        }
+                        // "str" and "["-prefixed nested-array descriptors:
+                        // element values are references, 4 bytes each under
+                        // the 32-bit model.
+                        RConst::Str(ref s) if &**s == "str" || s.starts_with('[') => {
+                            (REF_ARRAY_CLASS, 4, Value::Null)
+                        }
+                        _ => fault!("NewArray on bad pool entry {idx}"),
+                    };
+                    thread.cycles += engine.scaled(COSTS.simple) * (len as u64 / 8).max(1);
+                    let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space
+                            .alloc_array(ctx.heap, tag, elem_bytes, len as usize, fill)
+                    });
+                    match alloc {
+                        Ok(obj) => thread.values.push(Value::Ref(obj)),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::ALoad => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let index = pop!(thread, stack_base).as_int();
+                    let Value::Ref(arr) = pop!(thread, stack_base) else {
+                        throw!(npe("array load on null"));
+                    };
+                    let len = match ctx.space.slot_count(arr) {
+                        Ok(n) => n,
+                        Err(e) => throw!(heap_exception(e)),
+                    };
+                    if index < 0 || index as usize >= len {
+                        throw!(VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("index {index} out of bounds for length {len}"),
+                        ));
+                    }
+                    match ctx.space.load(arr, index as usize) {
+                        Ok(v) => thread.values.push(v),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::AStore => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let v = pop!(thread, stack_base);
+                    let index = pop!(thread, stack_base).as_int();
+                    let Value::Ref(arr) = pop!(thread, stack_base) else {
+                        throw!(npe("array store on null"));
+                    };
+                    let len = match ctx.space.slot_count(arr) {
+                        Ok(n) => n,
+                        Err(e) => throw!(heap_exception(e)),
+                    };
+                    if index < 0 || index as usize >= len {
+                        throw!(VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("index {index} out of bounds for length {len}"),
+                        ));
+                    }
+                    let result = if v.is_reference() {
+                        let mut pinned = [arr; 2];
+                        let mut n = 1;
+                        if let Some(r) = v.as_ref() {
+                            pinned[1] = r;
+                            n = 2;
+                        }
+                        with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                            ctx.space.store_ref(arr, index as usize, v, ctx.trusted)
+                        })
+                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                    } else {
+                        ctx.space.store_prim(arr, index as usize, v)
+                    };
+                    if let Err(e) = result {
+                        throw!(heap_exception(e));
+                    }
+                }
+                Op::ArrayLen => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let Value::Ref(arr) = pop!(thread, stack_base) else {
+                        throw!(npe("array length of null"));
+                    };
+                    match ctx.space.slot_count(arr) {
+                        Ok(n) => thread.values.push(Value::Int(n as i64)),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+
+                // ----- calls -----------------------------------------------------------------
+                Op::CallStatic(idx) => {
+                    let RConst::DirectMethod(midx) = class.rpool[idx as usize] else {
+                        fault!("CallStatic on bad pool entry {idx}");
+                    };
+                    flow!(push_frame(thread, ctx, midx));
+                }
+                Op::CallVirtual(idx) => {
+                    let RConst::VirtualMethod { vslot, nargs, .. } = class.rpool[idx as usize]
+                    else {
+                        fault!("CallVirtual on bad pool entry {idx}");
+                    };
+                    // Receiver sits below the arguments.
+                    if thread.values.len() - stack_base < nargs as usize {
+                        fault!("virtual call with short stack");
+                    }
+                    let recv_pos = thread.values.len() - nargs as usize;
+                    let Value::Ref(recv) = thread.values[recv_pos] else {
+                        throw!(npe("virtual call on null"));
+                    };
+                    let recv_class = match ctx.space.class_of(recv) {
+                        Ok(id) => table.from_heap_class(id),
+                        Err(e) => throw!(heap_exception(e)),
+                    };
+                    let midx = table.class(recv_class).vtable[vslot as usize];
+                    flow!(push_frame(thread, ctx, midx));
+                }
+                Op::CallSpecial(idx) => {
+                    let RConst::VirtualMethod {
+                        class: cidx, vslot, ..
+                    } = class.rpool[idx as usize]
+                    else {
+                        fault!("CallSpecial on bad pool entry {idx}");
+                    };
+                    let midx = table.class(cidx).vtable[vslot as usize];
+                    flow!(push_frame(thread, ctx, midx));
+                }
+                Op::Syscall(idx) => {
+                    thread.cycles += engine.scaled(COSTS.call);
+                    let RConst::Intrinsic { id, nargs, .. } = class.rpool[idx as usize] else {
+                        fault!("Syscall on bad pool entry {idx}");
+                    };
+                    sync_pc!();
+                    let split = thread
+                        .values
+                        .len()
+                        .saturating_sub(nargs as usize)
+                        .max(stack_base);
+                    let args = thread.values.split_off(split);
+                    return RunExit::Syscall { id, args };
+                }
+
+                // ----- exceptions ---------------------------------------------------------------
+                Op::Throw => {
+                    let Value::Ref(ex) = pop!(thread, stack_base) else {
+                        throw!(npe("throw of null"));
+                    };
+                    throw!(VmException::Guest(ex));
+                }
+
+                // ----- strings --------------------------------------------------------------------
+                Op::StrConcat => {
+                    let b = pop!(thread, stack_base);
+                    let a = pop!(thread, stack_base);
+                    let sa = render(ctx, a);
+                    let sb = render(ctx, b);
+                    thread.cycles += engine
+                        .scaled(COSTS.string + COSTS.string_per_char * (sa.len() + sb.len()) as u64);
+                    let joined = format!("{sa}{sb}");
+                    let string_tag = ctx.string_class.heap_class();
+                    match with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.alloc_str(ctx.heap, string_tag, joined.as_str())
+                    }) {
+                        Ok(obj) => thread.values.push(Value::Ref(obj)),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::StrLen => {
+                    thread.cycles += engine.scaled(COSTS.simple);
+                    let Value::Ref(s) = pop!(thread, stack_base) else {
+                        throw!(npe("length of null string"));
+                    };
+                    match ctx.space.str_value(s) {
+                        Ok(v) => {
+                            let n = v.chars().count() as i64;
+                            thread.values.push(Value::Int(n));
+                        }
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::StrCharAt => {
+                    thread.cycles += engine.scaled(COSTS.field);
+                    let index = pop!(thread, stack_base).as_int();
+                    let Value::Ref(s) = pop!(thread, stack_base) else {
+                        throw!(npe("charAt on null string"));
+                    };
+                    let ch = match ctx.space.str_value(s) {
+                        Ok(v) => v.chars().nth(index.max(0) as usize),
+                        Err(e) => throw!(heap_exception(e)),
+                    };
+                    match ch {
+                        Some(c) => thread.values.push(Value::Int(c as i64)),
+                        None => throw!(VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("string index {index}"),
+                        )),
+                    }
+                }
+                Op::StrEq => {
+                    let b = pop!(thread, stack_base);
+                    let a = pop!(thread, stack_base);
+                    let r = match (a, b) {
+                        (Value::Ref(x), Value::Ref(y)) => {
+                            let sx = ctx.space.str_value(x).ok();
+                            let sy = ctx.space.str_value(y).ok();
+                            thread.cycles += engine.scaled(
+                                COSTS.string
+                                    + COSTS.string_per_char
+                                        * sx.map(|s| s.len()).unwrap_or(0) as u64,
+                            );
+                            match (sx, sy) {
+                                (Some(sx), Some(sy)) => sx == sy,
+                                _ => false,
+                            }
+                        }
+                        (Value::Null, Value::Null) => true,
+                        _ => false,
+                    };
+                    thread.values.push(Value::Int(r as i64));
+                }
+                Op::Intern => {
+                    thread.cycles += engine.scaled(COSTS.string);
+                    let Value::Ref(s) = pop!(thread, stack_base) else {
+                        throw!(npe("intern of null"));
+                    };
+                    let text = match ctx.space.str_value(s) {
+                        Ok(v) => v.to_string(),
+                        Err(e) => throw!(heap_exception(e)),
+                    };
+                    match intern_string(thread, ctx, &text) {
+                        Ok(obj) => thread.values.push(Value::Ref(obj)),
+                        Err(ex) => throw!(ex),
+                    }
+                }
+                Op::ToStr => {
+                    let v = pop!(thread, stack_base);
+                    let s = render(ctx, v);
+                    thread.cycles +=
+                        engine.scaled(COSTS.string + COSTS.string_per_char * s.len() as u64);
+                    let string_tag = ctx.string_class.heap_class();
+                    match with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.alloc_str(ctx.heap, string_tag, s.as_str())
+                    }) {
+                        Ok(obj) => thread.values.push(Value::Ref(obj)),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::Substr => {
+                    thread.cycles += engine.scaled(COSTS.string);
+                    let end = pop!(thread, stack_base).as_int();
+                    let start = pop!(thread, stack_base).as_int();
+                    let Value::Ref(s) = pop!(thread, stack_base) else {
+                        throw!(npe("substring of null"));
+                    };
+                    let text = match ctx.space.str_value(s) {
+                        Ok(v) => v.to_string(),
+                        Err(e) => throw!(heap_exception(e)),
+                    };
+                    let chars: Vec<char> = text.chars().collect();
+                    let n = chars.len() as i64;
+                    if start < 0 || end < start || end > n {
+                        throw!(VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("substring [{start}, {end}) of length {n}"),
+                        ));
+                    }
+                    let sub: String = chars[start as usize..end as usize].iter().collect();
+                    thread.cycles += engine.scaled(COSTS.string_per_char * sub.len() as u64);
+                    let string_tag = ctx.string_class.heap_class();
+                    match with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.alloc_str(ctx.heap, string_tag, sub.as_str())
+                    }) {
+                        Ok(obj) => thread.values.push(Value::Ref(obj)),
+                        Err(e) => throw!(heap_exception(e)),
+                    }
+                }
+                Op::ParseInt => {
+                    thread.cycles += engine.scaled(COSTS.string);
+                    let Value::Ref(s) = pop!(thread, stack_base) else {
+                        throw!(npe("parseInt of null"));
+                    };
+                    let text = match ctx.space.str_value(s) {
+                        Ok(v) => v.trim().to_string(),
+                        Err(e) => throw!(heap_exception(e)),
+                    };
+                    match text.parse::<i64>() {
+                        Ok(v) => thread.values.push(Value::Int(v)),
+                        Err(_) => throw!(VmException::Builtin(
+                            BuiltinEx::Arithmetic,
+                            format!("not a number: {text:?}"),
+                        )),
+                    }
+                }
+
+                // ----- monitors ------------------------------------------------------
+                Op::MonitorEnter => {
+                    thread.cycles += engine.scaled(COSTS.monitor) + engine.lock_extra;
+                    let Value::Ref(obj) = pop!(thread, stack_base) else {
+                        throw!(npe("monitorenter on null"));
+                    };
+                    match ctx.monitors.get_mut(&obj) {
+                        None => {
+                            ctx.monitors.insert(obj, (thread.id, 1));
+                            thread.held_monitors.push(obj);
+                        }
+                        Some((owner, depth)) if *owner == thread.id => *depth += 1,
+                        Some(_) => {
+                            // Rewind pc so the acquire retries when
+                            // rescheduled.
+                            pc -= 1;
+                            thread.values.push(Value::Ref(obj));
+                            sync_pc!();
+                            return RunExit::Blocked(obj);
                         }
                     }
                 }
-                _ => {
-                    return StepFlow::Raise(VmException::Builtin(
-                        BuiltinEx::IllegalState,
-                        "monitorexit without ownership".to_string(),
-                    ))
+                Op::MonitorExit => {
+                    thread.cycles += engine.scaled(COSTS.monitor) + engine.lock_extra;
+                    let Value::Ref(obj) = pop!(thread, stack_base) else {
+                        throw!(npe("monitorexit on null"));
+                    };
+                    match ctx.monitors.get_mut(&obj) {
+                        Some((owner, depth)) if *owner == thread.id => {
+                            *depth -= 1;
+                            if *depth == 0 {
+                                ctx.monitors.remove(&obj);
+                                if let Some(pos) =
+                                    thread.held_monitors.iter().rposition(|&m| m == obj)
+                                {
+                                    thread.held_monitors.remove(pos);
+                                }
+                            }
+                        }
+                        _ => throw!(VmException::Builtin(
+                            BuiltinEx::IllegalState,
+                            "monitorexit without ownership".to_string(),
+                        )),
+                    }
                 }
             }
         }
     }
-    StepFlow::Continue
 }
 
 /// Runs a heap operation; on `OutOfMemory`, collects the process heap (the
@@ -1140,15 +1242,8 @@ fn with_gc_retry<T>(
     }
 }
 
-fn fault(msg: String) -> StepFlow {
-    StepFlow::Exit(RunExit::Fault(crate::VmError::BadBytecode(msg)))
-}
-
-fn npe(msg: &str) -> StepFlow {
-    StepFlow::Raise(VmException::Builtin(
-        BuiltinEx::NullPointer,
-        msg.to_string(),
-    ))
+fn npe(msg: &str) -> VmException {
+    VmException::Builtin(BuiltinEx::NullPointer, msg.to_string())
 }
 
 /// Maps a heap error onto the guest-visible exception model.
@@ -1296,7 +1391,10 @@ fn intern_string(
     Ok(obj)
 }
 
-/// Pops arguments and pushes a callee frame.
+/// Pops arguments and pushes a callee frame. The callee's leading locals
+/// overlay the caller's pushed arguments in place — no values move, no
+/// allocation happens once the thread's vectors reach their high-water
+/// mark.
 fn push_frame(thread: &mut Thread, ctx: &mut ExecCtx<'_>, midx: MethodIdx) -> StepFlow {
     let m = ctx.table.method(midx);
     let nargs = m.arg_slots();
@@ -1309,28 +1407,38 @@ fn push_frame(thread: &mut Thread, ctx: &mut ExecCtx<'_>, midx: MethodIdx) -> St
             format!("{} frames", thread.frames.len()),
         ));
     }
-    let caller = thread.frames.last_mut().expect("caller frame");
-    let split = caller.stack.len().saturating_sub(nargs);
-    let mut locals = caller.stack.split_off(split);
-    locals.resize(m.code.max_locals as usize, Value::Null);
+    debug_assert!(
+        thread
+            .frames
+            .last()
+            .map(|f| thread.values.len() - f.stack_base as usize >= nargs)
+            .unwrap_or(true),
+        "call with short operand stack (verifier bug)"
+    );
+    let locals_base = thread.values.len().saturating_sub(nargs);
+    thread
+        .values
+        .resize(locals_base + m.code.max_locals as usize, Value::Null);
     thread.frames.push(Frame {
         method: midx,
         class: m.class,
         pc: 0,
-        locals,
-        stack: Vec::new(),
+        locals_base: locals_base as u32,
+        stack_base: (locals_base + m.code.max_locals as usize) as u32,
     });
     StepFlow::Continue
 }
 
 /// Pops the top frame, delivering `value` to the caller (or finishing the
 /// thread).
-fn do_return(thread: &mut Thread, _ctx: &mut ExecCtx<'_>, value: Option<Value>) -> StepFlow {
-    thread.frames.pop();
-    match thread.frames.last_mut() {
-        Some(caller) => {
+fn do_return(thread: &mut Thread, value: Option<Value>) -> StepFlow {
+    if let Some(f) = thread.frames.pop() {
+        thread.values.truncate(f.locals_base as usize);
+    }
+    match thread.frames.last() {
+        Some(_) => {
             if let Some(v) = value {
-                caller.stack.push(v);
+                thread.values.push(v);
             }
             StepFlow::Continue
         }
@@ -1422,16 +1530,6 @@ fn raise(thread: &mut Thread, ctx: &mut ExecCtx<'_>, ex: VmException) -> Option<
                 }
                 // Unmaterialised builtin: match by name chain.
                 None => {
-                    let mut cursor = Some(hcls);
-                    while let Some(cur) = cursor {
-                        if ctx.table.class(cur).name == class_name {
-                            break;
-                        }
-                        cursor = ctx.table.class(cur).super_idx;
-                    }
-                    // Matches only the exact class (or a superclass named
-                    // like the builtin) — builtins without a loaded class
-                    // cannot be subclass-matched.
                     ctx.table.class(hcls).name == class_name
                         || class_name_inherits(ctx, &class_name, hcls)
                 }
@@ -1440,14 +1538,19 @@ fn raise(thread: &mut Thread, ctx: &mut ExecCtx<'_>, ex: VmException) -> Option<
         if let Some(h) = handler.copied() {
             thread.cycles += ctx.engine.throw_cost(frames_examined);
             let frame = thread.frames.last_mut().expect("frame");
-            frame.stack.clear();
-            frame.stack.push(obj.map(Value::Ref).unwrap_or(Value::Null));
+            // Clear this frame's operand stack, then deliver the exception.
+            thread.values.truncate(frame.stack_base as usize);
+            thread
+                .values
+                .push(obj.map(Value::Ref).unwrap_or(Value::Null));
             frame.pc = h.target;
             return None;
         }
         // Leaving the frame: release monitors is the guest's duty via
         // finally blocks; kill-style unwinds release them in `step`.
-        thread.frames.pop();
+        if let Some(dead) = thread.frames.pop() {
+            thread.values.truncate(dead.locals_base as usize);
+        }
     }
     thread.cycles += ctx.engine.throw_cost(frames_examined);
     // Report the materialised guest object when there is one, so callers

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use kaffeos_heap::FxHashMap;
 
 use kaffeos_heap::{HeapSpace, SpaceConfig, Value};
 use kaffeos_memlimit::Kind;
@@ -46,9 +46,9 @@ struct TestVm {
     ns: u32,
     heap: kaffeos_heap::HeapId,
     string_class: ClassIdx,
-    statics: HashMap<ClassIdx, kaffeos_heap::ObjRef>,
-    intern: HashMap<String, kaffeos_heap::ObjRef>,
-    monitors: HashMap<kaffeos_heap::ObjRef, (u32, u32)>,
+    statics: FxHashMap<ClassIdx, kaffeos_heap::ObjRef>,
+    intern: FxHashMap<String, kaffeos_heap::ObjRef>,
+    monitors: FxHashMap<kaffeos_heap::ObjRef, (u32, u32)>,
     next_thread: u32,
 }
 
@@ -77,9 +77,9 @@ impl TestVm {
             ns,
             heap,
             string_class,
-            statics: HashMap::new(),
-            intern: HashMap::new(),
-            monitors: HashMap::new(),
+            statics: FxHashMap::default(),
+            intern: FxHashMap::default(),
+            monitors: FxHashMap::default(),
             next_thread: 1,
         }
     }
@@ -697,14 +697,14 @@ mod statics_and_reloading {
         assert_ne!(c1, c2, "reloaded class gets a fresh identity");
 
         let string_class = table.lookup(shared, "String").unwrap();
-        let mut statics = HashMap::new();
-        let mut intern = HashMap::new();
-        let mut monitors = HashMap::new();
+        let mut statics = FxHashMap::default();
+        let mut intern = FxHashMap::default();
+        let mut monitors = FxHashMap::default();
         let run = |table: &ClassTable,
                        space: &mut HeapSpace,
-                       statics: &mut HashMap<_, _>,
-                       intern: &mut HashMap<_, _>,
-                       monitors: &mut HashMap<_, _>,
+                       statics: &mut FxHashMap<_, _>,
+                       intern: &mut FxHashMap<_, _>,
+                       monitors: &mut FxHashMap<_, _>,
                        ns: u32,
                        class: ClassIdx| {
             let midx = table.find_method(class, "bump").unwrap();

@@ -13,7 +13,6 @@
 //! Instruction sequences come from a seeded SplitMix64 generator so every
 //! case replays exactly; a failing case names its seed.
 
-use std::collections::HashMap;
 
 use kaffeos_heap::{HeapSpace, SpaceConfig, Value};
 use kaffeos_memlimit::Kind;
@@ -227,9 +226,9 @@ fn accepted_bytecode_never_panics() {
                 let midx = table.find_method(cidx, "main").unwrap();
                 let mut thread = Thread::new(1, &table, midx, vec![Value::Int(3)]);
                 let string_class = table.lookup(ns, "String").unwrap();
-                let mut statics = HashMap::new();
-                let mut intern = HashMap::new();
-                let mut monitors = HashMap::new();
+                let mut statics = kaffeos_heap::FxHashMap::default();
+                let mut intern = kaffeos_heap::FxHashMap::default();
+                let mut monitors = kaffeos_heap::FxHashMap::default();
                 let mut ctx = ExecCtx {
                     space: &mut space,
                     table: &table,
