@@ -1,0 +1,999 @@
+//! Static heap-flow analysis over verified bytecode — `kaffeos-analyze`.
+//!
+//! KaffeOS enforces heap isolation with *dynamic* write barriers: every
+//! reference store checks the Figure-2 legality matrix at runtime and
+//! rejects illegal cross-heap edges as segmentation violations (§2, §4.3).
+//! This crate adds the *static* half of that story: an interprocedural
+//! abstract interpretation over the same verified `Op` stream that
+//! classifies every value by the **heap region** it may live on and every
+//! reference-store site by whether it can possibly cross a heap boundary.
+//!
+//! Two products fall out:
+//!
+//! 1. **Barrier elision.** A store proven `Local → Local` (both the
+//!    receiver and the stored value live on the running process's own
+//!    allocation heap, or are null) is same-heap into an unfrozen object
+//!    under every execution, so its legality checks are dead weight. The
+//!    analysis emits a per-method bitmap of such sites; the interpreter
+//!    skips the barrier's host-side checks there while charging the exact
+//!    same *virtual* cycle cost, so traces, profiles and Table-1 numbers
+//!    are unchanged.
+//! 2. **Cross-heap lints.** Sites that definitely or possibly violate the
+//!    matrix — writes into frozen shared objects, stores whose operands
+//!    escape local reasoning — plus unreachable code and
+//!    allocation-in-loop patterns, each mapped back to the Cup source
+//!    line via the method debug tables.
+//!
+//! # The region lattice
+//!
+//! ```text
+//!                Top
+//!                 |
+//!              MayCross
+//!            /    |      \
+//!        Local KernelConst SharedFrozen
+//!            \    |      /
+//!             (bottom)
+//! ```
+//!
+//! `Local` — null, a primitive, or an object allocated on the running
+//! process's own heap (all guest allocation sites: `New`, `NewArray`,
+//! string ops, interning; per-process statics objects; procfs reply
+//! strings). `KernelConst` — a kernel-pinned constant (reserved; no guest
+//! generator today). `SharedFrozen` — an object on a frozen shared heap
+//! (`shm.get`). `MayCross` — one of the above, statically unknown (method
+//! parameters, most fields, unknown intrinsics). `Top` — anything,
+//! including values returned through virtual dispatch.
+//!
+//! Joining two *distinct* definite regions yields `MayCross`; joining
+//! anything with `Top` yields `Top`.
+//!
+//! # Soundness
+//!
+//! The analysis is context-insensitive and conservative: parameters and
+//! exception objects enter as `MayCross`, virtual-call results as `Top`,
+//! and any method whose bytecode cannot be followed (unverified input) is
+//! abandoned with no elisions. Field summaries are global monotone joins
+//! over every store site in the program, keyed by the *declaring* class
+//! of the field slot, so reads through a subclass or superclass receiver
+//! observe the same summary. The dynamic oracle closes the loop: the
+//! fault-sweep soundness test asserts every runtime segmentation
+//! violation lands on a site this crate classified as non-elidable, and
+//! debug builds re-run the full legality check inside
+//! `store_ref_elided`.
+
+use std::collections::HashMap;
+
+use kaffeos_vm::{ClassIdx, ClassTable, MethodIdx, Op, RConst, TypeDesc};
+
+/// Abstract heap region of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Null, a primitive, or an object on the running process's own heap.
+    Local,
+    /// A kernel-pinned constant (reserved: no guest-reachable generator).
+    KernelConst,
+    /// An object on a frozen shared heap.
+    SharedFrozen,
+    /// Unknown mix of the definite regions.
+    MayCross,
+    /// Anything at all (virtual dispatch results).
+    Top,
+}
+
+impl Region {
+    /// Least upper bound.
+    pub fn join(self, other: Region) -> Region {
+        use Region::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Top, _) | (_, Top) => Top,
+            _ => MayCross,
+        }
+    }
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Local => "local",
+            Region::KernelConst => "kernel-const",
+            Region::SharedFrozen => "shared-frozen",
+            Region::MayCross => "may-cross",
+            Region::Top => "top",
+        }
+    }
+}
+
+/// Static classification of one reference-store site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Proven `Local → Local`: same-heap, unfrozen — barrier elidable.
+    Elide,
+    /// Proven legal but cross-heap (needs its entry/exit items): the
+    /// barrier must run.
+    LegalCross,
+    /// Cannot be proven either way: the barrier polices it at runtime.
+    Unknown,
+    /// Receiver is definitely frozen-shared: every ref store here is a
+    /// `FrozenSharedField` violation.
+    FrozenWrite,
+}
+
+/// One analyzed reference-store site (`PutField` / `PutStatic` / `AStore`
+/// with a reference operand).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreSite {
+    /// Containing method.
+    pub method: MethodIdx,
+    /// Instruction index of the store.
+    pub pc: u32,
+    /// Region of the object stored *into*.
+    pub recv: Region,
+    /// Region of the value stored.
+    pub val: Region,
+    /// Static verdict.
+    pub verdict: Verdict,
+}
+
+/// Lint categories emitted by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A store whose operands escape local reasoning badly enough that an
+    /// illegal cross-heap edge cannot be ruled out.
+    SegViolationCandidate,
+    /// A reference store whose receiver is definitely on a frozen shared
+    /// heap — guaranteed `FrozenSharedField` violation if executed.
+    WriteAfterFreeze,
+    /// Instructions no execution can reach.
+    UnreachableCode,
+    /// A loop that allocates on every iteration but contains no call or
+    /// syscall — it can burn its memlimit without ever interacting with
+    /// the kernel.
+    AllocInLoopNoSafepoint,
+}
+
+impl LintKind {
+    /// Short stable label (the allowlist key prefix).
+    pub fn label(self) -> &'static str {
+        match self {
+            LintKind::SegViolationCandidate => "seg-violation-candidate",
+            LintKind::WriteAfterFreeze => "write-after-freeze",
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::AllocInLoopNoSafepoint => "alloc-in-loop-no-safepoint",
+        }
+    }
+}
+
+/// One diagnostic, mapped back to the Cup source when debug line tables
+/// are present.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Category.
+    pub kind: LintKind,
+    /// Declaring class name.
+    pub class: String,
+    /// Method name.
+    pub method: String,
+    /// Instruction index.
+    pub pc: u32,
+    /// Source line, when the method has a debug table.
+    pub line: Option<u32>,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl Lint {
+    /// Stable allowlist key: category plus qualified method. Deliberately
+    /// excludes pc/line so innocuous edits don't churn the allowlist.
+    pub fn key(&self) -> String {
+        format!("{} {}.{}", self.kind.label(), self.class, self.method)
+    }
+}
+
+impl core::fmt::Display for Lint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: {}.{} at pc {}",
+            self.kind.label(),
+            self.class,
+            self.method,
+            self.pc
+        )?;
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        write!(f, ": {}", self.msg)
+    }
+}
+
+/// Abstract machine state at one pc: a region per local and stack slot.
+#[derive(Debug, Clone, PartialEq)]
+struct AbsState {
+    locals: Vec<Region>,
+    stack: Vec<Region>,
+}
+
+/// Analysis results plus the interprocedural summaries they were computed
+/// from. Re-running [`Analysis::run`] after more classes load re-reaches
+/// the global fixpoint (summaries only move up the lattice) and rebuilds
+/// every site verdict, so callers must republish elision bitmaps after
+/// each load batch.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Return-region summary per method (`None` = no return observed:
+    /// the method never completes normally, or is not yet analyzed).
+    summaries: Vec<Option<Region>>,
+    /// Instance-field summaries keyed by (declaring class, slot): the join
+    /// of every value ever stored into that slot, program-wide.
+    fields: HashMap<(u32, u16), Region>,
+    /// Static-field summaries keyed by (class, slot).
+    statics: HashMap<(u32, u16), Region>,
+    /// Join of every reference ever stored into any array element.
+    array_elems: Option<Region>,
+    /// Every reference-store site, keyed by (method, pc).
+    sites: HashMap<(u32, u32), StoreSite>,
+    /// Diagnostics from the last `run`.
+    pub lints: Vec<Lint>,
+    /// Methods whose bytecode could not be followed (unverified input);
+    /// they get no sites and no elisions.
+    bailed: Vec<u32>,
+    /// Set during a fixpoint pass when any global summary moved.
+    changed: bool,
+}
+
+/// Runs the full analysis over every method currently loaded.
+pub fn analyze(table: &ClassTable) -> Analysis {
+    let mut a = Analysis::default();
+    a.run(table);
+    a
+}
+
+impl Analysis {
+    /// (Re)analyzes every method in `table` to a global fixpoint, then
+    /// rebuilds site verdicts and lints. Idempotent; summaries accumulated
+    /// by previous runs are kept (they only move up the lattice), so this
+    /// is also the incremental entry point after loading more classes.
+    pub fn run(&mut self, table: &ClassTable) {
+        self.summaries.resize(table.methods.len(), None);
+        self.sites.clear();
+        self.lints.clear();
+        self.bailed.clear();
+
+        // Phase 1: fixpoint over the call graph. Each pass re-analyzes
+        // every method, joining return regions and field stores into the
+        // global summaries; stop when a full pass changes nothing. The
+        // lattice is finite and all updates are joins, so this terminates.
+        loop {
+            self.changed = false;
+            for i in 0..table.methods.len() {
+                self.run_method(table, MethodIdx(i as u32));
+            }
+            if !self.changed {
+                break;
+            }
+        }
+
+        // Phase 2: one collecting pass with the summaries frozen.
+        for i in 0..table.methods.len() {
+            let midx = MethodIdx(i as u32);
+            match self.run_method(table, midx) {
+                None => self.bailed.push(i as u32),
+                Some(states) => self.collect_method(table, midx, &states),
+            }
+        }
+        self.lints.sort_by(|a, b| {
+            (&a.class, &a.method, a.pc, a.kind.label())
+                .cmp(&(&b.class, &b.method, b.pc, b.kind.label()))
+        });
+    }
+
+    /// Static verdict for a store site, if the analysis saw one there.
+    pub fn site(&self, method: MethodIdx, pc: u32) -> Option<&StoreSite> {
+        self.sites.get(&(method.0, pc))
+    }
+
+    /// All analyzed store sites (unordered).
+    pub fn sites(&self) -> impl Iterator<Item = &StoreSite> {
+        self.sites.values()
+    }
+
+    /// Whether the method's bytecode could not be followed.
+    pub fn is_bailed(&self, method: MethodIdx) -> bool {
+        self.bailed.contains(&method.0)
+    }
+
+    /// Barrier-elision bitmap for a method: bit `pc` set ⇔ the store at
+    /// `pc` is proven `Local → Local`. Empty when nothing is elidable.
+    pub fn elision_bitmap(&self, table: &ClassTable, method: MethodIdx) -> Vec<u64> {
+        let Some(m) = table.methods.get(method.0 as usize) else {
+            return Vec::new();
+        };
+        let mut bitmap = vec![0u64; m.code.ops.len().div_ceil(64)];
+        let mut any = false;
+        for site in self.sites.values() {
+            if site.method == method && site.verdict == Verdict::Elide {
+                bitmap[(site.pc / 64) as usize] |= 1 << (site.pc % 64);
+                any = true;
+            }
+        }
+        if any {
+            bitmap
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// (elidable, total) reference-store sites across the whole program.
+    pub fn elision_counts(&self) -> (usize, usize) {
+        let elided = self
+            .sites
+            .values()
+            .filter(|s| s.verdict == Verdict::Elide)
+            .count();
+        (elided, self.sites.len())
+    }
+
+    // ---- intra-method pass -------------------------------------------------
+
+    /// Abstractly interprets one method: a verifier-shaped worklist over
+    /// `AbsState`s. Returns the per-pc states, or `None` when the bytecode
+    /// cannot be followed (ill-typed input — never panics).
+    fn run_method(
+        &mut self,
+        table: &ClassTable,
+        midx: MethodIdx,
+    ) -> Option<HashMap<u32, AbsState>> {
+        let m = table.methods.get(midx.0 as usize)?;
+        let code = &m.code;
+
+        let mut locals = Vec::with_capacity(code.max_locals as usize);
+        // Receiver and parameters arrive from arbitrary call sites.
+        for _ in 0..m.arg_slots() {
+            locals.push(Region::MayCross);
+        }
+        if locals.len() > code.max_locals as usize {
+            return None;
+        }
+        locals.resize(code.max_locals as usize, Region::Local);
+
+        let mut states: HashMap<u32, AbsState> = HashMap::new();
+        let mut worklist: Vec<u32> = Vec::new();
+        let entry = AbsState {
+            locals,
+            stack: Vec::new(),
+        };
+        merge_into(&mut states, &mut worklist, code.ops.len(), 0, entry)?;
+
+        while let Some(pc) = worklist.pop() {
+            let mut state = states.get(&pc)?.clone();
+            let Some(&op) = code.ops.get(pc as usize) else {
+                continue; // fall off the end: implicit return
+            };
+            // Exception handlers observe the locals here with the thrown
+            // object (arbitrary provenance) as the only stack entry.
+            for h in &code.handlers {
+                if pc >= h.start && pc < h.end {
+                    let hstate = AbsState {
+                        locals: state.locals.clone(),
+                        stack: vec![Region::MayCross],
+                    };
+                    merge_into(&mut states, &mut worklist, code.ops.len(), h.target, hstate)?;
+                }
+            }
+            let class = table.classes.get(m.class.0 as usize)?;
+            let flow = self.transfer(table, midx, op, &class.rpool, &mut state)?;
+            match flow {
+                Flow::Fall => {
+                    merge_into(&mut states, &mut worklist, code.ops.len(), pc + 1, state)?;
+                }
+                Flow::JumpTo(t) => {
+                    merge_into(&mut states, &mut worklist, code.ops.len(), t, state)?;
+                }
+                Flow::BranchTo(t) => {
+                    merge_into(&mut states, &mut worklist, code.ops.len(), t, state.clone())?;
+                    merge_into(&mut states, &mut worklist, code.ops.len(), pc + 1, state)?;
+                }
+                Flow::Stop => {}
+            }
+        }
+        Some(states)
+    }
+
+    /// Transfer function for one op. Updates the global summaries (joins
+    /// only) and sets `self.changed` when they move.
+    fn transfer(
+        &mut self,
+        table: &ClassTable,
+        midx: MethodIdx,
+        op: Op,
+        rpool: &[RConst],
+        state: &mut AbsState,
+    ) -> Option<Flow> {
+        use Region::*;
+        let pop = |state: &mut AbsState| state.stack.pop();
+        match op {
+            // Constants and every guest allocation site are Local.
+            Op::ConstNull | Op::ConstInt(_) | Op::ConstFloat(_) => state.stack.push(Local),
+            Op::ConstStr(_) => state.stack.push(Local),
+            Op::Load(slot) => {
+                let r = *state.locals.get(slot as usize)?;
+                state.stack.push(r);
+            }
+            Op::Store(slot) => {
+                let r = pop(state)?;
+                *state.locals.get_mut(slot as usize)? = r;
+            }
+            Op::Pop => {
+                pop(state)?;
+            }
+            Op::Dup => {
+                let r = *state.stack.last()?;
+                state.stack.push(r);
+            }
+            Op::Swap => {
+                let n = state.stack.len();
+                if n < 2 {
+                    return None;
+                }
+                state.stack.swap(n - 1, n - 2);
+            }
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Rem
+            | Op::Shl
+            | Op::Shr
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::FAdd
+            | Op::FSub
+            | Op::FMul
+            | Op::FDiv
+            | Op::CmpEq
+            | Op::CmpNe
+            | Op::CmpLt
+            | Op::CmpLe
+            | Op::CmpGt
+            | Op::CmpGe
+            | Op::FCmpEq
+            | Op::FCmpLt
+            | Op::FCmpLe
+            | Op::FCmpGt
+            | Op::FCmpGe
+            | Op::RefEq
+            | Op::RefNe
+            | Op::StrEq
+            | Op::StrCharAt => {
+                pop(state)?;
+                pop(state)?;
+                state.stack.push(Local);
+            }
+            Op::Neg | Op::FNeg | Op::I2F | Op::F2I | Op::StrLen | Op::ParseInt | Op::ArrayLen => {
+                pop(state)?;
+                state.stack.push(Local);
+            }
+            Op::StrConcat => {
+                pop(state)?;
+                pop(state)?;
+                state.stack.push(Local);
+            }
+            Op::Intern | Op::ToStr => {
+                pop(state)?;
+                state.stack.push(Local);
+            }
+            Op::Substr => {
+                pop(state)?;
+                pop(state)?;
+                pop(state)?;
+                state.stack.push(Local);
+            }
+            Op::Jump(t) => return Some(Flow::JumpTo(t)),
+            Op::JumpIfTrue(t) | Op::JumpIfFalse(t) => {
+                pop(state)?;
+                return Some(Flow::BranchTo(t));
+            }
+            Op::Return => return Some(Flow::Stop),
+            Op::ReturnVal => {
+                let r = pop(state)?;
+                let m = table.methods.get(midx.0 as usize)?;
+                if m.ret.as_ref().is_some_and(TypeDesc::is_reference) {
+                    self.join_summary(midx, r);
+                }
+                return Some(Flow::Stop);
+            }
+            Op::New(_) | Op::NewArray(_) => {
+                if matches!(op, Op::NewArray(_)) {
+                    pop(state)?; // length
+                }
+                state.stack.push(Local);
+            }
+            Op::GetField(idx) => {
+                let RConst::InstanceField { class, slot, ty } = rpool.get(idx as usize)? else {
+                    return None;
+                };
+                pop(state)?; // receiver
+                let r = if ty.is_reference() {
+                    let key = (declaring_class(table, *class, *slot)?.0, *slot);
+                    self.fields.get(&key).copied().unwrap_or(Local)
+                } else {
+                    Local
+                };
+                state.stack.push(r);
+            }
+            Op::PutField(idx) => {
+                let RConst::InstanceField { class, slot, ty } = rpool.get(idx as usize)? else {
+                    return None;
+                };
+                let val = pop(state)?;
+                pop(state)?; // receiver (site verdicts read it from the pre-state)
+                if ty.is_reference() {
+                    let key = (declaring_class(table, *class, *slot)?.0, *slot);
+                    self.join_field(key, val);
+                }
+            }
+            Op::GetStatic(idx) => {
+                let RConst::StaticField { class, slot, ty } = rpool.get(idx as usize)? else {
+                    return None;
+                };
+                let r = if ty.is_reference() {
+                    self.statics.get(&(class.0, *slot)).copied().unwrap_or(Local)
+                } else {
+                    Local
+                };
+                state.stack.push(r);
+            }
+            Op::PutStatic(idx) => {
+                let RConst::StaticField { class, slot, ty } = rpool.get(idx as usize)? else {
+                    return None;
+                };
+                let val = pop(state)?;
+                if ty.is_reference() {
+                    let key = (class.0, *slot);
+                    let cur = self.statics.get(&key).copied().unwrap_or(Local);
+                    let next = cur.join(val);
+                    if next != cur {
+                        self.statics.insert(key, next);
+                        self.changed = true;
+                    }
+                }
+            }
+            Op::NullCheck | Op::MonitorEnter | Op::MonitorExit => {
+                pop(state)?;
+            }
+            Op::InstanceOf(_) => {
+                pop(state)?;
+                state.stack.push(Local);
+            }
+            Op::CheckCast(_) => {
+                // A cast returns the same object: the region flows through.
+                let r = pop(state)?;
+                state.stack.push(r);
+            }
+            Op::ALoad => {
+                pop(state)?; // index
+                pop(state)?; // array
+                state.stack.push(self.array_elems.unwrap_or(Local));
+            }
+            Op::AStore => {
+                let val = pop(state)?;
+                pop(state)?; // index
+                pop(state)?; // array (site verdicts read it from the pre-state)
+                // Element type is not tracked; joining primitive stores in
+                // is harmless (their regions are never consulted).
+                let next = self.array_elems.unwrap_or(Local).join(val);
+                if self.array_elems != Some(next) {
+                    self.array_elems = Some(next);
+                    self.changed = true;
+                }
+            }
+            Op::CallStatic(idx) => {
+                let RConst::DirectMethod(target) = rpool.get(idx as usize)? else {
+                    return None;
+                };
+                let target = *target;
+                let m = table.methods.get(target.0 as usize)?;
+                let (nargs, ret) = (m.arg_slots(), m.ret.clone());
+                for _ in 0..nargs {
+                    pop(state)?;
+                }
+                if let Some(ret) = ret {
+                    state.stack.push(self.call_region(&ret, Some(target)));
+                }
+            }
+            Op::CallSpecial(idx) => {
+                // `CallSpecial` dispatches through the *static* class's own
+                // vtable slot (constructor/`super` semantics): the target is
+                // fixed at link time, so its summary applies.
+                let RConst::VirtualMethod { class, vslot, nargs, .. } = rpool.get(idx as usize)?
+                else {
+                    return None;
+                };
+                let target = *table
+                    .classes
+                    .get(class.0 as usize)?
+                    .vtable
+                    .get(*vslot as usize)?;
+                let ret = table.methods.get(target.0 as usize)?.ret.clone();
+                for _ in 0..*nargs {
+                    pop(state)?;
+                }
+                if let Some(ret) = ret {
+                    state.stack.push(self.call_region(&ret, Some(target)));
+                }
+            }
+            Op::CallVirtual(idx) => {
+                // Conservative at virtual dispatch: later loads may add
+                // overriding methods, so the result is Top.
+                let RConst::VirtualMethod { class, vslot, nargs, .. } = rpool.get(idx as usize)?
+                else {
+                    return None;
+                };
+                let target = *table
+                    .classes
+                    .get(class.0 as usize)?
+                    .vtable
+                    .get(*vslot as usize)?;
+                let ret = table.methods.get(target.0 as usize)?.ret.clone();
+                for _ in 0..*nargs {
+                    pop(state)?;
+                }
+                if let Some(ret) = ret {
+                    let r = if ret.is_reference() {
+                        Region::Top
+                    } else {
+                        Local
+                    };
+                    state.stack.push(r);
+                }
+            }
+            Op::Syscall(idx) => {
+                let RConst::Intrinsic { id, .. } = rpool.get(idx as usize)? else {
+                    return None;
+                };
+                let def = table.intrinsics().def(*id)?;
+                let (name, nparams, ret) = (def.name.clone(), def.params.len(), def.ret.clone());
+                for _ in 0..nparams {
+                    pop(state)?;
+                }
+                if let Some(ret) = ret {
+                    state.stack.push(intrinsic_region(&name, &ret));
+                }
+            }
+            Op::Throw => {
+                pop(state)?;
+                return Some(Flow::Stop);
+            }
+        }
+        Some(Flow::Fall)
+    }
+
+    /// Region pushed for a direct call's result.
+    fn call_region(&self, ret: &TypeDesc, target: Option<MethodIdx>) -> Region {
+        if !ret.is_reference() {
+            return Region::Local;
+        }
+        match target.and_then(|t| self.summaries.get(t.0 as usize).copied().flatten()) {
+            Some(r) => r,
+            // No return observed yet: the callee never completes normally
+            // (or the fixpoint has not reached it) — no value can flow, so
+            // the optimistic bottom is sound and later passes refine it.
+            None => Region::Local,
+        }
+    }
+
+    fn join_summary(&mut self, midx: MethodIdx, r: Region) {
+        let slot = &mut self.summaries[midx.0 as usize];
+        let next = match *slot {
+            Some(cur) => cur.join(r),
+            None => r,
+        };
+        if *slot != Some(next) {
+            *slot = Some(next);
+            self.changed = true;
+        }
+    }
+
+    fn join_field(&mut self, key: (u32, u16), r: Region) {
+        let cur = self.fields.get(&key).copied().unwrap_or(Region::Local);
+        let next = cur.join(r);
+        if next != cur {
+            self.fields.insert(key, next);
+            self.changed = true;
+        }
+    }
+
+    // ---- collection --------------------------------------------------------
+
+    /// Derives store-site verdicts, unreachable-code and loop lints for
+    /// one method from its fixpoint states.
+    fn collect_method(
+        &mut self,
+        table: &ClassTable,
+        midx: MethodIdx,
+        states: &HashMap<u32, AbsState>,
+    ) {
+        let Some(m) = table.methods.get(midx.0 as usize) else {
+            return;
+        };
+        let code = &m.code;
+        let class_name = table
+            .classes
+            .get(m.class.0 as usize)
+            .map(|c| c.name.clone())
+            .unwrap_or_default();
+
+        let lint = |kind: LintKind, pc: u32, msg: String| Lint {
+            kind,
+            class: class_name.clone(),
+            method: m.name.clone(),
+            pc,
+            line: code.line_for(pc),
+            msg,
+        };
+
+        // Store sites: classify from the state *before* each store op.
+        for (pc, op) in code.ops.iter().enumerate() {
+            let pc32 = pc as u32;
+            let Some(state) = states.get(&pc32) else {
+                continue;
+            };
+            let site = match *op {
+                Op::PutField(idx) => {
+                    let Some(RConst::InstanceField { ty, .. }) = table
+                        .classes
+                        .get(m.class.0 as usize)
+                        .and_then(|c| c.rpool.get(idx as usize))
+                    else {
+                        continue;
+                    };
+                    if !ty.is_reference() {
+                        continue;
+                    }
+                    // Stack: [... recv val]
+                    let n = state.stack.len();
+                    if n < 2 {
+                        continue;
+                    }
+                    Some((state.stack[n - 2], state.stack[n - 1]))
+                }
+                Op::PutStatic(idx) => {
+                    let Some(RConst::StaticField { ty, .. }) = table
+                        .classes
+                        .get(m.class.0 as usize)
+                        .and_then(|c| c.rpool.get(idx as usize))
+                    else {
+                        continue;
+                    };
+                    if !ty.is_reference() {
+                        continue;
+                    }
+                    let n = state.stack.len();
+                    if n < 1 {
+                        continue;
+                    }
+                    Some((Region::Local, state.stack[n - 1]))
+                }
+                Op::AStore => {
+                    // Stack: [... arr idx val]. Element type is unknown
+                    // statically; a primitive-element store is classified
+                    // too, harmlessly — its verdict is never consulted
+                    // (the interpreter only checks the bitmap for
+                    // reference values, and a Local/Local verdict for a
+                    // prim store elides nothing the barrier would do).
+                    let n = state.stack.len();
+                    if n < 3 {
+                        continue;
+                    }
+                    Some((state.stack[n - 3], state.stack[n - 1]))
+                }
+                _ => None,
+            };
+            if let Some((recv, val)) = site {
+                let verdict = classify(recv, val);
+                self.sites.insert(
+                    (midx.0, pc32),
+                    StoreSite {
+                        method: midx,
+                        pc: pc32,
+                        recv,
+                        val,
+                        verdict,
+                    },
+                );
+                match verdict {
+                    Verdict::FrozenWrite => self.lints.push(lint(
+                        LintKind::WriteAfterFreeze,
+                        pc32,
+                        format!(
+                            "reference store into frozen shared object ({} <- {})",
+                            recv.label(),
+                            val.label()
+                        ),
+                    )),
+                    Verdict::Unknown
+                        if recv == Region::Top
+                            || (recv == Region::MayCross && val == Region::SharedFrozen) =>
+                    {
+                        self.lints.push(lint(
+                            LintKind::SegViolationCandidate,
+                            pc32,
+                            format!(
+                                "store cannot be proven legal ({} <- {})",
+                                recv.label(),
+                                val.label()
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Unreachable code: reachable-state gaps. The compiler's implicit
+        // trailing Return on void methods is exempt (it is dead exactly
+        // when every path already returned or loops forever).
+        let mut run_start: Option<u32> = None;
+        for pc in 0..code.ops.len() as u32 {
+            let implicit_tail = pc as usize == code.ops.len() - 1
+                && matches!(code.ops[pc as usize], Op::Return);
+            let dead = !states.contains_key(&pc) && !implicit_tail;
+            match (dead, run_start) {
+                (true, None) => run_start = Some(pc),
+                (false, Some(start)) => {
+                    self.lints.push(lint(
+                        LintKind::UnreachableCode,
+                        start,
+                        format!("instructions {start}..{pc} are unreachable"),
+                    ));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            let end = code.ops.len() as u32;
+            self.lints.push(lint(
+                LintKind::UnreachableCode,
+                start,
+                format!("instructions {start}..{end} are unreachable"),
+            ));
+        }
+
+        // Allocation-in-loop: a reachable back edge whose body allocates
+        // but never calls out (no call, no syscall — so no foreign safe
+        // points and no kernel interaction while the memlimit drains).
+        let mut flagged: Option<u32> = None;
+        for (pc, op) in code.ops.iter().enumerate() {
+            let target = match *op {
+                Op::Jump(t) | Op::JumpIfTrue(t) | Op::JumpIfFalse(t) => t,
+                _ => continue,
+            };
+            if target as usize > pc || !states.contains_key(&(pc as u32)) {
+                continue;
+            }
+            let body = &code.ops[target as usize..=pc];
+            let allocates = body
+                .iter()
+                .position(|o| matches!(o, Op::New(_) | Op::NewArray(_)));
+            let calls_out = body.iter().any(|o| {
+                matches!(
+                    o,
+                    Op::CallStatic(_) | Op::CallVirtual(_) | Op::CallSpecial(_) | Op::Syscall(_)
+                )
+            });
+            if let (Some(at), false) = (allocates, calls_out) {
+                let alloc_pc = target + at as u32;
+                if flagged != Some(alloc_pc) {
+                    flagged = Some(alloc_pc);
+                    self.lints.push(lint(
+                        LintKind::AllocInLoopNoSafepoint,
+                        alloc_pc,
+                        format!("loop {}..{} allocates but never calls out", target, pc),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Figure-2 verdict for a reference store given operand regions.
+fn classify(recv: Region, val: Region) -> Verdict {
+    use Region::*;
+    match (recv, val) {
+        (SharedFrozen, _) => Verdict::FrozenWrite,
+        (Local, Local) => Verdict::Elide,
+        // Own-heap receiver, definitely-shared value: a legal user→shared
+        // edge — but it needs its entry/exit items, so the barrier runs.
+        (Local, SharedFrozen | KernelConst) => Verdict::LegalCross,
+        _ => Verdict::Unknown,
+    }
+}
+
+/// Region of an intrinsic's reference result.
+fn intrinsic_region(name: &str, ret: &TypeDesc) -> Region {
+    if !ret.is_reference() {
+        return Region::Local;
+    }
+    match name {
+        // `shm.get` hands out objects on a frozen shared heap.
+        "shm.get" => Region::SharedFrozen,
+        // procfs replies are strings materialised on the *caller's* heap.
+        "proc.status" | "proc.meminfo" | "proc.profile" => Region::Local,
+        _ => Region::MayCross,
+    }
+}
+
+/// Walks up the superclass chain to the class that declared `slot`, so
+/// stores through a subclass receiver and reads through the superclass
+/// share one field summary.
+fn declaring_class(table: &ClassTable, mut c: ClassIdx, slot: u16) -> Option<ClassIdx> {
+    loop {
+        let lc = table.classes.get(c.0 as usize)?;
+        match lc.super_idx {
+            Some(s) if (slot as usize) < table.classes.get(s.0 as usize)?.instance_fields.len() => {
+                c = s;
+            }
+            _ => return Some(c),
+        }
+    }
+}
+
+/// Merges `state` into the recorded state at `pc`, queueing `pc` when the
+/// state is new or widened. Returns `None` on out-of-range targets or
+/// merge-shape mismatches (ill-formed input — the method is abandoned).
+fn merge_into(
+    states: &mut HashMap<u32, AbsState>,
+    worklist: &mut Vec<u32>,
+    ops_len: usize,
+    pc: u32,
+    state: AbsState,
+) -> Option<()> {
+    if pc as usize > ops_len {
+        return None;
+    }
+    match states.get_mut(&pc) {
+        None => {
+            states.insert(pc, state);
+            worklist.push(pc);
+        }
+        Some(existing) => {
+            if existing.stack.len() != state.stack.len()
+                || existing.locals.len() != state.locals.len()
+            {
+                return None;
+            }
+            let mut changed = false;
+            for (a, b) in existing.locals.iter_mut().zip(&state.locals) {
+                let j = a.join(*b);
+                if *a != j {
+                    *a = j;
+                    changed = true;
+                }
+            }
+            for (a, b) in existing.stack.iter_mut().zip(&state.stack) {
+                let j = a.join(*b);
+                if *a != j {
+                    *a = j;
+                    changed = true;
+                }
+            }
+            if changed {
+                worklist.push(pc);
+            }
+        }
+    }
+    Some(())
+}
+
+enum Flow {
+    Fall,
+    JumpTo(u32),
+    BranchTo(u32),
+    Stop,
+}
+
+#[cfg(test)]
+mod tests;

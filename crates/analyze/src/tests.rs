@@ -1,0 +1,337 @@
+//! Unit tests: region lattice, verdicts, lints, and never-panic bail-out.
+
+use crate::{analyze, LintKind, Region, Verdict};
+use kaffeos_vm::{
+    ClassBuilder, ClassDef, ClassTable, Const, IntrinsicRegistry, MethodBuilder, Op, TypeDesc,
+};
+
+fn obj() -> TypeDesc {
+    TypeDesc::Class("Object".to_string())
+}
+
+/// Loads the minimal guest stdlib plus the given classes into one table.
+fn table_with(registry: IntrinsicRegistry, defs: Vec<ClassDef>) -> (ClassTable, u32) {
+    let mut table = ClassTable::new(registry);
+    let ns = table.create_namespace("t", None);
+    let base = [
+        ClassBuilder::root("Object").build(),
+        ClassBuilder::new("String").build(),
+        ClassBuilder::new("Exception").field("msg", TypeDesc::Str).build(),
+    ];
+    for def in base.into_iter().chain(defs) {
+        table.load_class(ns, def.into_arc()).unwrap();
+    }
+    (table, ns)
+}
+
+#[test]
+fn join_is_a_lattice() {
+    use Region::*;
+    for r in [Local, KernelConst, SharedFrozen, MayCross, Top] {
+        assert_eq!(r.join(r), r);
+        assert_eq!(r.join(Top), Top);
+        assert_eq!(Top.join(r), Top);
+    }
+    assert_eq!(Local.join(SharedFrozen), MayCross);
+    assert_eq!(SharedFrozen.join(KernelConst), MayCross);
+    assert_eq!(Local.join(MayCross), MayCross);
+}
+
+#[test]
+fn local_into_local_store_is_elided() {
+    let mut b = ClassBuilder::new("A").field("f", obj());
+    let a = b.pool(Const::Class("A".to_string()));
+    let o = b.pool(Const::Class("Object".to_string()));
+    let f = b.pool(Const::Field {
+        class: "A".to_string(),
+        name: "f".to_string(),
+    });
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .ops([Op::New(a), Op::New(o), Op::PutField(f), Op::Return])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    assert_eq!(an.site(m, 2).expect("store site").verdict, Verdict::Elide);
+    let bm = an.elision_bitmap(&table, m);
+    assert_eq!(bm.len(), 1);
+    assert_ne!(bm[0] & (1 << 2), 0, "bit for pc 2 must be set");
+    assert!(an.lints.is_empty(), "nothing to lint: {:?}", an.lints);
+}
+
+#[test]
+fn parameter_store_is_not_elided() {
+    let mut b = ClassBuilder::new("A").field("f", obj());
+    let a = b.pool(Const::Class("A".to_string()));
+    let f = b.pool(Const::Field {
+        class: "A".to_string(),
+        name: "f".to_string(),
+    });
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .param(obj())
+                .ops([Op::New(a), Op::Load(0), Op::PutField(f), Op::Return])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    let site = an.site(m, 2).expect("store site");
+    assert_eq!(site.verdict, Verdict::Unknown);
+    assert_eq!(site.val, Region::MayCross);
+    assert!(an.elision_bitmap(&table, m).is_empty());
+}
+
+#[test]
+fn static_call_summary_keeps_store_elidable() {
+    let mut b = ClassBuilder::new("A").field("f", obj());
+    let a = b.pool(Const::Class("A".to_string()));
+    let o = b.pool(Const::Class("Object".to_string()));
+    let f = b.pool(Const::Field {
+        class: "A".to_string(),
+        name: "f".to_string(),
+    });
+    let mk = b.pool(Const::Method {
+        class: "A".to_string(),
+        name: "mk".to_string(),
+    });
+    let def = b
+        .method(
+            MethodBuilder::of_static("mk")
+                .returns(obj())
+                .ops([Op::New(o), Op::ReturnVal])
+                .build(),
+        )
+        .method(
+            MethodBuilder::of_static("main")
+                .ops([Op::New(a), Op::CallStatic(mk), Op::PutField(f), Op::Return])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let main = table.find_method(cls, "main").unwrap();
+
+    let an = analyze(&table);
+    // `mk` provably returns a fresh local allocation, so the stored value
+    // is Local and the barrier is elidable.
+    assert_eq!(an.site(main, 2).expect("store site").verdict, Verdict::Elide);
+}
+
+#[test]
+fn virtual_call_result_is_top_and_linted_as_receiver() {
+    let mut b = ClassBuilder::new("A").field("f", obj());
+    let a = b.pool(Const::Class("A".to_string()));
+    let o = b.pool(Const::Class("Object".to_string()));
+    let f = b.pool(Const::Field {
+        class: "A".to_string(),
+        name: "f".to_string(),
+    });
+    let get = b.pool(Const::Method {
+        class: "A".to_string(),
+        name: "get".to_string(),
+    });
+    let def = b
+        .method(
+            MethodBuilder::instance("get")
+                .returns(TypeDesc::Class("A".to_string()))
+                .ops([Op::Load(0), Op::ReturnVal])
+                .build(),
+        )
+        .method(
+            MethodBuilder::of_static("main")
+                .ops([
+                    Op::New(a),
+                    Op::CallVirtual(get),
+                    Op::New(o),
+                    Op::PutField(f),
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let main = table.find_method(cls, "main").unwrap();
+
+    let an = analyze(&table);
+    let site = an.site(main, 3).expect("store site");
+    assert_eq!(site.recv, Region::Top);
+    assert_eq!(site.verdict, Verdict::Unknown);
+    assert!(an
+        .lints
+        .iter()
+        .any(|l| l.kind == LintKind::SegViolationCandidate && l.pc == 3 && l.method == "main"));
+}
+
+#[test]
+fn shm_get_result_is_frozen_and_write_is_linted() {
+    let mut r = IntrinsicRegistry::new();
+    r.register("shm.get", vec![TypeDesc::Str, TypeDesc::Int], Some(obj()));
+    let mut b = ClassBuilder::new("A").field("f", obj());
+    let s = b.pool(Const::Str("buf".to_string()));
+    let shm = b.pool(Const::Intrinsic("shm.get".to_string()));
+    let a = b.pool(Const::Class("A".to_string()));
+    let o = b.pool(Const::Class("Object".to_string()));
+    let f = b.pool(Const::Field {
+        class: "A".to_string(),
+        name: "f".to_string(),
+    });
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .ops([
+                    Op::ConstStr(s),
+                    Op::ConstInt(0),
+                    Op::Syscall(shm),
+                    Op::CheckCast(a),
+                    Op::New(o),
+                    Op::PutField(f),
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(r, vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    let site = an.site(m, 5).expect("store site");
+    assert_eq!(site.recv, Region::SharedFrozen, "CheckCast keeps the region");
+    assert_eq!(site.verdict, Verdict::FrozenWrite);
+    assert!(an
+        .lints
+        .iter()
+        .any(|l| l.kind == LintKind::WriteAfterFreeze && l.pc == 5 && l.method == "m"));
+}
+
+#[test]
+fn field_summary_flows_between_methods_regardless_of_order() {
+    let mut b = ClassBuilder::new("A").field("f", obj());
+    let a = b.pool(Const::Class("A".to_string()));
+    let f = b.pool(Const::Field {
+        class: "A".to_string(),
+        name: "f".to_string(),
+    });
+    // `read` comes first so a single pass would see the field as still
+    // Local; the fixpoint must circle back after `taint` raises it.
+    let def = b
+        .method(
+            MethodBuilder::of_static("read")
+                .ops([
+                    Op::New(a),
+                    Op::New(a),
+                    Op::GetField(f),
+                    Op::PutField(f),
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::of_static("taint")
+                .param(obj())
+                .ops([Op::New(a), Op::Load(0), Op::PutField(f), Op::Return])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let read = table.find_method(cls, "read").unwrap();
+
+    let an = analyze(&table);
+    let site = an.site(read, 3).expect("store site");
+    assert_eq!(site.val, Region::MayCross, "field summary must taint reads");
+    assert_eq!(site.verdict, Verdict::Unknown);
+}
+
+#[test]
+fn unreachable_code_is_linted_but_implicit_tail_return_is_not() {
+    let def = ClassBuilder::new("A")
+        .method(
+            MethodBuilder::of_static("m")
+                .ops([Op::Return, Op::ConstInt(1), Op::Pop, Op::Return])
+                .build(),
+        )
+        .build();
+    let (table, _) = table_with(IntrinsicRegistry::new(), vec![def]);
+
+    let an = analyze(&table);
+    let dead: Vec<_> = an
+        .lints
+        .iter()
+        .filter(|l| l.kind == LintKind::UnreachableCode)
+        .collect();
+    assert_eq!(dead.len(), 1, "{:?}", an.lints);
+    assert_eq!(dead[0].pc, 1);
+    assert!(dead[0].msg.contains("1..3"), "{}", dead[0].msg);
+}
+
+#[test]
+fn allocating_loop_without_calls_is_linted() {
+    let mut b = ClassBuilder::new("A");
+    let a = b.pool(Const::Class("A".to_string()));
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .locals(1)
+                .ops([
+                    Op::ConstInt(10),
+                    Op::Store(0),
+                    Op::New(a), // loop body start (pc 2)
+                    Op::Pop,
+                    Op::Load(0),
+                    Op::ConstInt(1),
+                    Op::Sub,
+                    Op::Dup,
+                    Op::Store(0),
+                    Op::JumpIfTrue(2),
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    assert!(!an.is_bailed(m));
+    assert!(an
+        .lints
+        .iter()
+        .any(|l| l.kind == LintKind::AllocInLoopNoSafepoint && l.pc == 2));
+}
+
+#[test]
+fn analyzer_bails_but_never_panics_on_mangled_bytecode() {
+    let def = ClassBuilder::new("A")
+        .method(MethodBuilder::of_static("m").op(Op::Return).build())
+        .build();
+    let (mut table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    for bad in [
+        vec![Op::Pop, Op::Return],            // stack underflow
+        vec![Op::Jump(1000)],                 // jump out of range
+        vec![Op::Load(9), Op::Return],        // local out of range
+        vec![Op::PutField(77), Op::Return],   // pool index out of range
+        vec![Op::Dup, Op::Return],            // dup on empty stack
+    ] {
+        table.methods[m.0 as usize].code.ops = bad;
+        let an = analyze(&table);
+        assert!(an.is_bailed(m), "mangled method must bail");
+        assert!(an.elision_bitmap(&table, m).is_empty());
+    }
+}

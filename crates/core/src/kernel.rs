@@ -88,6 +88,13 @@ pub struct KaffeOsConfig {
     /// sampling has no cycle model, so the virtual clock is bit-identical
     /// either way.
     pub profile: bool,
+    /// Run the static heap-flow analyzer after every class-load batch and
+    /// publish barrier-elision bitmaps: reference stores proven
+    /// Local→Local skip the barrier's legality checks. Elision is
+    /// host-wall-clock only — the virtual cycle model (and therefore every
+    /// trace, profile, and Table-1 number) is bit-identical either way.
+    /// Debug builds re-check elided stores against the real barrier.
+    pub elide: bool,
 }
 
 impl Default for KaffeOsConfig {
@@ -103,6 +110,7 @@ impl Default for KaffeOsConfig {
             trace: false,
             trace_capacity: kaffeos_trace::DEFAULT_CAPACITY,
             profile: false,
+            elide: true,
         }
     }
 }
@@ -269,6 +277,15 @@ pub struct KaffeOs {
     /// quanta. Observational only (throughput benchmarks); never feeds
     /// back into the clock, scheduling, or accounting.
     ops_executed: u64,
+    /// Kernel-owned static heap-flow analysis. Re-run (and its elision
+    /// bitmaps republished) after every class-load batch; summaries only
+    /// move up the lattice, so bitmaps monotonically shrink and the
+    /// republish is always sound.
+    analysis: kaffeos_analyze::Analysis,
+    /// Store sites that raised a segmentation violation at runtime,
+    /// drained from guest threads at each quantum boundary. The oracle the
+    /// soundness tests check static verdicts against.
+    seg_sites: Vec<kaffeos_vm::SegSite>,
 }
 
 impl KaffeOs {
@@ -335,7 +352,7 @@ impl KaffeOs {
             }
         }
 
-        KaffeOs {
+        let mut os = KaffeOs {
             space,
             table,
             config,
@@ -363,12 +380,54 @@ impl KaffeOs {
             sink,
             profile,
             ops_executed: 0,
-        }
+            analysis: kaffeos_analyze::Analysis::default(),
+            seg_sites: Vec::new(),
+        };
+        os.republish_elision();
+        os
     }
 
     /// The active configuration.
     pub fn config(&self) -> &KaffeOsConfig {
         &self.config
+    }
+
+    /// Re-runs the static heap-flow analyzer over every loaded class and
+    /// republishes barrier-elision bitmaps for **all** methods. Must run
+    /// after each class-load batch (loads happen between quanta, so there
+    /// is no window where a stale bitmap executes): a new override or
+    /// field store can only *raise* region summaries, shrinking bitmaps.
+    fn republish_elision(&mut self) {
+        if !self.config.elide {
+            return;
+        }
+        self.analysis.run(&self.table);
+        let bitmaps: Vec<Vec<u64>> = (0..self.table.methods.len())
+            .map(|i| self.analysis.elision_bitmap(&self.table, MethodIdx(i as u32)))
+            .collect();
+        for (i, bm) in bitmaps.into_iter().enumerate() {
+            self.table.set_elision(MethodIdx(i as u32), bm);
+        }
+    }
+
+    /// Runs the static heap-flow analyzer over everything currently
+    /// loaded and returns the full results: per-site verdicts and the
+    /// lint report (`kaffeos-lint` and the soundness tests read this).
+    pub fn analysis(&self) -> kaffeos_analyze::Analysis {
+        kaffeos_analyze::analyze(&self.table)
+    }
+
+    /// Reference-store sites that raised a segmentation violation at
+    /// runtime, in execution order. Only *guest* stores appear here —
+    /// kernel-level injected writes bypass guest bytecode entirely.
+    pub fn seg_violation_sites(&self) -> &[kaffeos_vm::SegSite] {
+        &self.seg_sites
+    }
+
+    /// The global class table (read-only): loaded classes, methods, and
+    /// the *published* elision bitmaps the interpreter actually consults.
+    pub fn class_table(&self) -> &ClassTable {
+        &self.table
     }
 
     /// Loads additional classes into the **shared namespace** (e.g. the
@@ -379,6 +438,7 @@ impl KaffeOs {
             self.table.load_class(self.shared_ns, def.into_arc())?;
             self.shared_class_count += 1;
         }
+        self.republish_elision();
         Ok(())
     }
 
@@ -488,6 +548,9 @@ impl KaffeOs {
             }
             (heap, Some(ml), ns)
         };
+        // The spawn loaded classes (reloaded stdlib + image): re-analyze
+        // and republish elision bitmaps before anything runs.
+        self.republish_elision();
 
         let mut proc = Process {
             pid,
@@ -1591,6 +1654,7 @@ impl KaffeOs {
         let exit = step(thread, &mut ctx, granted);
         let drained = thread.drain_cycles();
         self.ops_executed += core::mem::take(&mut thread.ops);
+        self.seg_sites.append(&mut thread.seg_sites);
         // Stack walk for the profiler, taken at the quantum boundary —
         // exactly where the drained cycles stopped accruing. Gated so a
         // disabled profiler allocates nothing.

@@ -60,8 +60,9 @@ pub use shm::{SharedHeap, ShmRegistry};
 pub use kaffeos_heap::{
     AllocFault, BarrierKind, BarrierStats, SegViolationKind, SpaceAuditReport, SpaceAuditViolation,
 };
+pub use kaffeos_analyze as analyze;
 pub use kaffeos_trace as trace;
-pub use kaffeos_vm::Engine;
+pub use kaffeos_vm::{Engine, SegSite};
 
 #[cfg(test)]
 mod tests;

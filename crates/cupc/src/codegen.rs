@@ -315,6 +315,7 @@ impl<'a, 'b> ClassGen<'a, 'b> {
             pending_continues: Vec::new(),
             ret: m.ret.clone(),
             is_static: m.is_static,
+            line_marks: Vec::new(),
         };
         if !m.is_static {
             f.declare("this", Ty::Class(self.decl.name.clone()), m.line)?;
@@ -338,6 +339,7 @@ impl<'a, 'b> ClassGen<'a, 'b> {
         if m.ret.is_none() {
             f.ops.push(Op::Return);
         }
+        let lines = f.line_table(m.line);
         Ok(kaffeos_vm::MethodDef {
             name: m.name.clone(),
             params: m.params.iter().map(|(_, t)| ty_to_desc(t)).collect(),
@@ -347,6 +349,7 @@ impl<'a, 'b> ClassGen<'a, 'b> {
                 max_locals: f.max_locals,
                 ops: f.ops,
                 handlers: f.handlers,
+                lines,
             },
         })
     }
@@ -354,6 +357,9 @@ impl<'a, 'b> ClassGen<'a, 'b> {
     // ---- statements --------------------------------------------------------
 
     fn stmt(&mut self, f: &mut FnGen, s: &Stmt) -> Result<(), CompileError> {
+        if let Some(line) = stmt_line(s) {
+            f.mark_line(line);
+        }
         match s {
             Stmt::VarDecl {
                 ty,
@@ -1470,6 +1476,25 @@ impl<'a, 'b> ClassGen<'a, 'b> {
     }
 }
 
+/// Source line of a statement, if it has one (`Block` does not).
+fn stmt_line(s: &Stmt) -> Option<u32> {
+    Some(match s {
+        Stmt::VarDecl { line, .. }
+        | Stmt::Assign { line, .. }
+        | Stmt::If { line, .. }
+        | Stmt::While { line, .. }
+        | Stmt::For { line, .. }
+        | Stmt::Return { line, .. }
+        | Stmt::Break { line }
+        | Stmt::Continue { line }
+        | Stmt::Throw { line, .. }
+        | Stmt::Try { line, .. }
+        | Stmt::Sync { line, .. } => *line,
+        Stmt::Expr(e) => e.line(),
+        Stmt::Block(_) => return None,
+    })
+}
+
 /// Array element descriptor for `NewArray` pool entries (non-class
 /// elements; see the VM verifier's `decode_elem_desc`).
 fn array_elem_desc(t: &Ty) -> String {
@@ -1506,11 +1531,42 @@ struct FnGen {
     pending_continues: Vec<usize>,
     ret: Option<Ty>,
     is_static: bool,
+    /// Debug line marks: `(op index, source line)` recorded at statement
+    /// entry, expanded into a per-op line table by `line_table`.
+    line_marks: Vec<(u32, u32)>,
 }
 
 impl FnGen {
     fn here(&self) -> u32 {
         self.ops.len() as u32
+    }
+
+    /// Records that instructions emitted from here on come from `line`.
+    fn mark_line(&mut self, line: u32) {
+        let at = self.ops.len() as u32;
+        if let Some(last) = self.line_marks.last_mut() {
+            if last.0 == at {
+                last.1 = line;
+                return;
+            }
+        }
+        self.line_marks.push((at, line));
+    }
+
+    /// Expands the recorded marks into a per-op table (forward-filled;
+    /// ops before the first mark get `default_line`, the method header).
+    fn line_table(&self, default_line: u32) -> Vec<u32> {
+        let mut lines = vec![0u32; self.ops.len()];
+        let mut cur = default_line;
+        let mut next = 0usize;
+        for (pc, slot) in lines.iter_mut().enumerate() {
+            while next < self.line_marks.len() && self.line_marks[next].0 as usize <= pc {
+                cur = self.line_marks[next].1;
+                next += 1;
+            }
+            *slot = cur;
+        }
+        lines
     }
 
     /// Emits a jump with an unresolved target; returns the op index.

@@ -275,4 +275,19 @@ pub struct Code {
     pub ops: Vec<Op>,
     /// Exception handlers, innermost first.
     pub handlers: Vec<Handler>,
+    /// Debug line table: `lines[pc]` is the 1-based source line the
+    /// instruction at `pc` was compiled from, or 0 when unknown. Empty for
+    /// hand-built bytecode (no debug info); when present, `lines.len() ==
+    /// ops.len()`.
+    pub lines: Vec<u32>,
+}
+
+impl Code {
+    /// Source line for the instruction at `pc`, if debug info is present.
+    pub fn line_for(&self, pc: u32) -> Option<u32> {
+        match self.lines.get(pc as usize) {
+            Some(&l) if l != 0 => Some(l),
+            _ => None,
+        }
+    }
 }

@@ -241,6 +241,7 @@ impl MethodBuilder {
                 max_locals: self.max_locals,
                 ops: self.ops,
                 handlers: self.handlers,
+                lines: Vec::new(),
             },
         }
     }

@@ -93,6 +93,21 @@ pub enum VmException {
     Builtin(BuiltinEx, String),
 }
 
+/// A dynamically observed barrier violation at a guest store site: which
+/// method/instruction raised it and why. Recorded by the interpreter's
+/// store handlers and drained by the kernel — the static analyzer's
+/// soundness tests cross-check every one of these against the static
+/// verdict for the same site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegSite {
+    /// Method whose store raised the violation.
+    pub method: MethodIdx,
+    /// Instruction index of the store.
+    pub pc: u32,
+    /// Which legality rule was violated.
+    pub kind: kaffeos_heap::SegViolationKind,
+}
+
 /// One activation record: plain old data, pointing into the thread's
 /// contiguous value stack. Locals live at
 /// `values[locals_base..stack_base]`, the operand stack of the *top* frame
@@ -158,6 +173,10 @@ pub struct Thread {
     /// drain. Purely observational (throughput benchmarks); never feeds
     /// back into cycles, scheduling, or any other virtual quantity.
     pub ops: u64,
+    /// Guest store sites that raised a barrier violation, in order.
+    /// Observational (drained by the kernel for the analyzer's dynamic
+    /// soundness oracle); never feeds back into execution.
+    pub seg_sites: Vec<SegSite>,
 }
 
 impl Thread {
@@ -186,6 +205,7 @@ impl Thread {
             pending_exception: None,
             held_monitors: Vec::new(),
             ops: 0,
+            seg_sites: Vec::new(),
         }
     }
 
@@ -425,6 +445,7 @@ fn run_dispatch<const INJECT: bool>(
         let Some(top) = thread.frames.last() else {
             return RunExit::Finished(None);
         };
+        let method_idx = top.method;
         let method = table.method(top.method);
         let class = table.class(top.class);
         let ops: &[Op] = &method.code.ops;
@@ -748,21 +769,38 @@ fn run_dispatch<const INJECT: bool>(
                         throw!(npe("field store on null"));
                     };
                     let result = if is_ref {
-                        // Fixed-size pin buffer: no per-store heap allocation.
-                        let mut pinned = [obj; 2];
-                        let mut n = 1;
-                        if let Some(r) = v.as_ref() {
-                            pinned[1] = r;
-                            n = 2;
+                        if method.elide_at(pc as u32 - 1) {
+                            // Statically proven Local→Local: skip the
+                            // legality checks (and the GC-retry wrapper —
+                            // the elided path debits no memlimit). Virtual
+                            // cost is unchanged.
+                            ctx.space
+                                .store_ref_elided(obj, slot as usize, v)
+                                .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                        } else {
+                            // Fixed-size pin buffer: no per-store heap allocation.
+                            let mut pinned = [obj; 2];
+                            let mut n = 1;
+                            if let Some(r) = v.as_ref() {
+                                pinned[1] = r;
+                                n = 2;
+                            }
+                            with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                ctx.space.store_ref(obj, slot as usize, v, ctx.trusted)
+                            })
+                            .map(|barrier_cycles| thread.cycles += barrier_cycles)
                         }
-                        with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
-                            ctx.space.store_ref(obj, slot as usize, v, ctx.trusted)
-                        })
-                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
                     } else {
                         ctx.space.store_prim(obj, slot as usize, v)
                     };
                     if let Err(e) = result {
+                        if let HeapError::SegViolation(kind) = e {
+                            thread.seg_sites.push(SegSite {
+                                method: method_idx,
+                                pc: pc as u32 - 1,
+                                kind,
+                            });
+                        }
                         throw!(heap_exception(e));
                     }
                 }
@@ -800,20 +838,33 @@ fn run_dispatch<const INJECT: bool>(
                         Err(ex) => throw!(ex),
                     };
                     let result = if is_ref {
-                        let mut pinned = [statics; 2];
-                        let mut n = 1;
-                        if let Some(r) = v.as_ref() {
-                            pinned[1] = r;
-                            n = 2;
+                        if method.elide_at(pc as u32 - 1) {
+                            ctx.space
+                                .store_ref_elided(statics, slot as usize, v)
+                                .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                        } else {
+                            let mut pinned = [statics; 2];
+                            let mut n = 1;
+                            if let Some(r) = v.as_ref() {
+                                pinned[1] = r;
+                                n = 2;
+                            }
+                            with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                ctx.space.store_ref(statics, slot as usize, v, ctx.trusted)
+                            })
+                            .map(|barrier_cycles| thread.cycles += barrier_cycles)
                         }
-                        with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
-                            ctx.space.store_ref(statics, slot as usize, v, ctx.trusted)
-                        })
-                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
                     } else {
                         ctx.space.store_prim(statics, slot as usize, v)
                     };
                     if let Err(e) = result {
+                        if let HeapError::SegViolation(kind) = e {
+                            thread.seg_sites.push(SegSite {
+                                method: method_idx,
+                                pc: pc as u32 - 1,
+                                kind,
+                            });
+                        }
                         throw!(heap_exception(e));
                     }
                 }
@@ -924,20 +975,33 @@ fn run_dispatch<const INJECT: bool>(
                         ));
                     }
                     let result = if v.is_reference() {
-                        let mut pinned = [arr; 2];
-                        let mut n = 1;
-                        if let Some(r) = v.as_ref() {
-                            pinned[1] = r;
-                            n = 2;
+                        if method.elide_at(pc as u32 - 1) {
+                            ctx.space
+                                .store_ref_elided(arr, index as usize, v)
+                                .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                        } else {
+                            let mut pinned = [arr; 2];
+                            let mut n = 1;
+                            if let Some(r) = v.as_ref() {
+                                pinned[1] = r;
+                                n = 2;
+                            }
+                            with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                ctx.space.store_ref(arr, index as usize, v, ctx.trusted)
+                            })
+                            .map(|barrier_cycles| thread.cycles += barrier_cycles)
                         }
-                        with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
-                            ctx.space.store_ref(arr, index as usize, v, ctx.trusted)
-                        })
-                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
                     } else {
                         ctx.space.store_prim(arr, index as usize, v)
                     };
                     if let Err(e) = result {
+                        if let HeapError::SegViolation(kind) = e {
+                            thread.seg_sites.push(SegSite {
+                                method: method_idx,
+                                pc: pc as u32 - 1,
+                                kind,
+                            });
+                        }
                         throw!(heap_exception(e));
                     }
                 }

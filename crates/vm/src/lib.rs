@@ -33,11 +33,11 @@ pub use classes::{ClassIdx, ClassTable, LoadedClass, MethodIdx, Namespace, RCons
 pub use classfile::{ClassBuilder, ClassDef, FieldDef, MethodBuilder, MethodDef};
 pub use engine::{Engine, OpCosts};
 pub use interp::{
-    step, BuiltinEx, DrainedCycles, ExecCtx, Frame, RunExit, Thread, ThreadState, VmException,
-    FLOAT_ARRAY_CLASS, INT_ARRAY_CLASS, MAX_FRAMES, REF_ARRAY_CLASS,
+    step, BuiltinEx, DrainedCycles, ExecCtx, Frame, RunExit, SegSite, Thread, ThreadState,
+    VmException, FLOAT_ARRAY_CLASS, INT_ARRAY_CLASS, MAX_FRAMES, REF_ARRAY_CLASS,
 };
 pub use intrinsics::{IntrinsicDef, IntrinsicRegistry};
-pub use verify::{verify_class, VerifyError};
+pub use verify::{method_descriptor, verify_class, VerifyError};
 
 /// Errors raised while loading, linking, or running guest code.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,8 +53,9 @@ pub enum VmError {
     },
     /// Duplicate class definition in one namespace.
     DuplicateClass(String),
-    /// Bytecode failed verification.
-    Verify(VerifyError),
+    /// Bytecode failed verification. Boxed: the diagnostic carries the
+    /// method descriptor, op and line, and only the cold path pays for it.
+    Verify(Box<VerifyError>),
     /// A heap-level failure that is not a guest-visible exception.
     Heap(kaffeos_heap::HeapError),
     /// Malformed constant-pool reference or operand.
@@ -80,6 +81,12 @@ impl std::error::Error for VmError {}
 
 impl From<VerifyError> for VmError {
     fn from(e: VerifyError) -> Self {
+        VmError::Verify(Box::new(e))
+    }
+}
+
+impl From<Box<VerifyError>> for VmError {
+    fn from(e: Box<VerifyError>) -> Self {
         VmError::Verify(e)
     }
 }

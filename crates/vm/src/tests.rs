@@ -1391,6 +1391,107 @@ mod verifier {
         vm.load(def).unwrap();
         assert_eq!(vm.run_int("Main", "main", vec![Value::Int(1)]), 1);
     }
+
+    /// A merge point whose incoming edges agree on stack *height* but not
+    /// on a slot's *type* joins that slot to `Conflict`; any later use of
+    /// the slot must be rejected.
+    #[test]
+    fn rejects_bad_type_merge_at_join() {
+        let mut vm = TestVm::new();
+        expect_verify_error(
+            &mut vm,
+            main_class(
+                MethodBuilder::of_static("main")
+                    .returns(TypeDesc::Int)
+                    .param(TypeDesc::Int)
+                    .ops([
+                        /*0*/ Op::Load(0),
+                        /*1*/ Op::JumpIfFalse(4),
+                        /*2*/ Op::ConstInt(7),
+                        /*3*/ Op::Jump(5),
+                        /*4*/ Op::ConstNull,
+                        /*5*/ Op::ReturnVal, // int-vs-null join: unusable
+                    ]),
+            ),
+        );
+    }
+
+    /// The null/concrete join resolves to the concrete class, not to some
+    /// looser "any reference": passing the joined value where an unrelated
+    /// class is expected must still fail.
+    #[test]
+    fn rejects_null_merge_used_as_unrelated_class() {
+        let mut vm = TestVm::new();
+        vm.load(ClassBuilder::new("A").build()).unwrap();
+        vm.load(ClassBuilder::new("B").build()).unwrap();
+        let mut b = ClassBuilder::new("Main");
+        let a_cls = b.pool(Const::Class("A".to_string()));
+        let callee = b.pool(Const::Method {
+            class: "Main".to_string(),
+            name: "callee".to_string(),
+        });
+        let def = b
+            .method(
+                MethodBuilder::of_static("callee")
+                    .param(TypeDesc::Class("B".to_string()))
+                    .ops([Op::Return])
+                    .build(),
+            )
+            .method(
+                MethodBuilder::of_static("main")
+                    .param(TypeDesc::Int)
+                    .ops([
+                        /*0*/ Op::Load(0),
+                        /*1*/ Op::JumpIfFalse(4),
+                        /*2*/ Op::New(a_cls),
+                        /*3*/ Op::Jump(5),
+                        /*4*/ Op::ConstNull,
+                        /*5*/ Op::CallStatic(callee), // joined A where B expected
+                        /*6*/ Op::Return,
+                    ])
+                    .build(),
+            )
+            .build();
+        expect_verify_error(&mut vm, def);
+    }
+
+    /// Verification failures are deterministic and descriptive: the sorted
+    /// worklist always reports the lowest-pc failure, and the error carries
+    /// the class, descriptor, offending op, and source line.
+    #[test]
+    fn verify_error_is_deterministic_and_descriptive() {
+        let build = || {
+            let mut m = MethodBuilder::of_static("main")
+                .param(TypeDesc::Int)
+                .ops([
+                    /*0*/ Op::Load(0),
+                    /*1*/ Op::JumpIfTrue(4),
+                    /*2*/ Op::Pop, // underflow on the fall-through edge
+                    /*3*/ Op::Return,
+                    /*4*/ Op::Pop, // underflow on the taken edge
+                    /*5*/ Op::Return,
+                ])
+                .build();
+            m.code.lines = vec![10, 10, 11, 11, 12, 12];
+            ClassBuilder::new("Main").method(m).build()
+        };
+        for _ in 0..3 {
+            let mut vm = TestVm::new();
+            let err = match vm.load(build()) {
+                Err(VmError::Verify(e)) => e,
+                other => panic!("expected verification failure, got {other:?}"),
+            };
+            assert_eq!(err.class, "Main");
+            assert_eq!(err.descriptor, "main(int)");
+            assert_eq!(err.pc, 2, "must report the lowest-pc failure");
+            assert_eq!(err.op, Some(Op::Pop));
+            assert_eq!(err.line, Some(11));
+            let text = err.to_string();
+            assert!(text.contains("Main.main(int) at pc 2"), "{text}");
+            assert!(text.contains("(line 11)"), "{text}");
+            assert!(text.contains("[Pop]"), "{text}");
+        }
+    }
 }
 
 mod scheduling {

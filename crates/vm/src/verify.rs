@@ -22,19 +22,57 @@ pub struct VerifyError {
     pub class: String,
     /// Offending method.
     pub method: String,
+    /// Method descriptor, e.g. `put(int, str) -> int`.
+    pub descriptor: String,
     /// Instruction index of the failure.
     pub pc: u32,
+    /// The instruction at `pc`, when `pc` is in range.
+    pub op: Option<Op>,
+    /// Source line from the method's debug table, when present.
+    pub line: Option<u32>,
     /// What went wrong.
     pub msg: String,
 }
 
 impl core::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "{}.{} at pc {}: {}",
-            self.class, self.method, self.pc, self.msg
-        )
+        write!(f, "{}.{} at pc {}", self.class, self.descriptor, self.pc)?;
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        if let Some(op) = self.op {
+            write!(f, " [{op:?}]")?;
+        }
+        write!(f, ": {}", self.msg)
+    }
+}
+
+/// Renders a human-readable method descriptor from a signature.
+pub fn method_descriptor(name: &str, params: &[TypeDesc], ret: &Option<TypeDesc>) -> String {
+    let mut s = String::new();
+    s.push_str(name);
+    s.push('(');
+    for (i, p) in params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&type_desc_str(p));
+    }
+    s.push(')');
+    if let Some(r) = ret {
+        s.push_str(" -> ");
+        s.push_str(&type_desc_str(r));
+    }
+    s
+}
+
+fn type_desc_str(ty: &TypeDesc) -> String {
+    match ty {
+        TypeDesc::Int => "int".to_string(),
+        TypeDesc::Float => "float".to_string(),
+        TypeDesc::Str => "str".to_string(),
+        TypeDesc::Class(name) => name.clone(),
+        TypeDesc::Array(elem) => format!("{}[]", type_desc_str(elem)),
     }
 }
 
@@ -81,8 +119,10 @@ struct Verifier<'a> {
     worklist: Vec<u32>,
 }
 
-/// Verifies every method of a freshly linked class.
-pub fn verify_class(table: &ClassTable, class: ClassIdx) -> Result<(), VerifyError> {
+/// Verifies every method of a freshly linked class. The error is boxed:
+/// it carries the full diagnostic context (descriptor, op, line) and only
+/// exists on the cold rejection path.
+pub fn verify_class(table: &ClassTable, class: ClassIdx) -> Result<(), Box<VerifyError>> {
     let lc = table.class(class);
     for &midx in &lc.methods.clone() {
         verify_method(table, class, midx)?;
@@ -90,16 +130,25 @@ pub fn verify_class(table: &ClassTable, class: ClassIdx) -> Result<(), VerifyErr
     Ok(())
 }
 
-fn verify_method(table: &ClassTable, class: ClassIdx, midx: MethodIdx) -> Result<(), VerifyError> {
+fn verify_method(
+    table: &ClassTable,
+    class: ClassIdx,
+    midx: MethodIdx,
+) -> Result<(), Box<VerifyError>> {
     let m = table.method(midx);
     let lc = table.class(class);
     let ns = lc.namespace;
 
-    let err = |pc: u32, msg: String| VerifyError {
-        class: lc.name.clone(),
-        method: m.name.clone(),
-        pc,
-        msg,
+    let err = |pc: u32, msg: String| {
+        Box::new(VerifyError {
+            class: lc.name.clone(),
+            method: m.name.clone(),
+            descriptor: method_descriptor(&m.name, &m.params, &m.ret),
+            pc,
+            op: m.code.ops.get(pc as usize).copied(),
+            line: m.code.line_for(pc),
+            msg,
+        })
     };
 
     // Entry state: receiver + parameters occupy the first locals.
@@ -138,7 +187,9 @@ fn verify_method(table: &ClassTable, class: ClassIdx, midx: MethodIdx) -> Result
         },
     )
     .map_err(|msg| err(0, msg))?;
-    while let Some(pc) = v.worklist.pop() {
+    // Process in ascending-pc order so the *first* failure in program
+    // order is reported deterministically, independent of merge order.
+    while let Some(pc) = v.pop_min() {
         v.flow_from(pc).map_err(|(at, msg)| err(at, msg))?;
     }
     Ok(())
@@ -160,6 +211,16 @@ fn vtype_of(table: &ClassTable, ns: u32, ty: &TypeDesc) -> Result<VType, String>
 }
 
 impl<'a> Verifier<'a> {
+    /// Pops the lowest queued pc (sorted worklist order).
+    fn pop_min(&mut self) -> Option<u32> {
+        let (i, _) = self
+            .worklist
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &pc)| pc)?;
+        Some(self.worklist.swap_remove(i))
+    }
+
     /// `a` may be used where `b` is expected.
     fn assignable(&self, a: &VType, b: &VType) -> bool {
         match (a, b) {

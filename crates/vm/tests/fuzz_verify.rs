@@ -10,6 +10,11 @@
 //! (Debug builds make this stronger: the interpreter's `debug_assert!`s on
 //! type confusion fire if the verifier ever lets a bad program through.)
 //!
+//! The static heap-flow analyzer rides along: every fuzzed table — and a
+//! variant with a verifier-rejected body forced into a loaded method — is
+//! analyzed, asserting the analyzer never panics on garbage it was never
+//! promised (it must bail per-method, not trust verifier invariants).
+//!
 //! Instruction sequences come from a seeded SplitMix64 generator so every
 //! case replays exactly; a failing case names its seed.
 
@@ -217,7 +222,28 @@ fn accepted_bytecode_never_panics() {
             )
             .build();
 
-        match table.load_class(ns, def.into_arc()) {
+        let loaded = table.load_class(ns, def.into_arc());
+
+        // Whatever the verifier decided, the heap-flow analyzer must accept
+        // the table without panicking. Rejected classes are rolled back, so
+        // additionally force a *verifier-rejected* random body into an
+        // already-loaded method and re-analyze: the analyzer trusts no
+        // invariant the verifier establishes — it bails per-method instead.
+        let _ = kaffeos_analyze::analyze(&table);
+        {
+            let target = table.lookup(ns, "Target").unwrap();
+            let victim = table.find_method(target, "make").unwrap();
+            let mangled: Vec<Op> = (0..nops).map(|_| gen_op(&mut rng, 24)).collect();
+            let saved =
+                std::mem::replace(&mut table.methods[victim.0 as usize].code.ops, mangled);
+            let analysis = kaffeos_analyze::analyze(&table);
+            // Either the mangled body analyzed cleanly or the method bailed;
+            // in both cases the bitmap query stays total.
+            let _ = analysis.elision_bitmap(&table, victim);
+            table.methods[victim.0 as usize].code.ops = saved;
+        }
+
+        match loaded {
             Err(_) => {
                 // Rejected: that's the common, safe outcome.
             }

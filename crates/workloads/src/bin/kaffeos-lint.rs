@@ -1,0 +1,17 @@
+//! `kaffeos-lint`: run the static heap-flow analyzer over every bundled
+//! guest program and print the diagnostics.
+//!
+//! ```text
+//! cargo run -p kaffeos-workloads --bin kaffeos-lint
+//! cargo run -p kaffeos-workloads --bin kaffeos-lint -- --allowlist ci/lint-allowlist.txt
+//! ```
+//!
+//! With `--allowlist`, exits non-zero if any diagnostic key is missing
+//! from the file — CI pins the expected lint surface this way.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    kaffeos_workloads::lint::run_lint_cli(&args)
+}

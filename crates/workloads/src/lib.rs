@@ -11,6 +11,7 @@
 //! `javac` a compiler front-end — all deterministic, all returning a
 //! checksum so every platform configuration can be cross-checked.
 
+pub mod lint;
 pub mod machine;
 pub mod runner;
 pub mod servlet;

@@ -23,24 +23,8 @@
 use std::process::ExitCode;
 
 use kaffeos::{FaultPlan, KaffeOs, KaffeOsConfig, Pid, SpawnOpts};
+use kaffeos_workloads::lint::SHMER_SOURCE as SHMER;
 use kaffeos_workloads::spec;
-
-const SHMER: &str = r#"
-    class Main {
-        static int main(int n) {
-            try {
-                if (Shm.lookup("box") < 0) {
-                    Shm.create("box", "Cell", 16);
-                }
-                Cell c = Shm.get("box", n % 16) as Cell;
-                c.value = n;
-                return c.value;
-            } catch (Exception e) {
-                return -5;
-            }
-        }
-    }
-"#;
 
 fn build_os(trace: bool, profile: bool) -> KaffeOs {
     let mut os = KaffeOs::new(KaffeOsConfig {
@@ -177,6 +161,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: kaffeos-workloads --faults seed=<N> [--trace <path>] [--profile <base>] [--top]"
     );
+    eprintln!("       kaffeos-workloads --lint [--allowlist <path>]");
     eprintln!("       (N may be decimal or 0x-prefixed hex)");
     eprintln!("       --profile writes <base>.folded, <base>.svg and <base>.hist");
     eprintln!("       --top prints a kaffeos-top snapshot table before teardown");
@@ -185,6 +170,9 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--lint") {
+        return kaffeos_workloads::lint::run_lint_cli(&args);
+    }
     if !args.iter().any(|a| a == "--faults") {
         return usage();
     }
