@@ -50,10 +50,17 @@ mod process;
 mod shm;
 pub mod stdlib;
 pub mod syscalls;
+mod tenant;
 
 pub use faults::{AuditReport, AuditViolation, FaultPlan};
 pub use kernel::{KaffeOs, KaffeOsConfig, KernelError, ProcessReport, RunReport};
-pub use process::{CpuAccount, ExitStatus, ParkReason, Pid, ProcState, Process, SpawnOpts};
+pub use process::{
+    CauseCounts, CpuAccount, ExitCause, ExitStatus, ParkReason, Pid, ProcState, Process, SpawnOpts,
+};
+pub use tenant::{
+    Admission, OverloadPolicy, RestartPolicy, RestartRecord, TenantId, TenantLaunch, TenantPolicy,
+    TenantStats,
+};
 pub use shm::{SharedHeap, ShmRegistry};
 
 // Re-export the pieces users need to configure and inspect a VM.

@@ -28,6 +28,10 @@ pub struct SpawnOpts {
     /// Network bandwidth in bytes per (virtual) second; `None` = unmetered.
     /// The paper's named future-work resource (§2).
     pub net_bps: Option<u64>,
+    /// The tenant this process is accounted to, if any. Set by
+    /// `spawn_for_tenant`; spawns outside the admission controller leave
+    /// it `None` and bypass every tenant policy.
+    pub tenant: Option<crate::tenant::TenantId>,
 }
 
 impl Default for SpawnOpts {
@@ -38,6 +42,7 @@ impl Default for SpawnOpts {
             cpu_limit: None,
             cpu_share: 100,
             net_bps: None,
+            tenant: None,
         }
     }
 }
@@ -76,6 +81,118 @@ impl ExitStatus {
     /// True if the process died from an unhandled `OutOfMemoryError`.
     pub fn is_oom(&self) -> bool {
         matches!(self, ExitStatus::UncaughtException { class, .. } if class == "OutOfMemoryError")
+    }
+
+    /// Typed classification of this status for policy engines and
+    /// reports: collapses the free-form exception payload into a stable,
+    /// aggregatable cause.
+    pub fn cause(&self) -> ExitCause {
+        match self {
+            ExitStatus::Exited(_) => ExitCause::Exited,
+            ExitStatus::Killed => ExitCause::Killed,
+            ExitStatus::CpuLimitExceeded => ExitCause::CpuLimit,
+            ExitStatus::UncaughtException { .. } if self.is_oom() => ExitCause::Oom,
+            ExitStatus::UncaughtException { .. } => ExitCause::Exception,
+        }
+    }
+}
+
+/// Stable, typed exit-cause taxonomy — what restart policies key on and
+/// what SLO reports aggregate by (instead of ad-hoc reason strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExitCause {
+    /// Clean exit (`proc.exit` or main returned).
+    Exited,
+    /// Killed by the kernel or another process.
+    Killed,
+    /// Killed for exceeding its CPU budget.
+    CpuLimit,
+    /// Died on an unhandled `OutOfMemoryError` (the MemHog signature).
+    Oom,
+    /// Died on any other unhandled exception.
+    Exception,
+}
+
+impl ExitCause {
+    /// Number of causes (array-index domain).
+    pub const COUNT: usize = 5;
+
+    /// Every cause, in rendering order.
+    pub const ALL: [ExitCause; ExitCause::COUNT] = [
+        ExitCause::Exited,
+        ExitCause::Killed,
+        ExitCause::CpuLimit,
+        ExitCause::Oom,
+        ExitCause::Exception,
+    ];
+
+    /// Stable snake-case label used in reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExitCause::Exited => "exited",
+            ExitCause::Killed => "killed",
+            ExitCause::CpuLimit => "cpu_limit",
+            ExitCause::Oom => "oom",
+            ExitCause::Exception => "exception",
+        }
+    }
+
+    /// Dense array index.
+    pub fn index(self) -> usize {
+        match self {
+            ExitCause::Exited => 0,
+            ExitCause::Killed => 1,
+            ExitCause::CpuLimit => 2,
+            ExitCause::Oom => 3,
+            ExitCause::Exception => 4,
+        }
+    }
+
+    /// True for every cause except a clean exit — the causes a supervised
+    /// restart policy reacts to.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, ExitCause::Exited)
+    }
+}
+
+/// Exit counts aggregated by [`ExitCause`]; the typed replacement for
+/// stringly-keyed kill-reason tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CauseCounts([u64; ExitCause::COUNT]);
+
+impl CauseCounts {
+    /// Records one exit.
+    pub fn note(&mut self, cause: ExitCause) {
+        self.0[cause.index()] += 1;
+    }
+
+    /// Count recorded for one cause.
+    pub fn get(&self, cause: ExitCause) -> u64 {
+        self.0[cause.index()]
+    }
+
+    /// Total exits recorded.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Exits that were failures (everything but [`ExitCause::Exited`]).
+    pub fn failures(&self) -> u64 {
+        self.total() - self.get(ExitCause::Exited)
+    }
+
+    /// Deterministic `label=count` rendering, every cause in
+    /// [`ExitCause::ALL`] order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for cause in ExitCause::ALL {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}={}", cause.label(), self.get(cause));
+        }
+        out
     }
 }
 
@@ -180,6 +297,14 @@ pub struct Process {
     pub net_sent: u64,
     /// Virtual cycle at which the process' NIC drains its last send.
     pub net_busy_until: u64,
+    /// The tenant accounted for this process (`None` = untenanted).
+    pub tenant: Option<crate::tenant::TenantId>,
+    /// The args string the process was spawned with, kept so the restart
+    /// engine can respawn the same invocation.
+    pub spawn_args: String,
+    /// The resource policy the process was spawned with (respawns reuse
+    /// it verbatim).
+    pub spawn_opts: SpawnOpts,
 }
 
 impl Process {

@@ -105,6 +105,62 @@ impl LogHistogram {
         self.counts[index]
     }
 
+    /// Interpolated quantile estimate for `q ∈ [0, 1]`, or 0 when empty.
+    ///
+    /// The target rank is `ceil(q · count)` (clamped to `[1, count]`); the
+    /// estimate interpolates linearly across the covering bucket's value
+    /// span — rank `j` of the bucket's `n` samples maps to
+    /// `lo + (hi − lo) · j / (n + 1)` — instead of reading the bucket
+    /// floor, then clamps into the observed `[min, max]` range so
+    /// single-value and edge cases are exact. Everything after the rank
+    /// computation is pure integer arithmetic, so rendered percentiles are
+    /// byte-identical across platforms and replays.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are known exactly: the smallest sample is
+        // `min` and the largest is `max`.
+        if rank == 1 {
+            return self.min();
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(index);
+                let j = rank - seen; // 1 ..= n
+                let span = (hi - lo) as u128;
+                let est = lo + (span * j as u128 / (n as u128 + 1)) as u64;
+                return est.clamp(self.min(), self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Interpolated median ([`LogHistogram::percentile`] at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Interpolated 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
     /// Renders the histogram as deterministic text: a summary line followed
     /// by one line per non-empty bucket with its `[lo,hi)` bounds and count.
     /// Buckets appear in ascending order, so equal histograms render to
@@ -180,6 +236,61 @@ mod tests {
         let mut text = String::new();
         h.render(&mut text);
         assert_eq!(text, "count=0 sum=0 min=0 max=0 mean=0\n");
+    }
+
+    #[test]
+    fn percentiles_interpolate_instead_of_reading_bucket_floors() {
+        // 1000 samples spread uniformly over one bucket: [1024, 2048).
+        let mut h = LogHistogram::new();
+        for i in 0..1000u64 {
+            h.record(1024 + i);
+        }
+        let p50 = h.p50();
+        // A bucket-floor readout would say 1024; interpolation lands near
+        // the true median (~1523).
+        assert!((1400..=1650).contains(&p50), "p50 {p50}");
+        let p99 = h.p99();
+        assert!((1950..=2023).contains(&p99), "p99 {p99}");
+        assert!(h.p999() >= p99);
+        assert_eq!(h.percentile(1.0), 2023, "q=1 clamps to the observed max");
+        assert_eq!(h.percentile(0.0), 1024, "q=0 clamps to the observed min");
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_exact() {
+        assert_eq!(LogHistogram::new().percentile(0.5), 0, "empty → 0");
+        let mut one = LogHistogram::new();
+        one.record(777);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(q), 777, "single value is exact at q={q}");
+        }
+        let mut zeros = LogHistogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.p50(), 0);
+    }
+
+    #[test]
+    fn percentile_is_monotonic_in_q_and_rank_exact_across_buckets() {
+        let mut h = LogHistogram::new();
+        // 90 small values, 9 mid, 1 huge: p50 must sit with the small
+        // ones, p99 with the mid, p999+ with the huge tail.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        assert!(h.p50() < 16, "p50 {} sits in the small bucket", h.p50());
+        assert!((512..2048).contains(&h.p99()), "p99 {}", h.p99());
+        assert_eq!(h.percentile(0.999), 1_000_000, "tail rank hits the max");
+        let mut last = 0;
+        for i in 0..=100 {
+            let v = h.percentile(i as f64 / 100.0);
+            assert!(v >= last, "percentile must be monotonic ({i}%: {v} < {last})");
+            last = v;
+        }
     }
 
     #[test]

@@ -340,6 +340,71 @@ pub enum Payload {
         /// Description.
         detail: String,
     },
+    /// Admission control admitted a tenant spawn (a free slot existed).
+    TenantAdmitted {
+        /// Tenant id.
+        tenant: u32,
+        /// Pid of the admitted process.
+        child: u32,
+    },
+    /// Admission control queued a tenant spawn (tenant at its cap, queue
+    /// had room); the ticket resolves to a pid when a slot frees.
+    TenantQueued {
+        /// Tenant id.
+        tenant: u32,
+        /// FIFO admission ticket.
+        ticket: u64,
+    },
+    /// Admission control rejected a tenant spawn outright.
+    TenantRejected {
+        /// Tenant id.
+        tenant: u32,
+        /// Stable reason label (`at_cap`, `breaker_open`, `shed`,
+        /// `spawn_failed`).
+        reason: &'static str,
+    },
+    /// The restart engine scheduled a supervised respawn with backoff.
+    RestartScheduled {
+        /// Tenant id.
+        tenant: u32,
+        /// 1-based consecutive-failure attempt (drives the backoff step).
+        attempt: u32,
+        /// Virtual cycle the restart becomes due.
+        due: u64,
+    },
+    /// A scheduled restart launched.
+    RestartLaunched {
+        /// Tenant id.
+        tenant: u32,
+        /// Pid of the respawned process.
+        child: u32,
+        /// The attempt that was due.
+        attempt: u32,
+    },
+    /// A tenant's kill-storm circuit breaker opened (failure count hit the
+    /// threshold within the window).
+    BreakerOpened {
+        /// Tenant id.
+        tenant: u32,
+        /// Virtual cycle the cooldown ends.
+        until: u64,
+    },
+    /// A tenant's circuit breaker cooldown elapsed and it closed.
+    BreakerClosed {
+        /// Tenant id.
+        tenant: u32,
+    },
+    /// Graceful degradation shed a tenant (global memlimit pressure
+    /// crossed the high watermark; lowest priority goes first).
+    TenantShed {
+        /// Tenant id.
+        tenant: u32,
+    },
+    /// Pressure fell below the low watermark; a shed tenant was restored.
+    TenantRestored {
+        /// Tenant id.
+        tenant: u32,
+    },
 }
 
 impl Payload {
@@ -370,6 +435,15 @@ impl Payload {
             Payload::ShmOrphaned { .. } => "shm_orphaned",
             Payload::FaultInjected { .. } => "fault_injected",
             Payload::KernelFault { .. } => "kernel_fault",
+            Payload::TenantAdmitted { .. } => "tenant_admitted",
+            Payload::TenantQueued { .. } => "tenant_queued",
+            Payload::TenantRejected { .. } => "tenant_rejected",
+            Payload::RestartScheduled { .. } => "restart_scheduled",
+            Payload::RestartLaunched { .. } => "restart_launched",
+            Payload::BreakerOpened { .. } => "breaker_opened",
+            Payload::BreakerClosed { .. } => "breaker_closed",
+            Payload::TenantShed { .. } => "tenant_shed",
+            Payload::TenantRestored { .. } => "tenant_restored",
         }
     }
 }
@@ -775,6 +849,40 @@ fn push_payload_fields(out: &mut String, payload: &Payload) {
         Payload::KernelFault { kind, detail } => {
             let _ = write!(out, ",\"kind\":\"{}\",\"detail\":", kind.label());
             push_json_str(out, detail);
+        }
+        Payload::TenantAdmitted { tenant, child } => {
+            let _ = write!(out, ",\"tenant\":{tenant},\"child\":{child}");
+        }
+        Payload::RestartLaunched {
+            tenant,
+            child,
+            attempt,
+        } => {
+            let _ = write!(
+                out,
+                ",\"tenant\":{tenant},\"child\":{child},\"attempt\":{attempt}"
+            );
+        }
+        Payload::TenantQueued { tenant, ticket } => {
+            let _ = write!(out, ",\"tenant\":{tenant},\"ticket\":{ticket}");
+        }
+        Payload::TenantRejected { tenant, reason } => {
+            let _ = write!(out, ",\"tenant\":{tenant},\"reason\":\"{reason}\"");
+        }
+        Payload::RestartScheduled {
+            tenant,
+            attempt,
+            due,
+        } => {
+            let _ = write!(out, ",\"tenant\":{tenant},\"attempt\":{attempt},\"due\":{due}");
+        }
+        Payload::BreakerOpened { tenant, until } => {
+            let _ = write!(out, ",\"tenant\":{tenant},\"until\":{until}");
+        }
+        Payload::BreakerClosed { tenant }
+        | Payload::TenantShed { tenant }
+        | Payload::TenantRestored { tenant } => {
+            let _ = write!(out, ",\"tenant\":{tenant}");
         }
     }
 }

@@ -14,11 +14,13 @@
 pub mod lint;
 pub mod machine;
 pub mod runner;
+pub mod scenario;
 pub mod servlet;
 pub mod spec;
 
 pub use machine::MachineModel;
 pub use runner::{platforms, run_spec, Platform, PlatformKind, SpecResult};
+pub use scenario::{run_scenario, ArrivalCurve, ScenarioReport, TenantSummary, SCENARIOS};
 pub use servlet::{run_servlet_experiment, Deployment, ServletOutcome, ServletParams};
 pub use spec::{all_benchmarks, SpecBenchmark};
 

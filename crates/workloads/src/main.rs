@@ -157,14 +157,44 @@ fn run_faults(
     Ok(())
 }
 
+/// Runs one named SLO scenario (or `all`) and prints/writes the golden
+/// per-tenant report.
+fn run_scenarios(which: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
+    let names: Vec<&str> = if which == "all" {
+        kaffeos_workloads::SCENARIOS.to_vec()
+    } else {
+        vec![which]
+    };
+    let mut combined = String::new();
+    for name in names {
+        let report = kaffeos_workloads::run_scenario(name, seed)
+            .ok_or_else(|| format!("unknown scenario {name:?} (see --scenario list)"))?;
+        combined.push_str(&report.text);
+        combined.push('\n');
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(path, &combined).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("scenario report -> {path}");
+        }
+        None => print!("{combined}"),
+    }
+    Ok(())
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: kaffeos-workloads --faults seed=<N> [--trace <path>] [--profile <base>] [--top]"
     );
+    eprintln!("       kaffeos-workloads --scenario <name|all|list> seed=<N> [--out <path>]");
     eprintln!("       kaffeos-workloads --lint [--allowlist <path>]");
     eprintln!("       (N may be decimal or 0x-prefixed hex)");
     eprintln!("       --profile writes <base>.folded, <base>.svg and <base>.hist");
     eprintln!("       --top prints a kaffeos-top snapshot table before teardown");
+    eprintln!(
+        "       scenarios: {}",
+        kaffeos_workloads::SCENARIOS.join(", ")
+    );
     ExitCode::FAILURE
 }
 
@@ -173,8 +203,19 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--lint") {
         return kaffeos_workloads::lint::run_lint_cli(&args);
     }
-    if !args.iter().any(|a| a == "--faults") {
+    let scenario = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    if scenario.is_none() && !args.iter().any(|a| a == "--faults") {
         return usage();
+    }
+    if scenario == Some("list") {
+        for name in kaffeos_workloads::SCENARIOS {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
     }
     let Some(seed) = args.iter().find_map(|a| {
         let n = a.strip_prefix("seed=")?;
@@ -192,6 +233,18 @@ fn main() -> ExitCode {
         },
         None => Ok(None),
     };
+    if let Some(which) = scenario {
+        let Ok(out) = path_after("--out") else {
+            return usage();
+        };
+        return match run_scenarios(which, seed, out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("SCENARIO FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Ok(trace_path) = path_after("--trace") else {
         return usage();
     };

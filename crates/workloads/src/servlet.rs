@@ -17,7 +17,7 @@
 //!   operating system, at ~10 MB of commit per JVM: past ~25 VMs the
 //!   256 MB machine starts to thrash ([`MachineModel`]).
 
-use kaffeos::{Engine, KaffeOs, KaffeOsConfig, Pid};
+use kaffeos::{CauseCounts, ExitCause, Engine, KaffeOs, KaffeOsConfig, Pid};
 
 use crate::machine::MachineModel;
 
@@ -143,6 +143,10 @@ pub struct ServletOutcome {
     pub memhog_restarts: u32,
     /// Requests the good servlets actually answered.
     pub requests_served: u64,
+    /// Typed causes of every restart the administrator performed (VM
+    /// reboots and MemHog respawns alike) — replaces the old ad-hoc
+    /// "must be OOM" assertion strings on the restart path.
+    pub restart_causes: CauseCounts,
 }
 
 /// Deadline increment for the crash-polling loops.
@@ -199,16 +203,17 @@ fn run_kaffeos(params: ServletParams) -> ServletOutcome {
             .expect("memhog spawns")
     });
     let mut memhog_restarts = 0;
+    let mut restart_causes = CauseCounts::default();
 
     loop {
         let deadline = os.clock() + CHUNK_CYCLES;
         os.run(Some(deadline));
         if let Some(hog) = memhog {
             if !os.is_alive(hog) {
-                debug_assert!(
-                    os.status(hog).map(|s| s.is_oom()).unwrap_or(false),
-                    "memhog dies of OOM: {:?}",
+                restart_causes.note(
                     os.status(hog)
+                        .map(|s| s.cause())
+                        .unwrap_or(ExitCause::Killed),
                 );
                 // The administrator restarts the crashed servlet zone —
                 // a cheap process spawn under KaffeOS.
@@ -238,6 +243,7 @@ fn run_kaffeos(params: ServletParams) -> ServletOutcome {
         vm_restarts: 0,
         memhog_restarts,
         requests_served: served,
+        restart_causes,
     }
 }
 
@@ -250,6 +256,7 @@ fn run_monolithic(params: ServletParams) -> ServletOutcome {
     let mut remaining = shares(params.total_requests, params.servlets);
     let mut total_cycles = 0u64;
     let mut vm_restarts = 0u32;
+    let mut restart_causes = CauseCounts::default();
     let mut rounds = 0u32;
 
     while remaining.iter().any(|&r| r > 0) {
@@ -278,19 +285,26 @@ fn run_monolithic(params: ServletParams) -> ServletOutcome {
         // corruption eventually led to a crash of the JVM" (§4.2).
         // `run_until_exit` observes every process death as it happens, so
         // service stops at the exact crash point.
-        let crashed = loop {
+        // The first fatal exit anywhere (the hog's OOM, or a servlet the
+        // hog starved) is the VM crash; its typed cause feeds the restart
+        // tally.
+        let crash_cause = loop {
             os.run_until_exit(None);
-            let oom_somewhere = servlets
+            let fatal = servlets
                 .iter()
                 .flatten()
                 .chain(memhog.iter())
-                .any(|&pid| os.status(pid).map(|s| s.is_oom()).unwrap_or(false));
-            if oom_somewhere {
-                break true;
+                .find_map(|&pid| {
+                    os.status(pid)
+                        .map(|s| s.cause())
+                        .filter(|c| matches!(c, ExitCause::Oom))
+                });
+            if fatal.is_some() {
+                break fatal;
             }
             let all_done = servlets.iter().flatten().all(|&pid| !os.is_alive(pid));
             if all_done {
-                break false;
+                break None;
             }
         };
 
@@ -301,8 +315,9 @@ fn run_monolithic(params: ServletParams) -> ServletOutcome {
             }
         }
         total_cycles += os.clock();
-        if crashed {
+        if let Some(cause) = crash_cause {
             vm_restarts += 1;
+            restart_causes.note(cause);
         }
     }
 
@@ -312,6 +327,7 @@ fn run_monolithic(params: ServletParams) -> ServletOutcome {
         vm_restarts,
         memhog_restarts: 0,
         requests_served: served,
+        restart_causes,
     }
 }
 
@@ -340,6 +356,7 @@ fn run_vm_per_servlet(params: ServletParams) -> ServletOutcome {
     let mut hog = params.with_memhog.then(|| boot(None));
     let mut machine_cycles = 0f64;
     let mut memhog_restarts = 0u32;
+    let mut restart_causes = CauseCounts::default();
 
     // Every JVM pays its startup, under the current memory pressure.
     let initial_vms = instances.len() + usize::from(hog.is_some());
@@ -367,7 +384,11 @@ fn run_vm_per_servlet(params: ServletParams) -> ServletOutcome {
             if !h.os.is_alive(h.pid) {
                 // The hog only crashes its own JVM; the administrator
                 // restarts it — a full JVM boot.
-                debug_assert!(h.os.status(h.pid).map(|s| s.is_oom()).unwrap_or(false));
+                restart_causes.note(
+                    h.os.status(h.pid)
+                        .map(|s| s.cause())
+                        .unwrap_or(ExitCause::Killed),
+                );
                 *h = boot(None);
                 machine_cycles += params.machine.vm_startup_cycles as f64 * thrash;
                 memhog_restarts += 1;
@@ -388,5 +409,6 @@ fn run_vm_per_servlet(params: ServletParams) -> ServletOutcome {
         vm_restarts: 0,
         memhog_restarts,
         requests_served: served,
+        restart_causes,
     }
 }

@@ -191,6 +191,7 @@ fn jack_is_disproportionately_slow_on_kaffe99() {
 
 mod servlet_shape {
     use super::*;
+    use kaffeos::ExitCause;
 
     fn params(deployment: Deployment, servlets: usize, with_memhog: bool) -> ServletParams {
         ServletParams {
@@ -213,6 +214,12 @@ mod servlet_shape {
         assert_eq!(attacked.requests_served, 300);
         assert!(attacked.memhog_restarts > 0, "hog was killed and restarted");
         assert_eq!(attacked.vm_restarts, 0, "no whole-VM crash under KaffeOS");
+        assert_eq!(
+            attacked.restart_causes.get(ExitCause::Oom),
+            u64::from(attacked.memhog_restarts),
+            "every hog restart is a typed OOM, not an ad-hoc string"
+        );
+        assert_eq!(clean.restart_causes.total(), 0);
         // Consistent performance: the attack costs something, but not an
         // order of magnitude.
         assert!(
@@ -228,8 +235,14 @@ mod servlet_shape {
         let attacked = run_servlet_experiment(params(Deployment::MonolithicShared, 3, true));
         assert_eq!(attacked.requests_served, 300, "requests eventually served");
         assert!(attacked.vm_restarts > 0, "whole VM crashed at least once");
+        assert_eq!(
+            attacked.restart_causes.get(ExitCause::Oom),
+            u64::from(attacked.vm_restarts),
+            "every whole-VM reboot traces to a typed OOM cause"
+        );
         let clean = run_servlet_experiment(params(Deployment::MonolithicShared, 3, false));
         assert_eq!(clean.vm_restarts, 0);
+        assert_eq!(clean.restart_causes.total(), 0);
         assert!(
             attacked.virtual_seconds > 2.0 * clean.virtual_seconds,
             "attack devastates the shared VM: {} vs {}",
@@ -257,5 +270,152 @@ mod servlet_shape {
         let attacked = run_servlet_experiment(params(Deployment::VmPerServlet, 2, true));
         assert_eq!(attacked.requests_served, 300);
         assert_eq!(attacked.vm_restarts, 0, "only the hog's own JVM dies");
+        assert_eq!(
+            attacked.restart_causes.get(ExitCause::Oom),
+            u64::from(attacked.memhog_restarts),
+            "hog JVM reboots carry the typed OOM cause"
+        );
+    }
+}
+
+mod scenarios {
+    use crate::scenario::{run_scenario, SCENARIOS};
+    use kaffeos::ExitCause;
+
+    #[test]
+    fn every_scenario_is_deterministic_on_seed_one() {
+        for name in SCENARIOS {
+            let a = run_scenario(name, 1).expect("known scenario");
+            let b = run_scenario(name, 1).expect("known scenario");
+            assert_eq!(a.text, b.text, "{name} must replay byte-identically");
+            assert!(
+                a.tenants.iter().any(|t| t.stats.offered > 0),
+                "{name} must offer load"
+            );
+        }
+        assert!(run_scenario("no-such-scenario", 1).is_none());
+    }
+
+    #[test]
+    fn noisy_neighbour_preserves_the_frontend_slo() {
+        let r = run_scenario("noisy-neighbour", 1).unwrap();
+        let fe = r.tenants.iter().find(|t| t.name == "frontend").unwrap();
+        assert!(
+            fe.goodput_permille >= 950,
+            "frontend goodput {} ‰ under attack",
+            fe.goodput_permille
+        );
+        assert!(
+            fe.latency.p99() < 20_000_000,
+            "frontend p99 {} cycles bounded despite the spinner",
+            fe.latency.p99()
+        );
+        let abuser = r.tenants.iter().find(|t| t.name == "abuser").unwrap();
+        assert!(
+            abuser.stats.exits.get(ExitCause::CpuLimit) > 0,
+            "the spinner is repeatedly stopped by its CPU limit"
+        );
+        assert!(abuser.stats.restarts > 0, "supervision restarts the abuser");
+    }
+
+    #[test]
+    fn memhog_scenario_confines_the_hog_to_its_limit() {
+        let r = run_scenario("memhog", 1).unwrap();
+        let fe = r.tenants.iter().find(|t| t.name == "frontend").unwrap();
+        assert!(
+            fe.goodput_permille >= 950,
+            "frontend goodput {} ‰ despite the hog",
+            fe.goodput_permille
+        );
+        assert!(
+            fe.latency.p99() < 40_000_000,
+            "frontend p99 {} cycles bounded",
+            fe.latency.p99()
+        );
+        assert_eq!(fe.stats.exits.get(ExitCause::Oom), 0, "hog OOM never leaks");
+        let hog = r.tenants.iter().find(|t| t.name == "hog").unwrap();
+        assert!(hog.stats.exits.get(ExitCause::Oom) > 0, "hog dies of OOM");
+        assert!(hog.stats.restarts > 0, "supervision keeps restarting it");
+    }
+
+    #[test]
+    fn exception_storm_trips_the_breaker_but_spares_the_neighbour() {
+        let r = run_scenario("exception-storm", 1).unwrap();
+        let flaky = r.tenants.iter().find(|t| t.name == "flaky").unwrap();
+        assert!(flaky.stats.breaker_opens > 0, "storm opens the breaker");
+        assert!(
+            flaky.stats.rejected_breaker > 0,
+            "open breaker sheds arrivals"
+        );
+        assert!(
+            flaky.stats.exits.get(ExitCause::Exception) > 0,
+            "the storm is made of typed exception exits"
+        );
+        let fe = r.tenants.iter().find(|t| t.name == "frontend").unwrap();
+        assert!(
+            fe.goodput_permille >= 990,
+            "frontend goodput {} ‰ untouched by the storm",
+            fe.goodput_permille
+        );
+    }
+
+    #[test]
+    fn shm_fanout_beats_private_copies_on_latency() {
+        let r = run_scenario("shm-fanout", 1).unwrap();
+        let fan = r.tenants.iter().find(|t| t.name == "fanout").unwrap();
+        let copy = r.tenants.iter().find(|t| t.name == "copier").unwrap();
+        assert!(fan.goodput_permille >= 990, "fan-out serves its load");
+        assert!(copy.goodput_permille >= 990, "copier serves its load");
+        assert!(
+            fan.latency.p50() < copy.latency.p50(),
+            "reading the shared table (p50 {}) beats rebuilding it (p50 {})",
+            fan.latency.p50(),
+            copy.latency.p50()
+        );
+    }
+
+    #[test]
+    fn kill_storm_restart_work_is_bounded_across_seeds() {
+        for seed in [1u64, 2, 3, 5] {
+            let r = run_scenario("kill-storm", seed).unwrap();
+            let v = r.tenants.iter().find(|t| t.name == "victims").unwrap();
+            // The spinners never exit cleanly, so the consecutive-failure
+            // ladder is never reset: supervision performs at most
+            // max_restarts (8) respawns no matter how hard the sweep kills.
+            assert!(
+                v.stats.restarts <= 8,
+                "seed {seed}: {} restarts exceed the backoff budget",
+                v.stats.restarts
+            );
+            assert!(
+                v.stats.restarts_abandoned > 0 || v.stats.breaker_opens > 0,
+                "seed {seed}: the storm must hit a policy bound"
+            );
+            assert!(
+                v.stats.exits.get(ExitCause::Killed) > 0,
+                "seed {seed}: the sweep kills victims"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_overload_rejects_the_flood_not_the_steady_tenant() {
+        let r = run_scenario("admission-overload", 1).unwrap();
+        let flood = r.tenants.iter().find(|t| t.name == "flood").unwrap();
+        assert!(
+            flood.stats.rejected_cap > 0,
+            "the DoS ramp is clipped at the admission cap"
+        );
+        assert!(
+            flood.goodput_permille < 800,
+            "the flood cannot buy goodput past its cap"
+        );
+        let steady = r.tenants.iter().find(|t| t.name == "steady").unwrap();
+        assert!(
+            steady.goodput_permille >= 990,
+            "steady tenant goodput {} ‰ unharmed by the flood",
+            steady.goodput_permille
+        );
+        assert_eq!(steady.stats.rejected_cap, 0);
     }
 }
