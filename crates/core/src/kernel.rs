@@ -1867,6 +1867,27 @@ impl KaffeOs {
         Ok(report)
     }
 
+    /// **Minor** (nursery-only) collection of one process' heap: scans the
+    /// heap's nursery pages plus its remembered set, promoting survivors —
+    /// a cheap way for an embedder to trim allocation churn between full
+    /// collections.
+    ///
+    /// Host-plane only, deliberately asymmetric to [`gc_process`]: no
+    /// modelled cycles are charged, the virtual clock does not advance, and
+    /// no trace events or profile samples are recorded (beyond the real
+    /// memlimit credits for reclaimed bytes). The modelled kernel never
+    /// calls this itself — the scheduler's GC points remain full
+    /// collections — so Figure 3/4 and Table 1 outputs are unaffected by
+    /// whether an embedder uses it.
+    ///
+    /// [`gc_process`]: KaffeOs::gc_process
+    pub fn minor_gc_process(&mut self, pid: Pid) -> Result<kaffeos_heap::MinorGcReport, KernelError> {
+        let idx = self.proc_index(pid).ok_or(KernelError::UnknownPid(pid))?;
+        let roots = self.procs[idx].all_roots();
+        let heap = self.procs[idx].heap;
+        Ok(self.space.gc_minor(heap, &roots)?)
+    }
+
     fn heap_references_heap(&self, from: HeapId, to: HeapId) -> bool {
         // An exit item in `from` whose target lives on `to`.
         self.space.heap_exits_into(from, to)

@@ -12,8 +12,9 @@ use core::fmt;
 use kaffeos_memlimit::LimitAuditError;
 
 use crate::error::HeapError;
+use crate::heap::HeapKind;
 use crate::refs::{HeapId, ObjRef};
-use crate::space::{HeapSpace, PAGE_SLOTS};
+use crate::space::{HeapSpace, PageState, PAGE_SHIFT, PAGE_SLOTS};
 
 /// Deterministic summary of a clean audit. Identical space states produce
 /// identical reports (plain counters, no addresses or timestamps), which the
@@ -102,6 +103,35 @@ pub enum SpaceAuditViolation {
         /// Accounted bytes the heap actually holds.
         accounted: u64,
     },
+    /// Page-table bookkeeping broke: the page table, the heaps' page lists
+    /// and the free-page pool disagree about a page, or a page's live-slot
+    /// counter disagrees with a slot recount.
+    PageAccounting {
+        /// The inconsistent page.
+        page: u32,
+        /// What went wrong.
+        detail: &'static str,
+    },
+    /// A heap's bump cursor or recycled-slot free list is inconsistent with
+    /// the slot table (cursor outside an owned page, free slot occupied or
+    /// on a foreign page, …).
+    AllocatorState {
+        /// The heap with broken allocator state.
+        heap: HeapId,
+        /// What went wrong.
+        detail: &'static str,
+    },
+    /// A remembered-set invariant broke: a mature→nursery edge is missing
+    /// from the remembered set, or a remembered source is not a live mature
+    /// object of its heap.
+    Remembered {
+        /// The heap whose remembered set is wrong.
+        heap: HeapId,
+        /// The source slot in question.
+        slot: u32,
+        /// What went wrong.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for SpaceAuditViolation {
@@ -150,6 +180,15 @@ impl fmt::Display for SpaceAuditViolation {
                 f,
                 "heap {heap:?}: holds {accounted} accounted bytes but its memlimit records only {memlimit_current}"
             ),
+            SpaceAuditViolation::PageAccounting { page, detail } => {
+                write!(f, "page {page}: {detail}")
+            }
+            SpaceAuditViolation::AllocatorState { heap, detail } => {
+                write!(f, "heap {heap:?}: {detail}")
+            }
+            SpaceAuditViolation::Remembered { heap, slot, detail } => {
+                write!(f, "heap {heap:?}: slot {slot}: {detail}")
+            }
         }
     }
 }
@@ -175,12 +214,23 @@ impl HeapSpace {
     ///
     /// 1. memlimit tree conservation ([`kaffeos_memlimit::MemLimitTree::audit`]);
     /// 2. per-heap object and byte counters match a recount of the heap's
-    ///    pages, and page/header ownership is consistent;
+    ///    pages, page/header ownership is consistent, per-page live-slot
+    ///    counters match a recount, and nursery pages appear only on user
+    ///    heaps;
     /// 3. entry/exit conservation: every resolvable exit item has a remote
     ///    entry item, and every entry item's count equals the number of
     ///    exit items targeting it;
     /// 4. memlimit coverage: a heap never holds more accounted bytes than
-    ///    its memlimit has debited.
+    ///    its memlimit has debited;
+    /// 5. page-table/pool conservation: every page is either owned by
+    ///    exactly one live heap (listed by it exactly once) or unowned,
+    ///    empty and pooled exactly once — the full ownership-transition
+    ///    story `open_page` / `merge_into_kernel` /
+    ///    [`HeapSpace::release_empty_pages`] / the minor collector's
+    ///    drained-nursery release maintain;
+    /// 6. allocator state: each heap's bump cursor lies within a page it
+    ///    owns, the cursor's unused tail is empty, and every recycled free
+    ///    slot is an empty slot on a page the heap owns.
     pub fn audit(&self) -> Result<SpaceAuditReport, SpaceAuditViolation> {
         self.limits.audit().map_err(SpaceAuditViolation::Limit)?;
 
@@ -203,14 +253,30 @@ impl HeapSpace {
             let mut objects = 0u64;
             let mut bytes = 0u64;
             for &page in &core.pages {
-                let owner = self.page_owner[page as usize];
-                if owner != heap {
-                    return Err(SpaceAuditViolation::PageOwnership {
-                        heap,
+                let meta = &self.page_table[page as usize];
+                match meta.owner {
+                    None => {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page,
+                            detail: "page is on a heap's page list but the page table says unowned",
+                        })
+                    }
+                    Some(owner) if owner != heap => {
+                        return Err(SpaceAuditViolation::PageOwnership {
+                            heap,
+                            page,
+                            observed: owner,
+                        })
+                    }
+                    Some(_) => {}
+                }
+                if meta.state == PageState::Nursery && core.kind != HeapKind::User {
+                    return Err(SpaceAuditViolation::PageAccounting {
                         page,
-                        observed: owner,
+                        detail: "nursery page on a non-user heap",
                     });
                 }
+                let mut occupied = 0u32;
                 let start = (page * PAGE_SLOTS) as usize;
                 for slot in &self.slots[start..start + PAGE_SLOTS as usize] {
                     if let Some(obj) = &slot.obj {
@@ -221,9 +287,16 @@ impl HeapSpace {
                                 observed: obj.heap,
                             });
                         }
+                        occupied += 1;
                         objects += 1;
                         bytes += obj.bytes as u64;
                     }
+                }
+                if occupied != meta.live {
+                    return Err(SpaceAuditViolation::PageAccounting {
+                        page,
+                        detail: "live-slot counter disagrees with slot recount",
+                    });
                 }
             }
             if objects != core.objects {
@@ -328,6 +401,218 @@ impl HeapSpace {
             }
         }
 
+        // 5. Page-table / free-page-pool conservation.
+        let mut listed_by = vec![0u32; self.page_table.len()];
+        for &heap in &live {
+            for &page in &self.heap_core(heap).pages {
+                listed_by[page as usize] += 1;
+            }
+        }
+        let mut pooled = vec![0u32; self.page_table.len()];
+        for &page in &self.free_pages {
+            match pooled.get_mut(page as usize) {
+                Some(n) => *n += 1,
+                None => {
+                    return Err(SpaceAuditViolation::PageAccounting {
+                        page,
+                        detail: "free-page pool names a page outside the page table",
+                    })
+                }
+            }
+        }
+        for page in 0..self.page_table.len() {
+            let meta = &self.page_table[page];
+            let page_u32 = page as u32;
+            match meta.owner {
+                Some(owner) => {
+                    if !self.heap_alive(owner) {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page: page_u32,
+                            detail: "page owned by a dead heap",
+                        });
+                    }
+                    if listed_by[page] != 1 {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page: page_u32,
+                            detail: "owned page not listed by exactly one heap",
+                        });
+                    }
+                    if pooled[page] != 0 {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page: page_u32,
+                            detail: "owned page also sits in the free-page pool",
+                        });
+                    }
+                }
+                None => {
+                    if listed_by[page] != 0 {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page: page_u32,
+                            detail: "unowned page still on a heap's page list",
+                        });
+                    }
+                    if pooled[page] != 1 {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page: page_u32,
+                            detail: "unowned page not pooled exactly once",
+                        });
+                    }
+                    if meta.live != 0 {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page: page_u32,
+                            detail: "unowned page has a non-zero live counter",
+                        });
+                    }
+                    let start = page * PAGE_SLOTS as usize;
+                    if self.slots[start..start + PAGE_SLOTS as usize]
+                        .iter()
+                        .any(|s| s.obj.is_some())
+                    {
+                        return Err(SpaceAuditViolation::PageAccounting {
+                            page: page_u32,
+                            detail: "unowned page holds objects",
+                        });
+                    }
+                }
+            }
+        }
+
+        // 6. Allocator state: bump cursors and recycled free lists.
+        for &heap in &live {
+            let core = self.heap_core(heap);
+            if core.bump > core.bump_end {
+                return Err(SpaceAuditViolation::AllocatorState {
+                    heap,
+                    detail: "bump cursor past the end of its region",
+                });
+            }
+            if core.bump < core.bump_end {
+                let page = core.bump >> PAGE_SHIFT;
+                if (core.bump_end - 1) >> PAGE_SHIFT != page
+                    || self.page_table[page as usize].owner != Some(heap)
+                {
+                    return Err(SpaceAuditViolation::AllocatorState {
+                        heap,
+                        detail: "bump region is not within a single owned page",
+                    });
+                }
+                if self.slots[core.bump as usize..core.bump_end as usize]
+                    .iter()
+                    .any(|s| s.obj.is_some())
+                {
+                    return Err(SpaceAuditViolation::AllocatorState {
+                        heap,
+                        detail: "never-used bump tail holds an object",
+                    });
+                }
+            }
+            for &slot in &core.free_slots {
+                let on_owned_page = self
+                    .page_table
+                    .get((slot >> PAGE_SHIFT) as usize)
+                    .map(|m| m.owner == Some(heap))
+                    .unwrap_or(false);
+                if !on_owned_page {
+                    return Err(SpaceAuditViolation::AllocatorState {
+                        heap,
+                        detail: "recycled free slot on a page the heap does not own",
+                    });
+                }
+                if self.slots[slot as usize].obj.is_some() {
+                    return Err(SpaceAuditViolation::AllocatorState {
+                        heap,
+                        detail: "recycled free slot is occupied",
+                    });
+                }
+            }
+        }
+
         Ok(report)
+    }
+
+    /// Exhaustively verifies the generational invariants minor collections
+    /// rely on. O(space) — test support, not a production path:
+    ///
+    /// * every same-heap **mature→nursery** edge has its source slot in the
+    ///   heap's remembered set (the set may over-approximate, never under);
+    /// * every remembered source is a live mature object of its heap;
+    /// * nursery pages belong only to live user heaps.
+    ///
+    /// The nursery-soundness property tests run this after every minor
+    /// collection; a violation here means a later minor collection could
+    /// sweep a reachable young object.
+    pub fn check_nursery_invariants(&self) -> Result<(), SpaceAuditViolation> {
+        for (page, meta) in self.page_table.iter().enumerate() {
+            if meta.state != PageState::Nursery || meta.owner.is_none() {
+                continue;
+            }
+            let owner = meta.owner.expect("checked above");
+            let user = self.heap_alive(owner) && self.heap_core(owner).kind == HeapKind::User;
+            if !user {
+                return Err(SpaceAuditViolation::PageAccounting {
+                    page: page as u32,
+                    detail: "nursery page on a non-user heap",
+                });
+            }
+        }
+        let live: Vec<HeapId> = (0..self.heaps.len())
+            .filter_map(|i| {
+                let h = &self.heaps[i];
+                h.alive.then(|| h.id(i as u32))
+            })
+            .collect();
+        for &heap in &live {
+            let core = self.heap_core(heap);
+            for &page in &core.pages {
+                let meta = &self.page_table[page as usize];
+                if meta.state != PageState::Mature || meta.live == 0 {
+                    continue;
+                }
+                let start = page * PAGE_SLOTS;
+                for index in start..start + PAGE_SLOTS {
+                    let Some(obj) = self.slots[index as usize].obj.as_ref() else {
+                        continue;
+                    };
+                    let edge_into_nursery = obj.references().any(|t| {
+                        let m = &self.page_table[(t.index >> PAGE_SHIFT) as usize];
+                        m.state == PageState::Nursery && m.owner == Some(heap)
+                    });
+                    if edge_into_nursery && !core.remset.contains(&index) {
+                        return Err(SpaceAuditViolation::Remembered {
+                            heap,
+                            slot: index,
+                            detail: "mature→nursery edge missing from the remembered set",
+                        });
+                    }
+                }
+            }
+            for &src in &core.remset {
+                let meta = self.page_table.get((src >> PAGE_SHIFT) as usize);
+                let on_own_mature_page = meta
+                    .map(|m| m.owner == Some(heap) && m.state == PageState::Mature)
+                    .unwrap_or(false);
+                if !on_own_mature_page {
+                    return Err(SpaceAuditViolation::Remembered {
+                        heap,
+                        slot: src,
+                        detail: "remembered source is not on a mature page of its heap",
+                    });
+                }
+                let live_here = self
+                    .slots
+                    .get(src as usize)
+                    .and_then(|s| s.obj.as_ref())
+                    .map(|o| o.heap == heap)
+                    .unwrap_or(false);
+                if !live_here {
+                    return Err(SpaceAuditViolation::Remembered {
+                        heap,
+                        slot: src,
+                        detail: "remembered source is not a live object of its heap",
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }

@@ -5,6 +5,14 @@
 //! references that would prevent a terminated process' memory from being
 //! reclaimed, and to maintain entry/exit items for the legal cross-heap
 //! references. Illegal writes raise "segmentation violations".
+//!
+//! The same two choke points every reference store funnels through
+//! (`HeapSpace::store_ref`, and `store_ref_elided` for stores the static
+//! analyzer proved Local) also carry the **generational** hook: a same-heap
+//! mature→nursery store enrols the source slot in the heap's remembered
+//! set so minor collections need not scan mature pages. That hook is pure
+//! host bookkeeping — it charges none of the modelled cycles below and
+//! leaves every Table-1 number untouched.
 
 use crate::heap::HeapKind;
 use crate::layout::costs;

@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 
 use kaffeos_memlimit::MemLimitId;
 
+use crate::fxhash::FxHashSet;
 use crate::refs::{HeapId, ObjRef, ProcTag};
 
 /// The three heap roles of Figure 2.
@@ -56,8 +57,21 @@ pub(crate) struct HeapCore {
     pub memlimit: Option<MemLimitId>,
     /// Pages (of `PAGE_SLOTS` object slots) owned by this heap.
     pub pages: Vec<u32>,
-    /// Free slot indices within owned pages.
+    /// *Recycled* free slot indices within owned pages (slots freed by a
+    /// sweep). Never-yet-used slots of the current page are handed out by
+    /// the bump cursor instead and are not listed here.
     pub free_slots: Vec<u32>,
+    /// Bump cursor into the heap's current page: the next never-used slot.
+    /// Equal to `bump_end` when no page is open for bump allocation.
+    pub bump: u32,
+    /// One past the last slot of the current bump page.
+    pub bump_end: u32,
+    /// Remembered set for minor collections: slot indices of *mature*
+    /// objects of this heap holding at least one reference to a *nursery*
+    /// object of this heap. Maintained by the write-barrier choke points on
+    /// the host plane; rebuilt (filtered + extended by promotion scans) at
+    /// each minor collection and cleared by full collections and merge.
+    pub remset: FxHashSet<u32>,
     /// Accounted bytes currently allocated.
     pub bytes_used: u64,
     /// Live object count (including unreachable-but-unswept).
@@ -70,6 +84,24 @@ pub(crate) struct HeapCore {
     pub frozen: bool,
     /// Monotonic count of collections run on this heap.
     pub gc_count: u64,
+    /// Monotonic count of *minor* (nursery-only) collections. Kept separate
+    /// from `gc_count`, which golden fixtures observe: minor collections are
+    /// host-plane and must not move any virtual number.
+    pub minor_gc_count: u64,
+}
+
+impl HeapCore {
+    /// True if the bump cursor has unused slots left on the current page.
+    #[inline]
+    pub(crate) fn bump_open(&self) -> bool {
+        self.bump < self.bump_end
+    }
+
+    /// The page the bump cursor currently allocates into, if any.
+    #[inline]
+    pub(crate) fn bump_page(&self) -> Option<u32> {
+        self.bump_open().then_some(self.bump >> crate::space::PAGE_SHIFT)
+    }
 }
 
 impl HeapCore {
@@ -82,7 +114,7 @@ impl HeapCore {
 }
 
 /// Read-only view of one heap for diagnostics, reporting and tests.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeapSnapshot {
     /// The heap.
     pub id: HeapId,
@@ -106,4 +138,10 @@ pub struct HeapSnapshot {
     pub frozen: bool,
     /// Collections run on this heap.
     pub gc_count: u64,
+    /// Minor (nursery-only) collections run on this heap.
+    pub minor_gcs: u64,
+    /// Pages currently in nursery state (always 0 for kernel/shared heaps).
+    pub nursery_pages: usize,
+    /// Slot indices currently in the heap's remembered set.
+    pub remset_size: usize,
 }

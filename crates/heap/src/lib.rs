@@ -44,12 +44,12 @@ pub use audit::{SpaceAuditReport, SpaceAuditViolation};
 pub use barrier::{BarrierKind, BarrierStats, SegViolationKind};
 pub use error::HeapError;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
-pub use gc::{GcReport, MergeReport};
+pub use gc::{GcReport, MergeReport, MinorGcReport};
 pub use heap::{HeapKind, HeapSnapshot};
 pub use layout::{costs, SizeModel};
 pub use object::{ObjData, Object};
 pub use refs::{ClassId, HeapId, ObjRef, ProcTag};
-pub use space::{AllocFault, HeapSpace, SpaceConfig};
+pub use space::{AllocFault, HeapSpace, PageState, SpaceConfig};
 pub use value::Value;
 
 #[cfg(test)]

@@ -22,6 +22,120 @@ pub(crate) struct Slot {
     pub obj: Option<Object>,
 }
 
+/// Generational tag of a page.
+///
+/// User-heap pages open as **nursery** pages: bump allocation fills them
+/// with young objects, and a minor collection ([`HeapSpace::gc_minor`])
+/// scans only nursery pages plus the heap's remembered set. Objects never
+/// move (an `ObjRef` is an identity), so generations are page-granular and
+/// promotion is a page retag — exactly like the paper's merge-by-retag,
+/// one level down. After a minor sweep a nursery page either **drains**
+/// (no survivors: it is released to the free-page pool and will reopen as
+/// a fresh nursery page), **promotes** (it survived [`PROMOTE_AGE`] minor
+/// collections still holding at least [`PROMOTE_MIN_LIVE`] objects: its
+/// residents are long-lived, stop re-scanning them), or stays nursery
+/// (sparse stragglers keep cycling young, so their recycled slots keep
+/// hosting young objects). Kernel and shared heaps have no nursery: their
+/// pages open mature, and a full collection tenures a user heap wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Young objects; collected by minor collections.
+    Nursery,
+    /// Tenured objects; collected only by full collections.
+    Mature,
+}
+
+/// A nursery page promotes once it has survived this many minor
+/// collections…
+pub(crate) const PROMOTE_AGE: u8 = 2;
+/// …while still holding at least this many live objects. Sparser pages
+/// stay nursery: they are cheap to re-scan, likely to drain entirely, and
+/// keeping them young means their recycled slots host young objects again
+/// instead of quietly tenuring fresh allocations.
+pub(crate) const PROMOTE_MIN_LIVE: u32 = 64;
+
+/// Per-page bookkeeping in the space-wide page table.
+///
+/// Ownership transitions are explicit and audited: a page is **unowned**
+/// (`owner == None`) only while it sits in the space's free-page pool; it
+/// is owned by exactly one heap otherwise. Pages change owner in exactly
+/// four places — fresh/pooled page claim in `open_page`, wholesale retag to
+/// the kernel in `merge_into_kernel`, explicit release via
+/// [`HeapSpace::release_empty_pages`], and drained-nursery release inside
+/// [`HeapSpace::gc_minor`] — and the audit's page-ownership recount checks
+/// both directions (owned pages are listed by their owner exactly once,
+/// unowned pages by nobody and pooled exactly once).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PageMeta {
+    /// Owning heap, or `None` for a page in the free-page pool.
+    pub owner: Option<HeapId>,
+    /// Nursery or mature (meaningful only while owned).
+    pub state: PageState,
+    /// Occupied slots on this page. Maintained at allocation and sweep so
+    /// collectors and `freeze_shared` can skip wholly-empty pages on the
+    /// host while charging the unchanged per-slot cycle model arithmetically.
+    pub live: u32,
+    /// Minor collections this page has survived with residents (nursery
+    /// pages only; promotion input).
+    pub age: u8,
+}
+
+/// Size-class free lists for object payload buffers (the MallocKit/ExVM
+/// shape, host-only). Sweeping an object returns its `Box<[Value]>` payload
+/// to the exact-length class; the next allocation of that shape pops the
+/// buffer and refills it instead of going to the host allocator. Purely a
+/// host optimisation: accounted bytes are computed from payload *contents*,
+/// which are identical either way.
+#[derive(Debug, Default)]
+pub(crate) struct PayloadPool {
+    /// `classes[len]` holds recycled buffers of exactly `len` slots.
+    classes: Vec<Vec<Box<[Value]>>>,
+    /// Bytes currently parked in the pool (host bound, not accounted bytes).
+    held: usize,
+}
+
+/// Payload lengths above this are never pooled (rare, large, not worth it).
+const POOL_MAX_LEN: usize = 256;
+/// Host bytes the pool may park before it starts dropping buffers.
+const POOL_BUDGET: usize = 32 << 20;
+
+impl PayloadPool {
+    /// Pops a recycled buffer of exactly `len` slots filled with `fill`, or
+    /// allocates a fresh one.
+    fn take(&mut self, len: usize, fill: Value) -> Box<[Value]> {
+        if let Some(buf) = self.classes.get_mut(len).and_then(|c| c.pop()) {
+            self.held -= len * core::mem::size_of::<Value>();
+            let mut buf = buf;
+            buf.fill(fill);
+            return buf;
+        }
+        vec![fill; len].into_boxed_slice()
+    }
+
+    /// Parks a dead object's buffer for reuse, unless over budget.
+    fn put(&mut self, buf: Box<[Value]>) {
+        let len = buf.len();
+        let bytes = len * core::mem::size_of::<Value>();
+        if len == 0 || len > POOL_MAX_LEN || self.held + bytes > POOL_BUDGET {
+            return;
+        }
+        if self.classes.len() <= len {
+            self.classes.resize_with(len + 1, Vec::new);
+        }
+        self.held += bytes;
+        self.classes[len].push(buf);
+    }
+
+    /// Recycles the payload of a swept object.
+    pub(crate) fn recycle(&mut self, data: ObjData) {
+        match data {
+            ObjData::Fields(f) => self.put(f),
+            ObjData::Array { values, .. } => self.put(values),
+            ObjData::Str(_) => {}
+        }
+    }
+}
+
 /// Configuration for a [`HeapSpace`].
 #[derive(Debug, Clone, Copy)]
 pub struct SpaceConfig {
@@ -52,9 +166,17 @@ impl Default for SpaceConfig {
 #[derive(Debug)]
 pub struct HeapSpace {
     pub(crate) slots: Vec<Slot>,
-    /// Page index → owning heap (index+generation), or `None` for a page
-    /// not yet handed out (never happens today: pages are created owned).
-    pub(crate) page_owner: Vec<HeapId>,
+    /// Page index → ownership, nursery/mature state and occupancy. A page's
+    /// owner really can be `None` now: [`HeapSpace::release_empty_pages`]
+    /// returns empty pages to `free_pages`, where they sit unowned until
+    /// `open_page` hands them to another heap (this corrects the old
+    /// "never happens today" claim — see [`PageMeta`] for the audited
+    /// transition set).
+    pub(crate) page_table: Vec<PageMeta>,
+    /// Unowned pages available for reuse by any heap (LIFO).
+    pub(crate) free_pages: Vec<u32>,
+    /// Size-class free lists recycling dead objects' payload buffers.
+    pub(crate) payload_pool: PayloadPool,
     pub(crate) heaps: Vec<HeapCore>,
     kernel: HeapId,
     barrier: BarrierKind,
@@ -103,16 +225,22 @@ impl HeapSpace {
             memlimit: None,
             pages: Vec::new(),
             free_slots: Vec::new(),
+            bump: 0,
+            bump_end: 0,
+            remset: crate::fxhash::FxHashSet::default(),
             bytes_used: 0,
             objects: 0,
             entries: BTreeMap::new(),
             exits: BTreeMap::new(),
             frozen: false,
             gc_count: 0,
+            minor_gc_count: 0,
         };
         HeapSpace {
             slots: Vec::new(),
-            page_owner: Vec::new(),
+            page_table: Vec::new(),
+            free_pages: Vec::new(),
+            payload_pool: PayloadPool::default(),
             heaps: vec![kernel_core],
             kernel: HeapId {
                 index: 0,
@@ -257,12 +385,16 @@ impl HeapSpace {
             memlimit,
             pages: Vec::new(),
             free_slots: Vec::new(),
+            bump: 0,
+            bump_end: 0,
+            remset: crate::fxhash::FxHashSet::default(),
             bytes_used: 0,
             objects: 0,
             entries: BTreeMap::new(),
             exits: BTreeMap::new(),
             frozen: false,
             gc_count: 0,
+            minor_gc_count: 0,
         };
         // Reuse a dead heap slot if any (generation already bumped at death).
         if let Some(index) = self.heaps.iter().position(|h| !h.alive) {
@@ -297,8 +429,12 @@ impl HeapSpace {
         let bytes = core.bytes_used;
         let ml = core.memlimit;
         // Mark every object frozen so even same-heap reference stores fail.
+        // Wholly-empty pages hold nothing to freeze and are skipped.
         let pages = core.pages.clone();
         for page in pages {
+            if self.page_table[page as usize].live == 0 {
+                continue;
+            }
             let start = (page * PAGE_SLOTS) as usize;
             for slot in &mut self.slots[start..start + PAGE_SLOTS as usize] {
                 if let Some(obj) = slot.obj.as_mut() {
@@ -343,6 +479,13 @@ impl HeapSpace {
             exit_items: core.exits.len(),
             frozen: core.frozen,
             gc_count: core.gc_count,
+            minor_gcs: core.minor_gc_count,
+            nursery_pages: core
+                .pages
+                .iter()
+                .filter(|&&p| self.page_table[p as usize].state == PageState::Nursery)
+                .count(),
+            remset_size: core.remset.len(),
         })
     }
 
@@ -391,7 +534,7 @@ impl HeapSpace {
         class: ClassId,
         nfields: usize,
     ) -> Result<ObjRef, HeapError> {
-        let data = ObjData::Fields(vec![Value::Null; nfields].into_boxed_slice());
+        let data = ObjData::Fields(self.payload_pool.take(nfields, Value::Null));
         self.alloc(heap, class, data)
     }
 
@@ -407,7 +550,7 @@ impl HeapSpace {
     ) -> Result<ObjRef, HeapError> {
         let data = ObjData::Array {
             elem_bytes,
-            values: vec![fill; len].into_boxed_slice(),
+            values: self.payload_pool.take(len, fill),
         };
         self.alloc(heap, class, data)
     }
@@ -466,16 +609,13 @@ impl HeapSpace {
         if let Some(ml) = self.heap_core(heap).memlimit {
             self.limits.debit(ml, bytes as u64)?;
         }
-        let index = match self.take_slot(heap) {
-            Ok(index) => index,
-            Err(e) => {
-                // Roll back the debit so a failed allocation is a no-op.
-                if let Some(ml) = self.heap_core(heap).memlimit {
-                    let _ = self.limits.credit(ml, bytes as u64);
-                }
-                return Err(e);
-            }
-        };
+        // Slot acquisition is infallible (recycled slot, bump pointer, or a
+        // fresh page), so every failure point — fault injection and the
+        // memlimit debit — precedes any heap state change: a failed
+        // allocation is a no-op by construction, with no rollback path for
+        // an injected OOM to diverge on. The differential oracle asserts
+        // this by comparing post-fault state against the reference model.
+        let index = self.take_slot(heap);
         let slot = &mut self.slots[index as usize];
         debug_assert!(slot.obj.is_none(), "allocated into occupied slot");
         slot.obj = Some(Object {
@@ -495,24 +635,111 @@ impl HeapSpace {
         })
     }
 
-    /// Pops a free slot for `heap`, growing the global table by a fresh page
-    /// if needed.
-    fn take_slot(&mut self, heap: HeapId) -> Result<u32, HeapError> {
-        if let Some(index) = self.heap_core_mut(heap).free_slots.pop() {
-            return Ok(index);
-        }
-        let page = self.page_owner.len() as u32;
+    /// Hands out a slot for `heap`: recycled slot if one is free, else a
+    /// bump-pointer increment into the heap's current page, else a new page
+    /// (pooled or fresh). Infallible.
+    ///
+    /// Slot-index order is identical to the historical single-free-list
+    /// allocator: that scheme prefilled each fresh page as a descending
+    /// stack (so pops ascended through the page) and pushed swept slots on
+    /// top (so recycled slots were preferred, most-recently-freed first).
+    /// Popping the recycled-only list first and bumping through the current
+    /// page otherwise reproduces exactly that sequence — which golden trace
+    /// fixtures observe through object slot indices.
+    #[inline]
+    fn take_slot(&mut self, heap: HeapId) -> u32 {
+        let core = self.heap_core_mut(heap);
+        let index = if let Some(index) = core.free_slots.pop() {
+            index
+        } else if core.bump < core.bump_end {
+            let index = core.bump;
+            core.bump += 1;
+            index
+        } else {
+            self.open_page(heap)
+        };
+        self.page_table[(index >> PAGE_SHIFT) as usize].live += 1;
+        index
+    }
+
+    /// Opens a new bump page for `heap` — reusing an unowned page from the
+    /// free-page pool if available, growing the global slot table otherwise
+    /// — and hands out its first slot. User-heap pages open as nursery
+    /// pages; kernel and shared heaps allocate mature directly.
+    fn open_page(&mut self, heap: HeapId) -> u32 {
+        let state = if self.heap_core(heap).kind == HeapKind::User {
+            PageState::Nursery
+        } else {
+            PageState::Mature
+        };
+        let page = if let Some(page) = self.free_pages.pop() {
+            let meta = &mut self.page_table[page as usize];
+            debug_assert!(meta.owner.is_none(), "pooled page still owned");
+            debug_assert_eq!(meta.live, 0, "pooled page not empty");
+            meta.owner = Some(heap);
+            meta.state = state;
+            meta.age = 0;
+            page
+        } else {
+            let page = self.page_table.len() as u32;
+            debug_assert_eq!((page * PAGE_SLOTS) as usize, self.slots.len());
+            self.slots.extend((0..PAGE_SLOTS).map(|_| Slot::default()));
+            self.page_table.push(PageMeta {
+                owner: Some(heap),
+                state,
+                live: 0,
+                age: 0,
+            });
+            page
+        };
         let start = page * PAGE_SLOTS;
-        debug_assert_eq!(start as usize, self.slots.len());
-        self.slots.extend((0..PAGE_SLOTS).map(|_| Slot::default()));
-        self.page_owner.push(heap);
         let core = self.heap_core_mut(heap);
         core.pages.push(page);
-        // Reverse so that slots are handed out in ascending order.
-        core.free_slots.extend((start..start + PAGE_SLOTS).rev());
-        core.free_slots
-            .pop()
-            .ok_or(HeapError::Internal("fresh page has no free slots"))
+        core.bump = start + 1; // slot `start` is handed out right now
+        core.bump_end = start + PAGE_SLOTS;
+        start
+    }
+
+    /// Returns wholly-empty pages of `heap` to the space's free-page pool,
+    /// where they sit **unowned** until `open_page` hands them to another
+    /// heap. The heap's current bump page is kept even when empty (its
+    /// never-used tail is still being handed out). Returns the number of
+    /// pages released.
+    ///
+    /// Host-plane only: no modelled cycles, no trace events, and the
+    /// modelled kernel never calls it — page recycling is invisible to the
+    /// virtual plane. Recycled slot indices of a released page are purged
+    /// from the heap's free list, so the released page must not be handed
+    /// back out to this heap's old indices.
+    pub fn release_empty_pages(&mut self, heap: HeapId) -> Result<usize, HeapError> {
+        self.check_heap(heap)?;
+        let bump_page = self.heap_core(heap).bump_page();
+        let pages = std::mem::take(&mut self.heap_core_mut(heap).pages);
+        let mut kept = Vec::with_capacity(pages.len());
+        let mut released = Vec::new();
+        for page in pages {
+            let releasable = self.page_table[page as usize].live == 0 && Some(page) != bump_page;
+            if releasable {
+                self.page_table[page as usize] = PageMeta {
+                    owner: None,
+                    state: PageState::Mature,
+                    live: 0,
+                    age: 0,
+                };
+                self.free_pages.push(page);
+                released.push(page);
+            } else {
+                kept.push(page);
+            }
+        }
+        let core = self.heap_core_mut(heap);
+        core.pages = kept;
+        if !released.is_empty() {
+            // Drop recycled slots that lived on released pages.
+            core.free_slots
+                .retain(|&s| !released.contains(&(s >> PAGE_SHIFT)));
+        }
+        Ok(released.len())
     }
 
     // ----- object access --------------------------------------------------
@@ -551,7 +778,11 @@ impl HeapSpace {
         let by_header = self.get(obj)?.heap;
         if self.barrier.uses_page_lookup() {
             let page = (obj.index >> PAGE_SHIFT) as usize;
-            let by_page = self.page_owner[page];
+            // A live object's page is always owned (pages are released to
+            // the pool only when empty).
+            let by_page = self.page_table[page]
+                .owner
+                .ok_or(HeapError::Internal("live object on unowned page"))?;
             debug_assert_eq!(by_page, by_header, "page table out of sync");
             Ok(by_page)
         } else {
@@ -657,6 +888,7 @@ impl HeapSpace {
         *slots
             .get_mut(index)
             .ok_or(HeapError::IndexOutOfBounds { obj, index, len })? = val;
+        self.note_store(obj, val);
         Ok(cycles)
     }
 
@@ -709,7 +941,40 @@ impl HeapSpace {
         *slots
             .get_mut(index)
             .ok_or(HeapError::IndexOutOfBounds { obj, index, len })? = val;
+        self.note_store(obj, val);
         Ok(cycles)
+    }
+
+    /// Generational hook shared by both write-barrier choke points
+    /// ([`store_ref`] and [`store_ref_elided`] — the analyzer's proven-Local
+    /// stores still funnel through the latter, so no store escapes). When a
+    /// *mature* object of a user heap comes to reference a *nursery* object
+    /// of the **same** heap, the source slot joins the heap's remembered
+    /// set; minor collections then treat it as a scan root instead of
+    /// walking mature pages. Cross-heap references into a nursery are
+    /// already covered: they create entry items, which minor collections
+    /// use as roots.
+    ///
+    /// Host-plane only: charges no modelled cycles and emits no trace
+    /// events, so the virtual cost model cannot see it.
+    ///
+    /// [`store_ref`]: HeapSpace::store_ref
+    /// [`store_ref_elided`]: HeapSpace::store_ref_elided
+    #[inline]
+    fn note_store(&mut self, obj: ObjRef, val: Value) {
+        let Value::Ref(target) = val else { return };
+        let src = self.page_table[(obj.index >> PAGE_SHIFT) as usize];
+        let Some(dst) = self.page_table.get((target.index >> PAGE_SHIFT) as usize) else {
+            return;
+        };
+        if src.state == PageState::Mature
+            && dst.state == PageState::Nursery
+            && src.owner == dst.owner
+        {
+            if let Some(owner) = src.owner {
+                self.heaps[owner.index as usize].remset.insert(obj.index);
+            }
+        }
     }
 
     /// Ensures `src` holds an exit item for `target` (which lives on `dst`),

@@ -1,0 +1,318 @@
+//! Nursery soundness properties for the per-user-heap minor collector.
+//!
+//! Three properties, each with a deliberate *negative control* so a
+//! vacuously-passing collector (one that never frees anything, or never
+//! runs) cannot slip through:
+//!
+//! 1. **Remembered-set completeness** — a nursery object whose only
+//!    incoming reference is a field of a *mature* object survives a minor
+//!    collection (the write barrier must have recorded the mature→nursery
+//!    edge); an unreferenced nursery neighbour allocated the same way is
+//!    reclaimed by the same collection.
+//! 2. **Minor + major ≡ major** — two spaces driven through an identical
+//!    seeded op sequence, one interleaving minor collections, converge to
+//!    isomorphic object graphs and identical accounting after a final full
+//!    collection. Minor collections are an invisible optimisation.
+//! 3. **Invariant preservation** — across a seeded fuzz of allocation,
+//!    stores, root drops and collections over several user heaps, every
+//!    minor collection leaves `audit()` and `check_nursery_invariants()`
+//!    clean and reports internally-consistent numbers.
+//!
+//! Seeds replay exactly; failures print their seed.
+
+use std::collections::HashMap;
+
+use kaffeos_heap::{
+    BarrierKind, ClassId, HeapId, HeapSpace, ObjRef, ProcTag, SpaceConfig, Value,
+};
+use kaffeos_memlimit::Kind;
+
+const CLS: ClassId = ClassId(3);
+const USER_LIMIT: u64 = 8 * 1024 * 1024;
+
+/// Deterministic SplitMix64 sequence generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn space() -> (HeapSpace, HeapId) {
+    let mut space = HeapSpace::new(SpaceConfig {
+        barrier: BarrierKind::NoHeapPointer,
+        user_budget: 64 * 1024 * 1024,
+    });
+    let root = space.root_memlimit();
+    let ml = space
+        .limits_mut()
+        .create_child(root, Kind::Hard, USER_LIMIT, "user")
+        .expect("child memlimit");
+    let heap = space.create_user_heap(ProcTag(1), ml, "user");
+    (space, heap)
+}
+
+/// Allocates rooted filler objects until the heap has at least one nursery
+/// page again (after a full collection tenured everything, allocation first
+/// drains recycled slots on mature pages — those objects are tenured at
+/// birth and useless for nursery tests). Returns the filler roots.
+fn refill_nursery(space: &mut HeapSpace, heap: HeapId) -> Vec<ObjRef> {
+    let mut filler = Vec::new();
+    while space.snapshot(heap).expect("live heap").nursery_pages == 0 {
+        filler.push(space.alloc_fields(heap, CLS, 1).expect("filler alloc"));
+        assert!(filler.len() < 10_000, "nursery page never opened");
+    }
+    filler
+}
+
+// ---- property 1: remembered-set completeness -------------------------------
+
+#[test]
+fn remset_keeps_nursery_object_alive_through_mature_edge() {
+    let (mut space, heap) = space();
+
+    // An anchor, tenured by a full collection (which promotes wholesale).
+    let anchor = space.alloc_fields(heap, CLS, 2).expect("anchor");
+    space.gc(heap, &[anchor]).expect("full gc");
+
+    // Fresh nursery page, then one referenced and one garbage young object.
+    let mut roots = vec![anchor];
+    roots.extend(refill_nursery(&mut space, heap));
+    let young = space.alloc_fields(heap, CLS, 1).expect("young");
+    let garbage = space.alloc_fields(heap, CLS, 1).expect("garbage");
+    space
+        .store_ref(anchor, 0, Value::Ref(young), false)
+        .expect("mature -> nursery store");
+
+    // `young` is reachable only through the mature anchor's field: only the
+    // write barrier's remembered-set entry can save it from the sweep.
+    let report = space.gc_minor(heap, &roots).expect("minor gc");
+    assert!(report.remset_roots > 0, "no remembered-set source scanned");
+    assert!(report.objects_freed > 0, "negative control never reclaimed");
+    let live = space.get(young).expect("remset edge lost: young swept");
+    assert_eq!(live.heap, heap);
+    assert_eq!(
+        space.load(anchor, 0).expect("anchor field"),
+        Value::Ref(young)
+    );
+    assert!(
+        space.get(garbage).is_err(),
+        "unreferenced nursery object survived the minor sweep"
+    );
+
+    // Severing the edge lets a *full* collection reclaim it (a minor one may
+    // conservatively retain survivors on unpromoted pages).
+    space.store_prim(anchor, 0, Value::Null).expect("sever");
+    space.gc(heap, &roots).expect("full gc");
+    assert!(space.get(young).is_err(), "severed object survived full gc");
+
+    space.audit().expect("audit clean");
+    space.check_nursery_invariants().expect("nursery invariants");
+}
+
+// ---- property 2: minor + major == major ------------------------------------
+
+/// Asserts the object graphs reachable from paired roots are isomorphic:
+/// same arities, same primitive values, and a consistent bijection between
+/// references (minor collections recycle slots, so raw `ObjRef`s diverge
+/// between the twins — only the graph shape is comparable).
+fn assert_isomorphic(a: &HeapSpace, b: &HeapSpace, roots_a: &[ObjRef], roots_b: &[ObjRef]) {
+    assert_eq!(roots_a.len(), roots_b.len());
+    let mut a_to_b: HashMap<ObjRef, ObjRef> = HashMap::new();
+    let mut b_to_a: HashMap<ObjRef, ObjRef> = HashMap::new();
+    let mut queue: Vec<(ObjRef, ObjRef)> = Vec::new();
+    let mut pair = |ra: ObjRef, rb: ObjRef, queue: &mut Vec<(ObjRef, ObjRef)>| {
+        match (a_to_b.get(&ra), b_to_a.get(&rb)) {
+            (None, None) => {
+                a_to_b.insert(ra, rb);
+                b_to_a.insert(rb, ra);
+                queue.push((ra, rb));
+            }
+            (Some(&mapped), _) => assert_eq!(mapped, rb, "bijection broken at {ra:?}"),
+            (None, Some(&mapped)) => {
+                panic!("bijection broken: {rb:?} already paired with {mapped:?}")
+            }
+        }
+    };
+    for (&ra, &rb) in roots_a.iter().zip(roots_b) {
+        pair(ra, rb, &mut queue);
+    }
+    while let Some((ra, rb)) = queue.pop() {
+        a.get(ra).expect("twin A lost a reachable object");
+        b.get(rb).expect("twin B lost a reachable object");
+        let n = a.slot_count(ra).expect("live object");
+        assert_eq!(n, b.slot_count(rb).expect("live object"), "arity differs");
+        for i in 0..n {
+            let va = a.load(ra, i).expect("in-bounds");
+            let vb = b.load(rb, i).expect("in-bounds");
+            match (va, vb) {
+                (Value::Null, Value::Null) => {}
+                (Value::Int(x), Value::Int(y)) => assert_eq!(x, y, "prim differs"),
+                (Value::Ref(x), Value::Ref(y)) => pair(x, y, &mut queue),
+                (va, vb) => panic!("field kind differs: {va:?} vs {vb:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn minor_plus_major_equals_major() {
+    for case in 0..16u64 {
+        let seed = 0x5EED_0000 ^ case;
+        let mut rng = Rng(seed);
+        let (mut sa, ha) = space();
+        let (mut sb, hb) = space();
+        let mut roots_a: Vec<ObjRef> = Vec::new();
+        let mut roots_b: Vec<ObjRef> = Vec::new();
+        let mut minors = 0u64;
+
+        let nops = 600 + rng.below(600);
+        for op_i in 0..nops {
+            match rng.below(10) {
+                0..=4 => {
+                    let fields = 1 + rng.below(4);
+                    roots_a.push(sa.alloc_fields(ha, CLS, fields).expect("alloc A"));
+                    roots_b.push(sb.alloc_fields(hb, CLS, fields).expect("alloc B"));
+                }
+                5..=6 if !roots_a.is_empty() => {
+                    let src = rng.below(roots_a.len());
+                    let dst = rng.below(roots_a.len());
+                    let field = rng.below(4);
+                    let ra = sa.store_ref(roots_a[src], field, Value::Ref(roots_a[dst]), false);
+                    let rb = sb.store_ref(roots_b[src], field, Value::Ref(roots_b[dst]), false);
+                    assert_eq!(ra.is_ok(), rb.is_ok(), "seed {seed:#x}: store diverged");
+                }
+                7 if !roots_a.is_empty() => {
+                    let src = rng.below(roots_a.len());
+                    let field = rng.below(4);
+                    let v = Value::Int(rng.next() as i64);
+                    let ra = sa.store_prim(roots_a[src], field, v);
+                    let rb = sb.store_prim(roots_b[src], field, v);
+                    assert_eq!(ra.is_ok(), rb.is_ok(), "seed {seed:#x}: prim diverged");
+                }
+                8 if roots_a.len() > 1 => {
+                    let which = rng.below(roots_a.len());
+                    roots_a.swap_remove(which);
+                    roots_b.swap_remove(which);
+                }
+                _ => {}
+            }
+            // Twin A minor-collects periodically; twin B never does.
+            if op_i % 64 == 63 {
+                sa.gc_minor(ha, &roots_a).expect("minor gc");
+                minors += 1;
+                sa.check_nursery_invariants().expect("nursery invariants");
+            }
+        }
+        assert!(minors > 0, "seed {seed:#x}: twin A never minor-collected");
+
+        // Final full collection on both: the twins must now agree exactly.
+        sa.gc(ha, &roots_a).expect("full gc A");
+        sb.gc(hb, &roots_b).expect("full gc B");
+        let snap_a = sa.snapshot(ha).expect("live heap");
+        let snap_b = sb.snapshot(hb).expect("live heap");
+        assert_eq!(snap_a.objects, snap_b.objects, "seed {seed:#x}: live count");
+        assert_eq!(
+            snap_a.bytes_used, snap_b.bytes_used,
+            "seed {seed:#x}: live bytes"
+        );
+        assert_isomorphic(&sa, &sb, &roots_a, &roots_b);
+        sa.audit().expect("audit A");
+        sb.audit().expect("audit B");
+    }
+}
+
+// ---- property 3: invariants under fuzz -------------------------------------
+
+#[test]
+fn minor_gc_preserves_audit_and_nursery_invariants() {
+    for case in 0..12u64 {
+        let seed = 0xA0D1_0000 ^ case;
+        let mut rng = Rng(seed);
+        let mut space = HeapSpace::new(SpaceConfig {
+            barrier: BarrierKind::NoHeapPointer,
+            user_budget: 64 * 1024 * 1024,
+        });
+        let root = space.root_memlimit();
+        let mut heaps = Vec::new();
+        let mut roots: Vec<Vec<ObjRef>> = Vec::new();
+        for p in 0..3u32 {
+            let ml = space
+                .limits_mut()
+                .create_child(root, Kind::Hard, USER_LIMIT, format!("p{p}"))
+                .expect("child memlimit");
+            let heap = space.create_user_heap(ProcTag(p + 1), ml, format!("h{p}"));
+            // Tenured resident set, so allocation must open fresh nursery
+            // pages instead of recycling slots on mature pages forever.
+            let mut resident = Vec::new();
+            for _ in 0..64 {
+                resident.push(space.alloc_fields(heap, CLS, 2).expect("resident"));
+            }
+            space.gc(heap, &resident).expect("setup gc");
+            heaps.push(heap);
+            roots.push(resident);
+        }
+
+        let mut total_freed = 0u64;
+        for _ in 0..800 {
+            let h = rng.below(heaps.len());
+            match rng.below(12) {
+                0..=5 => {
+                    for _ in 0..4 {
+                        let fields = 1 + rng.below(4);
+                        roots[h].push(space.alloc_fields(heaps[h], CLS, fields).expect("alloc"));
+                    }
+                }
+                6..=7 if roots[h].len() > 1 => {
+                    let src = rng.below(roots[h].len());
+                    let dst = rng.below(roots[h].len());
+                    let arity = space.slot_count(roots[h][src]).expect("live root");
+                    let field = rng.below(arity);
+                    space
+                        .store_ref(roots[h][src], field, Value::Ref(roots[h][dst]), false)
+                        .expect("same-heap store");
+                }
+                8..=9 => {
+                    for _ in 0..4 {
+                        if roots[h].len() > 8 {
+                            let which = rng.below(roots[h].len());
+                            roots[h].swap_remove(which);
+                        }
+                    }
+                }
+                10 => {
+                    let report = space.gc_minor(heaps[h], &roots[h]).expect("minor gc");
+                    assert!(
+                        report.pages_promoted + report.pages_released <= report.nursery_pages,
+                        "seed {seed:#x}: page fates exceed pages scanned"
+                    );
+                    total_freed += report.objects_freed;
+                    space.check_nursery_invariants().unwrap_or_else(|v| {
+                        panic!("seed {seed:#x}: nursery invariant violated: {v:?}")
+                    });
+                    space
+                        .audit()
+                        .unwrap_or_else(|v| panic!("seed {seed:#x}: audit violated: {v:?}"));
+                }
+                // Full collections stay rare: each one wholesale-tenures the
+                // heap, starving subsequent minor collections of nursery work.
+                _ if rng.below(8) == 0 => {
+                    space.gc(heaps[h], &roots[h]).expect("full gc");
+                }
+                _ => {}
+            }
+        }
+        assert!(total_freed > 0, "seed {seed:#x}: minor gcs never reclaimed");
+        space.audit().expect("final audit");
+        space.check_nursery_invariants().expect("final invariants");
+    }
+}
