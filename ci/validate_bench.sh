@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Schema gate for every machine-readable bench report the CI produces.
+#
+#   ci/validate_bench.sh <report.json> <kind>
+#
+# kinds:
+#   interp    BENCH_interp.json        (interp_throughput)
+#   alloc     BENCH_alloc_quick.json   (alloc_throughput)
+#   barrier   BENCH_barrier_quick.json (barrier_elision)
+#   heapprof  BENCH_heapprof.json      (heapprof_overhead)
+#
+# One place instead of four inline snippets: a report that is missing,
+# unparsable, or lacking its speedup/overhead fields fails the build here,
+# identically for every bench job.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <report.json> <kind: interp|alloc|barrier|heapprof>" >&2
+    exit 2
+fi
+REPORT="$1" KIND="$2" python3 - <<'PYEOF'
+import json
+import os
+import sys
+
+path, kind = os.environ["REPORT"], os.environ["KIND"]
+
+
+def fail(msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except OSError as e:
+    fail(f"unreadable: {e}")
+except ValueError as e:
+    fail(f"not valid JSON: {e}")
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+if kind == "interp":
+    benches = doc.get("benchmarks")
+    require(isinstance(benches, list) and len(benches) == 7,
+            f"expected 7 benchmarks, got {benches and [b.get('name') for b in benches]}")
+    for b in benches:
+        require(number(b.get("ops")) and b["ops"] > 0, f"benchmark {b.get('name')}: bad ops")
+    total = doc.get("total", {})
+    require(number(total.get("ops")) and total["ops"] > 0, "total.ops missing or zero")
+    require(number(total.get("ops_per_sec")) and total["ops_per_sec"] > 0,
+            "total.ops_per_sec missing or zero")
+    # The key must exist even without a baseline (then it is null).
+    require("speedup_vs_baseline" in doc, "speedup_vs_baseline key missing")
+    s = doc["speedup_vs_baseline"]
+    require(s is None or (number(s) and s > 0), f"malformed speedup_vs_baseline: {s!r}")
+    print(f"ok: {total['ops']} ops at {total['ops_per_sec'] / 1e6:.1f} Mops/s")
+
+elif kind == "alloc":
+    phases = doc.get("phases")
+    require(isinstance(phases, list) and len(phases) == 4,
+            f"expected 4 phases, got {phases and [p.get('name') for p in phases]}")
+    for p in phases:
+        require(number(p.get("ops")) and p["ops"] > 0, f"phase {p.get('name')}: bad ops")
+        require(number(p.get("checksum")) and p["checksum"] != 0,
+                f"phase {p.get('name')}: zero checksum")
+    total = doc.get("total", {})
+    require(number(total.get("ops")) and total["ops"] > 0, "total.ops missing or zero")
+    require(number(total.get("ops_per_sec")) and total["ops_per_sec"] > 0,
+            "total.ops_per_sec missing or zero")
+    print(f"ok: {total['ops']} ops at {total['ops_per_sec'] / 1e6:.1f} Mops/s")
+
+elif kind == "barrier":
+    require(doc.get("virtual_numbers_identical") is True,
+            "virtual_numbers_identical is not true")
+    total = doc.get("total", {})
+    require(number(total.get("total_sites")) and total["total_sites"] > 0,
+            "total.total_sites missing or zero")
+    require(number(total.get("elided_sites")) and total["elided_sites"] > 0,
+            "total.elided_sites missing or zero")
+    print(f"ok: {total['elided_sites']}/{total['total_sites']} sites elided")
+
+elif kind == "heapprof":
+    benches = doc.get("benchmarks")
+    require(isinstance(benches, list) and len(benches) > 0, "no benchmarks")
+    for b in benches:
+        require(b.get("virtual_identical") is True,
+                f"benchmark {b.get('name')}: virtual numbers moved")
+        require(number(b.get("overhead_pct")), f"benchmark {b.get('name')}: bad overhead_pct")
+        require(number(b.get("sites")) and b["sites"] > 0,
+                f"benchmark {b.get('name')}: no recorded sites")
+    overhead = doc.get("overhead", {})
+    require(number(overhead.get("mean_pct")), "overhead.mean_pct missing or malformed")
+    require(overhead.get("virtual_identical") is True,
+            "overhead.virtual_identical is not true")
+    print(f"ok: mean overhead {overhead['mean_pct']:.1f}% with virtual numbers identical")
+
+else:
+    fail(f"unknown kind {kind!r}")
+PYEOF

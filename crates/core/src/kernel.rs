@@ -99,6 +99,13 @@ pub struct KaffeOsConfig {
     /// trace, profile, and Table-1 number) is bit-identical either way.
     /// Debug builds re-check elided stores against the real barrier.
     pub elide: bool,
+    /// Heap observability plane: allocation-site profiling with survival
+    /// stats, the GC/page timeline, and the live cross-heap edge census.
+    /// Off by default; the same `Option`-sink contract as `trace` and
+    /// `profile` — when off nothing is recorded and no closure runs, and
+    /// the plane has no cycle model, so the virtual clock (and every
+    /// golden trace/benchmark number) is bit-identical either way.
+    pub heapprof: bool,
 }
 
 impl Default for KaffeOsConfig {
@@ -115,6 +122,7 @@ impl Default for KaffeOsConfig {
             trace_capacity: kaffeos_trace::DEFAULT_CAPACITY,
             profile: false,
             elide: true,
+            heapprof: false,
         }
     }
 }
@@ -361,6 +369,9 @@ impl KaffeOs {
             kaffeos_trace::ProfileSink::disabled()
         };
         space.set_profile_sink(profile.clone());
+        if config.heapprof {
+            space.set_heapprof_sink(kaffeos_trace::HeapProfSink::enabled());
+        }
         let mut table = ClassTable::new(build_registry());
         let shared_ns = table.create_namespace("shared", None);
         let shared_class_count =
@@ -559,6 +570,7 @@ impl KaffeOs {
         let pid = Pid(self.procs.len() as u32 + 1);
         let label = format!("{image}#{}", pid.0);
         self.profile.set_label(pid.0, &label);
+        self.space.heapprof().set_label(pid.0, &label);
 
         let (heap, memlimit, ns) = if self.config.monolithic {
             // Load image classes once into the single namespace.
@@ -943,6 +955,189 @@ impl KaffeOs {
         out
     }
 
+    // ---- heap observability (allocation sites, dumps, the timeline) --------
+
+    /// True if the heap-observability plane is recording.
+    pub fn heapprof_enabled(&self) -> bool {
+        self.space.heapprof().is_enabled()
+    }
+
+    /// Display name for a heap-layer class tag: the loaded class's name,
+    /// or the VM's array sentinels (`int[]`, `float[]`, `Object[]`).
+    fn class_tag_name(&self, tag: u32) -> String {
+        let id = kaffeos_heap::ClassId(tag);
+        if id == kaffeos_vm::INT_ARRAY_CLASS {
+            return "int[]".to_string();
+        }
+        if id == kaffeos_vm::FLOAT_ARRAY_CLASS {
+            return "float[]".to_string();
+        }
+        if id == kaffeos_vm::REF_ARRAY_CLASS {
+            return "Object[]".to_string();
+        }
+        if (tag as usize) < self.table.classes.len() {
+            self.table.class(self.table.from_heap_class(id)).name.clone()
+        } else {
+            format!("class#{tag}")
+        }
+    }
+
+    /// Allocation-site profile as folded stacks weighted by **bytes**
+    /// (`pid;Class.method@bN;Class bytes` lines, sorted; empty when off).
+    pub fn heapprof_folded_bytes(&self) -> String {
+        self.space
+            .heapprof()
+            .folded_bytes(&|tag| self.class_tag_name(tag))
+    }
+
+    /// Allocation-site profile as folded stacks weighted by **object
+    /// counts** (empty when off).
+    pub fn heapprof_folded_objects(&self) -> String {
+        self.space
+            .heapprof()
+            .folded_objects(&|tag| self.class_tag_name(tag))
+    }
+
+    /// The bytes-weighted allocation profile as a self-contained SVG
+    /// flamegraph (empty when off).
+    pub fn heapprof_flamegraph_svg(&self) -> String {
+        self.space
+            .heapprof()
+            .flamegraph_svg(&|tag| self.class_tag_name(tag))
+    }
+
+    /// Per-site survival table: allocations vs died-young vs died-old vs
+    /// tenured, as deterministic text (empty when off).
+    pub fn heapprof_survival(&self) -> String {
+        self.space
+            .heapprof()
+            .survival_text(&|tag| self.class_tag_name(tag))
+    }
+
+    /// The GC/page timeline as JSON-lines: page claim/release/promote/
+    /// retag, per-collection records, and occupancy samples (empty when
+    /// off).
+    pub fn heapprof_timeline(&self) -> String {
+        self.space.heapprof().timeline_jsonl()
+    }
+
+    /// Per-heap GC pause and minor-reclaim histograms as deterministic
+    /// text (empty when off).
+    pub fn heapprof_histograms(&self) -> String {
+        self.space.heapprof().heap_hists_text()
+    }
+
+    /// The live cross-heap edge census: `(raw method, pc)` sites with
+    /// may-cross / shared-frozen counts, sorted (empty when off). The
+    /// `u32::MAX` method sentinel groups kernel/trusted stores that never
+    /// execute guest bytecode.
+    pub fn heapprof_census(&self) -> Vec<kaffeos_trace::CensusSite> {
+        self.space.heapprof().census()
+    }
+
+    /// Deterministic whole-space heap dump as JSON-lines: a `dumpmeta`
+    /// header (virtual clock, quanta, process count), one `class` line per
+    /// loaded class tag, then the heap/page/object/edge walk (see
+    /// `kaffeos_heap`'s dump module). Always available — a pure function
+    /// of the virtual state, byte-identical across runs of the same
+    /// `(program, seed)`.
+    pub fn heap_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"dumpmeta\",\"clock\":{},\"quanta\":{},\"procs\":{}}}",
+            self.clock,
+            self.quanta,
+            self.procs.len()
+        );
+        for tag in 0..self.table.classes.len() as u32 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"class\",\"tag\":{tag},\"name\":\"{}\"}}",
+                self.class_tag_name(tag)
+            );
+        }
+        out.push_str(&self.space.dump_jsonl());
+        out
+    }
+
+    /// Walked per-heap live-byte/object recounts (ground truth for
+    /// reconciling dumps against accounting; always available).
+    pub fn heap_recounts(&self) -> Vec<kaffeos_heap::HeapRecount> {
+        self.space.recount_heaps()
+    }
+
+    /// procfs-style heap layout text for one process — the text
+    /// `proc.heapinfo` serves to guests. Always available (the
+    /// observability plane is not required); empty for an unknown pid.
+    pub fn proc_heapinfo_text(&self, pid: Pid) -> String {
+        use std::fmt::Write as _;
+        let Some(idx) = self.proc_index(pid) else {
+            return String::new();
+        };
+        let p = &self.procs[idx];
+        let Ok(snap) = self.space.snapshot(p.heap) else {
+            return String::new();
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "pid:\t{}", p.pid.0);
+        let _ = writeln!(out, "heap:\t{}", snap.id.index());
+        let _ = writeln!(out, "label:\t{}", snap.label);
+        let _ = writeln!(out, "bytes_used:\t{}", snap.bytes_used);
+        let _ = writeln!(out, "objects:\t{}", snap.objects);
+        let _ = writeln!(out, "pages:\t{}", snap.pages);
+        let _ = writeln!(out, "nursery_pages:\t{}", snap.nursery_pages);
+        let _ = writeln!(out, "remset:\t{}", snap.remset_size);
+        let _ = writeln!(out, "entry_items:\t{}", snap.entry_items);
+        let _ = writeln!(out, "exit_items:\t{}", snap.exit_items);
+        let _ = writeln!(out, "gc_count:\t{}", snap.gc_count);
+        let _ = writeln!(out, "minor_gcs:\t{}", snap.minor_gcs);
+        let _ = writeln!(out, "frozen:\t{}", snap.frozen);
+        out
+    }
+
+    /// procfs-style heap statistics text for one process — the text
+    /// `proc.heapstats` serves to guests: the accounting counters always,
+    /// plus per-allocation-site rows when the observability plane is on.
+    /// Empty for an unknown pid.
+    pub fn proc_heapstats_text(&self, pid: Pid) -> String {
+        use std::fmt::Write as _;
+        let Some(idx) = self.proc_index(pid) else {
+            return String::new();
+        };
+        let p = &self.procs[idx];
+        let Ok(snap) = self.space.snapshot(p.heap) else {
+            return String::new();
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "pid:\t{}", p.pid.0);
+        let _ = writeln!(out, "bytes_used:\t{}", snap.bytes_used);
+        let _ = writeln!(out, "objects:\t{}", snap.objects);
+        let _ = writeln!(out, "gc_count:\t{}", snap.gc_count);
+        let _ = writeln!(out, "minor_gcs:\t{}", snap.minor_gcs);
+        if self.heapprof_enabled() {
+            // Per-site rows for this pid, in the store's sorted site order.
+            let _ = writeln!(out, "sites:");
+            for ((site_pid, leaf, class), s) in self.space.heapprof().site_stats() {
+                if site_pid != pid.0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {leaf};{}\tallocs={} bytes={} died_young={} died_old={} tenured={}",
+                    self.class_tag_name(class),
+                    s.allocs,
+                    s.bytes,
+                    s.freed_minor,
+                    s.freed_full,
+                    s.tenured,
+                );
+            }
+        }
+        out
+    }
+
     // ---- fault injection and auditing (the chaos-kernel harness) -----------
 
     /// Records an internal error the kernel degraded past instead of
@@ -1283,12 +1478,26 @@ impl KaffeOs {
             // Merge the heap; everything unreachable becomes kernel garbage
             // collected by the next kernel GC cycle.
             let heap = self.procs[idx].heap;
+            // Per-tenant heap telemetry: snapshot the dying heap before the
+            // merge erases it, so tenant reports can say what each tenant's
+            // processes left behind and how much collection they ran.
+            if let Some(tenant) = self.procs[idx].tenant {
+                if let Ok(snap) = self.space.snapshot(heap) {
+                    if let Some(st) = self.tenants.get_mut(tenant.0 as usize) {
+                        st.stats.heap_bytes_reaped += snap.bytes_used;
+                        st.stats.heap_objects_reaped += snap.objects;
+                        st.stats.heap_gcs += snap.gc_count;
+                        st.stats.heap_minor_gcs += snap.minor_gcs;
+                    }
+                }
+            }
             if self.sink.is_enabled() {
                 // The merge emits heap-layer events stamped with the sink
                 // clock; make sure it reads the pre-merge kernel clock.
                 self.sink.set_clock(self.clock);
                 self.sink.set_pid(pid.0);
             }
+            self.space.heapprof().set_context(pid.0, self.clock);
             match self.space.merge_into_kernel(heap) {
                 Ok(report) => {
                     self.kernel_cpu.gc += report.cycles;
@@ -1818,6 +2027,7 @@ impl KaffeOs {
             self.sink.set_clock(self.clock);
             self.sink.set_pid(pid.0);
         }
+        self.space.heapprof().set_context(pid.0, self.clock);
         let report = self.space.gc(heap, &roots)?;
         self.procs[idx].cpu.gc += report.cycles + scan;
         self.clock += report.cycles + scan;
@@ -1885,6 +2095,7 @@ impl KaffeOs {
         let idx = self.proc_index(pid).ok_or(KernelError::UnknownPid(pid))?;
         let roots = self.procs[idx].all_roots();
         let heap = self.procs[idx].heap;
+        self.space.heapprof().set_context(pid.0, self.clock);
         Ok(self.space.gc_minor(heap, &roots)?)
     }
 
@@ -1909,6 +2120,7 @@ impl KaffeOs {
                         self.sink.set_clock(self.clock);
                         self.sink.set_pid(0);
                     }
+                    self.space.heapprof().set_context(0, self.clock);
                     match self.space.merge_into_kernel(shm.heap) {
                         Ok(report) => {
                             self.kernel_cpu.gc += report.cycles;
@@ -1934,6 +2146,7 @@ impl KaffeOs {
             self.sink.set_clock(self.clock);
             self.sink.set_pid(0);
         }
+        self.space.heapprof().set_context(0, self.clock);
         let report = match self.space.gc(kernel, &[]) {
             Ok(report) => report,
             Err(e) => {
@@ -2111,6 +2324,10 @@ impl KaffeOs {
         self.trace_emit(pid_u32, || kaffeos_trace::Payload::QuantumStart {
             thread: thread_id,
         });
+        // Heap-observability context: records emitted while the guest runs
+        // (allocs, barrier census, GC retries) carry the quantum-start
+        // clock, the same convention the trace sink uses.
+        self.space.heapprof().set_context(pid_u32, self.clock);
         // Extra GC roots: other threads of the heap-sharing group. In
         // KaffeOS mode that is the process' other threads; in monolithic
         // mode every thread of every process shares the heap (that very
@@ -2521,6 +2738,16 @@ impl KaffeOs {
             sysno::PROC_PROFILE => {
                 let target = Pid(self.arg_int(&args, 0) as u32);
                 let text = self.profile_summary(target);
+                self.resume_str(pid, &text)
+            }
+            sysno::PROC_HEAPINFO => {
+                let target = Pid(self.arg_int(&args, 0) as u32);
+                let text = self.proc_heapinfo_text(target);
+                self.resume_str(pid, &text)
+            }
+            sysno::PROC_HEAPSTATS => {
+                let target = Pid(self.arg_int(&args, 0) as u32);
+                let text = self.proc_heapstats_text(target);
                 self.resume_str(pid, &text)
             }
             other => {

@@ -60,8 +60,16 @@ pub mod sysno {
     /// `proc.profile(pid) -> Str` — the profiler's per-process summary
     /// (empty when profiling is disabled).
     pub const PROC_PROFILE: u16 = 21;
+    /// `proc.heapinfo(pid) -> Str` — procfs-style heap layout text for one
+    /// process (pages, nursery split, entry/exit items, GC counts). Always
+    /// available; empty for an unknown pid.
+    pub const PROC_HEAPINFO: u16 = 22;
+    /// `proc.heapstats(pid) -> Str` — allocation/GC statistics for one
+    /// process; includes per-site allocation rows when the heap
+    /// observability plane is enabled. Empty for an unknown pid.
+    pub const PROC_HEAPSTATS: u16 = 23;
     /// Number of registered syscalls.
-    pub const COUNT: u16 = 22;
+    pub const COUNT: u16 = 24;
 
     /// Registry name of a syscall number, for trace events. Unknown ids
     /// (impossible through the registry) map to `"sys.unknown"`.
@@ -89,6 +97,8 @@ pub mod sysno {
             PROC_STATUS => "proc.status",
             PROC_MEMINFO => "proc.meminfo",
             PROC_PROFILE => "proc.profile",
+            PROC_HEAPINFO => "proc.heapinfo",
+            PROC_HEAPSTATS => "proc.heapstats",
             _ => "sys.unknown",
         }
     }
@@ -120,6 +130,8 @@ pub mod sysno {
             PROC_STATUS => "[sys:proc.status]",
             PROC_MEMINFO => "[sys:proc.meminfo]",
             PROC_PROFILE => "[sys:proc.profile]",
+            PROC_HEAPINFO => "[sys:proc.heapinfo]",
+            PROC_HEAPSTATS => "[sys:proc.heapstats]",
             _ => "[sys:sys.unknown]",
         }
     }
@@ -161,6 +173,8 @@ pub fn build_registry() -> IntrinsicRegistry {
     r.register("proc.status", vec![Int], Some(Str));
     r.register("proc.meminfo", vec![], Some(Str));
     r.register("proc.profile", vec![Int], Some(Str));
+    r.register("proc.heapinfo", vec![Int], Some(Str));
+    r.register("proc.heapstats", vec![Int], Some(Str));
     debug_assert_eq!(r.len(), sysno::COUNT as usize);
     r
 }
@@ -194,6 +208,8 @@ mod tests {
         assert_eq!(r.by_name("proc.status"), Some(sysno::PROC_STATUS));
         assert_eq!(r.by_name("proc.meminfo"), Some(sysno::PROC_MEMINFO));
         assert_eq!(r.by_name("proc.profile"), Some(sysno::PROC_PROFILE));
+        assert_eq!(r.by_name("proc.heapinfo"), Some(sysno::PROC_HEAPINFO));
+        assert_eq!(r.by_name("proc.heapstats"), Some(sysno::PROC_HEAPSTATS));
         assert_eq!(r.len(), sysno::COUNT as usize);
     }
 

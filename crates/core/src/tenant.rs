@@ -210,6 +210,15 @@ pub struct TenantStats {
     pub sheds: u64,
     /// Exits of this tenant's processes, by typed cause.
     pub exits: CauseCounts,
+    /// Live heap bytes this tenant's processes held at reap, summed —
+    /// the residue its workloads leave for the kernel collector.
+    pub heap_bytes_reaped: u64,
+    /// Live objects at reap, summed over this tenant's processes.
+    pub heap_objects_reaped: u64,
+    /// Full collections run on this tenant's heaps (counted at reap).
+    pub heap_gcs: u64,
+    /// Minor (nursery) collections on this tenant's heaps (at reap).
+    pub heap_minor_gcs: u64,
 }
 
 /// A spawn parked in the admission queue.

@@ -10,7 +10,7 @@
 //! threads — so hash order can never leak into a golden trace).
 //!
 //! Hand-rolled on purpose: this workspace takes no external dependencies
-//! for infrastructure (see DESIGN.md §15).
+//! for infrastructure (see DESIGN.md §16).
 
 use std::hash::{BuildHasherDefault, Hasher};
 

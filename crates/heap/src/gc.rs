@@ -264,6 +264,7 @@ impl HeapSpace {
                     if let Some(dead) = dead {
                         self.payload_pool.recycle(dead.data);
                     }
+                    self.heapprof.record_free(index, kaffeos_trace::GcKind::Full);
                 }
             }
             self.page_table[page as usize].live -= freed_on_page;
@@ -271,12 +272,28 @@ impl HeapSpace {
         // Promotion: a full collection tenures the heap wholesale — every
         // nursery page (including the current bump page) becomes mature, so
         // the remembered set empties with nothing left to remember. Pure
-        // host-plane bookkeeping: no cycles, no events.
+        // host-plane bookkeeping: no cycles, no *trace* events (the
+        // observability timeline, itself host-plane, does record the
+        // promotions and the survivors' tenure).
         for &page in &pages {
             let meta = &mut self.page_table[page as usize];
-            if meta.state == PageState::Nursery {
-                meta.state = PageState::Mature;
-                meta.age = 0;
+            if meta.state != PageState::Nursery {
+                continue;
+            }
+            meta.state = PageState::Mature;
+            meta.age = 0;
+            if self.heapprof.is_enabled() {
+                self.heapprof.record_page_event(
+                    kaffeos_trace::PageEvent::Promote,
+                    page,
+                    heap.index,
+                );
+                let start = page * PAGE_SLOTS;
+                for index in start..start + PAGE_SLOTS {
+                    if self.slots[index as usize].obj.is_some() {
+                        self.heapprof.record_tenure(index);
+                    }
+                }
             }
         }
         {
@@ -322,6 +339,14 @@ impl HeapSpace {
         // collection passes through, so allocation-triggered GCs inside the
         // interpreter are covered as well as kernel-initiated ones.
         self.profile().record_gc_pause(heap.index, cycles);
+        self.heapprof.record_gc(
+            heap.index,
+            kaffeos_trace::GcKind::Full,
+            bytes_freed,
+            objects_freed,
+            cycles,
+        );
+        self.record_heap_occupancy(heap);
         Ok(GcReport {
             heap,
             charged_to: core.owner,
@@ -528,6 +553,7 @@ impl HeapSpace {
                     if let Some(dead) = dead {
                         self.payload_pool.recycle(dead.data);
                     }
+                    self.heapprof.record_free(index, kaffeos_trace::GcKind::Minor);
                 }
             }
             self.page_table[page as usize].live -= freed_on_page;
@@ -584,12 +610,28 @@ impl HeapSpace {
                 };
                 self.free_pages.push(page);
                 pages_released += 1;
+                self.heapprof
+                    .record_page_event(kaffeos_trace::PageEvent::Release, page, heap.index);
             } else {
                 meta.age = meta.age.saturating_add(1);
-                if meta.age >= PROMOTE_AGE && meta.live >= PROMOTE_MIN_LIVE {
+                let promote = meta.age >= PROMOTE_AGE && meta.live >= PROMOTE_MIN_LIVE;
+                if promote {
                     meta.state = PageState::Mature;
                     meta.age = 0;
                     pages_promoted += 1;
+                }
+                if promote && self.heapprof.is_enabled() {
+                    self.heapprof.record_page_event(
+                        kaffeos_trace::PageEvent::Promote,
+                        page,
+                        heap.index,
+                    );
+                    let start = page * PAGE_SLOTS;
+                    for index in start..start + PAGE_SLOTS {
+                        if self.slots[index as usize].obj.is_some() {
+                            self.heapprof.record_tenure(index);
+                        }
+                    }
                 }
             }
         }
@@ -653,6 +695,14 @@ impl HeapSpace {
         }
         core::mem::swap(&mut self.heap_core_mut(heap).remset, &mut scratch.remset_next);
 
+        self.heapprof.record_gc(
+            heap.index,
+            kaffeos_trace::GcKind::Minor,
+            bytes_freed,
+            objects_freed,
+            0,
+        );
+        self.record_heap_occupancy(heap);
         Ok(MinorGcReport {
             heap,
             nursery_pages,
@@ -740,7 +790,10 @@ impl HeapSpace {
             let meta = &mut self.page_table[page as usize];
             meta.owner = Some(kernel);
             meta.state = PageState::Mature;
-            if meta.live == 0 {
+            let live = meta.live;
+            self.heapprof
+                .record_page_event(kaffeos_trace::PageEvent::Retag, page, kernel.index);
+            if live == 0 {
                 continue;
             }
             let start = (page * PAGE_SLOTS) as usize;

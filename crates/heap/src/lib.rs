@@ -30,6 +30,7 @@
 
 mod audit;
 mod barrier;
+mod dump;
 mod error;
 pub mod fxhash;
 mod gc;
@@ -41,6 +42,7 @@ mod space;
 mod value;
 
 pub use audit::{SpaceAuditReport, SpaceAuditViolation};
+pub use dump::HeapRecount;
 pub use barrier::{BarrierKind, BarrierStats, SegViolationKind};
 pub use error::HeapError;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};

@@ -195,6 +195,10 @@ pub struct HeapSpace {
     sink: kaffeos_trace::TraceSink,
     /// Profile sink for GC pause histograms; disabled by default.
     profile: kaffeos_trace::ProfileSink,
+    /// Heap-observability sink: allocation sites, survival stats, the
+    /// GC/page timeline and the cross-heap edge census. Disabled by
+    /// default; entirely host-plane (see [`kaffeos_trace::heapprof`]).
+    pub(crate) heapprof: kaffeos_trace::HeapProfSink,
     /// Persistent GC working buffers, reused across collections so a
     /// steady-state `gc()` allocates nothing on the host.
     pub(crate) gc_scratch: crate::gc::GcScratch,
@@ -256,6 +260,7 @@ impl HeapSpace {
             alloc_faults_fired: 0,
             sink: kaffeos_trace::TraceSink::disabled(),
             profile: kaffeos_trace::ProfileSink::disabled(),
+            heapprof: kaffeos_trace::HeapProfSink::disabled(),
             gc_scratch: crate::gc::GcScratch::default(),
         }
     }
@@ -281,6 +286,18 @@ impl HeapSpace {
     /// The space's profile sink (disabled unless installed).
     pub fn profile(&self) -> &kaffeos_trace::ProfileSink {
         &self.profile
+    }
+
+    /// Installs the heap-observability sink: allocations are attributed to
+    /// their armed sites, sweeps feed survival stats, and page/GC events go
+    /// to the timeline. Disabled by default.
+    pub fn set_heapprof_sink(&mut self, heapprof: kaffeos_trace::HeapProfSink) {
+        self.heapprof = heapprof;
+    }
+
+    /// The space's heap-observability sink (disabled unless installed).
+    pub fn heapprof(&self) -> &kaffeos_trace::HeapProfSink {
+        &self.heapprof
     }
 
     // ----- fault injection --------------------------------------------------
@@ -629,6 +646,9 @@ impl HeapSpace {
         let core = self.heap_core_mut(heap);
         core.bytes_used += bytes as u64;
         core.objects += 1;
+        // Host plane: attributes the object to the armed allocation site
+        // (no-op when the observability plane is disabled).
+        self.heapprof.record_alloc(index, class.0, bytes);
         Ok(ObjRef {
             index,
             generation: self.slots[index as usize].generation,
@@ -692,6 +712,8 @@ impl HeapSpace {
             });
             page
         };
+        self.heapprof
+            .record_page_event(kaffeos_trace::PageEvent::Claim, page, heap.index);
         let start = page * PAGE_SLOTS;
         let core = self.heap_core_mut(heap);
         core.pages.push(page);
@@ -727,6 +749,8 @@ impl HeapSpace {
                     age: 0,
                 };
                 self.free_pages.push(page);
+                self.heapprof
+                    .record_page_event(kaffeos_trace::PageEvent::Release, page, heap.index);
                 released.push(page);
             } else {
                 kept.push(page);
@@ -877,6 +901,10 @@ impl HeapSpace {
                 }
             }
         }
+        // The census consumed the armed store site if a cross-heap edge was
+        // created above; disarm it here so a later unattributed (kernel)
+        // store cannot inherit a stale guest site. Host plane.
+        self.heapprof.clear_store();
 
         let o = self.get_mut(obj)?;
         let slots: &mut [Value] = match &mut o.data {
@@ -1020,6 +1048,9 @@ impl HeapSpace {
         let dst_ml = self.heap_core(dst).memlimit;
         if let Some(entry) = self.heap_core_mut(dst).entries.get_mut(&target.index) {
             entry.refs += 1;
+            if account {
+                self.note_census_edge(dst);
+            }
             return Ok(true);
         }
         let entry_accounted = account && dst_ml.is_some();
@@ -1048,7 +1079,23 @@ impl HeapSpace {
             heap: dst.index,
             slot: target.index,
         });
+        if account {
+            self.note_census_edge(dst);
+        }
         Ok(true)
+    }
+
+    /// Charges a freshly created, *accounted* cross-heap edge to the armed
+    /// store site in the census (GC-materialised edges pass
+    /// `account == false` and are skipped — they re-shadow references the
+    /// barrier already counted). Host plane; no-op when disabled.
+    fn note_census_edge(&self, dst: HeapId) {
+        if !self.heapprof.is_enabled() {
+            return;
+        }
+        let core = self.heap_core(dst);
+        let shared_frozen = core.kind == HeapKind::Shared && core.frozen;
+        self.heapprof.record_cross_edge(shared_frozen);
     }
 
     /// Array length / field count of an object.
@@ -1097,6 +1144,32 @@ impl HeapSpace {
     }
 
     // ----- internals shared with gc.rs -------------------------------------
+
+    /// Samples `heap`'s live page-state occupancy into the observability
+    /// timeline (nursery/mature page split, free-pool depth, live bytes and
+    /// objects). Host plane; no-op when the plane is disabled.
+    pub(crate) fn record_heap_occupancy(&self, heap: HeapId) {
+        if !self.heapprof.is_enabled() {
+            return;
+        }
+        let core = self.heap_core(heap);
+        let mut nursery = 0u32;
+        let mut mature = 0u32;
+        for &page in &core.pages {
+            match self.page_table[page as usize].state {
+                PageState::Nursery => nursery += 1,
+                PageState::Mature => mature += 1,
+            }
+        }
+        self.heapprof.record_occupancy(
+            heap.index,
+            nursery,
+            mature,
+            self.free_pages.len() as u32,
+            core.bytes_used,
+            core.objects,
+        );
+    }
 
     pub(crate) fn check_heap(&self, heap: HeapId) -> Result<(), HeapError> {
         if self.heap_alive(heap) {

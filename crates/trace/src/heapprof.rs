@@ -1,0 +1,907 @@
+//! Heap observability plane: allocation-site profiling, survival stats,
+//! and the GC/page timeline.
+//!
+//! The CPU profiler ([`crate::profile`]) proved the discipline: a disabled
+//! sink is a `None`, closures never run, and no recording point has a cycle
+//! model — so the plane is *provably free* (virtual numbers byte-identical
+//! on/off) and, because the whole system is deterministic given
+//! (program, seed), every export is byte-identical across runs.
+//!
+//! This module extends the same discipline to memory:
+//!
+//! * **Allocation sites** — the interpreter *arms* a one-shot site
+//!   (raw method index + pc, resolved lazily to `Class.method@bN` exactly
+//!   like the CPU profiler's leaves) immediately before each allocation;
+//!   [`HeapProfStore::record_alloc`] consumes it and attributes the object
+//!   to a `(pid, leaf, class)` site. Unarmed allocations (kernel-internal,
+//!   exception materialisation) fall to the `[vm]` pseudo-frame.
+//! * **Survival accounting** — sweeps report each freed slot with the
+//!   collection kind, and page promotion reports tenured slots, so every
+//!   site accumulates died-in-minor / died-in-full / tenured tallies: the
+//!   die-young-vs-tenure split the nursery policy is tuned by.
+//! * **GC/page timeline** — typed events for page claim/release/promote/
+//!   retag, per-collection records, and live page-state occupancy samples,
+//!   exported as JSON lines in event order. Full-GC pause cycles and
+//!   minor-GC reclaimed bytes feed per-heap [`LogHistogram`]s.
+//! * **Cross-heap edge census** — the interpreter arms the store site
+//!   before a non-elided reference store; edge creation in
+//!   `ensure_cross_edge` charges the armed site's census row. Sites the
+//!   analyzer proved Local never arm (they take the elided path), so every
+//!   census row must land on a non-Elide verdict — the cross-validation
+//!   the soundness test enforces.
+//!
+//! All rendered output iterates `BTreeMap`s or sorts first; class ids are
+//! resolved to names only at export time through a caller-supplied closure,
+//! keeping this crate decoupled from the VM's class table.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::hist::LogHistogram;
+use crate::profile::{render_svg, FlameNode, PC_BUCKET};
+
+/// Pseudo-frame for allocations with no armed guest site (kernel-internal
+/// allocations, exception materialisation, harness setup).
+pub const VM_FRAME: &str = "[vm]";
+
+/// Which collector freed an object (survival accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcKind {
+    /// Nursery-only minor collection (host plane).
+    Minor,
+    /// Full mark-and-sweep of the heap.
+    Full,
+}
+
+impl GcKind {
+    fn label(self) -> &'static str {
+        match self {
+            GcKind::Minor => "minor",
+            GcKind::Full => "full",
+        }
+    }
+}
+
+/// A page-lifecycle transition in the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageEvent {
+    /// A heap claimed the page (fresh or from the free-page pool).
+    Claim,
+    /// The page was returned to the free-page pool.
+    Release,
+    /// A nursery page was promoted to mature in place.
+    Promote,
+    /// The page was retagged to another heap (merge into the kernel).
+    Retag,
+}
+
+impl PageEvent {
+    fn label(self) -> &'static str {
+        match self {
+            PageEvent::Claim => "claim",
+            PageEvent::Release => "release",
+            PageEvent::Promote => "promote",
+            PageEvent::Retag => "retag",
+        }
+    }
+}
+
+/// Per-site survival tallies. `allocs - freed_minor - freed_full` objects
+/// are still live; `tenured` counts objects whose page left the nursery
+/// (promotion or full-GC wholesale tenure) while they were alive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Objects allocated at this site.
+    pub allocs: u64,
+    /// Accounted bytes allocated at this site.
+    pub bytes: u64,
+    /// Objects freed by minor collections (died young).
+    pub freed_minor: u64,
+    /// Bytes freed by minor collections.
+    pub freed_minor_bytes: u64,
+    /// Objects freed by full collections.
+    pub freed_full: u64,
+    /// Bytes freed by full collections.
+    pub freed_full_bytes: u64,
+    /// Objects tenured (page promoted while they lived).
+    pub tenured: u64,
+    /// Bytes tenured.
+    pub tenured_bytes: u64,
+}
+
+/// One live object's attribution record, keyed by slot index.
+#[derive(Debug, Clone, Copy)]
+struct LiveRec {
+    /// `(pid, leaf frame id, class tag)` — the site key.
+    site: (u32, u32, u32),
+    bytes: u32,
+    tenured: bool,
+}
+
+/// Cross-heap edge creations charged to one store site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CensusCounts {
+    /// Edges into an unfrozen user/shared heap (MayCross).
+    pub may_cross: u64,
+    /// Edges into a frozen shared heap (SharedFrozen).
+    pub shared_frozen: u64,
+}
+
+/// A runtime cross-heap edge census row: the raw store site and its counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CensusSite {
+    /// Raw method index of the store, or `u32::MAX` for unattributed
+    /// (kernel/trusted) stores.
+    pub method: u32,
+    /// Instruction index of the store within the method.
+    pub pc: u32,
+    /// Edge counts.
+    pub counts: CensusCounts,
+}
+
+/// Timeline entries, recorded in event order (which is deterministic:
+/// the plane is driven entirely by the deterministic virtual machine).
+#[derive(Debug, Clone, Copy)]
+enum TimelineEvent {
+    Page {
+        clock: u64,
+        pid: u32,
+        kind: PageEvent,
+        page: u32,
+        heap: u32,
+    },
+    Gc {
+        clock: u64,
+        pid: u32,
+        heap: u32,
+        kind: GcKind,
+        freed_bytes: u64,
+        freed_objects: u64,
+        cycles: u64,
+    },
+    Occupancy {
+        clock: u64,
+        heap: u32,
+        nursery_pages: u32,
+        mature_pages: u32,
+        pool_pages: u32,
+        live_bytes: u64,
+        live_objects: u64,
+    },
+}
+
+/// The heap-profile store: interned allocation-site frames, the live-object
+/// table, per-site survival stats, the GC/page timeline, per-heap pause and
+/// reclaim histograms, and the cross-heap edge census.
+#[derive(Debug, Default)]
+pub struct HeapProfStore {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+    leaf_frames: HashMap<(u32, u32), u32>,
+    labels: BTreeMap<u32, String>,
+    ctx_pid: u32,
+    clock: u64,
+    armed_alloc: Option<u32>,
+    armed_store: Option<(u32, u32)>,
+    live: HashMap<u32, LiveRec>,
+    sites: BTreeMap<(u32, u32, u32), SiteStats>,
+    /// Class tags seen at allocation sites (export resolves them to names).
+    classes: BTreeMap<u32, ()>,
+    timeline: Vec<TimelineEvent>,
+    full_pause: BTreeMap<u32, LogHistogram>,
+    minor_reclaim: BTreeMap<u32, LogHistogram>,
+    census: BTreeMap<(u32, u32), CensusCounts>,
+}
+
+impl HeapProfStore {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Labels `pid` (typically with its image name) for rendered output.
+    pub fn set_label(&mut self, pid: u32, label: &str) {
+        self.labels.insert(pid, label.to_string());
+    }
+
+    /// Stamps the pid/virtual-clock context applied to subsequent records
+    /// (the kernel stamps at quantum starts and kernel crossings, the same
+    /// convention the trace sink uses).
+    pub fn set_context(&mut self, pid: u32, clock: u64) {
+        self.ctx_pid = pid;
+        self.clock = clock;
+    }
+
+    /// Arms the allocation site for the next [`record_alloc`]: raw method
+    /// index and pc, with `resolve` supplying the qualified `Class.method`
+    /// name on first sight only (the CPU profiler's leaf discipline,
+    /// `Class.method@bN` with the same [`PC_BUCKET`]).
+    ///
+    /// [`record_alloc`]: HeapProfStore::record_alloc
+    pub fn arm_alloc(&mut self, raw_method: u32, pc: u32, resolve: impl FnOnce() -> String) {
+        let bucket = pc / PC_BUCKET;
+        let id = if let Some(&id) = self.leaf_frames.get(&(raw_method, bucket)) {
+            id
+        } else {
+            let base = resolve();
+            let id = self.intern(&format!("{base}@b{bucket}"));
+            self.leaf_frames.insert((raw_method, bucket), id);
+            id
+        };
+        self.armed_alloc = Some(id);
+    }
+
+    /// Records a successful allocation of `bytes` bytes of class `class`
+    /// into slot `slot`, consuming the armed site (or `[vm]` if none).
+    pub fn record_alloc(&mut self, slot: u32, class: u32, bytes: u32) {
+        let leaf = match self.armed_alloc.take() {
+            Some(id) => id,
+            None => self.intern(VM_FRAME),
+        };
+        let site = (self.ctx_pid, leaf, class);
+        self.classes.entry(class).or_default();
+        let stats = self.sites.entry(site).or_default();
+        stats.allocs += 1;
+        stats.bytes += bytes as u64;
+        self.live.insert(
+            slot,
+            LiveRec {
+                site,
+                bytes,
+                tenured: false,
+            },
+        );
+    }
+
+    /// Records that the object in `slot` was freed by a `kind` sweep.
+    pub fn record_free(&mut self, slot: u32, kind: GcKind) {
+        let Some(rec) = self.live.remove(&slot) else {
+            return;
+        };
+        let stats = self.sites.entry(rec.site).or_default();
+        match kind {
+            GcKind::Minor => {
+                stats.freed_minor += 1;
+                stats.freed_minor_bytes += rec.bytes as u64;
+            }
+            GcKind::Full => {
+                stats.freed_full += 1;
+                stats.freed_full_bytes += rec.bytes as u64;
+            }
+        }
+    }
+
+    /// Records that the object in `slot` was tenured (its page left the
+    /// nursery while it was alive). Idempotent per object.
+    pub fn record_tenure(&mut self, slot: u32) {
+        let Some(rec) = self.live.get_mut(&slot) else {
+            return;
+        };
+        if rec.tenured {
+            return;
+        }
+        rec.tenured = true;
+        let (site, bytes) = (rec.site, rec.bytes);
+        let stats = self.sites.entry(site).or_default();
+        stats.tenured += 1;
+        stats.tenured_bytes += bytes as u64;
+    }
+
+    /// Arms the store site for a potential cross-heap edge creation.
+    pub fn arm_store(&mut self, raw_method: u32, pc: u32) {
+        self.armed_store = Some((raw_method, pc));
+    }
+
+    /// Disarms any armed store site (called when the store completes, so a
+    /// later unattributed store cannot inherit a stale guest site).
+    pub fn clear_store(&mut self) {
+        self.armed_store = None;
+    }
+
+    /// Records the creation of a cross-heap edge against the armed store
+    /// site (or the `u32::MAX` sentinel for kernel/trusted stores that
+    /// never arm). `shared_frozen` classifies the destination.
+    pub fn record_cross_edge(&mut self, shared_frozen: bool) {
+        let site = self.armed_store.take().unwrap_or((u32::MAX, 0));
+        let counts = self.census.entry(site).or_default();
+        if shared_frozen {
+            counts.shared_frozen += 1;
+        } else {
+            counts.may_cross += 1;
+        }
+    }
+
+    /// Records a page-lifecycle event.
+    pub fn record_page_event(&mut self, kind: PageEvent, page: u32, heap: u32) {
+        self.timeline.push(TimelineEvent::Page {
+            clock: self.clock,
+            pid: self.ctx_pid,
+            kind,
+            page,
+            heap,
+        });
+    }
+
+    /// Records one collection: a timeline entry plus the pause/reclaim
+    /// histogram sample (full GCs record pause cycles, minor GCs — which
+    /// charge zero modelled cycles — record reclaimed bytes instead).
+    pub fn record_gc(
+        &mut self,
+        heap: u32,
+        kind: GcKind,
+        freed_bytes: u64,
+        freed_objects: u64,
+        cycles: u64,
+    ) {
+        self.timeline.push(TimelineEvent::Gc {
+            clock: self.clock,
+            pid: self.ctx_pid,
+            heap,
+            kind,
+            freed_bytes,
+            freed_objects,
+            cycles,
+        });
+        match kind {
+            GcKind::Full => self.full_pause.entry(heap).or_default().record(cycles),
+            GcKind::Minor => self
+                .minor_reclaim
+                .entry(heap)
+                .or_default()
+                .record(freed_bytes),
+        }
+    }
+
+    /// Records a live page-state occupancy sample for one heap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_occupancy(
+        &mut self,
+        heap: u32,
+        nursery_pages: u32,
+        mature_pages: u32,
+        pool_pages: u32,
+        live_bytes: u64,
+        live_objects: u64,
+    ) {
+        self.timeline.push(TimelineEvent::Occupancy {
+            clock: self.clock,
+            heap,
+            nursery_pages,
+            mature_pages,
+            pool_pages,
+            live_bytes,
+            live_objects,
+        });
+    }
+
+    fn pid_prefix(&self, pid: u32) -> String {
+        match self.labels.get(&pid) {
+            Some(label) => format!("pid{pid}:{label}"),
+            None => format!("pid{pid}"),
+        }
+    }
+
+    fn folded_by(&self, resolve_class: &dyn Fn(u32) -> String, by_bytes: bool) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(self.sites.len());
+        for (&(pid, leaf, class), stats) in &self.sites {
+            let weight = if by_bytes { stats.bytes } else { stats.allocs };
+            if weight == 0 {
+                continue;
+            }
+            let mut line = self.pid_prefix(pid);
+            line.push(';');
+            line.push_str(&self.names[leaf as usize]);
+            line.push(';');
+            line.push_str(&resolve_class(class));
+            let _ = write!(line, " {weight}");
+            lines.push(line);
+        }
+        lines.sort_unstable();
+        let mut out = String::new();
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Folded allocation stacks weighted by accounted **bytes**
+    /// (`pid;site;class bytes`), sorted — feedable to `flamegraph.pl`.
+    pub fn folded_bytes(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        self.folded_by(resolve_class, true)
+    }
+
+    /// Folded allocation stacks weighted by **object counts**.
+    pub fn folded_objects(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        self.folded_by(resolve_class, false)
+    }
+
+    /// Self-contained SVG allocation flamegraph (bytes-weighted), using the
+    /// CPU profiler's deterministic renderer.
+    pub fn flamegraph_svg(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        let mut root = FlameNode::new("alloc");
+        for (&(pid, leaf, class), stats) in &self.sites {
+            if stats.bytes == 0 {
+                continue;
+            }
+            root.total += stats.bytes;
+            let mut node = root
+                .children
+                .entry(self.pid_prefix(pid))
+                .or_insert_with_key(|k| FlameNode::new(k));
+            node.total += stats.bytes;
+            node = node
+                .children
+                .entry(self.names[leaf as usize].clone())
+                .or_insert_with_key(|k| FlameNode::new(k));
+            node.total += stats.bytes;
+            node = node
+                .children
+                .entry(resolve_class(class))
+                .or_insert_with_key(|k| FlameNode::new(k));
+            node.total += stats.bytes;
+            node.self_weight += stats.bytes;
+        }
+        render_svg(&root)
+    }
+
+    /// Per-site survival table: one sorted line per site with allocation,
+    /// died-young, died-full, tenured and still-live tallies.
+    pub fn survival_text(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        let mut out = String::from(
+            "# site survival: allocs bytes died_minor died_full tenured live\n",
+        );
+        for (&(pid, leaf, class), s) in &self.sites {
+            let live = s.allocs - s.freed_minor - s.freed_full;
+            let _ = writeln!(
+                out,
+                "{};{};{} allocs={} bytes={} died_minor={} died_minor_bytes={} \
+                 died_full={} died_full_bytes={} tenured={} tenured_bytes={} live={}",
+                self.pid_prefix(pid),
+                self.names[leaf as usize],
+                resolve_class(class),
+                s.allocs,
+                s.bytes,
+                s.freed_minor,
+                s.freed_minor_bytes,
+                s.freed_full,
+                s.freed_full_bytes,
+                s.tenured,
+                s.tenured_bytes,
+                live,
+            );
+        }
+        out
+    }
+
+    /// The GC/page timeline as JSON lines, in event order.
+    pub fn timeline_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.timeline {
+            match *ev {
+                TimelineEvent::Page {
+                    clock,
+                    pid,
+                    kind,
+                    page,
+                    heap,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"page\",\"clock\":{clock},\"pid\":{pid},\
+                         \"event\":\"{}\",\"page\":{page},\"heap\":{heap}}}",
+                        kind.label()
+                    );
+                }
+                TimelineEvent::Gc {
+                    clock,
+                    pid,
+                    heap,
+                    kind,
+                    freed_bytes,
+                    freed_objects,
+                    cycles,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"gc\",\"clock\":{clock},\"pid\":{pid},\
+                         \"heap\":{heap},\"kind\":\"{}\",\"freed_bytes\":{freed_bytes},\
+                         \"freed_objects\":{freed_objects},\"cycles\":{cycles}}}",
+                        kind.label()
+                    );
+                }
+                TimelineEvent::Occupancy {
+                    clock,
+                    heap,
+                    nursery_pages,
+                    mature_pages,
+                    pool_pages,
+                    live_bytes,
+                    live_objects,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"occupancy\",\"clock\":{clock},\"heap\":{heap},\
+                         \"nursery_pages\":{nursery_pages},\"mature_pages\":{mature_pages},\
+                         \"pool_pages\":{pool_pages},\"live_bytes\":{live_bytes},\
+                         \"live_objects\":{live_objects}}}"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-heap pause-attribution report: full-GC pause cycles and minor-GC
+    /// reclaimed bytes as [`LogHistogram`]s.
+    pub fn heap_hists_text(&self) -> String {
+        let mut out = String::new();
+        for (heap, h) in &self.full_pause {
+            let _ = writeln!(out, "# full gc pause cycles, heap {heap}");
+            h.render(&mut out);
+        }
+        for (heap, h) in &self.minor_reclaim {
+            let _ = writeln!(out, "# minor gc reclaimed bytes, heap {heap}");
+            h.render(&mut out);
+        }
+        out
+    }
+
+    /// The cross-heap edge census rows, sorted by (method, pc).
+    pub fn census(&self) -> Vec<CensusSite> {
+        self.census
+            .iter()
+            .map(|(&(method, pc), &counts)| CensusSite { method, pc, counts })
+            .collect()
+    }
+
+    /// Survival stats for every site, keyed `(pid, leaf name, class tag)`.
+    pub fn site_stats(&self) -> Vec<((u32, String, u32), SiteStats)> {
+        self.sites
+            .iter()
+            .map(|(&(pid, leaf, class), &s)| ((pid, self.names[leaf as usize].clone(), class), s))
+            .collect()
+    }
+
+    /// Class tags observed at allocation sites (for export-time resolution).
+    pub fn class_tags(&self) -> Vec<u32> {
+        self.classes.keys().copied().collect()
+    }
+
+    /// Number of timeline events recorded so far.
+    pub fn timeline_len(&self) -> usize {
+        self.timeline.len()
+    }
+}
+
+/// Shared handle to a [`HeapProfStore`], or the disabled no-op — the exact
+/// [`TraceSink`](crate::TraceSink)/[`ProfileSink`](crate::ProfileSink)
+/// pattern: a disabled sink is a `None`, closures never run, and no
+/// recording point has a cycle model, so heap profiling cannot perturb the
+/// virtual clock, memlimit accounting, or GC behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct HeapProfSink(Option<Rc<RefCell<HeapProfStore>>>);
+
+impl HeapProfSink {
+    /// The disabled sink: every operation is a no-op behind one `Option`
+    /// check.
+    pub fn disabled() -> Self {
+        HeapProfSink(None)
+    }
+
+    /// An enabled sink with an empty store.
+    pub fn enabled() -> Self {
+        HeapProfSink(Some(Rc::new(RefCell::new(HeapProfStore::default()))))
+    }
+
+    /// True if allocations are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Runs `f` against the store — only when enabled, so disabled heap
+    /// profiling constructs nothing.
+    #[inline]
+    pub fn with(&self, f: impl FnOnce(&mut HeapProfStore)) {
+        if let Some(store) = &self.0 {
+            f(&mut store.borrow_mut());
+        }
+    }
+
+    /// Borrows the store read-only for an export (`None` stays empty).
+    #[inline]
+    fn read<T: Default>(&self, f: impl FnOnce(&HeapProfStore) -> T) -> T {
+        self.0
+            .as_ref()
+            .map(|store| f(&store.borrow()))
+            .unwrap_or_default()
+    }
+
+    /// Labels `pid` for rendered output (no-op when disabled).
+    pub fn set_label(&self, pid: u32, label: &str) {
+        self.with(|p| p.set_label(pid, label));
+    }
+
+    /// Stamps the pid/clock context (no-op when disabled).
+    pub fn set_context(&self, pid: u32, clock: u64) {
+        self.with(|p| p.set_context(pid, clock));
+    }
+
+    /// Arms an allocation site (no-op when disabled; `resolve` never runs).
+    #[inline]
+    pub fn arm_alloc(&self, raw_method: u32, pc: u32, resolve: impl FnOnce() -> String) {
+        self.with(|p| p.arm_alloc(raw_method, pc, resolve));
+    }
+
+    /// Records a successful allocation (no-op when disabled).
+    #[inline]
+    pub fn record_alloc(&self, slot: u32, class: u32, bytes: u32) {
+        self.with(|p| p.record_alloc(slot, class, bytes));
+    }
+
+    /// Records a swept object (no-op when disabled).
+    #[inline]
+    pub fn record_free(&self, slot: u32, kind: GcKind) {
+        self.with(|p| p.record_free(slot, kind));
+    }
+
+    /// Records a tenured object (no-op when disabled).
+    #[inline]
+    pub fn record_tenure(&self, slot: u32) {
+        self.with(|p| p.record_tenure(slot));
+    }
+
+    /// Arms a store site for the census (no-op when disabled).
+    #[inline]
+    pub fn arm_store(&self, raw_method: u32, pc: u32) {
+        self.with(|p| p.arm_store(raw_method, pc));
+    }
+
+    /// Disarms the store site (no-op when disabled).
+    #[inline]
+    pub fn clear_store(&self) {
+        self.with(|p| p.clear_store());
+    }
+
+    /// Records a cross-heap edge creation (no-op when disabled).
+    #[inline]
+    pub fn record_cross_edge(&self, shared_frozen: bool) {
+        self.with(|p| p.record_cross_edge(shared_frozen));
+    }
+
+    /// Records a page event (no-op when disabled).
+    #[inline]
+    pub fn record_page_event(&self, kind: PageEvent, page: u32, heap: u32) {
+        self.with(|p| p.record_page_event(kind, page, heap));
+    }
+
+    /// Records a collection (no-op when disabled).
+    #[inline]
+    pub fn record_gc(
+        &self,
+        heap: u32,
+        kind: GcKind,
+        freed_bytes: u64,
+        freed_objects: u64,
+        cycles: u64,
+    ) {
+        self.with(|p| p.record_gc(heap, kind, freed_bytes, freed_objects, cycles));
+    }
+
+    /// Records an occupancy sample (no-op when disabled).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_occupancy(
+        &self,
+        heap: u32,
+        nursery_pages: u32,
+        mature_pages: u32,
+        pool_pages: u32,
+        live_bytes: u64,
+        live_objects: u64,
+    ) {
+        self.with(|p| {
+            p.record_occupancy(
+                heap,
+                nursery_pages,
+                mature_pages,
+                pool_pages,
+                live_bytes,
+                live_objects,
+            )
+        });
+    }
+
+    /// Bytes-weighted folded alloc stacks (empty when disabled).
+    pub fn folded_bytes(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        self.read(|p| p.folded_bytes(resolve_class))
+    }
+
+    /// Count-weighted folded alloc stacks (empty when disabled).
+    pub fn folded_objects(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        self.read(|p| p.folded_objects(resolve_class))
+    }
+
+    /// SVG allocation flamegraph (empty when disabled).
+    pub fn flamegraph_svg(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        self.read(|p| p.flamegraph_svg(resolve_class))
+    }
+
+    /// Survival table (empty when disabled).
+    pub fn survival_text(&self, resolve_class: &dyn Fn(u32) -> String) -> String {
+        self.read(|p| p.survival_text(resolve_class))
+    }
+
+    /// Timeline JSON lines (empty when disabled).
+    pub fn timeline_jsonl(&self) -> String {
+        self.read(|p| p.timeline_jsonl())
+    }
+
+    /// Pause/reclaim histogram report (empty when disabled).
+    pub fn heap_hists_text(&self) -> String {
+        self.read(|p| p.heap_hists_text())
+    }
+
+    /// Census rows (empty when disabled).
+    pub fn census(&self) -> Vec<CensusSite> {
+        self.read(|p| p.census())
+    }
+
+    /// Per-site survival stats (empty when disabled).
+    pub fn site_stats(&self) -> Vec<((u32, String, u32), SiteStats)> {
+        self.read(|p| p.site_stats())
+    }
+
+    /// Observed class tags (empty when disabled).
+    pub fn class_tags(&self) -> Vec<u32> {
+        self.read(|p| p.class_tags())
+    }
+
+    /// Timeline events recorded so far (0 when disabled).
+    pub fn timeline_len(&self) -> usize {
+        self.read(|p| p.timeline_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve(tag: u32) -> String {
+        format!("Class{tag}")
+    }
+
+    #[test]
+    fn alloc_sites_fold_by_bytes_and_counts() {
+        let mut p = HeapProfStore::default();
+        p.set_label(1, "compress");
+        p.set_context(1, 100);
+        p.arm_alloc(7, 10, || "Lzw.step".to_string());
+        p.record_alloc(0, 3, 64);
+        p.arm_alloc(7, 12, || panic!("resolve must be cached per bucket"));
+        p.record_alloc(1, 3, 32);
+        p.record_alloc(2, 5, 16); // unarmed → [vm]
+        let bytes = p.folded_bytes(&resolve);
+        assert_eq!(
+            bytes,
+            "pid1:compress;Lzw.step@b0;Class3 96\npid1:compress;[vm];Class5 16\n"
+        );
+        let objects = p.folded_objects(&resolve);
+        assert_eq!(
+            objects,
+            "pid1:compress;Lzw.step@b0;Class3 2\npid1:compress;[vm];Class5 1\n"
+        );
+    }
+
+    #[test]
+    fn survival_tracks_free_kind_and_tenure() {
+        let mut p = HeapProfStore::default();
+        p.set_context(2, 0);
+        p.arm_alloc(1, 0, || "A.m".to_string());
+        p.record_alloc(10, 1, 8);
+        p.arm_alloc(1, 0, || unreachable!());
+        p.record_alloc(11, 1, 8);
+        p.arm_alloc(1, 0, || unreachable!());
+        p.record_alloc(12, 1, 8);
+        p.record_free(10, GcKind::Minor);
+        p.record_tenure(11);
+        p.record_tenure(11); // idempotent
+        p.record_free(11, GcKind::Full);
+        let stats = p.site_stats();
+        assert_eq!(stats.len(), 1);
+        let s = stats[0].1;
+        assert_eq!(s.allocs, 3);
+        assert_eq!(s.freed_minor, 1);
+        assert_eq!(s.freed_full, 1);
+        assert_eq!(s.tenured, 1);
+        assert_eq!(s.tenured_bytes, 8);
+        let text = p.survival_text(&resolve);
+        assert!(text.contains("allocs=3"), "{text}");
+        assert!(text.contains("live=1"), "{text}");
+    }
+
+    #[test]
+    fn census_attributes_armed_sites_and_sentinels() {
+        let mut p = HeapProfStore::default();
+        p.arm_store(4, 9);
+        p.record_cross_edge(false);
+        p.record_cross_edge(true); // unattributed: armed site was consumed
+        let rows = p.census();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].method, 4);
+        assert_eq!(rows[0].pc, 9);
+        assert_eq!(rows[0].counts.may_cross, 1);
+        assert_eq!(rows[1].method, u32::MAX);
+        assert_eq!(rows[1].counts.shared_frozen, 1);
+    }
+
+    #[test]
+    fn clear_store_prevents_stale_attribution() {
+        let mut p = HeapProfStore::default();
+        p.arm_store(4, 9);
+        p.clear_store();
+        p.record_cross_edge(false);
+        let rows = p.census();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].method, u32::MAX);
+    }
+
+    #[test]
+    fn timeline_renders_events_in_order() {
+        let mut p = HeapProfStore::default();
+        p.set_context(3, 500);
+        p.record_page_event(PageEvent::Claim, 2, 1);
+        p.record_gc(1, GcKind::Minor, 128, 4, 0);
+        p.record_gc(1, GcKind::Full, 256, 8, 9000);
+        p.record_occupancy(1, 2, 3, 1, 4096, 60);
+        let text = p.timeline_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"event\":\"claim\""), "{text}");
+        assert!(lines[1].contains("\"kind\":\"minor\""), "{text}");
+        assert!(lines[2].contains("\"kind\":\"full\""), "{text}");
+        assert!(lines[3].contains("\"nursery_pages\":2"), "{text}");
+        let hists = p.heap_hists_text();
+        assert!(hists.contains("# full gc pause cycles, heap 1"), "{hists}");
+        assert!(
+            hists.contains("# minor gc reclaimed bytes, heap 1"),
+            "{hists}"
+        );
+    }
+
+    #[test]
+    fn disabled_sink_runs_no_closures_and_yields_nothing() {
+        let sink = HeapProfSink::disabled();
+        let mut ran = false;
+        sink.arm_alloc(0, 0, || {
+            ran = true;
+            String::new()
+        });
+        sink.record_alloc(0, 0, 8);
+        sink.record_cross_edge(false);
+        assert!(!ran);
+        assert!(sink.folded_bytes(&resolve).is_empty());
+        assert!(sink.timeline_jsonl().is_empty());
+        assert!(sink.census().is_empty());
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn svg_export_is_wellformed() {
+        let mut p = HeapProfStore::default();
+        p.set_context(1, 0);
+        p.arm_alloc(0, 0, || "Main.run".to_string());
+        p.record_alloc(0, 2, 100);
+        let svg = p.flamegraph_svg(&resolve);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("Main.run@b0"));
+    }
+}

@@ -294,6 +294,62 @@ mod tests {
     }
 
     #[test]
+    fn top_bucket_saturation_keeps_percentiles_in_range() {
+        // Pile samples into bucket 64, whose span saturates at u64::MAX:
+        // interpolation must neither overflow nor escape [min, max].
+        let mut h = LogHistogram::new();
+        for i in 0..100u64 {
+            h.record(u64::MAX - i);
+        }
+        assert_eq!(h.bucket_count(64), 100);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.min(), u64::MAX - 99);
+        assert_eq!(h.max(), u64::MAX);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.percentile(q);
+            assert!(
+                (u64::MAX - 99..=u64::MAX).contains(&v),
+                "q={q} escaped the observed range: {v}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn fuzzed_inputs_keep_p50_p99_p999_ordered() {
+        // Deterministic LCG fuzz: many shapes (uniform, bimodal, heavy
+        // tail, all-zero) must all satisfy p50 ≤ p99 ≤ p999 ≤ max and
+        // min ≤ p50.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for round in 0..50 {
+            let mut h = LogHistogram::new();
+            let n = 1 + (next() % 500) as usize;
+            let shape = round % 4;
+            for _ in 0..n {
+                let r = next();
+                let v = match shape {
+                    0 => r % 1000,                   // uniform small
+                    1 => (r % 2) * (r % 1_000_000),  // bimodal with zeros
+                    2 => 1u64 << (r % 50),           // heavy log tail
+                    _ => 0,                          // degenerate
+                };
+                h.record(v);
+            }
+            let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+            assert!(h.min() <= p50, "round {round}: min {} > p50 {p50}", h.min());
+            assert!(p50 <= p99, "round {round}: p50 {p50} > p99 {p99}");
+            assert!(p99 <= p999, "round {round}: p99 {p99} > p999 {p999}");
+            assert!(p999 <= h.max(), "round {round}: p999 {p999} > max {}", h.max());
+        }
+    }
+
+    #[test]
     fn render_is_deterministic_and_sorted() {
         let mut h = LogHistogram::new();
         for v in [5u64, 900, 3, 0, 17, 900, 1] {

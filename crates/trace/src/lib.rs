@@ -32,9 +32,11 @@
 //! information as per-process counters, maintained incrementally so it
 //! stays exact even after the ring has dropped old events.
 
+pub mod heapprof;
 pub mod hist;
 pub mod profile;
 
+pub use heapprof::{CensusCounts, CensusSite, GcKind, HeapProfSink, HeapProfStore, PageEvent};
 pub use hist::LogHistogram;
 pub use profile::{PidTotals, ProfileSink, ProfileStore, SampleKind};
 

@@ -281,15 +281,15 @@ impl ProfileStore {
     }
 }
 
-struct FlameNode {
-    name: String,
-    total: u64,
-    self_weight: u64,
-    children: BTreeMap<String, FlameNode>,
+pub(crate) struct FlameNode {
+    pub(crate) name: String,
+    pub(crate) total: u64,
+    pub(crate) self_weight: u64,
+    pub(crate) children: BTreeMap<String, FlameNode>,
 }
 
 impl FlameNode {
-    fn new(name: &str) -> Self {
+    pub(crate) fn new(name: &str) -> Self {
         FlameNode {
             name: name.to_string(),
             total: 0,
@@ -342,7 +342,7 @@ const ROW_HEIGHT: f64 = 16.0;
 /// of the weights, so output stays deterministic.
 const MIN_WIDTH: f64 = 0.3;
 
-fn render_svg(root: &FlameNode) -> String {
+pub(crate) fn render_svg(root: &FlameNode) -> String {
     let depth = root.depth();
     let height = (depth as f64 + 1.0) * ROW_HEIGHT + 24.0;
     let mut out = String::new();

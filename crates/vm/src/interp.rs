@@ -732,6 +732,11 @@ fn run_dispatch<const INJECT: bool>(
                     let nfields = table.class(cidx).instance_fields.len();
                     thread.cycles += engine.scaled(COSTS.simple) * nfields as u64;
                     let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                        // Arm inside the closure so a GC retry re-arms; the
+                        // sink consumes the site only on a successful alloc.
+                        ctx.space.heapprof().arm_alloc(method_idx.0, pc as u32 - 1, || {
+                            table.qualified_name(method_idx)
+                        });
                         ctx.space.alloc_fields(ctx.heap, cidx.heap_class(), nfields)
                     });
                     match alloc {
@@ -786,6 +791,10 @@ fn run_dispatch<const INJECT: bool>(
                                 n = 2;
                             }
                             with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                // Census attribution: only non-elided guest
+                                // stores arm, so every recorded cross edge
+                                // maps to a non-Elide analyzer verdict.
+                                ctx.space.heapprof().arm_store(method_idx.0, pc as u32 - 1);
                                 ctx.space.store_ref(obj, slot as usize, v, ctx.trusted)
                             })
                             .map(|barrier_cycles| thread.cycles += barrier_cycles)
@@ -850,6 +859,7 @@ fn run_dispatch<const INJECT: bool>(
                                 n = 2;
                             }
                             with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                ctx.space.heapprof().arm_store(method_idx.0, pc as u32 - 1);
                                 ctx.space.store_ref(statics, slot as usize, v, ctx.trusted)
                             })
                             .map(|barrier_cycles| thread.cycles += barrier_cycles)
@@ -928,6 +938,9 @@ fn run_dispatch<const INJECT: bool>(
                     };
                     thread.cycles += engine.scaled(COSTS.simple) * (len as u64 / 8).max(1);
                     let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.heapprof().arm_alloc(method_idx.0, pc as u32 - 1, || {
+                            table.qualified_name(method_idx)
+                        });
                         ctx.space
                             .alloc_array(ctx.heap, tag, elem_bytes, len as usize, fill)
                     });
@@ -987,6 +1000,7 @@ fn run_dispatch<const INJECT: bool>(
                                 n = 2;
                             }
                             with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                ctx.space.heapprof().arm_store(method_idx.0, pc as u32 - 1);
                                 ctx.space.store_ref(arr, index as usize, v, ctx.trusted)
                             })
                             .map(|barrier_cycles| thread.cycles += barrier_cycles)
@@ -1087,6 +1101,9 @@ fn run_dispatch<const INJECT: bool>(
                     let joined = format!("{sa}{sb}");
                     let string_tag = ctx.string_class.heap_class();
                     match with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.heapprof().arm_alloc(method_idx.0, pc as u32 - 1, || {
+                            table.qualified_name(method_idx)
+                        });
                         ctx.space.alloc_str(ctx.heap, string_tag, joined.as_str())
                     }) {
                         Ok(obj) => thread.values.push(Value::Ref(obj)),
@@ -1167,6 +1184,9 @@ fn run_dispatch<const INJECT: bool>(
                         engine.scaled(COSTS.string + COSTS.string_per_char * s.len() as u64);
                     let string_tag = ctx.string_class.heap_class();
                     match with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.heapprof().arm_alloc(method_idx.0, pc as u32 - 1, || {
+                            table.qualified_name(method_idx)
+                        });
                         ctx.space.alloc_str(ctx.heap, string_tag, s.as_str())
                     }) {
                         Ok(obj) => thread.values.push(Value::Ref(obj)),
@@ -1196,6 +1216,9 @@ fn run_dispatch<const INJECT: bool>(
                     thread.cycles += engine.scaled(COSTS.string_per_char * sub.len() as u64);
                     let string_tag = ctx.string_class.heap_class();
                     match with_gc_retry(thread, ctx, &[], |ctx| {
+                        ctx.space.heapprof().arm_alloc(method_idx.0, pc as u32 - 1, || {
+                            table.qualified_name(method_idx)
+                        });
                         ctx.space.alloc_str(ctx.heap, string_tag, sub.as_str())
                     }) {
                         Ok(obj) => thread.values.push(Value::Ref(obj)),

@@ -17,8 +17,18 @@
 //! and writes `<base>.folded` (Brendan-Gregg folded stacks), `<base>.svg`
 //! (flamegraph) and `<base>.hist` (GC pause / syscall latency / quantum
 //! jitter histograms) — all byte-identical across reruns of the same seed.
-//! `--top` prints a `kaffeos-top` snapshot table before teardown. Exits
-//! non-zero if the audit finds a violation or a process outlives teardown.
+//! `--top` prints a `kaffeos-top` snapshot table before teardown. With
+//! `--heap-profile <base>` the heap observability plane records the run
+//! and writes `<base>.alloc.folded` / `<base>.objects.folded` (allocation
+//! flamegraph inputs weighted by bytes / object counts),
+//! `<base>.alloc.svg`, `<base>.survival` (per-site tenure-vs-die-young
+//! table), `<base>.timeline.jsonl` (GC/page events and occupancy samples)
+//! and `<base>.heaphist` (per-heap pause/reclaim histograms). With
+//! `--heap-dump <path>` a deterministic whole-space snapshot is written
+//! mid-run (after the fault window) to `<path>` and again after teardown
+//! to `<path>.final`. All outputs are byte-identical across reruns of the
+//! same seed. Exits non-zero if the audit finds a violation or a process
+//! outlives teardown.
 
 use std::process::ExitCode;
 
@@ -26,10 +36,11 @@ use kaffeos::{FaultPlan, KaffeOs, KaffeOsConfig, Pid, SpawnOpts};
 use kaffeos_workloads::lint::SHMER_SOURCE as SHMER;
 use kaffeos_workloads::spec;
 
-fn build_os(trace: bool, profile: bool) -> KaffeOs {
+fn build_os(trace: bool, profile: bool, heapprof: bool) -> KaffeOs {
     let mut os = KaffeOs::new(KaffeOsConfig {
         trace,
         profile,
+        heapprof,
         ..KaffeOsConfig::default()
     });
     os.load_shared_source("class Cell { int value; }")
@@ -64,13 +75,19 @@ fn run_faults(
     seed: u64,
     trace_path: Option<&str>,
     profile_base: Option<&str>,
+    heap_profile_base: Option<&str>,
+    heap_dump_path: Option<&str>,
     top: bool,
 ) -> Result<(), String> {
     let plan = FaultPlan::from_seed(seed);
     println!("seed {seed:#x} arms: {plan:?}");
 
     // `--top` wants the TOP-METHOD column, so it turns the profiler on too.
-    let mut os = build_os(trace_path.is_some(), profile_base.is_some() || top);
+    let mut os = build_os(
+        trace_path.is_some(),
+        profile_base.is_some() || top,
+        heap_profile_base.is_some(),
+    );
     os.install_faults(plan);
     let pids = spawn_workload(&mut os);
     os.run(Some(os.clock() + 2_000_000_000));
@@ -82,6 +99,13 @@ fn run_faults(
     if top {
         println!("kaffeos-top @ {} cycles:", os.clock());
         print!("{}", os.top_text());
+    }
+
+    // Mid-run snapshot: after the fault window, before teardown — the
+    // interesting moment for a dump (dead processes not yet merged).
+    if let Some(path) = heap_dump_path {
+        std::fs::write(path, os.heap_dump())
+            .map_err(|e| format!("writing heap dump {path}: {e}"))?;
     }
 
     // Teardown: kill survivors, drain, collect twice, audit again. The
@@ -135,6 +159,32 @@ fn run_faults(
         println!("profile: {sampled} cycles sampled -> {base}.folded, {base}.svg, {base}.hist");
     }
 
+    if let Some(base) = heap_profile_base {
+        for (suffix, body) in [
+            ("alloc.folded", os.heapprof_folded_bytes()),
+            ("objects.folded", os.heapprof_folded_objects()),
+            ("alloc.svg", os.heapprof_flamegraph_svg()),
+            ("survival", os.heapprof_survival()),
+            ("timeline.jsonl", os.heapprof_timeline()),
+            ("heaphist", os.heapprof_histograms()),
+        ] {
+            let path = format!("{base}.{suffix}");
+            std::fs::write(&path, &body)
+                .map_err(|e| format!("writing heap profile {path}: {e}"))?;
+        }
+        println!(
+            "heap profile: {} timeline events -> {base}.alloc.folded, {base}.objects.folded, {base}.alloc.svg, {base}.survival, {base}.timeline.jsonl, {base}.heaphist",
+            os.space().heapprof().timeline_len()
+        );
+    }
+
+    if let Some(path) = heap_dump_path {
+        let final_path = format!("{path}.final");
+        std::fs::write(&final_path, os.heap_dump())
+            .map_err(|e| format!("writing heap dump {final_path}: {e}"))?;
+        println!("heap dumps -> {path} (mid-run), {final_path}");
+    }
+
     println!("statuses:");
     for &pid in &pids {
         println!("  {pid:?}: {:?}", os.status(pid));
@@ -184,12 +234,18 @@ fn run_scenarios(which: &str, seed: u64, out: Option<&str>) -> Result<(), String
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: kaffeos-workloads --faults seed=<N> [--trace <path>] [--profile <base>] [--top]"
+        "usage: kaffeos-workloads --faults seed=<N> [--trace <path>] [--profile <base>] \
+       [--heap-profile <base>] [--heap-dump <path>] [--top]"
     );
     eprintln!("       kaffeos-workloads --scenario <name|all|list> seed=<N> [--out <path>]");
     eprintln!("       kaffeos-workloads --lint [--allowlist <path>]");
     eprintln!("       (N may be decimal or 0x-prefixed hex)");
     eprintln!("       --profile writes <base>.folded, <base>.svg and <base>.hist");
+    eprintln!(
+        "       --heap-profile writes <base>.alloc.folded, <base>.objects.folded, \
+       <base>.alloc.svg, <base>.survival, <base>.timeline.jsonl, <base>.heaphist"
+    );
+    eprintln!("       --heap-dump writes a deterministic JSONL snapshot mid-run and <path>.final");
     eprintln!("       --top prints a kaffeos-top snapshot table before teardown");
     eprintln!(
         "       scenarios: {}",
@@ -251,8 +307,21 @@ fn main() -> ExitCode {
     let Ok(profile_base) = path_after("--profile") else {
         return usage();
     };
+    let Ok(heap_profile_base) = path_after("--heap-profile") else {
+        return usage();
+    };
+    let Ok(heap_dump_path) = path_after("--heap-dump") else {
+        return usage();
+    };
     let top = args.iter().any(|a| a == "--top");
-    match run_faults(seed, trace_path, profile_base, top) {
+    match run_faults(
+        seed,
+        trace_path,
+        profile_base,
+        heap_profile_base,
+        heap_dump_path,
+        top,
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("FAULT EXPERIMENT FAILED (seed {seed:#x}): {msg}");

@@ -715,6 +715,14 @@ fn drive(name: &'static str, seed: u64, setup: Setup) -> ScenarioReport {
         let _ = writeln!(text, "  exits {}", stats.exits.render());
         let _ = writeln!(
             text,
+            "  heap bytes_reaped={} objects_reaped={} gcs={} minor_gcs={}",
+            stats.heap_bytes_reaped,
+            stats.heap_objects_reaped,
+            stats.heap_gcs,
+            stats.heap_minor_gcs,
+        );
+        let _ = writeln!(
+            text,
             "  completed={} good={} goodput_permille={goodput}",
             acc.completed, acc.good
         );
