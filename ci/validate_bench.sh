@@ -8,6 +8,7 @@
 #   alloc     BENCH_alloc_quick.json   (alloc_throughput)
 #   barrier   BENCH_barrier_quick.json (barrier_elision)
 #   heapprof  BENCH_heapprof.json      (heapprof_overhead)
+#   jit       BENCH_jit.json           (jit_throughput)
 #
 # One place instead of four inline snippets: a report that is missing,
 # unparsable, or lacking its speedup/overhead fields fails the build here,
@@ -15,7 +16,7 @@
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
-    echo "usage: $0 <report.json> <kind: interp|alloc|barrier|heapprof>" >&2
+    echo "usage: $0 <report.json> <kind: interp|alloc|barrier|heapprof|jit>" >&2
     exit 2
 fi
 REPORT="$1" KIND="$2" python3 - <<'PYEOF'
@@ -103,6 +104,39 @@ elif kind == "heapprof":
     require(overhead.get("virtual_identical") is True,
             "overhead.virtual_identical is not true")
     print(f"ok: mean overhead {overhead['mean_pct']:.1f}% with virtual numbers identical")
+
+elif kind == "jit":
+    require(doc.get("virtual_identical") is True, "virtual_identical is not true")
+    benches = doc.get("benchmarks")
+    require(isinstance(benches, list) and len(benches) == 7,
+            f"expected 7 benchmarks, got {benches and [b.get('name') for b in benches]}")
+    for b in benches:
+        require(number(b.get("ops")) and b["ops"] > 0, f"benchmark {b.get('name')}: bad ops")
+        require(number(b.get("ops_per_sec")) and b["ops_per_sec"] > 0,
+                f"benchmark {b.get('name')}: bad ops_per_sec")
+        require(number(b.get("interp_ops_per_sec")) and b["interp_ops_per_sec"] > 0,
+                f"benchmark {b.get('name')}: bad interp_ops_per_sec")
+        require(number(b.get("compiles")), f"benchmark {b.get('name')}: bad compiles")
+    total = doc.get("total", {})
+    require(number(total.get("ops")) and total["ops"] > 0, "total.ops missing or zero")
+    require(number(total.get("ops_per_sec")) and total["ops_per_sec"] > 0,
+            "total.ops_per_sec missing or zero")
+    require(number(total.get("speedup_vs_interp")) and total["speedup_vs_interp"] > 0,
+            "total.speedup_vs_interp missing or zero")
+    ab = doc.get("ablation", {})
+    require(number(ab.get("hot_methods")) and ab["hot_methods"] > 0,
+            "ablation.hot_methods missing or zero")
+    require(ab.get("warm_repeat", {}).get("added_compiles") == 0,
+            "warm repeat recompiled a cached body")
+    shared = ab.get("shared", {})
+    require(shared.get("reuse_total") == shared.get("expected_reuse"),
+            f"shared reuse {shared.get('reuse_total')} != expected {shared.get('expected_reuse')}")
+    require(shared.get("exactly_once") is True, "ablation.shared.exactly_once is not true")
+    require("speedup_vs_baseline" in doc, "speedup_vs_baseline key missing")
+    s = doc["speedup_vs_baseline"]
+    require(s is None or (number(s) and s > 0), f"malformed speedup_vs_baseline: {s!r}")
+    print(f"ok: {total['ops']} ops at {total['ops_per_sec'] / 1e6:.1f} Mops/s, "
+          f"{total['speedup_vs_interp']:.2f}x over interp, shared cache exactly-once")
 
 else:
     fail(f"unknown kind {kind!r}")

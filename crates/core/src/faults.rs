@@ -216,6 +216,13 @@ pub enum AuditViolation {
         /// How many were accepted.
         count: u64,
     },
+    /// The shared JIT code cache's registry drifted from the processes'
+    /// attachments (refcount mismatch, missing body, or byte-account
+    /// drift).
+    CodeCache {
+        /// What broke.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -255,6 +262,9 @@ impl fmt::Display for AuditViolation {
             }
             AuditViolation::IllegalWriteAccepted { count } => {
                 write!(f, "barrier accepted {count} illegal cross-heap writes")
+            }
+            AuditViolation::CodeCache { detail } => {
+                write!(f, "code cache: {detail}")
             }
         }
     }

@@ -106,6 +106,11 @@ pub struct KaffeOsConfig {
     /// the plane has no cycle model, so the virtual clock (and every
     /// golden trace/benchmark number) is bit-identical either way.
     pub heapprof: bool,
+    /// Template-JIT tier (threshold, shared code-cache capacity). The tier
+    /// changes wall-clock speed only: the virtual cycle model, traces,
+    /// profiles, and every golden number are bit-identical with it on or
+    /// off. Defaults honour the `KAFFEOS_JIT` environment toggle.
+    pub jit: kaffeos_vm::JitConfig,
 }
 
 impl Default for KaffeOsConfig {
@@ -123,6 +128,7 @@ impl Default for KaffeOsConfig {
             profile: false,
             elide: true,
             heapprof: false,
+            jit: kaffeos_vm::JitConfig::from_env(),
         }
     }
 }
@@ -348,6 +354,10 @@ pub struct KaffeOs {
     /// Launches the tenant engine performed on its own (queued admissions
     /// and restarts), awaiting `drain_tenant_launches`.
     tenant_launches: Vec<TenantLaunch>,
+    /// Process-shared JIT code cache (the ShareJIT artifact): one compiled
+    /// body per `(class bytes, ordinal, elision, resolution)` key, shared
+    /// by every process whose method matches.
+    jit_cache: kaffeos_vm::CodeCache,
 }
 
 impl KaffeOs {
@@ -417,6 +427,7 @@ impl KaffeOs {
             }
         }
 
+        let config_jit_cache_bytes = config.jit.cache_bytes;
         let mut os = KaffeOs {
             space,
             table,
@@ -450,6 +461,7 @@ impl KaffeOs {
             tenants: Vec::new(),
             overload: None,
             tenant_launches: Vec::new(),
+            jit_cache: kaffeos_vm::CodeCache::new(config_jit_cache_bytes),
         };
         os.republish_elision();
         os
@@ -475,6 +487,36 @@ impl KaffeOs {
             .collect();
         for (i, bm) in bitmaps.into_iter().enumerate() {
             self.table.set_elision(MethodIdx(i as u32), bm);
+        }
+        self.invalidate_stale_bodies();
+    }
+
+    /// Invalidates compiled bodies whose baked-in elision verdicts no
+    /// longer match the published bitmaps (class reload / analyzer
+    /// republish). The method re-tiers from a cold counter and compiles
+    /// under its new cache key; other processes whose verdicts still match
+    /// keep sharing the old body under the old key.
+    fn invalidate_stale_bodies(&mut self) {
+        for proc in &mut self.procs {
+            if matches!(proc.state, ProcState::Dead(_)) {
+                continue;
+            }
+            // `attached()` walks in method order, so the invalidation
+            // sequence (and thus the cache's eviction clock) is
+            // deterministic.
+            let stale: Vec<(MethodIdx, kaffeos_vm::MethodKey)> = proc
+                .jit
+                .attached()
+                .filter(|(midx, ab)| {
+                    kaffeos_vm::elide_fingerprint(&self.table, *midx) != ab.key.elide_hash
+                })
+                .map(|(midx, ab)| (midx, ab.key))
+                .collect();
+            for (midx, key) in stale {
+                *proc.jit.slot_mut(midx) = kaffeos_vm::BodySlot::Cold;
+                self.jit_cache.invalidate(&key);
+                proc.jit.counters.remove(&midx);
+            }
         }
     }
 
@@ -648,6 +690,7 @@ impl KaffeOs {
             tenant: opts.tenant,
             spawn_args: args.to_string(),
             spawn_opts: opts,
+            jit: kaffeos_vm::ProcJit::default(),
         };
 
         // Resolve the entry point: the image's class that declares a static
@@ -905,7 +948,40 @@ impl KaffeOs {
         let _ = writeln!(out, "heap_used:\t{heap_used}");
         let _ = writeln!(out, "heap_limit:\t{heap_limit}");
         let _ = writeln!(out, "net_sent:\t{}", p.net_sent);
+        let _ = writeln!(out, "jit_compiled:\t{}", p.jit.stats.compiled);
+        let _ = writeln!(out, "jit_cache_hits:\t{}", p.jit.stats.hits);
+        let _ = writeln!(out, "jit_shared_reuse:\t{}", p.jit.stats.reuse);
+        let _ = writeln!(out, "jit_bytes:\t{}", p.jit.stats.bytes);
         out
+    }
+
+    /// Per-process JIT statistics (methods compiled, shared-cache hits and
+    /// cross-process reuse, template bytes referenced). `None` for an
+    /// unknown pid. Host observability only — never feeds virtual state.
+    pub fn jit_stats(&self, pid: Pid) -> Option<kaffeos_vm::ProcJitStats> {
+        self.proc_index(pid).map(|idx| self.procs[idx].jit.stats)
+    }
+
+    /// Cumulative counters of the process-shared code cache.
+    pub fn jit_cache_stats(&self) -> kaffeos_vm::CacheStats {
+        self.jit_cache.stats
+    }
+
+    /// `(bodies cached, bytes cached, byte capacity)` of the shared code
+    /// cache.
+    pub fn jit_cache_usage(&self) -> (usize, u64, u64) {
+        (
+            self.jit_cache.len(),
+            self.jit_cache.bytes(),
+            self.jit_cache.capacity(),
+        )
+    }
+
+    /// Deterministic shared-cache registry snapshot in key order:
+    /// `(key, refcount, body bytes, creator pid)`. Lifecycle tests compare
+    /// this across replays; it never feeds virtual state.
+    pub fn jit_cache_snapshot(&self) -> Vec<(kaffeos_vm::MethodKey, u32, u64, u32)> {
+        self.jit_cache.snapshot()
     }
 
     /// The whole memlimit tree rendered as indented text — the text
@@ -925,8 +1001,8 @@ impl KaffeOs {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10}  TOP-METHOD",
-            "PID", "NAME", "STATE", "EXEC", "GC", "KERNEL", "HEAP", "LIMIT"
+            "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}  TOP-METHOD",
+            "PID", "NAME", "STATE", "EXEC", "GC", "KERNEL", "HEAP", "LIMIT", "JIT"
         );
         for p in &self.procs {
             let state = match &p.state {
@@ -946,10 +1022,21 @@ impl KaffeOs {
                 .next()
                 .map(|(frame, _)| frame)
                 .unwrap_or_else(|| "-".to_string());
+            // Compiled methods plus shared-body reuses: "3+2" reads as
+            // "3 compiled here, 2 picked up warm from the shared cache".
+            let jit = format!("{}+{}", p.jit.stats.compiled, p.jit.stats.reuse);
             let _ = writeln!(
                 out,
-                "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10}  {top}",
-                p.pid.0, p.name, state, p.cpu.exec, p.cpu.gc, p.cpu.kernel, heap_used, heap_limit
+                "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}  {top}",
+                p.pid.0,
+                p.name,
+                state,
+                p.cpu.exec,
+                p.cpu.gc,
+                p.cpu.kernel,
+                heap_used,
+                heap_limit,
+                jit
             );
         }
         out
@@ -1350,6 +1437,68 @@ impl KaffeOs {
             }
         }
 
+        // Code-cache conservation: every refcount in the shared cache must
+        // equal the number of live attachments (dead processes detach at
+        // reap), every attached key must still be resident (eviction only
+        // claims refs == 0 entries; invalidation drops the attachment
+        // first), and the cache's byte account must match its entries.
+        {
+            let mut attached: std::collections::BTreeMap<kaffeos_vm::MethodKey, u32> =
+                std::collections::BTreeMap::new();
+            for p in &self.procs {
+                if matches!(p.state, ProcState::Dead(_)) {
+                    if p.jit.attached().next().is_some() {
+                        return Err(AuditViolation::CodeCache {
+                            detail: format!("dead process {:?} still holds attachments", p.pid),
+                        });
+                    }
+                    continue;
+                }
+                for key in p.jit.attached_keys() {
+                    *attached.entry(key).or_insert(0) += 1;
+                }
+            }
+            let mut cache_bytes = 0u64;
+            let mut cached: std::collections::BTreeMap<kaffeos_vm::MethodKey, u32> =
+                std::collections::BTreeMap::new();
+            for (key, refs, bytes, _creator) in self.jit_cache.snapshot() {
+                cached.insert(key, refs);
+                cache_bytes += bytes;
+            }
+            for (key, n) in &attached {
+                match cached.get(key) {
+                    None => {
+                        return Err(AuditViolation::CodeCache {
+                            detail: format!("attached body {key:?} missing from cache"),
+                        })
+                    }
+                    Some(refs) if refs != n => {
+                        return Err(AuditViolation::CodeCache {
+                            detail: format!(
+                                "refcount drift on {key:?}: cache says {refs}, {n} attached"
+                            ),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+            for (key, refs) in &cached {
+                if *refs != attached.get(key).copied().unwrap_or(0) {
+                    return Err(AuditViolation::CodeCache {
+                        detail: format!("cache entry {key:?} has {refs} refs but no attachments"),
+                    });
+                }
+            }
+            if cache_bytes != self.jit_cache.bytes() {
+                return Err(AuditViolation::CodeCache {
+                    detail: format!(
+                        "byte account drift: entries sum to {cache_bytes}, cache says {}",
+                        self.jit_cache.bytes()
+                    ),
+                });
+            }
+        }
+
         let live = self
             .procs
             .iter()
@@ -1535,6 +1684,15 @@ impl KaffeOs {
         self.procs[idx].statics.clear();
         self.procs[idx].intern.clear();
         self.procs[idx].parked.clear();
+        // Detach compiled bodies from the shared cache. Entries stay
+        // resident at refcount zero (warm cache — the ShareJIT payoff: a
+        // respawned process re-attaches without recompiling); eviction only
+        // reclaims them under byte pressure.
+        for key in self.procs[idx].jit.attached_keys() {
+            self.jit_cache.detach(&key);
+        }
+        self.procs[idx].jit.bodies.clear();
+        self.procs[idx].jit.counters.clear();
         let status = if self.procs[idx].cpu_overrun && status == ExitStatus::Killed {
             ExitStatus::CpuLimitExceeded
         } else {
@@ -2369,6 +2527,8 @@ impl KaffeOs {
         let ns = self.procs[idx].ns;
         let monolithic = self.config.monolithic;
 
+        let jit_enabled = self.config.jit.enabled;
+        let jit_threshold = self.config.jit.threshold;
         let proc = &mut self.procs[idx];
         let threads = &mut proc.threads;
         let (statics, intern) = if monolithic {
@@ -2377,6 +2537,14 @@ impl KaffeOs {
             (&mut proc.statics, &mut proc.intern)
         };
         let thread = &mut threads[tidx];
+        // The JIT runtime borrows the per-process state and the shared
+        // cache together; `None` keeps the tier fully out of the loop.
+        let jit = jit_enabled.then_some(kaffeos_vm::JitRt {
+            proc: &mut proc.jit,
+            cache: &mut self.jit_cache,
+            threshold: jit_threshold,
+            pid: pid_u32,
+        });
         let mut ctx = ExecCtx {
             space: &mut self.space,
             table: &self.table,
@@ -2394,6 +2562,7 @@ impl KaffeOs {
                 .faults
                 .as_ref()
                 .is_some_and(|plan| plan.gc_every_safepoint),
+            jit,
         };
         let granted = time_slice.max(1);
         let exit = step(thread, &mut ctx, granted);

@@ -305,6 +305,9 @@ pub struct Process {
     /// The resource policy the process was spawned with (respawns reuse
     /// it verbatim).
     pub spawn_opts: SpawnOpts,
+    /// Per-process JIT state: hot counters, attached compiled bodies (with
+    /// their per-process link tables), and tier statistics.
+    pub jit: kaffeos_vm::ProcJit,
 }
 
 impl Process {

@@ -127,6 +127,7 @@ impl Host {
                     extra_roots: &[],
                     extra_scan_slots: 0,
                     gc_every_safepoint: false,
+                    jit: None,
                 };
                 step(&mut thread, &mut ctx, u64::MAX)
             };

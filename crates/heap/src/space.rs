@@ -833,6 +833,31 @@ impl HeapSpace {
             })
     }
 
+    /// Value slots of an object (fields or array elements) — one object
+    /// lookup for readers that bounds-check and load themselves. Strings
+    /// have no value slots, matching [`HeapSpace::slot_count`]'s zero.
+    #[inline]
+    pub fn value_slots(&self, obj: ObjRef) -> Result<&[Value], HeapError> {
+        Ok(match &self.get(obj)?.data {
+            ObjData::Fields(f) => f,
+            ObjData::Array { values, .. } => values,
+            ObjData::Str(_) => &[],
+        })
+    }
+
+    /// Mutable value slots, for *primitive* stores only: writing a
+    /// reference through this bypasses the write barrier, so callers must
+    /// check `val.is_reference()` first (as [`HeapSpace::store_prim`]
+    /// asserts).
+    #[inline]
+    pub fn value_slots_mut(&mut self, obj: ObjRef) -> Result<&mut [Value], HeapError> {
+        Ok(match &mut self.get_mut(obj)?.data {
+            ObjData::Fields(f) => f,
+            ObjData::Array { values, .. } => values,
+            ObjData::Str(_) => &mut [],
+        })
+    }
+
     /// Stores a primitive into a field or element. No barrier: primitive
     /// fields of shared objects stay mutable after freezing (§2), and
     /// primitive stores can never create cross-heap references.

@@ -337,6 +337,10 @@ pub struct ExecCtx<'a> {
     /// collections are not charged to the guest so CPU accounting stays
     /// comparable with un-injected runs.
     pub gc_every_safepoint: bool,
+    /// Template-JIT runtime for the current process (`None` disables the
+    /// tier). Tier-up counters and cache bookkeeping advance identically in
+    /// both dispatch variants; only the fast variant *enters* compiled code.
+    pub jit: Option<crate::jit::JitRt<'a>>,
 }
 
 /// Heap class tags for primitive arrays (distinct from any `ClassIdx`).
@@ -349,7 +353,7 @@ pub const REF_ARRAY_CLASS: kaffeos_heap::ClassId = kaffeos_heap::ClassId(u32::MA
 const COSTS: OpCosts = BASE_COSTS;
 
 /// Outcome of a frame-changing helper (call, return).
-enum StepFlow {
+pub(crate) enum StepFlow {
     Continue,
     Exit(RunExit),
     Raise(VmException),
@@ -440,6 +444,16 @@ fn run_dispatch<const INJECT: bool>(
     }
 
     'frame: loop {
+        // Tier dispatch: run the top frame's compiled body if one is
+        // attached and the pc is a template-op entry. The injected variant
+        // never enters compiled code (its per-safe-point hooks need the
+        // op-by-op loop); tier-up bookkeeping still matches because the
+        // back-edge/invoke hooks below run in both variants.
+        if !INJECT {
+            if let Some(exit) = crate::jit::try_enter(thread, ctx, fuel, start_cycles) {
+                return exit;
+            }
+        }
         // (Re)load the top frame's hot state into locals; it stays valid
         // until the frame set changes (call, return, unwind, exit).
         let Some(top) = thread.frames.last() else {
@@ -699,18 +713,36 @@ fn run_dispatch<const INJECT: bool>(
                 // ----- control flow ---------------------------------------------------
                 Op::Jump(target) => {
                     thread.cycles += engine.scaled(COSTS.branch);
+                    let back = (target as usize) < pc;
                     pc = target as usize;
+                    // Taken back-edge: bump the hot counter (both variants,
+                    // identically); the fast variant re-enters at the
+                    // branch target once a body is attached (OSR).
+                    if back && crate::jit::note_backedge(ctx, method_idx) && !INJECT {
+                        sync_pc!();
+                        continue 'frame;
+                    }
                 }
                 Op::JumpIfTrue(target) => {
                     thread.cycles += engine.scaled(COSTS.branch);
                     if pop!(thread, stack_base).is_truthy() {
+                        let back = (target as usize) < pc;
                         pc = target as usize;
+                        if back && crate::jit::note_backedge(ctx, method_idx) && !INJECT {
+                            sync_pc!();
+                            continue 'frame;
+                        }
                     }
                 }
                 Op::JumpIfFalse(target) => {
                     thread.cycles += engine.scaled(COSTS.branch);
                     if !pop!(thread, stack_base).is_truthy() {
+                        let back = (target as usize) < pc;
                         pc = target as usize;
+                        if back && crate::jit::note_backedge(ctx, method_idx) && !INJECT {
+                            sync_pc!();
+                            continue 'frame;
+                        }
                     }
                 }
                 Op::Return => {
@@ -1298,7 +1330,7 @@ fn run_dispatch<const INJECT: bool>(
 /// this thread's stacks, the statics and intern tables, kernel-supplied
 /// extra roots, and `pinned` (references popped off the operand stack that
 /// the in-flight instruction still needs).
-fn with_gc_retry<T>(
+pub(crate) fn with_gc_retry<T>(
     thread: &mut Thread,
     ctx: &mut ExecCtx<'_>,
     pinned: &[ObjRef],
@@ -1329,12 +1361,12 @@ fn with_gc_retry<T>(
     }
 }
 
-fn npe(msg: &str) -> VmException {
+pub(crate) fn npe(msg: &str) -> VmException {
     VmException::Builtin(BuiltinEx::NullPointer, msg.to_string())
 }
 
 /// Maps a heap error onto the guest-visible exception model.
-fn heap_exception(e: HeapError) -> VmException {
+pub(crate) fn heap_exception(e: HeapError) -> VmException {
     match e {
         HeapError::SegViolation(kind) => {
             VmException::Builtin(BuiltinEx::SegViolation, kind.message().to_string())
@@ -1345,7 +1377,7 @@ fn heap_exception(e: HeapError) -> VmException {
     }
 }
 
-fn value_instance_of(ctx: &ExecCtx<'_>, v: Value, target: ClassIdx) -> bool {
+pub(crate) fn value_instance_of(ctx: &ExecCtx<'_>, v: Value, target: ClassIdx) -> bool {
     match v {
         Value::Ref(obj) => match ctx.space.get(obj) {
             Ok(o) => match &o.data {
@@ -1366,7 +1398,7 @@ fn value_instance_of(ctx: &ExecCtx<'_>, v: Value, target: ClassIdx) -> bool {
 }
 
 /// Renders a value for string concatenation / `ToStr`.
-fn render(ctx: &ExecCtx<'_>, v: Value) -> String {
+pub(crate) fn render(ctx: &ExecCtx<'_>, v: Value) -> String {
     match v {
         Value::Null => "null".to_string(),
         Value::Int(i) => i.to_string(),
@@ -1403,7 +1435,7 @@ fn render(ctx: &ExecCtx<'_>, v: Value) -> String {
 
 /// Returns (allocating lazily) the statics object for `class` in the
 /// current process.
-fn statics_object(
+pub(crate) fn statics_object(
     thread: &mut Thread,
     ctx: &mut ExecCtx<'_>,
     class: ClassIdx,
@@ -1426,7 +1458,7 @@ fn statics_object(
 /// object: `int` fields become `Int(0)`, `float` fields `Float(0.0)`,
 /// reference fields stay null. Without this a `GetField` on an untouched
 /// `int` field would surface `Null` where the verifier proved `Int`.
-fn init_default_fields(
+pub(crate) fn init_default_fields(
     ctx: &mut ExecCtx<'_>,
     class: ClassIdx,
     obj: ObjRef,
@@ -1455,7 +1487,7 @@ fn init_default_fields(
 
 /// Interns `text` in the process intern table (§3.3: interning is
 /// per-process, so `==` on literals only holds within one process).
-fn intern_string(
+pub(crate) fn intern_string(
     thread: &mut Thread,
     ctx: &mut ExecCtx<'_>,
     text: &str,
@@ -1482,7 +1514,8 @@ fn intern_string(
 /// overlay the caller's pushed arguments in place — no values move, no
 /// allocation happens once the thread's vectors reach their high-water
 /// mark.
-fn push_frame(thread: &mut Thread, ctx: &mut ExecCtx<'_>, midx: MethodIdx) -> StepFlow {
+pub(crate) fn push_frame(thread: &mut Thread, ctx: &mut ExecCtx<'_>, midx: MethodIdx) -> StepFlow {
+    crate::jit::note_invoke(ctx, midx);
     let m = ctx.table.method(midx);
     let nargs = m.arg_slots();
     thread.cycles += ctx
@@ -1518,7 +1551,7 @@ fn push_frame(thread: &mut Thread, ctx: &mut ExecCtx<'_>, midx: MethodIdx) -> St
 
 /// Pops the top frame, delivering `value` to the caller (or finishing the
 /// thread).
-fn do_return(thread: &mut Thread, value: Option<Value>) -> StepFlow {
+pub(crate) fn do_return(thread: &mut Thread, value: Option<Value>) -> StepFlow {
     if let Some(f) = thread.frames.pop() {
         thread.values.truncate(f.locals_base as usize);
     }
@@ -1535,7 +1568,7 @@ fn do_return(thread: &mut Thread, value: Option<Value>) -> StepFlow {
 
 /// Exception dispatch: walks frames top-down for a matching handler.
 /// Returns `Some(exit)` if the exception escaped (thread is done).
-fn raise(thread: &mut Thread, ctx: &mut ExecCtx<'_>, ex: VmException) -> Option<RunExit> {
+pub(crate) fn raise(thread: &mut Thread, ctx: &mut ExecCtx<'_>, ex: VmException) -> Option<RunExit> {
     // Kaffe99's slow dispatch materialises a full stack trace on every
     // throw — real work the fast dispatch (Kaffe00/KaffeOS) avoids.
     if ctx.engine.slow_throw {

@@ -1,0 +1,2878 @@
+//! Template JIT tier with a cross-process shared code cache (ShareJIT).
+//!
+//! Hot methods (invocation + loop back-edge counters past a per-run
+//! threshold) are compiled from the verified [`Op`] stream into a
+//! straight-line *template* form: runs of simple ops become **blocks** of
+//! pre-scaled micro-ops (superinstruction fusion folds load/load/op/store
+//! and compare-and-branch sequences into single micros), and every
+//! constant-pool lookup, field slot, call target, and barrier-elision
+//! verdict is resolved once at compile time.
+//!
+//! The **virtual cycle model is pinned byte-for-byte**: compiled code bumps
+//! the identical cycle/op/safepoint/barrier counters the interpreter does.
+//! Three mechanisms make that exact:
+//!
+//! * per-micro costs are the interpreter's own `engine.scaled(...)` values,
+//!   computed once at compile time and added per micro, so cycle totals at
+//!   every observation point (throw, GC, syscall, preemption) match;
+//! * a block is entered only when the preemption-fuel guard proves the
+//!   interpreter would not have preempted *inside* it (the guard uses the
+//!   block cost minus its final original op — the last point the
+//!   interpreter checks fuel); otherwise the executor **deopts**: it syncs
+//!   `frame.pc` and lets the interpreter (the reference semantics) run the
+//!   quantum tail op-by-op, re-entering compiled code at the next back-edge
+//!   or frame change (on-stack replacement);
+//! * ops with dynamic virtual cost (ref stores that return barrier cycles
+//!   or trigger GC) may only terminate a block, so the static prefix-cost
+//!   guard stays sound and operand-stack GC roots match the interpreter's
+//!   at every point a collection can happen.
+//!
+//! Compiled bodies are process-independent (per-process state lives in a
+//! small `Linked` side table resolved at attach time) and live in a
+//! process-shared [`CodeCache`] keyed by `(class-def hash, method ordinal,
+//! elision fingerprint, resolution fingerprint)` with refcounted entries,
+//! deterministic eviction, and invalidation on analyzer republish / class
+//! reload — the ShareJIT argument: N processes, one compilation of the hot
+//! loop. Tier-up decisions are a pure function of the program and seed
+//! (counters advance identically in the fault-injected interpreter variant,
+//! which never *enters* compiled code but performs the same cache
+//! bookkeeping), and compilation charges zero virtual cycles.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kaffeos_heap::{FxHashMap, HeapError, Value};
+
+use crate::bytecode::Op;
+use crate::classes::{ClassIdx, ClassTable, MethodIdx, RConst};
+use crate::engine::{Engine, BASE_COSTS};
+use crate::interp::{
+    do_return, heap_exception, intern_string, npe, push_frame, raise, render, statics_object,
+    value_instance_of, with_gc_retry, BuiltinEx, ExecCtx, RunExit, SegSite, StepFlow, Thread,
+    VmException,
+};
+
+/// Default hot-method threshold (invocations + taken back-edges before a
+/// method tiers up). Documented in DESIGN.md §17; override with
+/// `KAFFEOS_JIT=threshold=N` or `workloads --jit=threshold=N`.
+pub const DEFAULT_JIT_THRESHOLD: u32 = 64;
+
+/// Default shared code-cache capacity in (modelled) body bytes.
+pub const DEFAULT_CACHE_BYTES: u64 = 1 << 20;
+
+/// JIT tier configuration (kernel-level; fixed for a run so tier-up stays
+/// deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JitConfig {
+    /// Master switch for the template tier.
+    pub enabled: bool,
+    /// Hot counter threshold (≥1).
+    pub threshold: u32,
+    /// Shared code-cache capacity in body bytes.
+    pub cache_bytes: u64,
+}
+
+impl Default for JitConfig {
+    fn default() -> Self {
+        JitConfig {
+            enabled: true,
+            threshold: DEFAULT_JIT_THRESHOLD,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+        }
+    }
+}
+
+impl JitConfig {
+    /// Reads the `KAFFEOS_JIT` environment toggle: `off`/`0`/`false`
+    /// disables the tier, `on`/`1` enables it with defaults, and
+    /// `threshold=N` enables it with a custom hot threshold.
+    pub fn from_env() -> Self {
+        let mut cfg = JitConfig::default();
+        if let Ok(v) = std::env::var("KAFFEOS_JIT") {
+            cfg = Self::parse(&v).unwrap_or(cfg);
+        }
+        cfg
+    }
+
+    /// Parses a `--jit=` / `KAFFEOS_JIT=` value.
+    pub fn parse(v: &str) -> Option<Self> {
+        let v = v.trim();
+        match v {
+            "off" | "0" | "false" => Some(JitConfig {
+                enabled: false,
+                ..JitConfig::default()
+            }),
+            "on" | "1" | "true" | "" => Some(JitConfig::default()),
+            _ => {
+                let n = v.strip_prefix("threshold=")?.parse::<u32>().ok()?;
+                Some(JitConfig {
+                    enabled: true,
+                    threshold: n.max(1),
+                    ..JitConfig::default()
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints and the shared cache key
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(v: u64, h: u64) -> u64 {
+    fnv1a(&v.to_le_bytes(), h)
+}
+
+/// Identity of a compiled body in the process-shared cache. Two methods in
+/// different processes share a body exactly when all four components match:
+/// the class *definition* bytes, the method's position in it, the
+/// analyzer's elision verdicts, and the resolution facts the template bakes
+/// in (field slots, vtable slots, intrinsic ids, literal text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodKey {
+    /// FNV-1a of the declaring class definition (the "class bytes" hash).
+    pub def_hash: u64,
+    /// Position of the method in its class's declared-method list.
+    pub ordinal: u32,
+    /// Fingerprint of the analyzer's per-site barrier-elision bitmap.
+    pub elide_hash: u64,
+    /// Fingerprint of the baked-in resolution facts.
+    pub res_hash: u64,
+}
+
+/// Fingerprint of a method's barrier-elision bitmap (canonical over the
+/// method's op count, so absent vs all-zero bitmaps hash alike).
+pub fn elide_fingerprint(table: &ClassTable, midx: MethodIdx) -> u64 {
+    let m = table.method(midx);
+    let mut h = FNV_OFFSET;
+    for pc in 0..m.code.ops.len() as u32 {
+        h = fnv1a(&[m.elide_at(pc) as u8], h);
+    }
+    h
+}
+
+fn res_fingerprint(table: &ClassTable, midx: MethodIdx) -> u64 {
+    let m = table.method(midx);
+    let lc = table.class(m.class);
+    let mut h = fnv_u64(m.code.ops.len() as u64, FNV_OFFSET);
+    for op in &m.code.ops {
+        match *op {
+            Op::GetField(idx) | Op::PutField(idx) => {
+                if let Some(RConst::InstanceField { slot, ref ty, .. }) =
+                    lc.rpool.get(idx as usize)
+                {
+                    h = fnv_u64(1, h);
+                    h = fnv_u64(*slot as u64, h);
+                    h = fnv_u64(ty.is_reference() as u64, h);
+                }
+            }
+            Op::GetStatic(idx) | Op::PutStatic(idx) => {
+                if let Some(RConst::StaticField { slot, ref ty, .. }) = lc.rpool.get(idx as usize)
+                {
+                    h = fnv_u64(2, h);
+                    h = fnv_u64(*slot as u64, h);
+                    h = fnv_u64(ty.is_reference() as u64, h);
+                }
+            }
+            Op::CallVirtual(idx) => {
+                if let Some(RConst::VirtualMethod { vslot, nargs, .. }) =
+                    lc.rpool.get(idx as usize)
+                {
+                    h = fnv_u64(3, h);
+                    h = fnv_u64(*vslot as u64, h);
+                    h = fnv_u64(*nargs as u64, h);
+                }
+            }
+            Op::Syscall(idx) => {
+                if let Some(RConst::Intrinsic { id, nargs, .. }) = lc.rpool.get(idx as usize) {
+                    h = fnv_u64(4, h);
+                    h = fnv_u64(*id as u64, h);
+                    h = fnv_u64(*nargs as u64, h);
+                }
+            }
+            Op::ConstStr(idx) => {
+                if let Some(RConst::Str(s)) = lc.rpool.get(idx as usize) {
+                    h = fnv_u64(5, h);
+                    h = fnv1a(s.as_bytes(), h);
+                }
+            }
+            Op::NewArray(idx) => {
+                let shape: u64 = match lc.rpool.get(idx as usize) {
+                    Some(RConst::Class(_)) => 0,
+                    Some(RConst::Str(s)) if &**s == "int" => 1,
+                    Some(RConst::Str(s)) if &**s == "float" => 2,
+                    Some(RConst::Str(s)) if &**s == "str" || s.starts_with('[') => 3,
+                    _ => 4,
+                };
+                h = fnv_u64(6, h);
+                h = fnv_u64(shape, h);
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+/// Computes the shared-cache key for a method. `def_hashes` memoizes the
+/// class-definition hash by [`ClassIdx`] (safe: class-table slots are never
+/// reused, even across namespace drops).
+pub fn method_key(
+    table: &ClassTable,
+    midx: MethodIdx,
+    def_hashes: &mut FxHashMap<u32, u64>,
+) -> MethodKey {
+    let m = table.method(midx);
+    let lc = table.class(m.class);
+    let def_hash = *def_hashes.entry(m.class.0).or_insert_with(|| {
+        // `ClassDef` derives a deterministic `Debug`; its rendering is the
+        // portable stand-in for "class bytes".
+        fnv1a(format!("{:?}", lc.def).as_bytes(), FNV_OFFSET)
+    });
+    let ordinal = lc
+        .methods
+        .iter()
+        .position(|&mi| mi == midx)
+        .map(|p| p as u32)
+        .unwrap_or(u32::MAX);
+    MethodKey {
+        def_hash,
+        ordinal,
+        elide_hash: elide_fingerprint(table, midx),
+        res_hash: res_fingerprint(table, midx),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled form
+// ---------------------------------------------------------------------------
+
+/// Operand-source kind for fused micros (bits 4–5 / 6–7 of `flags`).
+const SRC_LOCAL: u8 = 0;
+const SRC_CONST: u8 = 1;
+const SRC_STACK: u8 = 2;
+
+/// Micro-op kinds executed inside a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum MK {
+    ConstNull,
+    ConstK,
+    Load,
+    Store,
+    Pop,
+    Dup,
+    Swap,
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Div,
+    Rem,
+    Neg,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FNeg,
+    I2F,
+    F2I,
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    FCmpEq,
+    FCmpLt,
+    FCmpLe,
+    FCmpGt,
+    FCmpGe,
+    RefEq,
+    RefNe,
+    Jump,
+    JumpIfTrue,
+    JumpIfFalse,
+    NullCheck,
+    ArrayLen,
+    ALoad,
+    AStore,
+    GetField,
+    PutFieldPrim,
+    PutFieldRef,
+    FusedAlu,
+    FusedAluSt,
+    FusedCmpT,
+    FusedCmpF,
+    /// `[LoadK arr][LoadK idx][ALoad]` (nops=3) or `[LoadK idx][ALoad]`
+    /// with the array on the stack (nops=2).
+    FusedALoad,
+    /// `[LoadK obj][GetField]` where the pool entry is an instance field.
+    FusedGet,
+    /// `[LoadK src][Store dst]` — a local/const-to-local copy.
+    Move,
+    /// `[alu][alu]` stack-chained pair: `r = alu2(c, alu1(a, b))`, pushed.
+    AluAlu,
+    /// `[alu][alu][Store dst]` — the chained pair stored to a local.
+    AluAluSt,
+}
+
+/// One pre-scaled micro-op. `cost` is the exact interpreter charge for the
+/// constituent op(s), already scaled by the engine CPI; `nops` is how many
+/// original bytecode ops it retires (fusion makes this >1).
+#[derive(Debug, Clone, Copy)]
+struct Micro {
+    kind: MK,
+    /// Fused encoding: low nibble = alu/cmp code, bits 4–5 = src-a kind,
+    /// bits 6–7 = src-b kind. For `AStore`/`PutFieldRef`, bit 0 = elide.
+    flags: u8,
+    nops: u8,
+    a: u16,
+    b: u16,
+    c: u16,
+    cost: u32,
+}
+
+const _: () = assert!(core::mem::size_of::<Micro>() <= 16, "Micro grew");
+
+/// One template op: either a block of micros or a single op that needs the
+/// runtime (allocation, calls, strings, monitors, statics).
+#[derive(Debug, Clone, Copy)]
+enum TOp {
+    /// `cost` = total pre-scaled cost of the block, `cost2` = that total
+    /// minus the final original op's cost (the fuel-guard margin).
+    Block {
+        m0: u32,
+        mlen: u16,
+        cost2: u32,
+    },
+    ConstStr {
+        sidx: u16,
+    },
+    New {
+        link: u16,
+    },
+    GetStatic {
+        link: u16,
+        slot: u16,
+    },
+    PutStaticPrim {
+        link: u16,
+        slot: u16,
+    },
+    PutStaticRef {
+        link: u16,
+        slot: u16,
+        elide: bool,
+    },
+    InstanceOf {
+        link: u16,
+    },
+    CheckCast {
+        link: u16,
+    },
+    NewArray {
+        link: u16,
+    },
+    CallStatic {
+        link: u16,
+    },
+    CallSpecial {
+        link: u16,
+    },
+    CallVirtual {
+        vslot: u16,
+        nargs: u8,
+    },
+    Syscall {
+        id: u16,
+        nargs: u8,
+    },
+    Throw,
+    Ret,
+    RetVal,
+    StrConcat,
+    StrLen,
+    StrCharAt,
+    StrEq,
+    Intern,
+    ToStr,
+    Substr,
+    ParseInt,
+    MonitorEnter,
+    MonitorExit,
+    /// Falling off the end of the code (pc == ops.len()).
+    ImplicitRet,
+}
+
+const _: () = assert!(core::mem::size_of::<TOp>() <= 16, "TOp grew");
+
+/// A compiled, process-independent method body. Per-process resolution
+/// state lives in the [`Linked`] side table built at attach time.
+#[derive(Debug)]
+pub struct CompiledBody {
+    t_ops: Vec<TOp>,
+    micros: Vec<Micro>,
+    consts: Vec<Value>,
+    strs: Vec<Arc<str>>,
+    /// `entries[pc]` = template index whose first original op is `pc`, or
+    /// `u32::MAX` for mid-block pcs (the interpreter owns those — deopt
+    /// resume points). Length is `ops.len() + 1`; the final entry is the
+    /// implicit-return template op.
+    entries: Vec<u32>,
+    /// `src_pc[tix]` = pc of the template op's first original op.
+    src_pc: Vec<u32>,
+    /// Pre-scaled `engine.scaled(COSTS.*)` units for runtime-dependent
+    /// charges (allocation field/element loops).
+    sc_simple: u64,
+    sc_string: u64,
+    sc_field: u64,
+    sc_alloc: u64,
+    sc_call: u64,
+    sc_ret: u64,
+    sc_monitor: u64,
+    /// Number of per-process link-table entries the body expects.
+    pub n_links: u16,
+    /// Modelled size of the body in cache bytes.
+    pub bytes: u64,
+}
+
+impl CompiledBody {
+    /// Number of template ops (diagnostics).
+    pub fn template_len(&self) -> usize {
+        self.t_ops.len()
+    }
+
+    /// Number of fused micros (diagnostics: superinstruction coverage).
+    pub fn fused_micros(&self) -> usize {
+        self.micros.iter().filter(|m| m.nops > 1).count()
+    }
+}
+
+/// Per-process resolution of one link site, in op order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Linked {
+    /// `New`: resolved class and its instance-field count.
+    New { class: ClassIdx, nfields: u32 },
+    /// `GetStatic`/`PutStatic`: class whose statics object holds the slot.
+    Statics { class: ClassIdx },
+    /// `InstanceOf`/`CheckCast` target.
+    Type { class: ClassIdx },
+    /// `NewArray` element shape.
+    NewArray {
+        tag: kaffeos_heap::ClassId,
+        elem_bytes: u8,
+        fill: Value,
+    },
+    /// `CallStatic`/`CallSpecial` target method.
+    Target { method: MethodIdx },
+}
+
+/// A body attached to one process: the shared template plus this process's
+/// link table.
+#[derive(Debug, Clone)]
+pub struct AttachedBody {
+    /// Cache key the attachment holds a reference on.
+    pub key: MethodKey,
+    /// The shared template.
+    pub body: Arc<CompiledBody>,
+    /// Per-process link table.
+    pub links: Arc<Vec<Linked>>,
+}
+
+// ---------------------------------------------------------------------------
+// The process-shared code cache
+// ---------------------------------------------------------------------------
+
+/// How an attach was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachKind {
+    /// The body was compiled now (cache miss).
+    Compiled,
+    /// An existing body was reused; `cross` means it was compiled by a
+    /// different process (the ShareJIT win).
+    Hit {
+        /// Compiled by another process.
+        cross: bool,
+    },
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    body: Arc<CompiledBody>,
+    refs: u32,
+    last_use: u64,
+    creator: u32,
+}
+
+/// Cumulative cache counters (host observability; never feed back into
+/// virtual state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Bodies compiled (cache misses that produced a template).
+    pub compiles: u64,
+    /// Attaches satisfied by an existing body.
+    pub hits: u64,
+    /// Entries evicted under byte pressure.
+    pub evictions: u64,
+    /// Invalidations (class reload / analyzer republish).
+    pub invalidations: u64,
+    /// Wall nanoseconds spent compiling (host-only; amortization metric).
+    pub compile_nanos: u64,
+}
+
+/// The process-shared code cache: refcounted templates keyed by
+/// [`MethodKey`], deterministic LRU eviction among unreferenced entries.
+#[derive(Debug)]
+pub struct CodeCache {
+    entries: BTreeMap<MethodKey, CacheEntry>,
+    tick: u64,
+    bytes: u64,
+    capacity: u64,
+    /// Cumulative counters.
+    pub stats: CacheStats,
+    def_hashes: FxHashMap<u32, u64>,
+}
+
+impl CodeCache {
+    /// Creates a cache with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        CodeCache {
+            entries: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            capacity,
+            stats: CacheStats::default(),
+            def_hashes: FxHashMap::default(),
+        }
+    }
+
+    /// Computes the cache key for a method (memoizing class-def hashes).
+    pub fn key_for(&mut self, table: &ClassTable, midx: MethodIdx) -> MethodKey {
+        method_key(table, midx, &mut self.def_hashes)
+    }
+
+    /// Attaches `pid` to the body for `key`, compiling it on a miss.
+    /// Increments the entry's refcount. Returns `None` if compilation
+    /// bailed (the method stays interpreter-only).
+    pub fn attach(
+        &mut self,
+        pid: u32,
+        key: MethodKey,
+        compile_fn: impl FnOnce() -> Option<CompiledBody>,
+    ) -> Option<(Arc<CompiledBody>, AttachKind)> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.refs += 1;
+            e.last_use = self.tick;
+            self.stats.hits += 1;
+            return Some((e.body.clone(), AttachKind::Hit { cross: e.creator != pid }));
+        }
+        let t0 = Instant::now();
+        let body = compile_fn()?;
+        self.stats.compile_nanos += t0.elapsed().as_nanos() as u64;
+        self.stats.compiles += 1;
+        let body = Arc::new(body);
+        self.bytes += body.bytes;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                body: body.clone(),
+                refs: 1,
+                last_use: self.tick,
+                creator: pid,
+            },
+        );
+        self.evict_to_capacity(Some(key));
+        Some((body, AttachKind::Compiled))
+    }
+
+    /// Releases one reference on `key`. The entry *stays cached* at zero
+    /// references (a warm cache is the point); it becomes evictable.
+    pub fn detach(&mut self, key: &MethodKey) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.refs = e.refs.saturating_sub(1);
+        }
+    }
+
+    /// Invalidates one attachment of `key` (class reload / republish):
+    /// drops the reference and removes the entry once unreferenced.
+    pub fn invalidate(&mut self, key: &MethodKey) {
+        self.stats.invalidations += 1;
+        let remove = match self.entries.get_mut(key) {
+            Some(e) => {
+                e.refs = e.refs.saturating_sub(1);
+                e.refs == 0
+            }
+            None => false,
+        };
+        if remove {
+            if let Some(e) = self.entries.remove(key) {
+                self.bytes -= e.body.bytes;
+            }
+        }
+    }
+
+    /// Deterministic eviction: while over capacity, remove the
+    /// least-recently-used unreferenced entry (ties broken by key order),
+    /// never the just-inserted one.
+    fn evict_to_capacity(&mut self, keep: Option<MethodKey>) {
+        while self.bytes > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, e)| e.refs == 0 && Some(**k) != keep)
+                .min_by_key(|(k, e)| (e.last_use, **k))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(e) = self.entries.remove(&k) {
+                        self.bytes -= e.body.bytes;
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Current cached bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of cached bodies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no bodies are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `key` is cached.
+    pub fn contains(&self, key: &MethodKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Deterministic snapshot for audits and tests:
+    /// `(key, refs, body bytes, creator pid)` in key order.
+    pub fn snapshot(&self) -> Vec<(MethodKey, u32, u64, u32)> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (*k, e.refs, e.body.bytes, e.creator))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-process JIT state
+// ---------------------------------------------------------------------------
+
+/// Per-process JIT statistics (procfs / kaffeos-top surface).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcJitStats {
+    /// Methods this process compiled itself (cache misses).
+    pub compiled: u64,
+    /// Attaches satisfied from the shared cache.
+    pub hits: u64,
+    /// Of `hits`, bodies compiled by a *different* process (shared reuse).
+    pub reuse: u64,
+    /// Hot methods the template compiler bailed on (stay interpreted).
+    pub rejected: u64,
+    /// Cumulative template bytes attached (compiled + reused); monotone,
+    /// like every other procfs counter.
+    pub bytes: u64,
+}
+
+/// Per-method tier state. Lives in a dense `Vec` indexed by [`MethodIdx`]
+/// so the executor's per-frame-transition lookup is one array load, not a
+/// hash — call-dense workloads change frames every dozen ops.
+#[derive(Debug, Clone, Default)]
+pub enum BodySlot {
+    /// Not yet hot; the counter is still running.
+    #[default]
+    Cold,
+    /// Went hot but the compiler/linker bailed — stays interpreted, counter
+    /// frozen so the attempt never repeats.
+    Rejected,
+    /// Compiled and attached (one `Arc` bump to hand to the executor).
+    Hot(Arc<AttachedBody>),
+}
+
+/// Per-process JIT state: hot counters, attached bodies, stats.
+#[derive(Debug, Default)]
+pub struct ProcJit {
+    /// Combined invocation + back-edge counters (frozen once resolved).
+    pub counters: FxHashMap<MethodIdx, u32>,
+    /// Tier state per method, indexed by `MethodIdx` (grown on demand;
+    /// missing tail entries read as [`BodySlot::Cold`]).
+    pub bodies: Vec<BodySlot>,
+    /// Cumulative stats.
+    pub stats: ProcJitStats,
+}
+
+impl ProcJit {
+    /// Tier state for `midx` (missing tail entries are cold).
+    #[inline]
+    pub fn slot(&self, midx: MethodIdx) -> &BodySlot {
+        static COLD: BodySlot = BodySlot::Cold;
+        self.bodies.get(midx.0 as usize).unwrap_or(&COLD)
+    }
+
+    /// Mutable tier state for `midx`, growing the table as needed.
+    pub fn slot_mut(&mut self, midx: MethodIdx) -> &mut BodySlot {
+        let idx = midx.0 as usize;
+        if idx >= self.bodies.len() {
+            self.bodies.resize(idx + 1, BodySlot::Cold);
+        }
+        &mut self.bodies[idx]
+    }
+
+    /// `(method, attachment)` pairs in method order (invalidation walk).
+    pub fn attached(&self) -> impl Iterator<Item = (MethodIdx, &Arc<AttachedBody>)> {
+        self.bodies.iter().enumerate().filter_map(|(i, s)| match s {
+            BodySlot::Hot(ab) => Some((MethodIdx(i as u32), ab)),
+            _ => None,
+        })
+    }
+
+    /// Keys this process currently holds cache references on, in
+    /// deterministic order (reap/audit walk).
+    pub fn attached_keys(&self) -> Vec<MethodKey> {
+        let mut keys: Vec<MethodKey> = self.attached().map(|(_, ab)| ab.key).collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// The JIT runtime handle threaded through [`ExecCtx`] for one quantum:
+/// the running process's state plus the kernel's shared cache.
+pub struct JitRt<'a> {
+    /// Per-process state.
+    pub proc: &'a mut ProcJit,
+    /// The process-shared code cache.
+    pub cache: &'a mut CodeCache,
+    /// Hot threshold for this run.
+    pub threshold: u32,
+    /// Running process id (cross-process reuse attribution).
+    pub pid: u32,
+}
+
+// ---------------------------------------------------------------------------
+// The template compiler
+// ---------------------------------------------------------------------------
+
+/// Exact interpreter charge for a blockable op, pre-scaled by the engine
+/// (the same `engine.scaled(...)` expression the dispatch loop uses).
+fn static_cost(engine: Engine, op: &Op) -> u64 {
+    let c = &BASE_COSTS;
+    match op {
+        Op::ConstNull | Op::ConstInt(_) | Op::ConstFloat(_) | Op::Load(_) | Op::Store(_) => {
+            engine.scaled(c.local)
+        }
+        Op::Pop
+        | Op::Dup
+        | Op::Swap
+        | Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Shl
+        | Op::Shr
+        | Op::Neg
+        | Op::FNeg
+        | Op::I2F
+        | Op::F2I
+        | Op::CmpEq
+        | Op::CmpNe
+        | Op::CmpLt
+        | Op::CmpLe
+        | Op::CmpGt
+        | Op::CmpGe
+        | Op::FCmpEq
+        | Op::FCmpLt
+        | Op::FCmpLe
+        | Op::FCmpGt
+        | Op::FCmpGe
+        | Op::RefEq
+        | Op::RefNe
+        | Op::NullCheck
+        | Op::ArrayLen => engine.scaled(c.simple),
+        Op::Div | Op::Rem => engine.scaled(c.simple * 4),
+        Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => engine.scaled(c.simple * 2),
+        Op::Jump(_) | Op::JumpIfTrue(_) | Op::JumpIfFalse(_) => engine.scaled(c.branch),
+        Op::ALoad | Op::AStore | Op::GetField(_) | Op::PutField(_) => engine.scaled(c.field),
+        _ => 0,
+    }
+}
+
+/// Whether an op can live inside a block (fixed static cost, no frame
+/// change, no allocation). `PutField` is blockable only when its pool entry
+/// resolves to an instance field; ref stores and `AStore` may only be the
+/// *last* op of a block (dynamic barrier/GC cycles).
+fn blockable(op: &Op, pool: &[RConst]) -> bool {
+    match op {
+        Op::ConstNull
+        | Op::ConstInt(_)
+        | Op::ConstFloat(_)
+        | Op::Load(_)
+        | Op::Store(_)
+        | Op::Pop
+        | Op::Dup
+        | Op::Swap
+        | Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Shl
+        | Op::Shr
+        | Op::Div
+        | Op::Rem
+        | Op::Neg
+        | Op::FAdd
+        | Op::FSub
+        | Op::FMul
+        | Op::FDiv
+        | Op::FNeg
+        | Op::I2F
+        | Op::F2I
+        | Op::CmpEq
+        | Op::CmpNe
+        | Op::CmpLt
+        | Op::CmpLe
+        | Op::CmpGt
+        | Op::CmpGe
+        | Op::FCmpEq
+        | Op::FCmpLt
+        | Op::FCmpLe
+        | Op::FCmpGt
+        | Op::FCmpGe
+        | Op::RefEq
+        | Op::RefNe
+        | Op::Jump(_)
+        | Op::JumpIfTrue(_)
+        | Op::JumpIfFalse(_)
+        | Op::NullCheck
+        | Op::ArrayLen
+        | Op::ALoad
+        | Op::AStore => true,
+        Op::GetField(idx) | Op::PutField(idx) => {
+            matches!(pool.get(*idx as usize), Some(RConst::InstanceField { .. }))
+        }
+        _ => false,
+    }
+}
+
+/// True for ops that must terminate a block: unconditional jumps (control
+/// always leaves) and stores with dynamic virtual cost (barrier cycles /
+/// GC retries). Conditional branches stay *inside* blocks — the branch
+/// micros exit the block only when taken, so the not-taken path falls
+/// through to the next micro without a block transition.
+fn block_terminator(op: &Op, pool: &[RConst]) -> bool {
+    match op {
+        Op::Jump(_) | Op::AStore => true,
+        Op::PutField(idx) => match pool.get(*idx as usize) {
+            Some(RConst::InstanceField { ty, .. }) => ty.is_reference(),
+            _ => true,
+        },
+        _ => false,
+    }
+}
+
+/// Fusion operand source: local slot or constant.
+fn loadk(op: &Op, consts: &mut Vec<Value>) -> Option<(u8, u16)> {
+    match op {
+        Op::Load(slot) => Some((SRC_LOCAL, *slot)),
+        Op::ConstInt(v) => {
+            if consts.len() >= u16::MAX as usize {
+                return None;
+            }
+            consts.push(Value::Int(*v));
+            Some((SRC_CONST, (consts.len() - 1) as u16))
+        }
+        Op::ConstFloat(v) => {
+            if consts.len() >= u16::MAX as usize {
+                return None;
+            }
+            consts.push(Value::Float(*v));
+            Some((SRC_CONST, (consts.len() - 1) as u16))
+        }
+        _ => None,
+    }
+}
+
+/// Fusible ALU code (low nibble of `flags`); `None` for non-fusible ops.
+fn alu_code(op: &Op) -> Option<u8> {
+    Some(match op {
+        Op::Add => 0,
+        Op::Sub => 1,
+        Op::Mul => 2,
+        Op::And => 3,
+        Op::Or => 4,
+        Op::Xor => 5,
+        Op::Shl => 6,
+        Op::Shr => 7,
+        Op::FAdd => 8,
+        Op::FSub => 9,
+        Op::FMul => 10,
+        Op::FDiv => 11,
+        _ => return None,
+    })
+}
+
+/// Fusible ALU code for the *last* op of a fused micro: the fallible
+/// `Div`/`Rem` are allowed there (codes 12/13) because on a throw the
+/// micro's whole op/cycle charge and the `at` pc match the interpreter —
+/// which is only true when every preceding constituent has already retired.
+fn alu_code_last(op: &Op) -> Option<u8> {
+    match op {
+        Op::Div => Some(12),
+        Op::Rem => Some(13),
+        _ => alu_code(op),
+    }
+}
+
+/// Fusible comparison code.
+fn cmp_code(op: &Op) -> Option<u8> {
+    Some(match op {
+        Op::CmpEq => 0,
+        Op::CmpNe => 1,
+        Op::CmpLt => 2,
+        Op::CmpLe => 3,
+        Op::CmpGt => 4,
+        Op::CmpGe => 5,
+        Op::FCmpEq => 6,
+        Op::FCmpLt => 7,
+        Op::FCmpLe => 8,
+        Op::FCmpGt => 9,
+        Op::FCmpGe => 10,
+        _ => return None,
+    })
+}
+
+struct Compiler<'t> {
+    engine: Engine,
+    ops: &'t [Op],
+    pool: &'t [RConst],
+    elide: Box<dyn Fn(u32) -> bool + 't>,
+    t_ops: Vec<TOp>,
+    micros: Vec<Micro>,
+    consts: Vec<Value>,
+    strs: Vec<Arc<str>>,
+    src_pc: Vec<u32>,
+    n_links: u16,
+    /// Micro indices holding a pc-encoded branch target to fix up.
+    branch_fixups: Vec<(usize, u32)>,
+}
+
+impl<'t> Compiler<'t> {
+    #[allow(clippy::too_many_arguments)]
+    fn micro(&mut self, kind: MK, flags: u8, nops: u8, a: u16, b: u16, c: u16, cost: u64) {
+        self.micros.push(Micro {
+            kind,
+            flags,
+            nops,
+            a,
+            b,
+            c,
+            cost: cost as u32,
+        });
+    }
+
+    /// Lowers one blockable op at `pc` into a plain micro. Returns `false`
+    /// on an unsupported shape (compile bails).
+    fn plain_micro(&mut self, pc: usize) -> bool {
+        let op = &self.ops[pc];
+        let cost = static_cost(self.engine, op);
+        let m = |k: MK| (k, 0u16, 0u8);
+        let (kind, a, flags) = match op {
+            Op::ConstNull => m(MK::ConstNull),
+            Op::ConstInt(_) | Op::ConstFloat(_) => {
+                let Some((_, idx)) = loadk(op, &mut self.consts) else {
+                    return false;
+                };
+                (MK::ConstK, idx, 0)
+            }
+            Op::Load(s) => (MK::Load, *s, 0),
+            Op::Store(s) => (MK::Store, *s, 0),
+            Op::Pop => m(MK::Pop),
+            Op::Dup => m(MK::Dup),
+            Op::Swap => m(MK::Swap),
+            Op::Add => m(MK::Add),
+            Op::Sub => m(MK::Sub),
+            Op::Mul => m(MK::Mul),
+            Op::And => m(MK::And),
+            Op::Or => m(MK::Or),
+            Op::Xor => m(MK::Xor),
+            Op::Shl => m(MK::Shl),
+            Op::Shr => m(MK::Shr),
+            Op::Div => m(MK::Div),
+            Op::Rem => m(MK::Rem),
+            Op::Neg => m(MK::Neg),
+            Op::FAdd => m(MK::FAdd),
+            Op::FSub => m(MK::FSub),
+            Op::FMul => m(MK::FMul),
+            Op::FDiv => m(MK::FDiv),
+            Op::FNeg => m(MK::FNeg),
+            Op::I2F => m(MK::I2F),
+            Op::F2I => m(MK::F2I),
+            Op::CmpEq => m(MK::CmpEq),
+            Op::CmpNe => m(MK::CmpNe),
+            Op::CmpLt => m(MK::CmpLt),
+            Op::CmpLe => m(MK::CmpLe),
+            Op::CmpGt => m(MK::CmpGt),
+            Op::CmpGe => m(MK::CmpGe),
+            Op::FCmpEq => m(MK::FCmpEq),
+            Op::FCmpLt => m(MK::FCmpLt),
+            Op::FCmpLe => m(MK::FCmpLe),
+            Op::FCmpGt => m(MK::FCmpGt),
+            Op::FCmpGe => m(MK::FCmpGe),
+            Op::RefEq => m(MK::RefEq),
+            Op::RefNe => m(MK::RefNe),
+            Op::Jump(t) => {
+                self.branch_fixups.push((self.micros.len(), *t));
+                (MK::Jump, 0, 0)
+            }
+            Op::JumpIfTrue(t) => {
+                self.branch_fixups.push((self.micros.len(), *t));
+                (MK::JumpIfTrue, 0, 0)
+            }
+            Op::JumpIfFalse(t) => {
+                self.branch_fixups.push((self.micros.len(), *t));
+                (MK::JumpIfFalse, 0, 0)
+            }
+            Op::NullCheck => m(MK::NullCheck),
+            Op::ArrayLen => m(MK::ArrayLen),
+            Op::ALoad => m(MK::ALoad),
+            Op::AStore => (MK::AStore, 0, (self.elide)(pc as u32) as u8),
+            Op::GetField(idx) => {
+                let Some(RConst::InstanceField { slot, .. }) = self.pool.get(*idx as usize)
+                else {
+                    return false;
+                };
+                (MK::GetField, *slot, 0)
+            }
+            Op::PutField(idx) => {
+                let Some(RConst::InstanceField { slot, ty, .. }) = self.pool.get(*idx as usize)
+                else {
+                    return false;
+                };
+                if ty.is_reference() {
+                    (MK::PutFieldRef, *slot, (self.elide)(pc as u32) as u8)
+                } else {
+                    (MK::PutFieldPrim, *slot, 0)
+                }
+            }
+            _ => return false,
+        };
+        self.micro(kind, flags, 1, a, 0, 0, cost);
+        true
+    }
+
+    /// Tries superinstruction fusion at `pc` within `[pc, end)`. Returns
+    /// the number of ops consumed (0 = no pattern matched).
+    fn try_fuse(&mut self, pc: usize, end: usize) -> usize {
+        let ops = self.ops;
+        let avail = end - pc;
+        let cost2 = |s: &Self, n: usize| -> u64 {
+            (0..n).map(|k| static_cost(s.engine, &ops[pc + k])).sum()
+        };
+        // [LoadK a][LoadK b][alu][Store d]  and  [LoadK a][LoadK b][cmp][JumpIf t]
+        if avail >= 4 {
+            if let (Some(code), Op::Store(d)) = (alu_code(&ops[pc + 2]), &ops[pc + 3]) {
+                let save = self.consts.len();
+                if let Some((ka, a)) = loadk(&ops[pc], &mut self.consts) {
+                    if let Some((kb, b)) = loadk(&ops[pc + 1], &mut self.consts) {
+                        let cost = cost2(self, 4);
+                        let flags = code | (ka << 4) | (kb << 6);
+                        self.micro(MK::FusedAluSt, flags, 4, a, b, *d, cost);
+                        return 4;
+                    }
+                }
+                self.consts.truncate(save);
+            }
+            if let Some(code) = cmp_code(&ops[pc + 2]) {
+                let branch = match &ops[pc + 3] {
+                    Op::JumpIfTrue(t) => Some((MK::FusedCmpT, *t)),
+                    Op::JumpIfFalse(t) => Some((MK::FusedCmpF, *t)),
+                    _ => None,
+                };
+                if let Some((kind, target)) = branch {
+                    let save = self.consts.len();
+                    if let Some((ka, a)) = loadk(&ops[pc], &mut self.consts) {
+                        if let Some((kb, b)) = loadk(&ops[pc + 1], &mut self.consts) {
+                            let cost = cost2(self, 4);
+                            let flags = code | (ka << 4) | (kb << 6);
+                            self.branch_fixups.push((self.micros.len(), target));
+                            self.micro(kind, flags, 4, a, b, 0, cost);
+                            return 4;
+                        }
+                    }
+                    self.consts.truncate(save);
+                }
+            }
+        }
+        if avail >= 3 {
+            // [LoadK a][LoadK b][alu] — result pushed; Div/Rem allowed (last).
+            if let Some(code) = alu_code_last(&ops[pc + 2]) {
+                let save = self.consts.len();
+                if let Some((ka, a)) = loadk(&ops[pc], &mut self.consts) {
+                    if let Some((kb, b)) = loadk(&ops[pc + 1], &mut self.consts) {
+                        let cost = cost2(self, 3);
+                        let flags = code | (ka << 4) | (kb << 6);
+                        self.micro(MK::FusedAlu, flags, 3, a, b, 0, cost);
+                        return 3;
+                    }
+                }
+                self.consts.truncate(save);
+            }
+            // [LoadK arr][LoadK idx][ALoad]
+            if matches!(&ops[pc + 2], Op::ALoad) {
+                let save = self.consts.len();
+                if let Some((ka, a)) = loadk(&ops[pc], &mut self.consts) {
+                    if let Some((kb, b)) = loadk(&ops[pc + 1], &mut self.consts) {
+                        let cost = cost2(self, 3);
+                        let flags = (ka << 4) | (kb << 6);
+                        self.micro(MK::FusedALoad, flags, 3, a, b, 0, cost);
+                        return 3;
+                    }
+                }
+                self.consts.truncate(save);
+            }
+            // [alu][alu][Store d] — both infallible (the Store is last).
+            if let (Some(c1), Some(c2), Op::Store(d)) =
+                (alu_code(&ops[pc]), alu_code(&ops[pc + 1]), &ops[pc + 2])
+            {
+                let cost = cost2(self, 3);
+                self.micro(MK::AluAluSt, c1 | (c2 << 4), 3, 0, 0, *d, cost);
+                return 3;
+            }
+            // [LoadK b][cmp][JumpIf t]
+            if let Some(code) = cmp_code(&ops[pc + 1]) {
+                let branch = match &ops[pc + 2] {
+                    Op::JumpIfTrue(t) => Some((MK::FusedCmpT, *t)),
+                    Op::JumpIfFalse(t) => Some((MK::FusedCmpF, *t)),
+                    _ => None,
+                };
+                if let Some((kind, target)) = branch {
+                    if let Some((kb, b)) = loadk(&ops[pc], &mut self.consts) {
+                        let cost = cost2(self, 3);
+                        let flags = code | (SRC_STACK << 4) | (kb << 6);
+                        self.branch_fixups.push((self.micros.len(), target));
+                        self.micro(kind, flags, 3, 0, b, 0, cost);
+                        return 3;
+                    }
+                }
+            }
+        }
+        if avail >= 2 {
+            // [LoadK b][alu] — first operand from the stack.
+            if let Some(code) = alu_code_last(&ops[pc + 1]) {
+                if let Some((kb, b)) = loadk(&ops[pc], &mut self.consts) {
+                    let cost = cost2(self, 2);
+                    let flags = code | (SRC_STACK << 4) | (kb << 6);
+                    self.micro(MK::FusedAlu, flags, 2, 0, b, 0, cost);
+                    return 2;
+                }
+            }
+            // [LoadK idx][ALoad] — array from the stack.
+            if matches!(&ops[pc + 1], Op::ALoad) {
+                if let Some((kb, b)) = loadk(&ops[pc], &mut self.consts) {
+                    let cost = cost2(self, 2);
+                    let flags = (SRC_STACK << 4) | (kb << 6);
+                    self.micro(MK::FusedALoad, flags, 2, 0, b, 0, cost);
+                    return 2;
+                }
+            }
+            // [LoadK obj][GetField] — instance fields only.
+            if let Op::GetField(idx) = &ops[pc + 1] {
+                if let Some(RConst::InstanceField { slot, .. }) = self.pool.get(*idx as usize) {
+                    let slot = *slot;
+                    if let Some((kb, b)) = loadk(&ops[pc], &mut self.consts) {
+                        let cost = cost2(self, 2);
+                        self.micro(MK::FusedGet, kb << 6, 2, slot, b, 0, cost);
+                        return 2;
+                    }
+                }
+            }
+            // [LoadK src][Store dst] — local/const-to-local copy.
+            if let Op::Store(d) = &ops[pc + 1] {
+                if let Some((ka, a)) = loadk(&ops[pc], &mut self.consts) {
+                    let cost = cost2(self, 2);
+                    self.micro(MK::Move, ka << 4, 2, a, 0, *d, cost);
+                    return 2;
+                }
+            }
+            // [alu][alu] — stack-chained pair (second may be Div/Rem: last).
+            if let (Some(c1), Some(c2)) = (alu_code(&ops[pc]), alu_code_last(&ops[pc + 1])) {
+                let cost = cost2(self, 2);
+                self.micro(MK::AluAlu, c1 | (c2 << 4), 2, 0, 0, 0, cost);
+                return 2;
+            }
+            // [cmp][JumpIf t] — both operands from the stack.
+            if let Some(code) = cmp_code(&ops[pc]) {
+                let branch = match &ops[pc + 1] {
+                    Op::JumpIfTrue(t) => Some((MK::FusedCmpT, *t)),
+                    Op::JumpIfFalse(t) => Some((MK::FusedCmpF, *t)),
+                    _ => None,
+                };
+                if let Some((kind, target)) = branch {
+                    let cost = cost2(self, 2);
+                    let flags = code | (SRC_STACK << 4) | (SRC_STACK << 6);
+                    self.branch_fixups.push((self.micros.len(), target));
+                    self.micro(kind, flags, 2, 0, 0, 0, cost);
+                    return 2;
+                }
+            }
+        }
+        0
+    }
+
+    /// Lowers the blockable run `[start, end)` into one Block template op.
+    /// Returns `false` on an unsupported shape.
+    fn lower_block(&mut self, start: usize, end: usize) -> bool {
+        let m0 = self.micros.len();
+        if m0 > u16::MAX as usize * 64 {
+            return false;
+        }
+        let mut pc = start;
+        while pc < end {
+            let n = self.try_fuse(pc, end);
+            if n > 0 {
+                pc += n;
+            } else {
+                if !self.plain_micro(pc) {
+                    return false;
+                }
+                pc += 1;
+            }
+        }
+        let mlen = self.micros.len() - m0;
+        if m0 > u32::MAX as usize / 2 || mlen > u16::MAX as usize {
+            return false;
+        }
+        // Guard margin: total cost minus the final *original* op's cost —
+        // the interpreter's last in-block fuel check sits before that op.
+        let total: u64 = (start..end)
+            .map(|p| static_cost(self.engine, &self.ops[p]))
+            .sum();
+        let last = static_cost(self.engine, &self.ops[end - 1]);
+        let cost2 = total - last;
+        if cost2 > u32::MAX as u64 {
+            return false;
+        }
+        self.t_ops.push(TOp::Block {
+            m0: m0 as u32,
+            mlen: mlen as u16,
+            cost2: cost2 as u32,
+        });
+        self.src_pc.push(start as u32);
+        true
+    }
+
+    /// Lowers one non-blockable op at `pc` into a single template op,
+    /// assigning link indices in op order.
+    fn lower_single(&mut self, pc: usize) -> bool {
+        let mut link = || {
+            let l = self.n_links;
+            self.n_links += 1;
+            l
+        };
+        let t = match &self.ops[pc] {
+            Op::ConstStr(idx) => {
+                let Some(RConst::Str(s)) = self.pool.get(*idx as usize) else {
+                    return false;
+                };
+                if self.strs.len() >= u16::MAX as usize {
+                    return false;
+                }
+                self.strs.push(s.clone());
+                TOp::ConstStr {
+                    sidx: (self.strs.len() - 1) as u16,
+                }
+            }
+            Op::New(idx) => {
+                let Some(RConst::Class(_)) = self.pool.get(*idx as usize) else {
+                    return false;
+                };
+                TOp::New { link: link() }
+            }
+            Op::GetStatic(idx) => {
+                let Some(RConst::StaticField { slot, .. }) = self.pool.get(*idx as usize) else {
+                    return false;
+                };
+                TOp::GetStatic {
+                    link: link(),
+                    slot: *slot,
+                }
+            }
+            Op::PutStatic(idx) => {
+                let Some(RConst::StaticField { slot, ty, .. }) = self.pool.get(*idx as usize)
+                else {
+                    return false;
+                };
+                if ty.is_reference() {
+                    TOp::PutStaticRef {
+                        link: link(),
+                        slot: *slot,
+                        elide: (self.elide)(pc as u32),
+                    }
+                } else {
+                    TOp::PutStaticPrim {
+                        link: link(),
+                        slot: *slot,
+                    }
+                }
+            }
+            Op::InstanceOf(idx) => {
+                let Some(RConst::Class(_)) = self.pool.get(*idx as usize) else {
+                    return false;
+                };
+                TOp::InstanceOf { link: link() }
+            }
+            Op::CheckCast(idx) => {
+                let Some(RConst::Class(_)) = self.pool.get(*idx as usize) else {
+                    return false;
+                };
+                TOp::CheckCast { link: link() }
+            }
+            Op::NewArray(idx) => match self.pool.get(*idx as usize) {
+                Some(RConst::Class(_)) => TOp::NewArray { link: link() },
+                Some(RConst::Str(s))
+                    if &**s == "int" || &**s == "float" || &**s == "str"
+                        || s.starts_with('[') =>
+                {
+                    TOp::NewArray { link: link() }
+                }
+                _ => return false,
+            },
+            Op::CallStatic(idx) => {
+                let Some(RConst::DirectMethod(_)) = self.pool.get(*idx as usize) else {
+                    return false;
+                };
+                TOp::CallStatic { link: link() }
+            }
+            Op::CallVirtual(idx) => {
+                let Some(RConst::VirtualMethod { vslot, nargs, .. }) =
+                    self.pool.get(*idx as usize)
+                else {
+                    return false;
+                };
+                TOp::CallVirtual {
+                    vslot: *vslot,
+                    nargs: *nargs,
+                }
+            }
+            Op::CallSpecial(idx) => {
+                let Some(RConst::VirtualMethod { .. }) = self.pool.get(*idx as usize) else {
+                    return false;
+                };
+                TOp::CallSpecial { link: link() }
+            }
+            Op::Syscall(idx) => {
+                let Some(RConst::Intrinsic { id, nargs, .. }) = self.pool.get(*idx as usize)
+                else {
+                    return false;
+                };
+                TOp::Syscall {
+                    id: *id,
+                    nargs: *nargs,
+                }
+            }
+            Op::Throw => TOp::Throw,
+            Op::Return => TOp::Ret,
+            Op::ReturnVal => TOp::RetVal,
+            Op::StrConcat => TOp::StrConcat,
+            Op::StrLen => TOp::StrLen,
+            Op::StrCharAt => TOp::StrCharAt,
+            Op::StrEq => TOp::StrEq,
+            Op::Intern => TOp::Intern,
+            Op::ToStr => TOp::ToStr,
+            Op::Substr => TOp::Substr,
+            Op::ParseInt => TOp::ParseInt,
+            Op::MonitorEnter => TOp::MonitorEnter,
+            Op::MonitorExit => TOp::MonitorExit,
+            _ => return false,
+        };
+        self.t_ops.push(t);
+        self.src_pc.push(pc as u32);
+        true
+    }
+}
+
+/// Compiles a verified method into its template form. Returns `None` when
+/// the method exceeds template limits or has an unexpected pool shape (it
+/// then stays interpreter-only — a correct, slower tier).
+pub fn compile(table: &ClassTable, midx: MethodIdx, engine: Engine) -> Option<CompiledBody> {
+    let m = table.method(midx);
+    let lc = table.class(m.class);
+    let ops = &m.code.ops;
+    if ops.len() >= u16::MAX as usize {
+        return None;
+    }
+
+    // Template-op boundaries: entry, every branch target, every handler
+    // target. Blocks never span one, so every possible JIT entry pc (frame
+    // entry, jump target, handler, syscall resume, monitor retry) is a
+    // template-op start.
+    let mut boundary = vec![false; ops.len() + 1];
+    boundary[0] = true;
+    for op in ops.iter() {
+        if let Op::Jump(t) | Op::JumpIfTrue(t) | Op::JumpIfFalse(t) = op {
+            if (*t as usize) > ops.len() {
+                return None;
+            }
+            boundary[*t as usize] = true;
+        }
+    }
+    for h in &m.code.handlers {
+        if (h.target as usize) > ops.len() {
+            return None;
+        }
+        boundary[h.target as usize] = true;
+    }
+
+    let mut c = Compiler {
+        engine,
+        ops,
+        pool: &lc.rpool,
+        elide: Box::new(move |pc| m.elide_at(pc)),
+        t_ops: Vec::new(),
+        micros: Vec::new(),
+        consts: Vec::new(),
+        strs: Vec::new(),
+        src_pc: Vec::new(),
+        n_links: 0,
+        branch_fixups: Vec::new(),
+    };
+
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        if blockable(&ops[pc], c.pool) {
+            // Extend the run to the next boundary, non-blockable op, or
+            // just past a terminating op (branch / dynamic-cost store).
+            let mut end = pc;
+            loop {
+                let op = &ops[end];
+                end += 1;
+                if block_terminator(op, c.pool) {
+                    break;
+                }
+                if end >= ops.len() || boundary[end] || !blockable(&ops[end], c.pool) {
+                    break;
+                }
+            }
+            if !c.lower_block(pc, end) {
+                return None;
+            }
+            pc = end;
+        } else {
+            if !c.lower_single(pc) {
+                return None;
+            }
+            pc += 1;
+        }
+    }
+    // Implicit return at pc == ops.len() (falling off the end).
+    c.t_ops.push(TOp::ImplicitRet);
+    c.src_pc.push(ops.len() as u32);
+
+    if c.t_ops.len() > u16::MAX as usize
+        || c.micros.len() > u16::MAX as usize
+        || c.consts.len() > u16::MAX as usize
+    {
+        return None;
+    }
+
+    // Entry map and branch-target fixups (pc → template index).
+    let mut entries = vec![u32::MAX; ops.len() + 1];
+    for (tix, &src) in c.src_pc.iter().enumerate() {
+        entries[src as usize] = tix as u32;
+    }
+    for (mi, target) in c.branch_fixups.drain(..).collect::<Vec<_>>() {
+        let tix = entries[target as usize];
+        if tix == u32::MAX || tix > u16::MAX as u32 {
+            return None;
+        }
+        // Plain branch micros carry the target in `a`; fused
+        // compare-and-branch micros carry operands in `a`/`b` and the
+        // target in `c`.
+        match c.micros[mi].kind {
+            MK::FusedCmpT | MK::FusedCmpF => c.micros[mi].c = tix as u16,
+            _ => c.micros[mi].a = tix as u16,
+        }
+    }
+
+    let bytes = (c.t_ops.len() * core::mem::size_of::<TOp>()
+        + c.micros.len() * core::mem::size_of::<Micro>()
+        + c.consts.len() * core::mem::size_of::<Value>()
+        + c.strs.iter().map(|s| s.len()).sum::<usize>()
+        + entries.len() * 4
+        + c.src_pc.len() * 4) as u64;
+
+    Some(CompiledBody {
+        t_ops: c.t_ops,
+        micros: c.micros,
+        consts: c.consts,
+        strs: c.strs,
+        entries,
+        src_pc: c.src_pc,
+        sc_simple: engine.scaled(BASE_COSTS.simple),
+        sc_string: engine.scaled(BASE_COSTS.string),
+        sc_field: engine.scaled(BASE_COSTS.field),
+        sc_alloc: engine.scaled(BASE_COSTS.alloc),
+        sc_call: engine.scaled(BASE_COSTS.call),
+        sc_ret: engine.scaled(BASE_COSTS.ret),
+        sc_monitor: engine.scaled(BASE_COSTS.monitor) + engine.lock_extra,
+        n_links: c.n_links,
+        bytes,
+    })
+}
+
+/// Builds the per-process link table for a method, in the same op order the
+/// compiler assigned link indices.
+pub fn extract_links(table: &ClassTable, midx: MethodIdx) -> Option<Vec<Linked>> {
+    let m = table.method(midx);
+    let lc = table.class(m.class);
+    let mut links = Vec::new();
+    for op in &m.code.ops {
+        match op {
+            Op::New(idx) => {
+                let RConst::Class(cidx) = *lc.rpool.get(*idx as usize)? else {
+                    return None;
+                };
+                links.push(Linked::New {
+                    class: cidx,
+                    nfields: table.class(cidx).instance_fields.len() as u32,
+                });
+            }
+            Op::GetStatic(idx) | Op::PutStatic(idx) => {
+                let RConst::StaticField { class, .. } = *lc.rpool.get(*idx as usize)? else {
+                    return None;
+                };
+                links.push(Linked::Statics { class });
+            }
+            Op::InstanceOf(idx) | Op::CheckCast(idx) => {
+                let RConst::Class(cidx) = *lc.rpool.get(*idx as usize)? else {
+                    return None;
+                };
+                links.push(Linked::Type { class: cidx });
+            }
+            Op::NewArray(idx) => {
+                let (tag, elem_bytes, fill) = match lc.rpool.get(*idx as usize)? {
+                    RConst::Class(cidx) => (cidx.heap_class(), 4, Value::Null),
+                    RConst::Str(s) if &**s == "int" => {
+                        (crate::interp::INT_ARRAY_CLASS, 4, Value::Int(0))
+                    }
+                    RConst::Str(s) if &**s == "float" => {
+                        (crate::interp::FLOAT_ARRAY_CLASS, 8, Value::Float(0.0))
+                    }
+                    RConst::Str(s) if &**s == "str" || s.starts_with('[') => {
+                        (crate::interp::REF_ARRAY_CLASS, 4, Value::Null)
+                    }
+                    _ => return None,
+                };
+                links.push(Linked::NewArray {
+                    tag,
+                    elem_bytes,
+                    fill,
+                });
+            }
+            Op::CallStatic(idx) => {
+                let RConst::DirectMethod(target) = *lc.rpool.get(*idx as usize)? else {
+                    return None;
+                };
+                links.push(Linked::Target { method: target });
+            }
+            Op::CallSpecial(idx) => {
+                let RConst::VirtualMethod { class, vslot, .. } = *lc.rpool.get(*idx as usize)?
+                else {
+                    return None;
+                };
+                let target = *table.class(class).vtable.get(vslot as usize)?;
+                links.push(Linked::Target { method: target });
+            }
+            _ => {}
+        }
+    }
+    Some(links)
+}
+
+// ---------------------------------------------------------------------------
+// Tier-up hooks (run identically in the fast and fault-injected variants)
+// ---------------------------------------------------------------------------
+
+fn compile_and_attach(table: &ClassTable, engine: Engine, jit: &mut JitRt<'_>, midx: MethodIdx) {
+    let Some(links) = extract_links(table, midx) else {
+        jit.proc.stats.rejected += 1;
+        *jit.proc.slot_mut(midx) = BodySlot::Rejected;
+        return;
+    };
+    let key = jit.cache.key_for(table, midx);
+    match jit.cache.attach(jit.pid, key, || compile(table, midx, engine)) {
+        Some((body, kind)) => {
+            debug_assert_eq!(links.len(), body.n_links as usize, "link walk drifted");
+            match kind {
+                AttachKind::Compiled => jit.proc.stats.compiled += 1,
+                AttachKind::Hit { cross } => {
+                    jit.proc.stats.hits += 1;
+                    if cross {
+                        jit.proc.stats.reuse += 1;
+                    }
+                }
+            }
+            jit.proc.stats.bytes += body.bytes;
+            *jit.proc.slot_mut(midx) = BodySlot::Hot(Arc::new(AttachedBody {
+                key,
+                body,
+                links: Arc::new(links),
+            }));
+        }
+        None => {
+            jit.proc.stats.rejected += 1;
+            *jit.proc.slot_mut(midx) = BodySlot::Rejected;
+        }
+    }
+}
+
+/// Invocation hook (called from `push_frame` in *both* dispatch variants so
+/// tier-up bookkeeping is identical under fault injection). Charges no
+/// virtual cycles and emits no trace events.
+#[inline]
+pub(crate) fn note_invoke(ctx: &mut ExecCtx<'_>, midx: MethodIdx) {
+    let table = ctx.table;
+    let engine = ctx.engine;
+    let Some(jit) = ctx.jit.as_mut() else {
+        return;
+    };
+    if !matches!(jit.proc.slot(midx), BodySlot::Cold) {
+        return;
+    }
+    let c = jit.proc.counters.entry(midx).or_insert(0);
+    *c += 1;
+    if *c >= jit.threshold {
+        compile_and_attach(table, engine, jit, midx);
+    }
+}
+
+/// Taken-back-edge hook. Returns `true` when a compiled body is attached
+/// for `midx` — the fast variant then re-enters it at the branch target
+/// (on-stack replacement); the injected variant ignores the result but
+/// performs the identical counter/cache bookkeeping.
+#[inline]
+pub(crate) fn note_backedge(ctx: &mut ExecCtx<'_>, midx: MethodIdx) -> bool {
+    let table = ctx.table;
+    let engine = ctx.engine;
+    let Some(jit) = ctx.jit.as_mut() else {
+        return false;
+    };
+    match jit.proc.slot(midx) {
+        BodySlot::Hot(_) => return true,
+        BodySlot::Rejected => return false,
+        BodySlot::Cold => {}
+    }
+    let c = jit.proc.counters.entry(midx).or_insert(0);
+    *c += 1;
+    if *c >= jit.threshold {
+        compile_and_attach(table, engine, jit, midx);
+        matches!(jit.proc.slot(midx), BodySlot::Hot(_))
+    } else {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The template executor
+// ---------------------------------------------------------------------------
+
+use crate::interp::init_default_fields;
+
+/// Why a compiled-body run stopped.
+enum BodyFlow {
+    /// Quantum-level exit (preempt, syscall, finish, unhandled, blocked).
+    Exit(RunExit),
+    /// The frame set or pc changed (call, return, handler); re-dispatch.
+    Frame,
+    /// Fuel guard refused a block: the interpreter must run the quantum
+    /// tail op-by-op (`frame.pc` is synced to the block start; nothing of
+    /// the block has executed).
+    Deopt,
+}
+
+/// Compile-time switch for the host-side diagnostic counters below. Off by
+/// default: the increments are atomics in the hottest loop. Flip to `true`
+/// when tuning fusion coverage or enter rates.
+const DIAG: bool = false;
+
+/// Host-side diagnostics (never virtual), populated only when [`DIAG`] is
+/// on: `[jit_ops, fused_ops, enters, frame_flows, deopts]`.
+pub static JIT_DIAG: [core::sync::atomic::AtomicU64; 5] = [
+    core::sync::atomic::AtomicU64::new(0),
+    core::sync::atomic::AtomicU64::new(0),
+    core::sync::atomic::AtomicU64::new(0),
+    core::sync::atomic::AtomicU64::new(0),
+    core::sync::atomic::AtomicU64::new(0),
+];
+
+/// Snapshot + reset of [`JIT_DIAG`] (all zeros unless [`DIAG`] is on).
+pub fn jit_diag_take() -> [u64; 5] {
+    let mut out = [0; 5];
+    for (i, c) in JIT_DIAG.iter().enumerate() {
+        out[i] = c.swap(0, core::sync::atomic::Ordering::Relaxed);
+    }
+    out
+}
+
+/// Tries to run the top frame's compiled body from its current pc.
+/// Returns `Some(exit)` when the quantum ended inside compiled code; `None`
+/// when the interpreter should take over (no body, mid-block pc, deopt).
+/// Called from the dispatch loop's frame (re)load point, *before* the
+/// interpreter's own fuel check — the executor performs the identical check
+/// at its first template op.
+#[inline]
+pub(crate) fn try_enter(
+    thread: &mut Thread,
+    ctx: &mut ExecCtx<'_>,
+    fuel: u64,
+    start_cycles: u64,
+) -> Option<RunExit> {
+    // Tiny method-keyed cache of attached bodies, local to this quantum
+    // segment: call-dense code bounces between the same few frames every
+    // dozen ops, and a linear scan over at most four entries is far cheaper
+    // than re-borrowing the tier table and bumping the `Arc` each time.
+    let mut seen: [(u32, Option<Arc<AttachedBody>>); 4] =
+        [(u32::MAX, None), (u32::MAX, None), (u32::MAX, None), (u32::MAX, None)];
+    let mut victim = 0usize;
+    loop {
+        let top = thread.frames.last()?;
+        let midx = top.method;
+        let pc = top.pc as usize;
+        let ab: Arc<AttachedBody> = match seen.iter().position(|(m, _)| *m == midx.0) {
+            Some(i) => seen[i].1.clone()?,
+            None => {
+                let jit = ctx.jit.as_ref()?;
+                let slot = match jit.proc.slot(midx) {
+                    BodySlot::Hot(ab) => Some(ab.clone()),
+                    _ => None,
+                };
+                seen[victim] = (midx.0, slot);
+                let i = victim;
+                victim = (victim + 1) % seen.len();
+                seen[i].1.clone()?
+            }
+        };
+        let tix = *ab.body.entries.get(pc)?;
+        if tix == u32::MAX {
+            return None;
+        }
+        let ops0 = thread.ops;
+        let flow = run_body(thread, ctx, ab, tix, fuel, start_cycles);
+        if DIAG {
+            use core::sync::atomic::Ordering::Relaxed;
+            JIT_DIAG[0].fetch_add(thread.ops - ops0, Relaxed);
+            JIT_DIAG[2].fetch_add(1, Relaxed);
+            if matches!(flow, BodyFlow::Frame) {
+                JIT_DIAG[3].fetch_add(1, Relaxed);
+            }
+            if matches!(flow, BodyFlow::Deopt) {
+                JIT_DIAG[4].fetch_add(1, Relaxed);
+            }
+        }
+        match flow {
+            BodyFlow::Exit(exit) => return Some(exit),
+            BodyFlow::Frame => continue,
+            BodyFlow::Deopt => return None,
+        }
+    }
+}
+
+/// Applies a fused ALU code to two operand values with the interpreter's
+/// exact coercions. Codes 0–7 are int ops, 8–11 float, 12/13 the fallible
+/// `Div`/`Rem`; `None` means division by zero (caller raises).
+#[inline(always)]
+fn alu_eval(code: u8, va: Value, vb: Value) -> Option<Value> {
+    Some(if code < 8 {
+        let a = va.as_int();
+        let b = vb.as_int();
+        Value::Int(match code {
+            0 => a.wrapping_add(b),
+            1 => a.wrapping_sub(b),
+            2 => a.wrapping_mul(b),
+            3 => a & b,
+            4 => a | b,
+            5 => a ^ b,
+            6 => a.wrapping_shl(b as u32 & 63),
+            _ => a.wrapping_shr(b as u32 & 63),
+        })
+    } else if code < 12 {
+        let a = va.as_float();
+        let b = vb.as_float();
+        Value::Float(match code {
+            8 => a + b,
+            9 => a - b,
+            10 => a * b,
+            _ => a / b,
+        })
+    } else {
+        let a = va.as_int();
+        let b = vb.as_int();
+        if b == 0 {
+            return None;
+        }
+        Value::Int(if code == 12 {
+            a.wrapping_div(b)
+        } else {
+            a.wrapping_rem(b)
+        })
+    })
+}
+
+/// Runs compiled bodies for the top frame starting at template op `tix`.
+/// When the frame set changes (call, return, handled exception) and the new
+/// top frame also has a compiled body at a template-op boundary, execution
+/// switches to it in place — call-dense code would otherwise pay a full
+/// executor exit and re-entry per transition. Every cycle/op/safepoint
+/// effect is byte-identical to the interpreter executing the same ops.
+fn run_body(
+    thread: &mut Thread,
+    ctx: &mut ExecCtx<'_>,
+    mut ab: Arc<AttachedBody>,
+    mut tix: u32,
+    fuel: u64,
+    start_cycles: u64,
+) -> BodyFlow {
+    let engine = ctx.engine;
+    let table = ctx.table;
+    'method: loop {
+    let body = &*ab.body;
+    let links = &*ab.links;
+    let top = thread.frames.last().expect("frame");
+    let method_idx = top.method;
+    let locals_base = top.locals_base as usize;
+    let stack_base = top.stack_base as usize;
+
+    macro_rules! sync {
+        ($pc:expr) => {
+            thread.frames.last_mut().expect("frame").pc = $pc as u32
+        };
+    }
+    // The loop label is threaded through as a macro argument: labels are
+    // hygienic, so a literal `break 'body` in a macro body could not bind
+    // the label defined below.
+    macro_rules! jthrow {
+        ($lbl:lifetime, $pc:expr, $ex:expr) => {{
+            sync!($pc);
+            match raise(thread, ctx, $ex) {
+                None => break $lbl,
+                Some(exit) => return BodyFlow::Exit(exit),
+            }
+        }};
+    }
+    macro_rules! jflow {
+        ($lbl:lifetime, $pc:expr, $f:expr) => {{
+            sync!($pc);
+            match $f {
+                StepFlow::Continue => break $lbl,
+                StepFlow::Exit(exit) => return BodyFlow::Exit(exit),
+                StepFlow::Raise(ex) => match raise(thread, ctx, ex) {
+                    None => break $lbl,
+                    Some(exit) => return BodyFlow::Exit(exit),
+                },
+            }
+        }};
+    }
+    macro_rules! jfault {
+        ($pc:expr, $($msg:tt)*) => {{
+            sync!($pc);
+            return BodyFlow::Exit(RunExit::Fault(crate::VmError::BadBytecode(format!(
+                $($msg)*
+            ))));
+        }};
+    }
+    macro_rules! vpop {
+        () => {
+            thread.values.pop().unwrap_or(Value::Null)
+        };
+    }
+
+    'body: loop {
+        let src = body.src_pc[tix as usize] as usize;
+        // Safe point: preemption fuel — the same check the interpreter
+        // makes before the op at `src`.
+        let d = thread.cycles - start_cycles;
+        if d >= fuel {
+            sync!(src);
+            return BodyFlow::Exit(RunExit::Preempted);
+        }
+        let t = body.t_ops[tix as usize];
+        if !matches!(t, TOp::Block { .. }) {
+            thread.ops += 1;
+        }
+        match t {
+            TOp::Block { m0, mlen, cost2 } => {
+                // The interpreter's last in-block fuel check happens before
+                // the final op, `cost2` cycles in. If it would fire, run
+                // the tail interpreted instead (nothing executed yet).
+                if cost2 > 0 && d + cost2 as u64 >= fuel {
+                    sync!(src);
+                    return BodyFlow::Deopt;
+                }
+                let mut at = src;
+                let micros = &body.micros[m0 as usize..m0 as usize + mlen as usize];
+                let mut mi = 0usize;
+                let mend = micros.len();
+                let mut next = tix + 1;
+                // Op/cycle charges accumulate in locals and flush at block
+                // exit; any arm that lets the runtime observe thread state
+                // (raise, GC retry, write barrier) flushes first.
+                let mut ops_acc: u64 = 0;
+                let mut cyc_acc: u64 = 0;
+                macro_rules! flush {
+                    () => {{
+                        thread.ops += ops_acc;
+                        thread.cycles += cyc_acc;
+                        ops_acc = 0;
+                        cyc_acc = 0;
+                    }};
+                }
+                macro_rules! mthrow {
+                    // Terminal: no need to zero the accumulators.
+                    ($lbl:lifetime, $pc:expr, $ex:expr) => {{
+                        thread.ops += ops_acc;
+                        thread.cycles += cyc_acc;
+                        jthrow!($lbl, $pc, $ex)
+                    }};
+                }
+                macro_rules! fetch {
+                    ($kind:expr, $operand:expr) => {
+                        match $kind {
+                            SRC_LOCAL => thread.values[locals_base + $operand as usize],
+                            SRC_CONST => body.consts[$operand as usize],
+                            _ => vpop!(),
+                        }
+                    };
+                }
+                // Taken branch to template op `$t`. A back-edge to this
+                // block's own head restarts the micro loop in place after
+                // replaying the block-entry checks (fuel, `cost2` margin) —
+                // a loop iteration then costs no outer dispatch at all.
+                macro_rules! jump {
+                    ($lbl:lifetime, $t:expr) => {{
+                        let t = $t;
+                        if t == tix {
+                            thread.ops += ops_acc;
+                            thread.cycles += cyc_acc;
+                            ops_acc = 0;
+                            cyc_acc = 0;
+                            let d = thread.cycles - start_cycles;
+                            if d >= fuel {
+                                sync!(src);
+                                return BodyFlow::Exit(RunExit::Preempted);
+                            }
+                            if cost2 > 0 && d + cost2 as u64 >= fuel {
+                                sync!(src);
+                                return BodyFlow::Deopt;
+                            }
+                            at = src;
+                            mi = 0;
+                            continue $lbl;
+                        }
+                        next = t;
+                        break $lbl;
+                    }};
+                }
+                'micros: while mi < mend {
+                    let m = micros[mi];
+                    if DIAG && m.nops > 1 {
+                        JIT_DIAG[1].fetch_add(m.nops as u64, core::sync::atomic::Ordering::Relaxed);
+                    }
+                    ops_acc += m.nops as u64;
+                    at += m.nops as usize;
+                    cyc_acc += m.cost as u64;
+                    match m.kind {
+                        MK::ConstNull => thread.values.push(Value::Null),
+                        MK::ConstK => thread.values.push(body.consts[m.a as usize]),
+                        MK::Load => {
+                            let v = thread.values[locals_base + m.a as usize];
+                            thread.values.push(v);
+                        }
+                        MK::Store => {
+                            let v = vpop!();
+                            thread.values[locals_base + m.a as usize] = v;
+                        }
+                        MK::Pop => {
+                            let _ = vpop!();
+                        }
+                        MK::Dup => {
+                            let v = *thread.values.last().unwrap_or(&Value::Null);
+                            thread.values.push(v);
+                        }
+                        MK::Swap => {
+                            let len = thread.values.len();
+                            if len >= stack_base + 2 {
+                                thread.values.swap(len - 1, len - 2);
+                            }
+                        }
+                        MK::Add | MK::Sub | MK::Mul | MK::And | MK::Or | MK::Xor | MK::Shl
+                        | MK::Shr => {
+                            let b = vpop!().as_int();
+                            let a = vpop!().as_int();
+                            let r = match m.kind {
+                                MK::Add => a.wrapping_add(b),
+                                MK::Sub => a.wrapping_sub(b),
+                                MK::Mul => a.wrapping_mul(b),
+                                MK::And => a & b,
+                                MK::Or => a | b,
+                                MK::Xor => a ^ b,
+                                MK::Shl => a.wrapping_shl(b as u32 & 63),
+                                _ => a.wrapping_shr(b as u32 & 63),
+                            };
+                            thread.values.push(Value::Int(r));
+                        }
+                        MK::Div | MK::Rem => {
+                            let b = vpop!().as_int();
+                            let a = vpop!().as_int();
+                            if b == 0 {
+                                mthrow!('body, 
+                                    at,
+                                    VmException::Builtin(
+                                        BuiltinEx::Arithmetic,
+                                        "division by zero".to_string(),
+                                    )
+                                );
+                            }
+                            let r = if matches!(m.kind, MK::Div) {
+                                a.wrapping_div(b)
+                            } else {
+                                a.wrapping_rem(b)
+                            };
+                            thread.values.push(Value::Int(r));
+                        }
+                        MK::Neg => {
+                            let a = vpop!().as_int();
+                            thread.values.push(Value::Int(a.wrapping_neg()));
+                        }
+                        MK::FAdd | MK::FSub | MK::FMul | MK::FDiv => {
+                            let b = vpop!().as_float();
+                            let a = vpop!().as_float();
+                            let r = match m.kind {
+                                MK::FAdd => a + b,
+                                MK::FSub => a - b,
+                                MK::FMul => a * b,
+                                _ => a / b,
+                            };
+                            thread.values.push(Value::Float(r));
+                        }
+                        MK::FNeg => {
+                            let a = vpop!().as_float();
+                            thread.values.push(Value::Float(-a));
+                        }
+                        MK::I2F => {
+                            let a = vpop!().as_int();
+                            thread.values.push(Value::Float(a as f64));
+                        }
+                        MK::F2I => {
+                            let a = vpop!().as_float();
+                            thread.values.push(Value::Int(a as i64));
+                        }
+                        MK::CmpEq | MK::CmpNe | MK::CmpLt | MK::CmpLe | MK::CmpGt | MK::CmpGe => {
+                            let b = vpop!().as_int();
+                            let a = vpop!().as_int();
+                            let r = match m.kind {
+                                MK::CmpEq => a == b,
+                                MK::CmpNe => a != b,
+                                MK::CmpLt => a < b,
+                                MK::CmpLe => a <= b,
+                                MK::CmpGt => a > b,
+                                _ => a >= b,
+                            };
+                            thread.values.push(Value::Int(r as i64));
+                        }
+                        MK::FCmpEq | MK::FCmpLt | MK::FCmpLe | MK::FCmpGt | MK::FCmpGe => {
+                            let b = vpop!().as_float();
+                            let a = vpop!().as_float();
+                            let r = match m.kind {
+                                MK::FCmpEq => a == b,
+                                MK::FCmpLt => a < b,
+                                MK::FCmpLe => a <= b,
+                                MK::FCmpGt => a > b,
+                                _ => a >= b,
+                            };
+                            thread.values.push(Value::Int(r as i64));
+                        }
+                        MK::RefEq | MK::RefNe => {
+                            let b = vpop!();
+                            let a = vpop!();
+                            let eq = match (a, b) {
+                                (Value::Null, Value::Null) => true,
+                                (Value::Ref(x), Value::Ref(y)) => x == y,
+                                _ => false,
+                            };
+                            let r = if matches!(m.kind, MK::RefEq) { eq } else { !eq };
+                            thread.values.push(Value::Int(r as i64));
+                        }
+                        MK::Jump => jump!('micros, m.a as u32),
+                        MK::JumpIfTrue => {
+                            if vpop!().is_truthy() {
+                                jump!('micros, m.a as u32);
+                            }
+                        }
+                        MK::JumpIfFalse => {
+                            if !vpop!().is_truthy() {
+                                jump!('micros, m.a as u32);
+                            }
+                        }
+                        MK::NullCheck => {
+                            let v = vpop!();
+                            if !matches!(v, Value::Ref(_)) {
+                                mthrow!('body, at, npe("explicit null check"));
+                            }
+                        }
+                        MK::ArrayLen => {
+                            let Value::Ref(arr) = vpop!() else {
+                                mthrow!('body, at, npe("array length of null"));
+                            };
+                            match ctx.space.slot_count(arr) {
+                                Ok(n) => thread.values.push(Value::Int(n as i64)),
+                                Err(e) => mthrow!('body, at, heap_exception(e)),
+                            }
+                        }
+                        MK::ALoad => {
+                            let index = vpop!().as_int();
+                            let Value::Ref(arr) = vpop!() else {
+                                mthrow!('body, at, npe("array load on null"));
+                            };
+                            let slots = match ctx.space.value_slots(arr) {
+                                Ok(s) => s,
+                                Err(e) => mthrow!('body, at, heap_exception(e)),
+                            };
+                            let len = slots.len();
+                            if index < 0 || index as usize >= len {
+                                mthrow!('body, 
+                                    at,
+                                    VmException::Builtin(
+                                        BuiltinEx::IndexOutOfBounds,
+                                        format!("index {index} out of bounds for length {len}"),
+                                    )
+                                );
+                            }
+                            let v = slots[index as usize];
+                            thread.values.push(v);
+                        }
+                        MK::AStore => {
+                            flush!();
+                            let v = vpop!();
+                            let index = vpop!().as_int();
+                            let Value::Ref(arr) = vpop!() else {
+                                jthrow!('body, at, npe("array store on null"));
+                            };
+                            // Primitive fast path: one object lookup, no
+                            // barrier (same order of checks as store_prim).
+                            if !v.is_reference() {
+                                let slots = match ctx.space.value_slots_mut(arr) {
+                                    Ok(s) => s,
+                                    Err(e) => jthrow!('body, at, heap_exception(e)),
+                                };
+                                let len = slots.len();
+                                if index < 0 || index as usize >= len {
+                                    jthrow!('body, 
+                                        at,
+                                        VmException::Builtin(
+                                            BuiltinEx::IndexOutOfBounds,
+                                            format!(
+                                                "index {index} out of bounds for length {len}"
+                                            ),
+                                        )
+                                    );
+                                }
+                                slots[index as usize] = v;
+                                mi += 1;
+                                continue 'micros;
+                            }
+                            let len = match ctx.space.slot_count(arr) {
+                                Ok(n) => n,
+                                Err(e) => jthrow!('body, at, heap_exception(e)),
+                            };
+                            if index < 0 || index as usize >= len {
+                                jthrow!('body, 
+                                    at,
+                                    VmException::Builtin(
+                                        BuiltinEx::IndexOutOfBounds,
+                                        format!("index {index} out of bounds for length {len}"),
+                                    )
+                                );
+                            }
+                            let result = if v.is_reference() {
+                                if m.flags & 1 != 0 {
+                                    ctx.space
+                                        .store_ref_elided(arr, index as usize, v)
+                                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                                } else {
+                                    let mut pinned = [arr; 2];
+                                    let mut n = 1;
+                                    if let Some(r) = v.as_ref() {
+                                        pinned[1] = r;
+                                        n = 2;
+                                    }
+                                    with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                        ctx.space
+                                            .heapprof()
+                                            .arm_store(method_idx.0, at as u32 - 1);
+                                        ctx.space.store_ref(arr, index as usize, v, ctx.trusted)
+                                    })
+                                    .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                                }
+                            } else {
+                                ctx.space.store_prim(arr, index as usize, v)
+                            };
+                            if let Err(e) = result {
+                                if let HeapError::SegViolation(kind) = e {
+                                    thread.seg_sites.push(SegSite {
+                                        method: method_idx,
+                                        pc: at as u32 - 1,
+                                        kind,
+                                    });
+                                }
+                                jthrow!('body, at, heap_exception(e));
+                            }
+                        }
+                        MK::GetField => {
+                            let Value::Ref(obj) = vpop!() else {
+                                mthrow!('body, at, npe("field access on null"));
+                            };
+                            match ctx.space.load(obj, m.a as usize) {
+                                Ok(v) => thread.values.push(v),
+                                Err(e) => mthrow!('body, at, heap_exception(e)),
+                            }
+                        }
+                        MK::PutFieldPrim | MK::PutFieldRef => {
+                            flush!();
+                            let v = vpop!();
+                            let Value::Ref(obj) = vpop!() else {
+                                jthrow!('body, at, npe("field store on null"));
+                            };
+                            let result = if matches!(m.kind, MK::PutFieldRef) {
+                                if m.flags & 1 != 0 {
+                                    ctx.space
+                                        .store_ref_elided(obj, m.a as usize, v)
+                                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                                } else {
+                                    let mut pinned = [obj; 2];
+                                    let mut n = 1;
+                                    if let Some(r) = v.as_ref() {
+                                        pinned[1] = r;
+                                        n = 2;
+                                    }
+                                    with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                                        ctx.space
+                                            .heapprof()
+                                            .arm_store(method_idx.0, at as u32 - 1);
+                                        ctx.space.store_ref(obj, m.a as usize, v, ctx.trusted)
+                                    })
+                                    .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                                }
+                            } else {
+                                ctx.space.store_prim(obj, m.a as usize, v)
+                            };
+                            if let Err(e) = result {
+                                if let HeapError::SegViolation(kind) = e {
+                                    thread.seg_sites.push(SegSite {
+                                        method: method_idx,
+                                        pc: at as u32 - 1,
+                                        kind,
+                                    });
+                                }
+                                jthrow!('body, at, heap_exception(e));
+                            }
+                        }
+                        MK::FusedAlu | MK::FusedAluSt => {
+                            let code = m.flags & 0x0f;
+                            let kb = (m.flags >> 6) & 3;
+                            let ka = (m.flags >> 4) & 3;
+                            let vb = fetch!(kb, m.b);
+                            let va = fetch!(ka, m.a);
+                            let Some(r) = alu_eval(code, va, vb) else {
+                                mthrow!('body, 
+                                    at,
+                                    VmException::Builtin(
+                                        BuiltinEx::Arithmetic,
+                                        "division by zero".to_string(),
+                                    )
+                                );
+                            };
+                            if matches!(m.kind, MK::FusedAluSt) {
+                                thread.values[locals_base + m.c as usize] = r;
+                            } else {
+                                thread.values.push(r);
+                            }
+                        }
+                        MK::AluAlu | MK::AluAluSt => {
+                            let b = vpop!();
+                            let a = vpop!();
+                            // The first code is always infallible (< 12).
+                            let r1 = alu_eval(m.flags & 0x0f, a, b).unwrap_or(Value::Null);
+                            let c = vpop!();
+                            let Some(r) = alu_eval(m.flags >> 4, c, r1) else {
+                                mthrow!('body, 
+                                    at,
+                                    VmException::Builtin(
+                                        BuiltinEx::Arithmetic,
+                                        "division by zero".to_string(),
+                                    )
+                                );
+                            };
+                            if matches!(m.kind, MK::AluAluSt) {
+                                thread.values[locals_base + m.c as usize] = r;
+                            } else {
+                                thread.values.push(r);
+                            }
+                        }
+                        MK::FusedALoad => {
+                            let kb = (m.flags >> 6) & 3;
+                            let ka = (m.flags >> 4) & 3;
+                            let vidx = fetch!(kb, m.b);
+                            let varr = fetch!(ka, m.a);
+                            let index = vidx.as_int();
+                            let Value::Ref(arr) = varr else {
+                                mthrow!('body, at, npe("array load on null"));
+                            };
+                            let slots = match ctx.space.value_slots(arr) {
+                                Ok(s) => s,
+                                Err(e) => mthrow!('body, at, heap_exception(e)),
+                            };
+                            let len = slots.len();
+                            if index < 0 || index as usize >= len {
+                                mthrow!('body, 
+                                    at,
+                                    VmException::Builtin(
+                                        BuiltinEx::IndexOutOfBounds,
+                                        format!("index {index} out of bounds for length {len}"),
+                                    )
+                                );
+                            }
+                            let v = slots[index as usize];
+                            thread.values.push(v);
+                        }
+                        MK::FusedGet => {
+                            let kb = (m.flags >> 6) & 3;
+                            let vobj = fetch!(kb, m.b);
+                            let Value::Ref(obj) = vobj else {
+                                mthrow!('body, at, npe("field access on null"));
+                            };
+                            match ctx.space.load(obj, m.a as usize) {
+                                Ok(v) => thread.values.push(v),
+                                Err(e) => mthrow!('body, at, heap_exception(e)),
+                            }
+                        }
+                        MK::Move => {
+                            let ka = (m.flags >> 4) & 3;
+                            let v = fetch!(ka, m.a);
+                            thread.values[locals_base + m.c as usize] = v;
+                        }
+                        MK::FusedCmpT | MK::FusedCmpF => {
+                            let code = m.flags & 0x0f;
+                            let kb = (m.flags >> 6) & 3;
+                            let ka = (m.flags >> 4) & 3;
+                            let vb = fetch!(kb, m.b);
+                            let va = fetch!(ka, m.a);
+                            let r = if code < 6 {
+                                let a = va.as_int();
+                                let b = vb.as_int();
+                                match code {
+                                    0 => a == b,
+                                    1 => a != b,
+                                    2 => a < b,
+                                    3 => a <= b,
+                                    4 => a > b,
+                                    _ => a >= b,
+                                }
+                            } else {
+                                let a = va.as_float();
+                                let b = vb.as_float();
+                                match code {
+                                    6 => a == b,
+                                    7 => a < b,
+                                    8 => a <= b,
+                                    9 => a > b,
+                                    _ => a >= b,
+                                }
+                            };
+                            let take = if matches!(m.kind, MK::FusedCmpT) { r } else { !r };
+                            if take {
+                                jump!('micros, m.c as u32);
+                            }
+                        }
+                    }
+                    mi += 1;
+                }
+                thread.ops += ops_acc;
+                thread.cycles += cyc_acc;
+                tix = next;
+                continue 'body;
+            }
+            TOp::ConstStr { sidx } => {
+                thread.cycles += body.sc_string;
+                let text = body.strs[sidx as usize].clone();
+                match intern_string(thread, ctx, &text) {
+                    Ok(obj) => thread.values.push(Value::Ref(obj)),
+                    Err(ex) => jthrow!('body, src + 1, ex),
+                }
+            }
+            TOp::New { link } => {
+                thread.cycles += body.sc_alloc;
+                let Linked::New { class, nfields } = links[link as usize] else {
+                    jfault!(src + 1, "jit link {link} is not New");
+                };
+                thread.cycles += body.sc_simple * nfields as u64;
+                let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                    ctx.space.heapprof().arm_alloc(method_idx.0, src as u32, || {
+                        table.qualified_name(method_idx)
+                    });
+                    ctx.space
+                        .alloc_fields(ctx.heap, class.heap_class(), nfields as usize)
+                });
+                match alloc {
+                    Ok(obj) => {
+                        if let Err(e) = init_default_fields(ctx, class, obj, false) {
+                            jthrow!('body, src + 1, heap_exception(e));
+                        }
+                        thread.values.push(Value::Ref(obj));
+                    }
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                }
+            }
+            TOp::GetStatic { link, slot } => {
+                thread.cycles += body.sc_field;
+                let Linked::Statics { class } = links[link as usize] else {
+                    jfault!(src + 1, "jit link {link} is not Statics");
+                };
+                let statics = match statics_object(thread, ctx, class) {
+                    Ok(obj) => obj,
+                    Err(ex) => jthrow!('body, src + 1, ex),
+                };
+                match ctx.space.load(statics, slot as usize) {
+                    Ok(v) => thread.values.push(v),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                }
+            }
+            TOp::PutStaticPrim { link, slot } | TOp::PutStaticRef { link, slot, .. } => {
+                thread.cycles += body.sc_field;
+                let Linked::Statics { class } = links[link as usize] else {
+                    jfault!(src + 1, "jit link {link} is not Statics");
+                };
+                let v = vpop!();
+                let statics = match statics_object(thread, ctx, class) {
+                    Ok(obj) => obj,
+                    Err(ex) => jthrow!('body, src + 1, ex),
+                };
+                let result = if let TOp::PutStaticRef { elide, .. } = t {
+                    if elide {
+                        ctx.space
+                            .store_ref_elided(statics, slot as usize, v)
+                            .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                    } else {
+                        let mut pinned = [statics; 2];
+                        let mut n = 1;
+                        if let Some(r) = v.as_ref() {
+                            pinned[1] = r;
+                            n = 2;
+                        }
+                        with_gc_retry(thread, ctx, &pinned[..n], |ctx| {
+                            ctx.space.heapprof().arm_store(method_idx.0, src as u32);
+                            ctx.space.store_ref(statics, slot as usize, v, ctx.trusted)
+                        })
+                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                    }
+                } else {
+                    ctx.space.store_prim(statics, slot as usize, v)
+                };
+                if let Err(e) = result {
+                    if let HeapError::SegViolation(kind) = e {
+                        thread.seg_sites.push(SegSite {
+                            method: method_idx,
+                            pc: src as u32,
+                            kind,
+                        });
+                    }
+                    jthrow!('body, src + 1, heap_exception(e));
+                }
+            }
+            TOp::InstanceOf { link } => {
+                thread.cycles += body.sc_field;
+                let Linked::Type { class } = links[link as usize] else {
+                    jfault!(src + 1, "jit link {link} is not Type");
+                };
+                let v = vpop!();
+                let r = value_instance_of(ctx, v, class);
+                thread.values.push(Value::Int(r as i64));
+            }
+            TOp::CheckCast { link } => {
+                thread.cycles += body.sc_field;
+                let Linked::Type { class } = links[link as usize] else {
+                    jfault!(src + 1, "jit link {link} is not Type");
+                };
+                let v = *thread.values.last().unwrap_or(&Value::Null);
+                if !matches!(v, Value::Null) && !value_instance_of(ctx, v, class) {
+                    jthrow!('body, 
+                        src + 1,
+                        VmException::Builtin(
+                            BuiltinEx::ClassCast,
+                            format!("cannot cast to {}", table.class(class).name),
+                        )
+                    );
+                }
+            }
+            TOp::NewArray { link } => {
+                thread.cycles += body.sc_alloc;
+                let len = vpop!().as_int();
+                if len < 0 {
+                    jthrow!('body, 
+                        src + 1,
+                        VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("negative array length {len}"),
+                        )
+                    );
+                }
+                let Linked::NewArray {
+                    tag,
+                    elem_bytes,
+                    fill,
+                } = links[link as usize]
+                else {
+                    jfault!(src + 1, "jit link {link} is not NewArray");
+                };
+                thread.cycles += body.sc_simple * (len as u64 / 8).max(1);
+                let alloc = with_gc_retry(thread, ctx, &[], |ctx| {
+                    ctx.space.heapprof().arm_alloc(method_idx.0, src as u32, || {
+                        table.qualified_name(method_idx)
+                    });
+                    ctx.space
+                        .alloc_array(ctx.heap, tag, elem_bytes, len as usize, fill)
+                });
+                match alloc {
+                    Ok(obj) => thread.values.push(Value::Ref(obj)),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                }
+            }
+            TOp::CallStatic { link } | TOp::CallSpecial { link } => {
+                let Linked::Target { method } = links[link as usize] else {
+                    jfault!(src + 1, "jit link {link} is not Target");
+                };
+                jflow!('body, src + 1, push_frame(thread, ctx, method));
+            }
+            TOp::CallVirtual { vslot, nargs } => {
+                if thread.values.len() - stack_base < nargs as usize {
+                    jfault!(src + 1, "virtual call with short stack");
+                }
+                let recv_pos = thread.values.len() - nargs as usize;
+                let Value::Ref(recv) = thread.values[recv_pos] else {
+                    jthrow!('body, src + 1, npe("virtual call on null"));
+                };
+                let recv_class = match ctx.space.class_of(recv) {
+                    Ok(id) => table.from_heap_class(id),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                };
+                let midx = table.class(recv_class).vtable[vslot as usize];
+                jflow!('body, src + 1, push_frame(thread, ctx, midx));
+            }
+            TOp::Syscall { id, nargs } => {
+                thread.cycles += body.sc_call;
+                sync!(src + 1);
+                let split = thread
+                    .values
+                    .len()
+                    .saturating_sub(nargs as usize)
+                    .max(stack_base);
+                let args = thread.values.split_off(split);
+                return BodyFlow::Exit(RunExit::Syscall { id, args });
+            }
+            TOp::Throw => {
+                let Value::Ref(ex) = vpop!() else {
+                    jthrow!('body, src + 1, npe("throw of null"));
+                };
+                jthrow!('body, src + 1, VmException::Guest(ex));
+            }
+            TOp::Ret => {
+                thread.cycles += body.sc_ret;
+                jflow!('body, src + 1, do_return(thread, None));
+            }
+            TOp::RetVal => {
+                thread.cycles += body.sc_ret;
+                let v = vpop!();
+                jflow!('body, src + 1, do_return(thread, Some(v)));
+            }
+            TOp::ImplicitRet => {
+                // Falling off the end: op counted, no cycles charged.
+                jflow!('body, src, do_return(thread, None));
+            }
+            TOp::StrConcat => {
+                let b = vpop!();
+                let a = vpop!();
+                let sa = render(ctx, a);
+                let sb = render(ctx, b);
+                thread.cycles += engine.scaled(
+                    BASE_COSTS.string + BASE_COSTS.string_per_char * (sa.len() + sb.len()) as u64,
+                );
+                let joined = format!("{sa}{sb}");
+                let string_tag = ctx.string_class.heap_class();
+                match with_gc_retry(thread, ctx, &[], |ctx| {
+                    ctx.space.heapprof().arm_alloc(method_idx.0, src as u32, || {
+                        table.qualified_name(method_idx)
+                    });
+                    ctx.space.alloc_str(ctx.heap, string_tag, joined.as_str())
+                }) {
+                    Ok(obj) => thread.values.push(Value::Ref(obj)),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                }
+            }
+            TOp::StrLen => {
+                thread.cycles += body.sc_simple;
+                let Value::Ref(s) = vpop!() else {
+                    jthrow!('body, src + 1, npe("length of null string"));
+                };
+                match ctx.space.str_value(s) {
+                    Ok(v) => {
+                        let n = v.chars().count() as i64;
+                        thread.values.push(Value::Int(n));
+                    }
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                }
+            }
+            TOp::StrCharAt => {
+                thread.cycles += body.sc_field;
+                let index = vpop!().as_int();
+                let Value::Ref(s) = vpop!() else {
+                    jthrow!('body, src + 1, npe("charAt on null string"));
+                };
+                let ch = match ctx.space.str_value(s) {
+                    Ok(v) => v.chars().nth(index.max(0) as usize),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                };
+                match ch {
+                    Some(c) => thread.values.push(Value::Int(c as i64)),
+                    None => jthrow!('body, 
+                        src + 1,
+                        VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("string index {index}"),
+                        )
+                    ),
+                }
+            }
+            TOp::StrEq => {
+                let b = vpop!();
+                let a = vpop!();
+                let r = match (a, b) {
+                    (Value::Ref(x), Value::Ref(y)) => {
+                        let sx = ctx.space.str_value(x).ok();
+                        let sy = ctx.space.str_value(y).ok();
+                        thread.cycles += engine.scaled(
+                            BASE_COSTS.string
+                                + BASE_COSTS.string_per_char
+                                    * sx.map(|s| s.len()).unwrap_or(0) as u64,
+                        );
+                        match (sx, sy) {
+                            (Some(sx), Some(sy)) => sx == sy,
+                            _ => false,
+                        }
+                    }
+                    (Value::Null, Value::Null) => true,
+                    _ => false,
+                };
+                thread.values.push(Value::Int(r as i64));
+            }
+            TOp::Intern => {
+                thread.cycles += body.sc_string;
+                let Value::Ref(s) = vpop!() else {
+                    jthrow!('body, src + 1, npe("intern of null"));
+                };
+                let text = match ctx.space.str_value(s) {
+                    Ok(v) => v.to_string(),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                };
+                match intern_string(thread, ctx, &text) {
+                    Ok(obj) => thread.values.push(Value::Ref(obj)),
+                    Err(ex) => jthrow!('body, src + 1, ex),
+                }
+            }
+            TOp::ToStr => {
+                let v = vpop!();
+                let s = render(ctx, v);
+                thread.cycles += engine
+                    .scaled(BASE_COSTS.string + BASE_COSTS.string_per_char * s.len() as u64);
+                let string_tag = ctx.string_class.heap_class();
+                match with_gc_retry(thread, ctx, &[], |ctx| {
+                    ctx.space.heapprof().arm_alloc(method_idx.0, src as u32, || {
+                        table.qualified_name(method_idx)
+                    });
+                    ctx.space.alloc_str(ctx.heap, string_tag, s.as_str())
+                }) {
+                    Ok(obj) => thread.values.push(Value::Ref(obj)),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                }
+            }
+            TOp::Substr => {
+                thread.cycles += body.sc_string;
+                let end = vpop!().as_int();
+                let start = vpop!().as_int();
+                let Value::Ref(s) = vpop!() else {
+                    jthrow!('body, src + 1, npe("substring of null"));
+                };
+                let text = match ctx.space.str_value(s) {
+                    Ok(v) => v.to_string(),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                };
+                let chars: Vec<char> = text.chars().collect();
+                let n = chars.len() as i64;
+                if start < 0 || end < start || end > n {
+                    jthrow!('body, 
+                        src + 1,
+                        VmException::Builtin(
+                            BuiltinEx::IndexOutOfBounds,
+                            format!("substring [{start}, {end}) of length {n}"),
+                        )
+                    );
+                }
+                let sub: String = chars[start as usize..end as usize].iter().collect();
+                thread.cycles += engine.scaled(BASE_COSTS.string_per_char * sub.len() as u64);
+                let string_tag = ctx.string_class.heap_class();
+                match with_gc_retry(thread, ctx, &[], |ctx| {
+                    ctx.space.heapprof().arm_alloc(method_idx.0, src as u32, || {
+                        table.qualified_name(method_idx)
+                    });
+                    ctx.space.alloc_str(ctx.heap, string_tag, sub.as_str())
+                }) {
+                    Ok(obj) => thread.values.push(Value::Ref(obj)),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                }
+            }
+            TOp::ParseInt => {
+                thread.cycles += body.sc_string;
+                let Value::Ref(s) = vpop!() else {
+                    jthrow!('body, src + 1, npe("parseInt of null"));
+                };
+                let text = match ctx.space.str_value(s) {
+                    Ok(v) => v.trim().to_string(),
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                };
+                match text.parse::<i64>() {
+                    Ok(v) => thread.values.push(Value::Int(v)),
+                    Err(_) => jthrow!('body, 
+                        src + 1,
+                        VmException::Builtin(
+                            BuiltinEx::Arithmetic,
+                            format!("not a number: {text:?}"),
+                        )
+                    ),
+                }
+            }
+            TOp::MonitorEnter => {
+                thread.cycles += body.sc_monitor;
+                let Value::Ref(obj) = vpop!() else {
+                    jthrow!('body, src + 1, npe("monitorenter on null"));
+                };
+                match ctx.monitors.get_mut(&obj) {
+                    None => {
+                        ctx.monitors.insert(obj, (thread.id, 1));
+                        thread.held_monitors.push(obj);
+                    }
+                    Some((owner, depth)) if *owner == thread.id => *depth += 1,
+                    Some(_) => {
+                        // Rewind so the acquire retries when rescheduled.
+                        thread.values.push(Value::Ref(obj));
+                        sync!(src);
+                        return BodyFlow::Exit(RunExit::Blocked(obj));
+                    }
+                }
+            }
+            TOp::MonitorExit => {
+                thread.cycles += body.sc_monitor;
+                let Value::Ref(obj) = vpop!() else {
+                    jthrow!('body, src + 1, npe("monitorexit on null"));
+                };
+                match ctx.monitors.get_mut(&obj) {
+                    Some((owner, depth)) if *owner == thread.id => {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            ctx.monitors.remove(&obj);
+                            if let Some(pos) =
+                                thread.held_monitors.iter().rposition(|&m| m == obj)
+                            {
+                                thread.held_monitors.remove(pos);
+                            }
+                        }
+                    }
+                    _ => jthrow!('body, 
+                        src + 1,
+                        VmException::Builtin(
+                            BuiltinEx::IllegalState,
+                            "monitorexit without ownership".to_string(),
+                        )
+                    ),
+                }
+            }
+        }
+        tix += 1;
+    }
+
+    // The frame set changed: a call pushed, a return popped, or a handled
+    // exception rewound the stack. Re-enter compiled code for the new top
+    // frame without leaving the executor when possible; otherwise hand the
+    // frame back to the dispatch loop.
+    let Some(top) = thread.frames.last() else {
+        return BodyFlow::Frame;
+    };
+    let midx = top.method;
+    let pc = top.pc as usize;
+    if midx == method_idx {
+        match body.entries.get(pc) {
+            Some(&t) if t != u32::MAX => {
+                tix = t;
+                continue 'method;
+            }
+            _ => return BodyFlow::Frame,
+        }
+    }
+    let Some(jit) = ctx.jit.as_ref() else {
+        return BodyFlow::Frame;
+    };
+    let BodySlot::Hot(nab) = jit.proc.slot(midx) else {
+        return BodyFlow::Frame;
+    };
+    match nab.body.entries.get(pc) {
+        Some(&t) if t != u32::MAX => {
+            tix = t;
+            ab = nab.clone();
+            continue 'method;
+        }
+        _ => return BodyFlow::Frame,
+    }
+    } // 'method
+}

@@ -26,6 +26,7 @@ mod classfile;
 mod engine;
 mod interp;
 mod intrinsics;
+mod jit;
 mod verify;
 
 pub use bytecode::{Code, Const, Handler, Op, TypeDesc};
@@ -37,6 +38,12 @@ pub use interp::{
     VmException, FLOAT_ARRAY_CLASS, INT_ARRAY_CLASS, MAX_FRAMES, REF_ARRAY_CLASS,
 };
 pub use intrinsics::{IntrinsicDef, IntrinsicRegistry};
+pub use jit::{
+    compile as jit_compile, elide_fingerprint, jit_diag_take, method_key, AttachKind, AttachedBody,
+    BodySlot, CacheStats,
+    CodeCache, CompiledBody, JitConfig, JitRt, Linked, MethodKey, ProcJit, ProcJitStats,
+    DEFAULT_CACHE_BYTES, DEFAULT_JIT_THRESHOLD,
+};
 pub use verify::{method_descriptor, verify_class, VerifyError};
 
 /// Errors raised while loading, linking, or running guest code.

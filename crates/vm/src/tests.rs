@@ -103,6 +103,7 @@ impl TestVm {
             extra_roots: &[],
             extra_scan_slots: 0,
             gc_every_safepoint: false,
+            jit: None,
         }
     }
 
@@ -723,6 +724,7 @@ mod statics_and_reloading {
                 extra_roots: &[],
                 extra_scan_slots: 0,
                 gc_every_safepoint: false,
+                jit: None,
             };
             match step(&mut thread, &mut ctx, u64::MAX) {
                 RunExit::Finished(Some(Value::Int(v))) => v,
@@ -1781,6 +1783,7 @@ mod engines {
             extra_roots: &[],
             extra_scan_slots: 0,
             gc_every_safepoint: false,
+            jit: None,
         };
         match step(&mut thread, &mut ctx, u64::MAX) {
             RunExit::Finished(_) => thread.cycles,
@@ -1862,6 +1865,7 @@ mod engines {
                 extra_roots: &[],
                 extra_scan_slots: 0,
                 gc_every_safepoint: false,
+                jit: None,
             };
             match step(&mut thread, &mut ctx, u64::MAX) {
                 RunExit::Finished(Some(Value::Int(200))) => thread.cycles,

@@ -269,6 +269,7 @@ fn accepted_bytecode_never_panics() {
                     extra_roots: &[],
                     extra_scan_slots: 0,
                     gc_every_safepoint: false,
+                    jit: None,
                 };
                 let exit = step(&mut thread, &mut ctx, 200_000);
                 assert!(

@@ -1,0 +1,143 @@
+//! Differential tier oracle: the template JIT must be invisible in every
+//! virtual number.
+//!
+//! Runs every BENCH_interp benchmark and all six tenant scenarios twice —
+//! interpreter-only and JIT-enabled — and compares the virtual outputs
+//! byte-for-byte: modelled seconds, barrier and GC cycle counts, checksums
+//! (the Figure 3/4 inputs), the scenarios' golden report text (latency
+//! histograms included), and the trace/profile planes.
+//!
+//! `run_spec`/`run_scenario` build their kernels from the `KAFFEOS_JIT`
+//! environment toggle, which is process-global — so the whole oracle is
+//! ONE test function, and the only one in this binary, to keep the toggle
+//! free of races. The trace/profile comparison pins the tier through
+//! explicit configs instead and does not depend on the environment.
+
+use kaffeos::{KaffeOs, KaffeOsConfig};
+use kaffeos_vm::JitConfig;
+use kaffeos_workloads::runner::{platforms, run_spec, Platform, PlatformKind};
+use kaffeos_workloads::scenario::{run_scenario, SCENARIOS};
+use kaffeos_workloads::spec::all_benchmarks;
+
+fn kaffeos_platform() -> Platform {
+    platforms()
+        .into_iter()
+        .find(|p| matches!(p.kind, PlatformKind::KaffeOs(kaffeos::BarrierKind::HeapPointer)))
+        .expect("heap-pointer platform exists")
+}
+
+/// Points at the first diverging line so a mismatch is debuggable without
+/// dumping two full reports.
+fn assert_same_text(off: &str, on: &str, label: &str) {
+    if off == on {
+        return;
+    }
+    for (i, (a, b)) in off.lines().zip(on.lines()).enumerate() {
+        assert_eq!(a, b, "{label}: first divergence at line {}", i + 1);
+    }
+    panic!(
+        "{label}: line counts differ ({} interpreter vs {} jit)",
+        off.lines().count(),
+        on.lines().count()
+    );
+}
+
+/// Virtual fingerprint of one spec run; everything here must be identical
+/// across tiers.
+fn spec_fingerprints() -> Vec<(String, f64, u64, u64, u64, i64)> {
+    let platform = kaffeos_platform();
+    all_benchmarks()
+        .into_iter()
+        .map(|bench| {
+            let r = run_spec(&bench, &platform, bench.test_n);
+            (
+                bench.name.to_string(),
+                r.virtual_seconds,
+                r.barriers_executed,
+                r.barrier_cycles,
+                r.gc_cycles,
+                r.checksum,
+            )
+        })
+        .collect()
+}
+
+fn scenario_texts(seed: u64) -> Vec<(&'static str, String)> {
+    SCENARIOS
+        .iter()
+        .map(|&name| {
+            let report = run_scenario(name, seed).expect("known scenario");
+            (report.name, report.text)
+        })
+        .collect()
+}
+
+/// Trace + profile planes under an explicitly pinned tier (no env).
+fn observability_planes(jit: bool) -> (String, String) {
+    let mut os = KaffeOs::new(KaffeOsConfig {
+        trace: true,
+        profile: true,
+        jit: JitConfig {
+            enabled: jit,
+            ..JitConfig::default()
+        },
+        ..KaffeOsConfig::default()
+    });
+    os.register_image(
+        "churn",
+        r#"
+        class Main {
+            static int work(int i) { return i * 3 + 1; }
+            static int main(int n) {
+                int acc = 0;
+                for (int i = 0; i < 30000; i = i + 1) { acc = acc + work(i); }
+                int[] a = new int[64 + n];
+                for (int i = 0; i < a.len(); i = i + 1) { a[i] = acc + i; }
+                Sys.gc();
+                return acc + a[63];
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    os.spawn("churn", "2", Some(1 << 20)).unwrap();
+    os.run(Some(60_000_000));
+    os.kernel_gc();
+    (os.trace_jsonl(), os.profile_folded())
+}
+
+/// The one oracle: interpreter-only vs JIT-enabled, everything virtual
+/// byte-compared.
+#[test]
+fn jit_tier_is_virtually_invisible() {
+    let saved = std::env::var("KAFFEOS_JIT").ok();
+
+    std::env::set_var("KAFFEOS_JIT", "off");
+    let spec_off = spec_fingerprints();
+    let scen_off = scenario_texts(1);
+
+    std::env::set_var("KAFFEOS_JIT", "on");
+    let spec_on = spec_fingerprints();
+    let scen_on = scenario_texts(1);
+
+    match saved {
+        Some(v) => std::env::set_var("KAFFEOS_JIT", v),
+        None => std::env::remove_var("KAFFEOS_JIT"),
+    }
+
+    for (off, on) in spec_off.iter().zip(spec_on.iter()) {
+        assert_eq!(off, on, "spec benchmark {} diverged across tiers", off.0);
+    }
+    for ((name, off), (_, on)) in scen_off.iter().zip(scen_on.iter()) {
+        assert_same_text(off, on, &format!("scenario {name}"));
+    }
+
+    let (trace_off, profile_off) = observability_planes(false);
+    let (trace_on, profile_on) = observability_planes(true);
+    assert!(
+        trace_off.contains("\n"),
+        "trace plane must have produced events"
+    );
+    assert_same_text(&trace_off, &trace_on, "trace plane");
+    assert_same_text(&profile_off, &profile_on, "profile plane");
+}
