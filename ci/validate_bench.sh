@@ -9,6 +9,7 @@
 #   barrier   BENCH_barrier_quick.json (barrier_elision)
 #   heapprof  BENCH_heapprof.json      (heapprof_overhead)
 #   jit       BENCH_jit.json           (jit_throughput)
+#   devirt    BENCH_devirt_quick.json  (devirt_throughput)
 #
 # One place instead of four inline snippets: a report that is missing,
 # unparsable, or lacking its speedup/overhead fields fails the build here,
@@ -16,7 +17,7 @@
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
-    echo "usage: $0 <report.json> <kind: interp|alloc|barrier|heapprof|jit>" >&2
+    echo "usage: $0 <report.json> <kind: interp|alloc|barrier|heapprof|jit|devirt>" >&2
     exit 2
 fi
 REPORT="$1" KIND="$2" python3 - <<'PYEOF'
@@ -137,6 +138,29 @@ elif kind == "jit":
     require(s is None or (number(s) and s > 0), f"malformed speedup_vs_baseline: {s!r}")
     print(f"ok: {total['ops']} ops at {total['ops_per_sec'] / 1e6:.1f} Mops/s, "
           f"{total['speedup_vs_interp']:.2f}x over interp, shared cache exactly-once")
+
+elif kind == "devirt":
+    require(doc.get("virtual_identical") is True, "virtual_identical is not true")
+    total = doc.get("total", {})
+    require(number(total.get("virtual_sites")) and total["virtual_sites"] > 0,
+            "total.virtual_sites missing or zero")
+    require(number(total.get("monomorphic_sites")) and total["monomorphic_sites"] > 0,
+            "total.monomorphic_sites missing or zero")
+    require(total["monomorphic_sites"] <= total["virtual_sites"],
+            "more monomorphic sites than virtual sites")
+    require(number(total.get("monomorphic_ratio")) and 0 < total["monomorphic_ratio"] <= 1,
+            "total.monomorphic_ratio missing or out of range")
+    require(number(total.get("devirt_calls")) and total["devirt_calls"] > 0,
+            "total.devirt_calls missing or zero")
+    require(number(total.get("monitors_elided")) and total["monitors_elided"] > 0,
+            "total.monitors_elided missing or zero")
+    require(number(total.get("mops_analysis_on")) and total["mops_analysis_on"] > 0,
+            "total.mops_analysis_on missing or zero")
+    require(number(total.get("mops_analysis_off")) and total["mops_analysis_off"] > 0,
+            "total.mops_analysis_off missing or zero")
+    print(f"ok: {total['monomorphic_sites']}/{total['virtual_sites']} sites monomorphic "
+          f"({100 * total['monomorphic_ratio']:.0f}%), {total['devirt_calls']} devirt calls, "
+          f"{total['monitors_elided']} monitor ops elided, virtual numbers identical")
 
 else:
     fail(f"unknown kind {kind!r}")

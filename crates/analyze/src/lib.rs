@@ -23,6 +23,21 @@
 //!    escape local reasoning — plus unreachable code and
 //!    allocation-in-loop patterns, each mapped back to the Cup source
 //!    line via the method debug tables.
+//! 3. **Hierarchy facts (CHA).** A class-hierarchy walk over the loaded
+//!    vtables computes, per `CallVirtual` site, the set of reachable
+//!    override targets. Monomorphic sites get sharpened call summaries
+//!    (replacing the old blanket `Top`) and a devirtualization table the
+//!    JIT compiles into direct calls; because class loads only ever *add*
+//!    overrides, the kernel republishes (and thereby revokes) these facts
+//!    after every load batch.
+//! 4. **Escape facts.** A per-method escape pass classifies every
+//!    allocation site as never-leaves-frame / never-leaves-process /
+//!    may-cross. Frame-local receivers let the interpreter and JIT elide
+//!    `MonitorEnter`/`MonitorExit` bookkeeping (no other thread can ever
+//!    observe the object), and stores into still-nursery-resident
+//!    receivers skip the remembered-set `note_store` probe. The same pass
+//!    builds a static lock-order graph powering the `deadlock-candidate`
+//!    and `lock-held-across-syscall` lints.
 //!
 //! # The region lattice
 //!
@@ -43,7 +58,8 @@
 //! generator today). `SharedFrozen` — an object on a frozen shared heap
 //! (`shm.get`). `MayCross` — one of the above, statically unknown (method
 //! parameters, most fields, unknown intrinsics). `Top` — anything,
-//! including values returned through virtual dispatch.
+//! including values returned through virtual dispatch the hierarchy walk
+//! could not resolve.
 //!
 //! Joining two *distinct* definite regions yields `MayCross`; joining
 //! anything with `Top` yields `Top`.
@@ -51,9 +67,10 @@
 //! # Soundness
 //!
 //! The analysis is context-insensitive and conservative: parameters and
-//! exception objects enter as `MayCross`, virtual-call results as `Top`,
-//! and any method whose bytecode cannot be followed (unverified input) is
-//! abandoned with no elisions. Field summaries are global monotone joins
+//! exception objects enter as `MayCross`, virtual-call results as the
+//! join over every CHA-reachable override's summary (`Top` when the
+//! hierarchy walk bails), and any method whose bytecode cannot be
+//! followed (unverified input) is abandoned with no elisions. Field summaries are global monotone joins
 //! over every store site in the program, keyed by the *declaring* class
 //! of the field slot, so reads through a subclass or superclass receiver
 //! observe the same summary. The dynamic oracle closes the loop: the
@@ -150,6 +167,14 @@ pub enum LintKind {
     /// syscall — it can burn its memlimit without ever interacting with
     /// the kernel.
     AllocInLoopNoSafepoint,
+    /// A monitor acquisition participating in a cycle of the static
+    /// lock-order graph: some execution may acquire the same two lock
+    /// classes in opposite orders.
+    DeadlockCandidate,
+    /// A syscall issued while at least one monitor is statically held —
+    /// the kernel may block the thread (or kill the process) with the
+    /// lock pinned.
+    LockHeldAcrossSyscall,
 }
 
 impl LintKind {
@@ -160,6 +185,33 @@ impl LintKind {
             LintKind::WriteAfterFreeze => "write-after-freeze",
             LintKind::UnreachableCode => "unreachable-code",
             LintKind::AllocInLoopNoSafepoint => "alloc-in-loop-no-safepoint",
+            LintKind::DeadlockCandidate => "deadlock-candidate",
+            LintKind::LockHeldAcrossSyscall => "lock-held-across-syscall",
+        }
+    }
+}
+
+/// Escape verdict for one allocation site (`New` / `NewArray`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EscapeClass {
+    /// No reference to the object ever leaves the allocating frame:
+    /// monitor ops on it are elidable and it provably dies young.
+    FrameLocal,
+    /// References escape the frame, but only into objects proven to live
+    /// on the allocating process's own heap (or its statics).
+    ProcessLocal,
+    /// A reference may cross a process boundary (call argument, return,
+    /// throw, syscall, store into a non-local receiver, or lost track).
+    MayCross,
+}
+
+impl EscapeClass {
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EscapeClass::FrameLocal => "frame-local",
+            EscapeClass::ProcessLocal => "process-local",
+            EscapeClass::MayCross => "may-cross",
         }
     }
 }
@@ -214,6 +266,90 @@ struct AbsState {
     stack: Vec<Region>,
 }
 
+/// Abstract escape state at one pc. A slot holds `Some(site)` when it
+/// provably refers to the object born at that allocation site on *every*
+/// path; `clean` is the set of sites with no possible GC point since
+/// their allocation (the object is still on its birth nursery page);
+/// `held` is the sorted set of lock identities statically held here;
+/// `mon_held` is the site-sorted multiset of pending tracked monitors:
+/// `(site, gc_seen)` for every `MonitorEnter` that ran with a tracked
+/// receiver and whose matching `MonitorExit` has not yet been seen.
+/// Losing track of such a site mid-critical-section would let the enter
+/// and exit disagree on elision, so merges kill it; `gc_seen` records a
+/// possible GC point inside the critical section — an elided monitor is
+/// absent from the monitor registry the collector scans, so a GC while it
+/// is held would trace observably fewer roots.
+#[derive(Debug, Clone, PartialEq)]
+struct EscState {
+    locals: Vec<Option<u16>>,
+    stack: Vec<Option<u16>>,
+    clean: Vec<u64>,
+    held: Vec<u16>,
+    mon_held: Vec<(u16, bool)>,
+}
+
+/// Empties the clean set: the op may trigger a nursery collection, after
+/// which no tracked object is guaranteed to still sit on a nursery page.
+/// Every pending monitor is marked GC-tainted for the same reason.
+fn gc_point(state: &mut EscState) {
+    state.clean.iter_mut().for_each(|w| *w = 0);
+    state.mon_held.iter_mut().for_each(|e| e.1 = true);
+}
+
+/// Can this op raise a guest exception (and therefore enter an exception
+/// handler)? Conservative: only provably-total ops return `false`. Used
+/// to avoid propagating escape state into handlers from pcs that cannot
+/// reach them — handler entry implies an exception-object allocation, so
+/// an over-eager edge would GC-taint every `sync` body's pending monitor
+/// through the compiler-emitted release handler.
+fn may_throw(op: &Op) -> bool {
+    !matches!(
+        op,
+        Op::ConstNull
+            | Op::ConstInt(_)
+            | Op::ConstFloat(_)
+            | Op::Load(_)
+            | Op::Store(_)
+            | Op::Pop
+            | Op::Dup
+            | Op::Swap
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Neg
+            | Op::Shl
+            | Op::Shr
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::FAdd
+            | Op::FSub
+            | Op::FMul
+            | Op::FDiv
+            | Op::FNeg
+            | Op::I2F
+            | Op::F2I
+            | Op::CmpEq
+            | Op::CmpNe
+            | Op::CmpLt
+            | Op::CmpLe
+            | Op::CmpGt
+            | Op::CmpGe
+            | Op::FCmpEq
+            | Op::FCmpLt
+            | Op::FCmpLe
+            | Op::FCmpGt
+            | Op::FCmpGe
+            | Op::RefEq
+            | Op::RefNe
+            | Op::Jump(_)
+            | Op::JumpIfTrue(_)
+            | Op::JumpIfFalse(_)
+            | Op::Return
+            | Op::ReturnVal
+    )
+}
+
 /// Analysis results plus the interprocedural summaries they were computed
 /// from. Re-running [`Analysis::run`] after more classes load re-reaches
 /// the global fixpoint (summaries only move up the lattice) and rebuilds
@@ -240,6 +376,37 @@ pub struct Analysis {
     bailed: Vec<u32>,
     /// Set during a fixpoint pass when any global summary moved.
     changed: bool,
+    /// CHA reachable-target cache, keyed by (static class, vslot). Valid
+    /// for one hierarchy generation: rebuilt on every `run`.
+    cha: HashMap<(u32, u16), ChaTargets>,
+    /// Devirtualization tables: per method, pc-sorted `(pc, target)` for
+    /// monomorphic `CallVirtual` sites.
+    devirt: HashMap<u32, Vec<(u32, MethodIdx)>>,
+    /// Reachable `CallVirtual` site counts: (monomorphic, polymorphic).
+    virt_sites: (usize, usize),
+    /// Monitor-elision bitmaps per method (escape pass).
+    mon_bitmaps: HashMap<u32, Vec<u64>>,
+    /// Dies-local store bitmaps per method (escape pass).
+    local_bitmaps: HashMap<u32, Vec<u64>>,
+    /// Monitor-op counts: (elidable, total).
+    mon_ops: (usize, usize),
+    /// Escape verdict per allocation site, keyed by (method, pc).
+    alloc_escape: HashMap<(u32, u32), EscapeClass>,
+    /// Interned lock identities (allocation-site class names) for the
+    /// static lock-order graph.
+    lock_names: Vec<String>,
+    /// Lock-order edges: (held identity, acquired identity, method, pc).
+    lock_edges: Vec<(u16, u16, u32, u32)>,
+}
+
+/// CHA result for one (static class, vslot) pair.
+#[derive(Debug, Clone)]
+struct ChaTargets {
+    /// Sorted, deduped reachable override targets over loaded subclasses.
+    targets: Vec<MethodIdx>,
+    /// False when the hierarchy walk bailed (cyclic/mangled superclass
+    /// chain): the site must be treated as fully polymorphic.
+    complete: bool,
 }
 
 /// Runs the full analysis over every method currently loaded.
@@ -259,6 +426,17 @@ impl Analysis {
         self.sites.clear();
         self.lints.clear();
         self.bailed.clear();
+        // Hierarchy-generation state: class loads only ever add overrides,
+        // so these are recomputed from scratch against the current table.
+        self.cha.clear();
+        self.devirt.clear();
+        self.virt_sites = (0, 0);
+        self.mon_bitmaps.clear();
+        self.local_bitmaps.clear();
+        self.mon_ops = (0, 0);
+        self.alloc_escape.clear();
+        self.lock_names.clear();
+        self.lock_edges.clear();
 
         // Phase 1: fixpoint over the call graph. Each pass re-analyzes
         // every method, joining return regions and field stores into the
@@ -274,14 +452,21 @@ impl Analysis {
             }
         }
 
-        // Phase 2: one collecting pass with the summaries frozen.
+        // Phase 2: one collecting pass with the summaries frozen. The
+        // escape pass runs after `collect_method` so it can consult the
+        // freshly derived store-site regions when classifying escapes.
         for i in 0..table.methods.len() {
             let midx = MethodIdx(i as u32);
             match self.run_method(table, midx) {
                 None => self.bailed.push(i as u32),
-                Some(states) => self.collect_method(table, midx, &states),
+                Some(states) => {
+                    self.collect_method(table, midx, &states);
+                    self.collect_virtual_sites(table, midx, &states);
+                    self.escape_method(table, midx);
+                }
             }
         }
+        self.deadlock_lints(table);
         self.lints.sort_by(|a, b| {
             (&a.class, &a.method, a.pc, a.kind.label())
                 .cmp(&(&b.class, &b.method, b.pc, b.kind.label()))
@@ -332,6 +517,67 @@ impl Analysis {
             .filter(|s| s.verdict == Verdict::Elide)
             .count();
         (elided, self.sites.len())
+    }
+
+    /// pc-sorted devirtualization table for a method: `(pc, target)` per
+    /// monomorphic `CallVirtual` site. Empty when nothing devirtualizes.
+    pub fn devirt_table(&self, method: MethodIdx) -> Vec<(u32, MethodIdx)> {
+        self.devirt.get(&method.0).cloned().unwrap_or_default()
+    }
+
+    /// Monitor-elision bitmap for a method: bit `pc` set ⇔ the monitor op
+    /// at `pc` acts on a proven frame-local receiver.
+    pub fn monitor_bitmap(&self, method: MethodIdx) -> Vec<u64> {
+        self.mon_bitmaps.get(&method.0).cloned().unwrap_or_default()
+    }
+
+    /// Dies-local bitmap for a method: bit `pc` set ⇔ the ref store at
+    /// `pc` writes into an object still on its birth nursery page.
+    pub fn local_bitmap(&self, method: MethodIdx) -> Vec<u64> {
+        self.local_bitmaps.get(&method.0).cloned().unwrap_or_default()
+    }
+
+    /// Reachable `CallVirtual` sites: (monomorphic, polymorphic).
+    pub fn devirt_counts(&self) -> (usize, usize) {
+        self.virt_sites
+    }
+
+    /// Monitor ops across the program: (elidable, total).
+    pub fn monitor_counts(&self) -> (usize, usize) {
+        self.mon_ops
+    }
+
+    /// Escape verdict for the allocation site at `(method, pc)`.
+    pub fn escape_class(&self, method: MethodIdx, pc: u32) -> Option<EscapeClass> {
+        self.alloc_escape.get(&(method.0, pc)).copied()
+    }
+
+    /// Reachable allocation sites by escape verdict:
+    /// (frame-local, process-local, may-cross).
+    pub fn escape_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for &c in self.alloc_escape.values() {
+            match c {
+                EscapeClass::FrameLocal => counts.0 += 1,
+                EscapeClass::ProcessLocal => counts.1 += 1,
+                EscapeClass::MayCross => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// One-line deterministic digest of every verdict family — printed by
+    /// `kaffeos-lint` and byte-compared across runs in CI.
+    pub fn verdict_summary(&self) -> String {
+        let (elided, stores) = self.elision_counts();
+        let (mono, poly) = self.devirt_counts();
+        let (mon_elide, mon_total) = self.monitor_counts();
+        let (frame, process, cross) = self.escape_counts();
+        format!(
+            "verdicts: stores {elided}/{stores} elidable; virtual sites {mono} monomorphic, \
+             {poly} polymorphic; monitors {mon_elide}/{mon_total} elidable; alloc sites \
+             {frame} frame-local, {process} process-local, {cross} may-cross"
+        )
     }
 
     // ---- intra-method pass -------------------------------------------------
@@ -625,8 +871,12 @@ impl Analysis {
                 }
             }
             Op::CallVirtual(idx) => {
-                // Conservative at virtual dispatch: later loads may add
-                // overriding methods, so the result is Top.
+                // Virtual dispatch sharpened by CHA: the result is the join
+                // over every reachable override's summary. A later class
+                // load can add overrides, but the kernel re-runs the
+                // analysis (and republishes every fact) after each load
+                // batch, so the summary is exact for the current hierarchy.
+                // Only a bailed hierarchy walk falls back to `Top`.
                 let RConst::VirtualMethod { class, vslot, nargs, .. } = rpool.get(idx as usize)?
                 else {
                     return None;
@@ -636,13 +886,14 @@ impl Analysis {
                     .get(class.0 as usize)?
                     .vtable
                     .get(*vslot as usize)?;
+                let (class, vslot) = (*class, *vslot);
                 let ret = table.methods.get(target.0 as usize)?.ret.clone();
                 for _ in 0..*nargs {
                     pop(state)?;
                 }
                 if let Some(ret) = ret {
                     let r = if ret.is_reference() {
-                        Region::Top
+                        self.virtual_result(table, class, vslot, &ret)
                     } else {
                         Local
                     };
@@ -681,6 +932,95 @@ impl Analysis {
             // (or the fixpoint has not reached it) — no value can flow, so
             // the optimistic bottom is sound and later passes refine it.
             None => Region::Local,
+        }
+    }
+
+    // ---- class-hierarchy analysis ------------------------------------------
+
+    /// Region of a `CallVirtual` reference result: the join over every
+    /// CHA-reachable override's summary, `Top` when the walk bailed.
+    fn virtual_result(
+        &mut self,
+        table: &ClassTable,
+        class: ClassIdx,
+        vslot: u16,
+        ret: &TypeDesc,
+    ) -> Region {
+        let ts = self.cha_targets(table, class, vslot);
+        if !ts.complete || ts.targets.is_empty() {
+            return Region::Top;
+        }
+        let targets = ts.targets.clone();
+        let mut r = Region::Local; // optimistic bottom, as for direct calls
+        for t in targets {
+            r = r.join(self.call_region(ret, Some(t)));
+        }
+        r
+    }
+
+    /// Reachable override targets for a `CallVirtual` through `(class,
+    /// vslot)`: the vtable entries of every loaded class at-or-below
+    /// `class`. Cached per hierarchy generation.
+    fn cha_targets(&mut self, table: &ClassTable, class: ClassIdx, vslot: u16) -> &ChaTargets {
+        self.cha.entry((class.0, vslot)).or_insert_with(|| {
+            let mut targets = Vec::new();
+            let mut complete = true;
+            for lc in &table.classes {
+                match bounded_is_subclass(table, lc.idx, class) {
+                    Some(true) => {
+                        if let Some(&t) = lc.vtable.get(vslot as usize) {
+                            targets.push(t);
+                        }
+                    }
+                    Some(false) => {}
+                    // Mangled/cyclic superclass chain: give up on the whole
+                    // site rather than risk an unsound target set.
+                    None => complete = false,
+                }
+            }
+            targets.sort_unstable_by_key(|t| t.0);
+            targets.dedup();
+            ChaTargets { targets, complete }
+        })
+    }
+
+    /// Counts reachable `CallVirtual` sites and records the pc-sorted
+    /// devirtualization table for the monomorphic ones.
+    fn collect_virtual_sites(
+        &mut self,
+        table: &ClassTable,
+        midx: MethodIdx,
+        states: &HashMap<u32, AbsState>,
+    ) {
+        let Some(m) = table.methods.get(midx.0 as usize) else {
+            return;
+        };
+        let Some(class) = table.classes.get(m.class.0 as usize) else {
+            return;
+        };
+        let mut entries = Vec::new();
+        for (pc, op) in m.code.ops.iter().enumerate() {
+            let Op::CallVirtual(idx) = *op else { continue };
+            if !states.contains_key(&(pc as u32)) {
+                continue; // unreachable: never dispatched, never compiled
+            }
+            let Some(RConst::VirtualMethod { class: sclass, vslot, .. }) =
+                class.rpool.get(idx as usize)
+            else {
+                continue;
+            };
+            let ts = self.cha_targets(table, *sclass, *vslot);
+            let mono = (ts.complete && ts.targets.len() == 1).then(|| ts.targets[0]);
+            match mono {
+                Some(target) => {
+                    self.virt_sites.0 += 1;
+                    entries.push((pc as u32, target));
+                }
+                None => self.virt_sites.1 += 1,
+            }
+        }
+        if !entries.is_empty() {
+            self.devirt.insert(midx.0, entries);
         }
     }
 
@@ -897,6 +1237,645 @@ impl Analysis {
             }
         }
     }
+
+    // ---- escape pass -------------------------------------------------------
+
+    /// Intra-method escape analysis: classifies every allocation site,
+    /// derives the monitor-elision and dies-local store bitmaps, and
+    /// records lock-order edges / syscall-under-lock lints. A method whose
+    /// bytecode cannot be followed simply contributes no facts (the region
+    /// pass has already decided bail status).
+    fn escape_method(&mut self, table: &ClassTable, midx: MethodIdx) {
+        let Some(m) = table.methods.get(midx.0 as usize) else {
+            return;
+        };
+        let interesting = m.code.ops.iter().any(|o| {
+            matches!(
+                o,
+                Op::New(_) | Op::NewArray(_) | Op::MonitorEnter | Op::MonitorExit
+            )
+        });
+        if !interesting {
+            return;
+        }
+        let Some(class) = table.classes.get(m.class.0 as usize) else {
+            return;
+        };
+
+        // Allocation sites, in pc order. Each gets a lock/heapprof identity:
+        // the allocated class name (arrays share one bucket).
+        let mut site_pc: Vec<u32> = Vec::new();
+        let mut site_name: Vec<String> = Vec::new();
+        for (pc, op) in m.code.ops.iter().enumerate() {
+            match *op {
+                Op::New(idx) => {
+                    let name = match class.rpool.get(idx as usize) {
+                        Some(RConst::Class(c)) => table
+                            .classes
+                            .get(c.0 as usize)
+                            .map(|lc| lc.name.clone())
+                            .unwrap_or_else(|| "?".to_string()),
+                        _ => "?".to_string(),
+                    };
+                    site_pc.push(pc as u32);
+                    site_name.push(name);
+                }
+                Op::NewArray(_) => {
+                    site_pc.push(pc as u32);
+                    site_name.push("array".to_string());
+                }
+                _ => {}
+            }
+        }
+        let nsites = site_pc.len();
+        let mut esc = vec![EscapeClass::FrameLocal; nsites];
+        // Sites whose critical section may contain a GC point: still
+        // frame-local for reporting, but their monitors stay dynamic.
+        let mut mon_gc = vec![false; nsites];
+
+        let Some(states) =
+            self.escape_fixpoint(table, midx, &site_pc, &site_name, &mut esc, &mut mon_gc)
+        else {
+            return;
+        };
+        self.escape_collect(table, midx, &site_pc, &site_name, &mut esc, &mon_gc, &states);
+    }
+
+    /// Worklist fixpoint for the escape domain. Returns the per-pc states,
+    /// `None` when the bytecode cannot be followed. Merge losses escalate
+    /// the dropped site to `MayCross` via `esc` as they happen.
+    #[allow(clippy::too_many_lines)]
+    fn escape_fixpoint(
+        &mut self,
+        table: &ClassTable,
+        midx: MethodIdx,
+        site_pc: &[u32],
+        site_name: &[String],
+        esc: &mut [EscapeClass],
+        mon_gc: &mut [bool],
+    ) -> Option<HashMap<u32, EscState>> {
+        let m = table.methods.get(midx.0 as usize)?;
+        let code = &m.code;
+        let rpool = &table.classes.get(m.class.0 as usize)?.rpool;
+        let nsites = site_pc.len();
+        let site_of = |pc: u32| site_pc.binary_search(&pc).ok().map(|i| i as u16);
+
+        let entry = EscState {
+            locals: vec![None; code.max_locals as usize],
+            stack: Vec::new(),
+            clean: vec![0u64; nsites.div_ceil(64)],
+            held: Vec::new(),
+            mon_held: Vec::new(),
+        };
+        let mut states: HashMap<u32, EscState> = HashMap::new();
+        let mut worklist: Vec<u32> = Vec::new();
+        esc_merge_into(&mut states, &mut worklist, code.ops.len(), 0, entry, esc)?;
+
+        while let Some(pc) = worklist.pop() {
+            let mut state = states.get(&pc)?.clone();
+            let Some(&op) = code.ops.get(pc as usize) else {
+                continue;
+            };
+            for h in &code.handlers {
+                if pc >= h.start && pc < h.end && may_throw(code.ops.get(pc as usize)?) {
+                    // Handler entry follows an exception-object allocation
+                    // (builtin throws materialise their exception), so no
+                    // site is still provably nursery-resident there, and
+                    // every pending monitor has seen a GC point.
+                    let hstate = EscState {
+                        locals: state.locals.clone(),
+                        stack: vec![None],
+                        clean: vec![0; state.clean.len()],
+                        held: state.held.clone(),
+                        mon_held: state.mon_held.iter().map(|&(s, _)| (s, true)).collect(),
+                    };
+                    esc_merge_into(&mut states, &mut worklist, code.ops.len(), h.target, hstate, esc)?;
+                }
+            }
+            let pop = |state: &mut EscState| state.stack.pop();
+            // Any op that may allocate is a GC point: every tracked site
+            // may be evacuated off its birth nursery page, so the clean
+            // set empties. Reference stores are included (a legal
+            // cross-heap edge allocates entry items and may OOM-retry).
+            let mut flow = Flow::Fall;
+            match op {
+                Op::ConstNull | Op::ConstInt(_) | Op::ConstFloat(_) => state.stack.push(None),
+                Op::ConstStr(_) => {
+                    gc_point(&mut state);
+                    state.stack.push(None);
+                }
+                Op::Load(slot) => {
+                    let v = *state.locals.get(slot as usize)?;
+                    state.stack.push(v);
+                }
+                Op::Store(slot) => {
+                    let v = pop(&mut state)?;
+                    *state.locals.get_mut(slot as usize)? = v;
+                }
+                Op::Pop => {
+                    pop(&mut state)?;
+                }
+                Op::Dup => {
+                    let v = *state.stack.last()?;
+                    state.stack.push(v);
+                }
+                Op::Swap => {
+                    let n = state.stack.len();
+                    if n < 2 {
+                        return None;
+                    }
+                    state.stack.swap(n - 1, n - 2);
+                }
+                Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::Div
+                | Op::Rem
+                | Op::Shl
+                | Op::Shr
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::FAdd
+                | Op::FSub
+                | Op::FMul
+                | Op::FDiv
+                | Op::CmpEq
+                | Op::CmpNe
+                | Op::CmpLt
+                | Op::CmpLe
+                | Op::CmpGt
+                | Op::CmpGe
+                | Op::FCmpEq
+                | Op::FCmpLt
+                | Op::FCmpLe
+                | Op::FCmpGt
+                | Op::FCmpGe
+                | Op::RefEq
+                | Op::RefNe
+                | Op::StrEq
+                | Op::StrCharAt => {
+                    pop(&mut state)?;
+                    pop(&mut state)?;
+                    state.stack.push(None);
+                }
+                Op::Neg
+                | Op::FNeg
+                | Op::I2F
+                | Op::F2I
+                | Op::StrLen
+                | Op::ParseInt
+                | Op::ArrayLen => {
+                    pop(&mut state)?;
+                    state.stack.push(None);
+                }
+                Op::StrConcat => {
+                    pop(&mut state)?;
+                    pop(&mut state)?;
+                    gc_point(&mut state);
+                    state.stack.push(None);
+                }
+                Op::Intern | Op::ToStr => {
+                    pop(&mut state)?;
+                    gc_point(&mut state);
+                    state.stack.push(None);
+                }
+                Op::Substr => {
+                    pop(&mut state)?;
+                    pop(&mut state)?;
+                    pop(&mut state)?;
+                    gc_point(&mut state);
+                    state.stack.push(None);
+                }
+                Op::Jump(t) => flow = Flow::JumpTo(t),
+                Op::JumpIfTrue(t) | Op::JumpIfFalse(t) => {
+                    pop(&mut state)?;
+                    flow = Flow::BranchTo(t);
+                }
+                Op::Return => flow = Flow::Stop,
+                Op::ReturnVal => {
+                    if let Some(s) = pop(&mut state)? {
+                        esc[s as usize] = esc[s as usize].max(EscapeClass::MayCross);
+                    }
+                    flow = Flow::Stop;
+                }
+                Op::New(_) | Op::NewArray(_) => {
+                    if matches!(op, Op::NewArray(_)) {
+                        pop(&mut state)?;
+                    }
+                    gc_point(&mut state);
+                    let s = site_of(pc)?;
+                    state.clean[(s / 64) as usize] |= 1 << (s % 64);
+                    state.stack.push(Some(s));
+                }
+                Op::GetField(_) | Op::InstanceOf(_) => {
+                    pop(&mut state)?;
+                    state.stack.push(None);
+                }
+                Op::PutField(idx) => {
+                    let RConst::InstanceField { ty, .. } = rpool.get(idx as usize)? else {
+                        return None;
+                    };
+                    let val = pop(&mut state)?;
+                    pop(&mut state)?; // receiver (read from final states later)
+                    if let Some(s) = val {
+                        // Classified precisely in the collection walk; the
+                        // fixpoint only needs the conservative floor.
+                        esc[s as usize] = esc[s as usize].max(EscapeClass::ProcessLocal);
+                    }
+                    if ty.is_reference() {
+                        gc_point(&mut state);
+                    }
+                }
+                Op::GetStatic(_) => {
+                    // First touch may materialise the statics object.
+                    gc_point(&mut state);
+                    state.stack.push(None);
+                }
+                Op::PutStatic(idx) => {
+                    let RConst::StaticField { ty, .. } = rpool.get(idx as usize)? else {
+                        return None;
+                    };
+                    let _ = ty;
+                    let val = pop(&mut state)?;
+                    if let Some(s) = val {
+                        esc[s as usize] = esc[s as usize].max(EscapeClass::ProcessLocal);
+                    }
+                    // Statics materialisation plus possible entry items.
+                    gc_point(&mut state);
+                }
+                Op::NullCheck => {
+                    pop(&mut state)?;
+                }
+                Op::MonitorEnter => {
+                    let recv = pop(&mut state)?;
+                    if let Some(s) = recv {
+                        let at = match state.mon_held.binary_search_by_key(&s, |e| e.0) {
+                            Ok(i) | Err(i) => i,
+                        };
+                        state.mon_held.insert(at, (s, false));
+                    }
+                    let id = self.lock_identity(recv, site_name);
+                    if let Err(at) = state.held.binary_search(&id) {
+                        state.held.insert(at, id);
+                    }
+                }
+                Op::MonitorExit => {
+                    let recv = pop(&mut state)?;
+                    if let Some(s) = recv {
+                        match state.mon_held.binary_search_by_key(&s, |e| e.0) {
+                            Ok(at) => {
+                                if state.mon_held.remove(at).1 {
+                                    mon_gc[s as usize] = true;
+                                }
+                            }
+                            // Exit without a tracked pending enter:
+                            // defensive — never elide this site.
+                            Err(_) => mon_gc[s as usize] = true,
+                        }
+                    }
+                    let id = self.lock_identity(recv, site_name);
+                    if let Ok(at) = state.held.binary_search(&id) {
+                        state.held.remove(at);
+                    }
+                }
+                Op::CheckCast(_) => {
+                    let v = pop(&mut state)?;
+                    state.stack.push(v);
+                }
+                Op::ALoad => {
+                    pop(&mut state)?;
+                    pop(&mut state)?;
+                    state.stack.push(None);
+                }
+                Op::AStore => {
+                    let val = pop(&mut state)?;
+                    pop(&mut state)?; // index
+                    pop(&mut state)?; // array (read from final states later)
+                    if let Some(s) = val {
+                        esc[s as usize] = esc[s as usize].max(EscapeClass::ProcessLocal);
+                    }
+                    gc_point(&mut state); // element type unknown: assume ref
+                }
+                Op::CallStatic(idx) => {
+                    let RConst::DirectMethod(target) = rpool.get(idx as usize)? else {
+                        return None;
+                    };
+                    let tm = table.methods.get(target.0 as usize)?;
+                    let (nargs, ret) = (tm.arg_slots(), tm.ret.is_some());
+                    for _ in 0..nargs {
+                        if let Some(s) = pop(&mut state)? {
+                            esc[s as usize] = esc[s as usize].max(EscapeClass::MayCross);
+                        }
+                    }
+                    gc_point(&mut state);
+                    if ret {
+                        state.stack.push(None);
+                    }
+                }
+                Op::CallSpecial(idx) | Op::CallVirtual(idx) => {
+                    let RConst::VirtualMethod { class, vslot, nargs, .. } =
+                        rpool.get(idx as usize)?
+                    else {
+                        return None;
+                    };
+                    let target = *table
+                        .classes
+                        .get(class.0 as usize)?
+                        .vtable
+                        .get(*vslot as usize)?;
+                    let ret = table.methods.get(target.0 as usize)?.ret.is_some();
+                    for _ in 0..*nargs {
+                        if let Some(s) = pop(&mut state)? {
+                            esc[s as usize] = esc[s as usize].max(EscapeClass::MayCross);
+                        }
+                    }
+                    gc_point(&mut state);
+                    if ret {
+                        state.stack.push(None);
+                    }
+                }
+                Op::Syscall(idx) => {
+                    let RConst::Intrinsic { id, .. } = rpool.get(idx as usize)? else {
+                        return None;
+                    };
+                    let def = table.intrinsics().def(*id)?;
+                    let (nparams, ret) = (def.params.len(), def.ret.is_some());
+                    for _ in 0..nparams {
+                        if let Some(s) = pop(&mut state)? {
+                            esc[s as usize] = esc[s as usize].max(EscapeClass::MayCross);
+                        }
+                    }
+                    gc_point(&mut state);
+                    if ret {
+                        state.stack.push(None);
+                    }
+                }
+                Op::Throw => {
+                    if let Some(s) = pop(&mut state)? {
+                        esc[s as usize] = esc[s as usize].max(EscapeClass::MayCross);
+                    }
+                    flow = Flow::Stop;
+                }
+            }
+            match flow {
+                Flow::Fall => {
+                    esc_merge_into(&mut states, &mut worklist, code.ops.len(), pc + 1, state, esc)?;
+                }
+                Flow::JumpTo(t) => {
+                    esc_merge_into(&mut states, &mut worklist, code.ops.len(), t, state, esc)?;
+                }
+                Flow::BranchTo(t) => {
+                    esc_merge_into(
+                        &mut states,
+                        &mut worklist,
+                        code.ops.len(),
+                        t,
+                        state.clone(),
+                        esc,
+                    )?;
+                    esc_merge_into(&mut states, &mut worklist, code.ops.len(), pc + 1, state, esc)?;
+                }
+                Flow::Stop => {}
+            }
+        }
+        Some(states)
+    }
+
+    /// Interned lock identity for a monitor receiver: the allocation-site
+    /// class name when the receiver is a tracked fresh object, `"?"`
+    /// otherwise.
+    fn lock_identity(&mut self, recv: Option<u16>, site_name: &[String]) -> u16 {
+        let name = match recv {
+            Some(s) => site_name.get(s as usize).map_or("?", String::as_str),
+            None => "?",
+        };
+        // The borrow of `site_name` ends before the intern-table update.
+        let name = name.to_string();
+        self.intern_lock_name(&name)
+    }
+
+    /// Walks the ops once against the final fixpoint states: derives the
+    /// monitor/dies-local bitmaps, the per-site escape verdicts, the
+    /// lock-order edges, and the syscall-under-lock lints.
+    #[allow(clippy::too_many_arguments)]
+    fn escape_collect(
+        &mut self,
+        table: &ClassTable,
+        midx: MethodIdx,
+        site_pc: &[u32],
+        site_name: &[String],
+        esc: &mut [EscapeClass],
+        mon_gc: &[bool],
+        states: &HashMap<u32, EscState>,
+    ) {
+        let Some(m) = table.methods.get(midx.0 as usize) else {
+            return;
+        };
+        let Some(class) = table.classes.get(m.class.0 as usize) else {
+            return;
+        };
+        let code = &m.code;
+        let (class_name, method_name) = (class.name.clone(), m.name.clone());
+
+        // Pass A: escalate per-site verdicts using the store-site regions
+        // the region pass just derived, and record monitor candidates.
+        let mut mon_candidates: Vec<(u32, Option<u16>)> = Vec::new();
+        let mut local_pcs: Vec<u32> = Vec::new();
+        let mut lock_lints: Vec<(u32, String)> = Vec::new();
+        for (pc, op) in code.ops.iter().enumerate() {
+            let pc32 = pc as u32;
+            let Some(state) = states.get(&pc32) else {
+                continue;
+            };
+            let n = state.stack.len();
+            let clean = |s: u16| (state.clean[(s / 64) as usize] >> (s % 64)) & 1 != 0;
+            match *op {
+                Op::MonitorEnter => {
+                    let recv = n.checked_sub(1).and_then(|i| state.stack[i]);
+                    mon_candidates.push((pc32, recv));
+                    // Lock-order edges from every already-held identity to
+                    // the one being acquired (self-edges excluded: monitors
+                    // are re-entrant, so same-class nesting is routine).
+                    let entering = match recv {
+                        Some(s) => site_name.get(s as usize).map_or("?", String::as_str),
+                        None => "?",
+                    };
+                    let entering = self.intern_lock_name(entering);
+                    for &h in &state.held {
+                        if h != entering {
+                            self.lock_edges.push((h, entering, midx.0, pc32));
+                        }
+                    }
+                }
+                Op::MonitorExit => {
+                    let recv = n.checked_sub(1).and_then(|i| state.stack[i]);
+                    mon_candidates.push((pc32, recv));
+                }
+                Op::PutField(_) if n >= 2 => {
+                    if let Some(r) = state.stack[n - 2] {
+                        if clean(r) && self.sites.contains_key(&(midx.0, pc32)) {
+                            local_pcs.push(pc32);
+                        }
+                    }
+                    if let Some(v) = state.stack[n - 1] {
+                        self.escalate_store(esc, v, midx, pc32);
+                    }
+                }
+                Op::AStore if n >= 3 => {
+                    if let Some(r) = state.stack[n - 3] {
+                        if clean(r) && self.sites.contains_key(&(midx.0, pc32)) {
+                            local_pcs.push(pc32);
+                        }
+                    }
+                    if let Some(v) = state.stack[n - 1] {
+                        self.escalate_store(esc, v, midx, pc32);
+                    }
+                }
+                Op::Syscall(idx) if !state.held.is_empty() => {
+                    let name = match class.rpool.get(idx as usize) {
+                        Some(RConst::Intrinsic { id, .. }) => table
+                            .intrinsics()
+                            .def(*id)
+                            .map(|d| d.name.clone())
+                            .unwrap_or_else(|| "?".to_string()),
+                        _ => "?".to_string(),
+                    };
+                    let held: Vec<&str> = state
+                        .held
+                        .iter()
+                        .map(|&h| self.lock_names.get(h as usize).map_or("?", String::as_str))
+                        .collect();
+                    lock_lints.push((
+                        pc32,
+                        format!("syscall {name} while holding [{}]", held.join(", ")),
+                    ));
+                }
+                _ => {}
+            }
+        }
+
+        // Pass B: resolve monitor candidates against the final verdicts.
+        let mut mon_bitmap = vec![0u64; code.ops.len().div_ceil(64)];
+        let mut any_mon = false;
+        for &(pc, recv) in &mon_candidates {
+            self.mon_ops.1 += 1;
+            // Elide only when the receiver never leaves the frame AND no
+            // GC point can fall inside the critical section: the monitor
+            // registry is a GC root set, so a collection while an elided
+            // monitor is held would trace observably fewer entries.
+            let elide = matches!(recv, Some(s)
+                if esc[s as usize] == EscapeClass::FrameLocal && !mon_gc[s as usize]);
+            if elide {
+                self.mon_ops.0 += 1;
+                mon_bitmap[(pc / 64) as usize] |= 1 << (pc % 64);
+                any_mon = true;
+            }
+        }
+        if any_mon {
+            self.mon_bitmaps.insert(midx.0, mon_bitmap);
+        }
+        if !local_pcs.is_empty() {
+            let mut bitmap = vec![0u64; code.ops.len().div_ceil(64)];
+            for pc in local_pcs {
+                bitmap[(pc / 64) as usize] |= 1 << (pc % 64);
+            }
+            self.local_bitmaps.insert(midx.0, bitmap);
+        }
+        for (i, &pc) in site_pc.iter().enumerate() {
+            if states.contains_key(&pc) {
+                self.alloc_escape.insert((midx.0, pc), esc[i]);
+            }
+        }
+        for (pc, msg) in lock_lints {
+            self.lints.push(Lint {
+                kind: LintKind::LockHeldAcrossSyscall,
+                class: class_name.clone(),
+                method: method_name.clone(),
+                pc,
+                line: code.line_for(pc),
+                msg,
+            });
+        }
+    }
+
+    /// Interns a lock identity by name (collection-walk variant of
+    /// [`Analysis::lock_identity`]).
+    fn intern_lock_name(&mut self, name: &str) -> u16 {
+        match self.lock_names.iter().position(|n| n == name) {
+            Some(i) => i as u16,
+            None => {
+                self.lock_names.push(name.to_string());
+                (self.lock_names.len() - 1) as u16
+            }
+        }
+    }
+
+    /// Escalates a fresh site stored at `(midx, pc)`: stores into a
+    /// proven-own-heap receiver keep the object process-local; anything
+    /// else may cross.
+    fn escalate_store(&mut self, esc: &mut [EscapeClass], s: u16, midx: MethodIdx, pc: u32) {
+        let to = match self.sites.get(&(midx.0, pc)).map(|site| site.recv) {
+            Some(Region::Local) => EscapeClass::ProcessLocal,
+            _ => EscapeClass::MayCross,
+        };
+        esc[s as usize] = esc[s as usize].max(to);
+    }
+
+    /// Emits `deadlock-candidate` lints: one per lock-order edge that
+    /// participates in a cycle of the global (cross-method) graph.
+    fn deadlock_lints(&mut self, table: &ClassTable) {
+        if self.lock_edges.is_empty() {
+            return;
+        }
+        let n = self.lock_names.len();
+        let mut adj = vec![Vec::new(); n];
+        for &(from, to, _, _) in &self.lock_edges {
+            if !adj[from as usize].contains(&to) {
+                adj[from as usize].push(to);
+            }
+        }
+        let reaches = |from: u16, to: u16| -> bool {
+            let mut seen = vec![false; n];
+            let mut stack = vec![from];
+            while let Some(v) = stack.pop() {
+                if v == to {
+                    return true;
+                }
+                if std::mem::replace(&mut seen[v as usize], true) {
+                    continue;
+                }
+                stack.extend(adj[v as usize].iter().copied());
+            }
+            false
+        };
+        let edges = self.lock_edges.clone();
+        for (from, to, mid, pc) in edges {
+            if !reaches(to, from) {
+                continue;
+            }
+            let Some(m) = table.methods.get(mid as usize) else {
+                continue;
+            };
+            let class_name = table
+                .classes
+                .get(m.class.0 as usize)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            let (a, b) = (
+                self.lock_names.get(from as usize).map_or("?", String::as_str),
+                self.lock_names.get(to as usize).map_or("?", String::as_str),
+            );
+            self.lints.push(Lint {
+                kind: LintKind::DeadlockCandidate,
+                class: class_name,
+                method: m.name.clone(),
+                pc,
+                line: m.code.line_for(pc),
+                msg: format!("lock-order cycle: {a} -> {b}"),
+            });
+        }
+    }
 }
 
 /// Figure-2 verdict for a reference store given operand regions.
@@ -926,11 +1905,28 @@ fn intrinsic_region(name: &str, ret: &TypeDesc) -> Region {
     }
 }
 
+/// `a` is `b` or a subclass of `b` — with the superclass walk bounded by
+/// the table size, so a mangled/cyclic hierarchy yields `None` (the CHA
+/// pass then treats the site as fully polymorphic) instead of looping.
+fn bounded_is_subclass(table: &ClassTable, a: ClassIdx, b: ClassIdx) -> Option<bool> {
+    let mut cursor = Some(a);
+    for _ in 0..=table.classes.len() {
+        match cursor {
+            None => return Some(false),
+            Some(c) if c == b => return Some(true),
+            Some(c) => cursor = table.classes.get(c.0 as usize)?.super_idx,
+        }
+    }
+    None
+}
+
 /// Walks up the superclass chain to the class that declared `slot`, so
 /// stores through a subclass receiver and reads through the superclass
 /// share one field summary.
 fn declaring_class(table: &ClassTable, mut c: ClassIdx, slot: u16) -> Option<ClassIdx> {
-    loop {
+    // Bounded like `bounded_is_subclass`: a cyclic chain bails the method
+    // rather than spinning.
+    for _ in 0..=table.classes.len() {
         let lc = table.classes.get(c.0 as usize)?;
         match lc.super_idx {
             Some(s) if (slot as usize) < table.classes.get(s.0 as usize)?.instance_fields.len() => {
@@ -939,6 +1935,7 @@ fn declaring_class(table: &ClassTable, mut c: ClassIdx, slot: u16) -> Option<Cla
             _ => return Some(c),
         }
     }
+    None
 }
 
 /// Merges `state` into the recorded state at `pc`, queueing `pc` when the
@@ -977,6 +1974,128 @@ fn merge_into(
                 let j = a.join(*b);
                 if *a != j {
                     *a = j;
+                    changed = true;
+                }
+            }
+            if changed {
+                worklist.push(pc);
+            }
+        }
+    }
+    Some(())
+}
+
+/// Escape-domain counterpart of [`merge_into`]. When two paths disagree
+/// on a slot the merged slot drops to `None`, but the site whose identity
+/// was lost is *killed* (escalated to `MayCross`, disabling every monitor
+/// elision on it) only when some tracked occurrence of it **survives the
+/// merge** — another slot both paths agree on, or a pending tracked
+/// `MonitorEnter` on both paths (`mon_held`). A surviving alias is the
+/// hazard: it could reach a `MonitorExit` that elides while the matching
+/// enter ran unelided through the lost reference, or vice versa. When
+/// every occurrence dies in the same merge (the classic loop-head merge
+/// of a fresh loop-body allocation — plus its hidden `sync` alias —
+/// against the pre-loop `None`s), dropping them silently is sound: no
+/// reference to the old iteration's object remains tracked, so no later
+/// op can decide anything about it, and the next iteration's object
+/// starts its own fresh tracking. `clean` intersects; `held` (lock
+/// identities, for the deadlock lint — deliberately over-approximate)
+/// unions; `mon_held` intersects, and a site pending on only one path is
+/// killed outright — elision must not change whether a path that never
+/// entered raises on its exit.
+fn esc_merge_into(
+    states: &mut HashMap<u32, EscState>,
+    worklist: &mut Vec<u32>,
+    ops_len: usize,
+    pc: u32,
+    state: EscState,
+    esc: &mut [EscapeClass],
+) -> Option<()> {
+    if pc as usize > ops_len {
+        return None;
+    }
+    match states.get_mut(&pc) {
+        None => {
+            states.insert(pc, state);
+            worklist.push(pc);
+        }
+        Some(existing) => {
+            if existing.stack.len() != state.stack.len()
+                || existing.locals.len() != state.locals.len()
+            {
+                return None;
+            }
+            let mut changed = false;
+            // Pending tracked enters must agree across paths: a site in
+            // the symmetric difference entered on one path only, and an
+            // elided exit on the never-entered path would swallow the
+            // IllegalState the dynamic op raises — killed outright.
+            if existing.mon_held != state.mon_held {
+                let (mut i, mut j) = (0usize, 0usize);
+                let mut inter = Vec::new();
+                while i < existing.mon_held.len() && j < state.mon_held.len() {
+                    let (a, b) = (existing.mon_held[i], state.mon_held[j]);
+                    match a.0.cmp(&b.0) {
+                        core::cmp::Ordering::Equal => {
+                            inter.push((a.0, a.1 || b.1));
+                            i += 1;
+                            j += 1;
+                        }
+                        core::cmp::Ordering::Less => {
+                            esc[a.0 as usize] = EscapeClass::MayCross;
+                            i += 1;
+                        }
+                        core::cmp::Ordering::Greater => {
+                            esc[b.0 as usize] = EscapeClass::MayCross;
+                            j += 1;
+                        }
+                    }
+                }
+                for &(s, _) in &existing.mon_held[i..] {
+                    esc[s as usize] = EscapeClass::MayCross;
+                }
+                for &(s, _) in &state.mon_held[j..] {
+                    esc[s as usize] = EscapeClass::MayCross;
+                }
+                if existing.mon_held != inter {
+                    existing.mon_held = inter;
+                    changed = true;
+                }
+            }
+            let mut lost: Vec<u16> = Vec::new();
+            let slots = existing
+                .locals
+                .iter_mut()
+                .zip(&state.locals)
+                .chain(existing.stack.iter_mut().zip(&state.stack));
+            for (a, b) in slots {
+                if *a != *b {
+                    lost.extend(a.iter().chain(b.iter()));
+                    if a.is_some() {
+                        changed = true;
+                    }
+                    *a = None;
+                }
+            }
+            // A lost site with a surviving tracked occurrence is killed;
+            // one whose every occurrence died here is silently forgotten.
+            for s in lost {
+                if existing.locals.iter().chain(&existing.stack).any(|x| *x == Some(s))
+                    || existing.mon_held.iter().any(|e| e.0 == s)
+                {
+                    esc[s as usize] = esc[s as usize].max(EscapeClass::MayCross);
+                }
+            }
+            for (a, b) in existing.clean.iter_mut().zip(&state.clean) {
+                let j = *a & *b;
+                if *a != j {
+                    *a = j;
+                    changed = true;
+                }
+            }
+            for &h in &state.held {
+                if let Err(at) = existing.held.binary_search(&h) {
+                    existing.held.insert(at, h);
                     changed = true;
                 }
             }

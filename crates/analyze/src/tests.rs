@@ -1,6 +1,6 @@
 //! Unit tests: region lattice, verdicts, lints, and never-panic bail-out.
 
-use crate::{analyze, LintKind, Region, Verdict};
+use crate::{analyze, EscapeClass, LintKind, Region, Verdict};
 use kaffeos_vm::{
     ClassBuilder, ClassDef, ClassTable, Const, IntrinsicRegistry, MethodBuilder, Op, TypeDesc,
 };
@@ -128,8 +128,10 @@ fn static_call_summary_keeps_store_elidable() {
     assert_eq!(an.site(main, 2).expect("store site").verdict, Verdict::Elide);
 }
 
-#[test]
-fn virtual_call_result_is_top_and_linted_as_receiver() {
+/// Builds the virtual-call fixture: `A.get` returns its receiver
+/// (`MayCross` summary), `A.main` stores a fresh object into the call's
+/// result. Optional extra defs (e.g. an override) load after `A`.
+fn virtual_fixture(extra: Vec<ClassDef>) -> (ClassTable, u32) {
     let mut b = ClassBuilder::new("A").field("f", obj());
     let a = b.pool(Const::Class("A".to_string()));
     let o = b.pool(Const::Class("Object".to_string()));
@@ -160,18 +162,57 @@ fn virtual_call_result_is_top_and_linted_as_receiver() {
                 .build(),
         )
         .build();
-    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    table_with(
+        IntrinsicRegistry::new(),
+        std::iter::once(def).chain(extra).collect(),
+    )
+}
+
+#[test]
+fn monomorphic_virtual_call_is_sharpened_and_devirtualized() {
+    let (table, ns) = virtual_fixture(Vec::new());
+    let cls = table.lookup(ns, "A").unwrap();
+    let main = table.find_method(cls, "main").unwrap();
+    let get = table.find_method(cls, "get").unwrap();
+
+    let an = analyze(&table);
+    // With no loaded override, CHA proves the only reachable target is
+    // `A.get`, whose summary is MayCross (it returns its receiver) — not
+    // the old blanket Top, so the site no longer lints.
+    let site = an.site(main, 3).expect("store site");
+    assert_eq!(site.recv, Region::MayCross);
+    assert_eq!(site.verdict, Verdict::Unknown);
+    assert!(
+        !an.lints.iter().any(|l| l.kind == LintKind::SegViolationCandidate),
+        "sharpened site must not lint: {:?}",
+        an.lints
+    );
+    assert_eq!(an.devirt_table(main), vec![(1, get)]);
+    assert_eq!(an.devirt_counts(), (1, 0));
+}
+
+#[test]
+fn loaded_override_makes_the_site_polymorphic() {
+    let sub = ClassBuilder::new("B")
+        .extends("A")
+        .method(
+            MethodBuilder::instance("get")
+                .returns(TypeDesc::Class("A".to_string()))
+                .ops([Op::Load(0), Op::ReturnVal])
+                .build(),
+        )
+        .build();
+    let (table, ns) = virtual_fixture(vec![sub]);
     let cls = table.lookup(ns, "A").unwrap();
     let main = table.find_method(cls, "main").unwrap();
 
     let an = analyze(&table);
+    // Two reachable targets: the summaries still join (MayCross here),
+    // but nothing devirtualizes.
     let site = an.site(main, 3).expect("store site");
-    assert_eq!(site.recv, Region::Top);
-    assert_eq!(site.verdict, Verdict::Unknown);
-    assert!(an
-        .lints
-        .iter()
-        .any(|l| l.kind == LintKind::SegViolationCandidate && l.pc == 3 && l.method == "main"));
+    assert_eq!(site.recv, Region::MayCross);
+    assert!(an.devirt_table(main).is_empty());
+    assert_eq!(an.devirt_counts(), (0, 1));
 }
 
 #[test]
@@ -311,6 +352,319 @@ fn allocating_loop_without_calls_is_linted() {
         .lints
         .iter()
         .any(|l| l.kind == LintKind::AllocInLoopNoSafepoint && l.pc == 2));
+}
+
+#[test]
+fn join_laws_hold_exhaustively() {
+    use Region::*;
+    const ALL: [Region; 5] = [Local, KernelConst, SharedFrozen, MayCross, Top];
+    for a in ALL {
+        assert_eq!(a.join(a), a, "idempotence: {a:?}");
+        assert_eq!(a.join(Top), Top, "Top absorbs: {a:?}");
+        for b in ALL {
+            assert_eq!(a.join(b), b.join(a), "commutativity: {a:?} {b:?}");
+            for c in ALL {
+                assert_eq!(
+                    a.join(b).join(c),
+                    a.join(b.join(c)),
+                    "associativity: {a:?} {b:?} {c:?}"
+                );
+            }
+        }
+    }
+    // The escape domain escalates with `max`, so its order is the law.
+    assert!(EscapeClass::FrameLocal < EscapeClass::ProcessLocal);
+    assert!(EscapeClass::ProcessLocal < EscapeClass::MayCross);
+}
+
+#[test]
+fn cyclic_hierarchy_defeats_devirtualization_without_hanging() {
+    let sub = ClassBuilder::new("B")
+        .extends("A")
+        .method(
+            MethodBuilder::instance("get")
+                .returns(TypeDesc::Class("A".to_string()))
+                .ops([Op::Load(0), Op::ReturnVal])
+                .build(),
+        )
+        .build();
+    let (mut table, ns) = virtual_fixture(vec![sub]);
+    let a_cls = table.lookup(ns, "A").unwrap();
+    let b_cls = table.lookup(ns, "B").unwrap();
+    let main = table.find_method(a_cls, "main").unwrap();
+    // Corrupt the chain into a cycle: B's superclass is B itself. The
+    // bounded subclass walk must bail (not spin), and CHA must treat the
+    // site as unsharpenable rather than guess a target set.
+    table.classes[b_cls.0 as usize].super_idx = Some(b_cls);
+
+    let an = analyze(&table);
+    assert!(an.devirt_table(main).is_empty(), "cyclic chain must not devirtualize");
+    let (mono, _poly) = an.devirt_counts();
+    assert_eq!(mono, 0);
+}
+
+#[test]
+fn monitor_on_frame_local_receiver_is_elided() {
+    let mut b = ClassBuilder::new("A");
+    let o = b.pool(Const::Class("Object".to_string()));
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .locals(1)
+                .ops([
+                    Op::New(o),
+                    Op::Store(0),
+                    Op::Load(0),
+                    Op::MonitorEnter,
+                    Op::Load(0),
+                    Op::MonitorExit,
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    assert_eq!(an.escape_class(m, 0), Some(EscapeClass::FrameLocal));
+    assert_eq!(an.monitor_counts(), (2, 2));
+    let bm = an.monitor_bitmap(m);
+    assert_ne!(bm[0] & (1 << 3), 0, "enter at pc 3 elidable");
+    assert_ne!(bm[0] & (1 << 5), 0, "exit at pc 5 elidable");
+}
+
+#[test]
+fn monitor_on_escaping_receiver_is_not_elided() {
+    let mut b = ClassBuilder::new("A");
+    let o = b.pool(Const::Class("Object".to_string()));
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .returns(obj())
+                .locals(1)
+                .ops([
+                    Op::New(o),
+                    Op::Store(0),
+                    Op::Load(0),
+                    Op::MonitorEnter,
+                    Op::Load(0),
+                    Op::MonitorExit,
+                    Op::Load(0),
+                    Op::ReturnVal,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    // The receiver is returned, so it may outlive the frame: both monitor
+    // ops must stay dynamic.
+    assert_eq!(an.escape_class(m, 0), Some(EscapeClass::MayCross));
+    assert_eq!(an.monitor_counts(), (0, 2));
+    assert!(an.monitor_bitmap(m).is_empty());
+}
+
+#[test]
+fn loop_allocated_receiver_stays_frame_local_across_back_edge() {
+    // Regression for the merge rule: the loop-head merge sees the
+    // pre-loop `None` against the back edge's fresh site. Since every
+    // tracked occurrence dies in that merge, the site must be silently
+    // forgotten — not killed — and each iteration's monitor pair elides.
+    let mut b = ClassBuilder::new("A");
+    let o = b.pool(Const::Class("Object".to_string()));
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .locals(2)
+                .ops([
+                    Op::ConstInt(10),
+                    Op::Store(0),
+                    Op::New(o), // pc 2: loop head, fresh lock each iteration
+                    Op::Store(1),
+                    Op::Load(1),
+                    Op::MonitorEnter,
+                    Op::Load(1),
+                    Op::MonitorExit,
+                    Op::Load(0),
+                    Op::ConstInt(1),
+                    Op::Sub,
+                    Op::Dup,
+                    Op::Store(0),
+                    Op::JumpIfTrue(2),
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    assert_eq!(an.escape_class(m, 2), Some(EscapeClass::FrameLocal));
+    assert_eq!(an.monitor_counts(), (2, 2));
+    let bm = an.monitor_bitmap(m);
+    assert_ne!(bm[0] & (1 << 5), 0, "enter at pc 5 elidable");
+    assert_ne!(bm[0] & (1 << 7), 0, "exit at pc 7 elidable");
+}
+
+#[test]
+fn clean_receiver_store_gets_the_dies_local_bit() {
+    let mut b = ClassBuilder::new("A").field("f", obj());
+    let a = b.pool(Const::Class("A".to_string()));
+    let f = b.pool(Const::Field {
+        class: "A".to_string(),
+        name: "f".to_string(),
+    });
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .param(obj())
+                .ops([Op::New(a), Op::Load(0), Op::PutField(f), Op::Return])
+                .build(),
+        )
+        .build();
+    let (table, ns) = table_with(IntrinsicRegistry::new(), vec![def]);
+    let cls = table.lookup(ns, "A").unwrap();
+    let m = table.find_method(cls, "m").unwrap();
+
+    let an = analyze(&table);
+    // The store itself is not barrier-elidable (the value is a parameter,
+    // region MayCross), but the receiver is provably still on its birth
+    // nursery page — the dies-local and elide bits are independent.
+    assert!(an.elision_bitmap(&table, m).is_empty());
+    let lm = an.local_bitmap(m);
+    assert_ne!(lm[0] & (1 << 2), 0, "dies-local bit at pc 2");
+}
+
+/// Two locks, two methods, opposite acquisition orders.
+fn deadlock_fixture() -> (ClassTable, u32) {
+    let mut b = ClassBuilder::new("A");
+    let la = b.pool(Const::Class("LockA".to_string()));
+    let lb = b.pool(Const::Class("LockB".to_string()));
+    let nest = |outer, inner| {
+        MethodBuilder::of_static(if outer == la { "ab" } else { "ba" })
+            .locals(2)
+            .ops([
+                Op::New(outer),
+                Op::Store(0),
+                Op::Load(0),
+                Op::MonitorEnter,
+                Op::New(inner),
+                Op::Store(1),
+                Op::Load(1),
+                Op::MonitorEnter,
+                Op::Load(1),
+                Op::MonitorExit,
+                Op::Load(0),
+                Op::MonitorExit,
+                Op::Return,
+            ])
+            .build()
+    };
+    let def = b.method(nest(la, lb)).method(nest(lb, la)).build();
+    table_with(
+        IntrinsicRegistry::new(),
+        vec![
+            ClassBuilder::new("LockA").build(),
+            ClassBuilder::new("LockB").build(),
+            def,
+        ],
+    )
+}
+
+#[test]
+fn opposite_lock_orders_are_linted_as_deadlock_candidates() {
+    let (table, _) = deadlock_fixture();
+    let an = analyze(&table);
+    let deadlocks: Vec<_> = an
+        .lints
+        .iter()
+        .filter(|l| l.kind == LintKind::DeadlockCandidate)
+        .collect();
+    assert_eq!(deadlocks.len(), 2, "both edges of the cycle lint: {:?}", an.lints);
+    assert!(deadlocks.iter().any(|l| l.msg.contains("LockA -> LockB")));
+    assert!(deadlocks.iter().any(|l| l.msg.contains("LockB -> LockA")));
+}
+
+#[test]
+fn nested_same_class_locks_do_not_lint() {
+    let mut b = ClassBuilder::new("A");
+    let la = b.pool(Const::Class("LockA".to_string()));
+    let def = b
+        .method(
+            MethodBuilder::of_static("aa")
+                .locals(2)
+                .ops([
+                    Op::New(la),
+                    Op::Store(0),
+                    Op::Load(0),
+                    Op::MonitorEnter,
+                    Op::New(la),
+                    Op::Store(1),
+                    Op::Load(1),
+                    Op::MonitorEnter,
+                    Op::Load(1),
+                    Op::MonitorExit,
+                    Op::Load(0),
+                    Op::MonitorExit,
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, _) = table_with(
+        IntrinsicRegistry::new(),
+        vec![ClassBuilder::new("LockA").build(), def],
+    );
+    let an = analyze(&table);
+    // Re-entrant same-class nesting is routine; self-edges are excluded.
+    assert!(
+        !an.lints.iter().any(|l| l.kind == LintKind::DeadlockCandidate),
+        "{:?}",
+        an.lints
+    );
+}
+
+#[test]
+fn syscall_under_lock_is_linted() {
+    let mut r = IntrinsicRegistry::new();
+    r.register("sched.yield", vec![], None);
+    let mut b = ClassBuilder::new("A");
+    let la = b.pool(Const::Class("LockA".to_string()));
+    let y = b.pool(Const::Intrinsic("sched.yield".to_string()));
+    let def = b
+        .method(
+            MethodBuilder::of_static("m")
+                .locals(1)
+                .ops([
+                    Op::New(la),
+                    Op::Store(0),
+                    Op::Load(0),
+                    Op::MonitorEnter,
+                    Op::Syscall(y),
+                    Op::Load(0),
+                    Op::MonitorExit,
+                    Op::Return,
+                ])
+                .build(),
+        )
+        .build();
+    let (table, _) = table_with(r, vec![ClassBuilder::new("LockA").build(), def]);
+    let an = analyze(&table);
+    let lint = an
+        .lints
+        .iter()
+        .find(|l| l.kind == LintKind::LockHeldAcrossSyscall)
+        .unwrap_or_else(|| panic!("expected lock-held-across-syscall: {:?}", an.lints));
+    assert_eq!(lint.pc, 4);
+    assert!(lint.msg.contains("sched.yield"), "{}", lint.msg);
+    assert!(lint.msg.contains("LockA"), "{}", lint.msg);
 }
 
 #[test]

@@ -472,11 +472,14 @@ impl KaffeOs {
         &self.config
     }
 
-    /// Re-runs the static heap-flow analyzer over every loaded class and
-    /// republishes barrier-elision bitmaps for **all** methods. Must run
-    /// after each class-load batch (loads happen between quanta, so there
-    /// is no window where a stale bitmap executes): a new override or
-    /// field store can only *raise* region summaries, shrinking bitmaps.
+    /// Re-runs the static analyzer (region, hierarchy, and escape passes)
+    /// over every loaded class and republishes per-method facts for **all**
+    /// methods: barrier-elision bitmaps, monitor-elision and dies-local
+    /// bitmaps, and devirtualized call-site tables. Must run after each
+    /// class-load batch (loads happen between quanta, so there is no window
+    /// where a stale fact executes): a new override or field store can only
+    /// *raise* region summaries — shrinking bitmaps and turning monomorphic
+    /// sites polymorphic, never the reverse.
     fn republish_elision(&mut self) {
         if !self.config.elide {
             return;
@@ -486,16 +489,25 @@ impl KaffeOs {
             .map(|i| self.analysis.elision_bitmap(&self.table, MethodIdx(i as u32)))
             .collect();
         for (i, bm) in bitmaps.into_iter().enumerate() {
-            self.table.set_elision(MethodIdx(i as u32), bm);
+            let midx = MethodIdx(i as u32);
+            self.table.set_elision(midx, bm);
+            self.table.set_analysis_facts(
+                midx,
+                self.analysis.monitor_bitmap(midx),
+                self.analysis.local_bitmap(midx),
+                self.analysis.devirt_table(midx),
+            );
         }
         self.invalidate_stale_bodies();
     }
 
-    /// Invalidates compiled bodies whose baked-in elision verdicts no
-    /// longer match the published bitmaps (class reload / analyzer
-    /// republish). The method re-tiers from a cold counter and compiles
-    /// under its new cache key; other processes whose verdicts still match
-    /// keep sharing the old body under the old key.
+    /// Invalidates compiled bodies whose baked-in analysis facts no longer
+    /// match the published ones (class reload / analyzer republish) — a
+    /// changed elision bitmap, a devirtualized site whose hierarchy gained
+    /// an override, or a changed class definition. The method re-tiers
+    /// from a cold counter and compiles under its new cache key; other
+    /// processes whose facts still match keep sharing the old body under
+    /// the old key.
     fn invalidate_stale_bodies(&mut self) {
         for proc in &mut self.procs {
             if matches!(proc.state, ProcState::Dead(_)) {
@@ -504,12 +516,12 @@ impl KaffeOs {
             // `attached()` walks in method order, so the invalidation
             // sequence (and thus the cache's eviction clock) is
             // deterministic.
+            let jit_cache = &mut self.jit_cache;
+            let table = &self.table;
             let stale: Vec<(MethodIdx, kaffeos_vm::MethodKey)> = proc
                 .jit
                 .attached()
-                .filter(|(midx, ab)| {
-                    kaffeos_vm::elide_fingerprint(&self.table, *midx) != ab.key.elide_hash
-                })
+                .filter(|(midx, ab)| jit_cache.key_for(table, *midx) != ab.key)
                 .map(|(midx, ab)| (midx, ab.key))
                 .collect();
             for (midx, key) in stale {
@@ -691,6 +703,8 @@ impl KaffeOs {
             spawn_args: args.to_string(),
             spawn_opts: opts,
             jit: kaffeos_vm::ProcJit::default(),
+            devirt_calls: 0,
+            monitors_elided: 0,
         };
 
         // Resolve the entry point: the image's class that declares a static
@@ -952,7 +966,17 @@ impl KaffeOs {
         let _ = writeln!(out, "jit_cache_hits:\t{}", p.jit.stats.hits);
         let _ = writeln!(out, "jit_shared_reuse:\t{}", p.jit.stats.reuse);
         let _ = writeln!(out, "jit_bytes:\t{}", p.jit.stats.bytes);
+        let _ = writeln!(out, "devirt_calls:\t{}", p.devirt_calls);
+        let _ = writeln!(out, "monitors_elided:\t{}", p.monitors_elided);
         out
+    }
+
+    /// `(devirtualized calls, monitor ops elided)` for a process — the
+    /// counters behind the two analysis lines in `proc.status`. `None` for
+    /// an unknown pid. Host observability only.
+    pub fn analysis_counters(&self, pid: Pid) -> Option<(u64, u64)> {
+        self.proc_index(pid)
+            .map(|idx| (self.procs[idx].devirt_calls, self.procs[idx].monitors_elided))
     }
 
     /// Per-process JIT statistics (methods compiled, shared-cache hits and
@@ -1001,8 +1025,8 @@ impl KaffeOs {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}  TOP-METHOD",
-            "PID", "NAME", "STATE", "EXEC", "GC", "KERNEL", "HEAP", "LIMIT", "JIT"
+            "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>13}  TOP-METHOD",
+            "PID", "NAME", "STATE", "EXEC", "GC", "KERNEL", "HEAP", "LIMIT", "JIT", "DEVIRT/ELIDE"
         );
         for p in &self.procs {
             let state = match &p.state {
@@ -1025,9 +1049,12 @@ impl KaffeOs {
             // Compiled methods plus shared-body reuses: "3+2" reads as
             // "3 compiled here, 2 picked up warm from the shared cache".
             let jit = format!("{}+{}", p.jit.stats.compiled, p.jit.stats.reuse);
+            // Devirtualized calls / elided monitor ops: the whole-program
+            // analysis' runtime payoff at a glance.
+            let devirt = format!("{}/{}", p.devirt_calls, p.monitors_elided);
             let _ = writeln!(
                 out,
-                "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}  {top}",
+                "{:>4} {:<14} {:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>13}  {top}",
                 p.pid.0,
                 p.name,
                 state,
@@ -1036,7 +1063,8 @@ impl KaffeOs {
                 p.cpu.kernel,
                 heap_used,
                 heap_limit,
-                jit
+                jit,
+                devirt
             );
         }
         out
@@ -2569,6 +2597,8 @@ impl KaffeOs {
         let drained = thread.drain_cycles();
         self.ops_executed += core::mem::take(&mut thread.ops);
         self.seg_sites.append(&mut thread.seg_sites);
+        let devirt_calls = core::mem::take(&mut thread.devirt_calls);
+        let monitors_elided = core::mem::take(&mut thread.monitors_elided);
         // Stack walk for the profiler, taken at the quantum boundary —
         // exactly where the drained cycles stopped accruing. Gated so a
         // disabled profiler allocates nothing.
@@ -2579,6 +2609,8 @@ impl KaffeOs {
         let proc = &mut self.procs[idx];
         proc.cpu.exec += drained.exec();
         proc.cpu.gc += drained.gc;
+        proc.devirt_calls += devirt_calls;
+        proc.monitors_elided += monitors_elided;
         self.clock += drained.total;
         if self.sink.is_enabled() {
             // QuantumEnd keeps the quantum-*start* timestamp still on the

@@ -269,6 +269,134 @@ fn class_reload_invalidates_and_retiers() {
     os.audit().expect("audit after reload + retier");
 }
 
+/// A guest that exercises both sharpened shapes — a monomorphic virtual
+/// call and a frame-local `sync` — hot enough to tier up, then prints its
+/// own procfs status so the analysis counters round-trip unprivileged.
+const ANALYSIS_INSPECTOR: &str = r#"
+    class Worker {
+        int v;
+        int bump(int d) { return this.v + d; }
+    }
+    class Main {
+        static int main() {
+            int acc = 0;
+            for (int i = 0; i < 20000; i = i + 1) {
+                Worker w = new Worker();
+                w.v = i;
+                acc = acc + w.bump(1);
+                Object lock = new Object();
+                sync (lock) { acc = acc + 1; }
+            }
+            Sys.print(Proc.status(Proc.self_pid()));
+            return acc % 1000000007;
+        }
+    }
+"#;
+
+/// Tentpole observability: `devirt_calls` and `monitors_elided` reach
+/// `proc.status` (read from guest code, no privileged channel), agree with
+/// the kernel-side view, and surface in the `kaffeos-top` column.
+#[test]
+fn analysis_counters_round_trip_through_procfs_and_top() {
+    let mut os = build_os(1 << 20);
+    os.register_image("inspector", ANALYSIS_INSPECTOR).unwrap();
+    let pid = os.spawn("inspector", "", Some(1 << 20)).unwrap();
+    os.run(None);
+    assert!(!os.is_alive(pid), "inspector must run to completion");
+
+    let stdout = os.stdout(pid).join("\n");
+    let devirt = parse_status_counter(&stdout, "devirt_calls:");
+    let elided = parse_status_counter(&stdout, "monitors_elided:");
+    assert!(devirt >= 1, "hot monomorphic call must devirtualize:\n{stdout}");
+    assert!(elided >= 2, "frame-local sync must elide both ops:\n{stdout}");
+    assert_eq!(elided % 2, 0, "enter/exit elisions must pair up:\n{stdout}");
+
+    // Kernel-side agreement: the guest printed mid-run, so the kernel's
+    // final (monotone) counters can only be larger.
+    let (k_devirt, k_elided) = os.analysis_counters(pid).expect("pid is known");
+    assert!(k_devirt >= devirt, "{k_devirt} < printed {devirt}");
+    assert!(k_elided >= elided, "{k_elided} < printed {elided}");
+
+    let top = os.top_text();
+    let header = top.lines().next().unwrap_or("");
+    assert!(
+        header.contains("DEVIRT/ELIDE"),
+        "top header lacks the DEVIRT/ELIDE column:\n{top}"
+    );
+    let row = top
+        .lines()
+        .find(|l| l.trim_start().starts_with(&pid.0.to_string()))
+        .unwrap_or_else(|| panic!("no top row for {pid:?}:\n{top}"));
+    assert!(
+        row.contains(&format!("{k_devirt}/{k_elided}")),
+        "top row lacks the devirt/elided cell ({k_devirt}/{k_elided}):\n{top}"
+    );
+}
+
+/// Tentpole soundness: loading an override for a devirtualized target
+/// invalidates every compiled body that embedded the direct call, the
+/// process re-tiers against the now-polymorphic site, and the answer and
+/// registry audit stay clean.
+#[test]
+fn override_load_invalidates_devirtualized_bodies() {
+    let mut os = build_os(1 << 20);
+    os.load_shared_source("class Box { int v; int get() { return this.v; } }")
+        .unwrap();
+    os.register_image(
+        "caller",
+        r#"
+        class Main {
+            static int main() {
+                Box b = new Box();
+                b.v = 1;
+                int acc = 0;
+                for (int i = 0; i < 2000000; i = i + 1) { acc = acc + b.get(); }
+                int acc2 = 0;
+                for (int i = 0; i < 5000; i = i + 1) { acc2 = acc2 + b.get(); }
+                return acc + acc2;
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let pid = os.spawn("caller", "", Some(1 << 20)).unwrap();
+
+    // Run until tier-up has fired but the program is still mid-loop; the
+    // hot call must be running devirtualized.
+    os.run(Some(5_000_000));
+    assert!(os.is_alive(pid), "caller must still be running");
+    let mid = os.jit_stats(pid).unwrap();
+    assert!(mid.compiled >= 1, "caller must have tiered up: {mid:?}");
+    assert_eq!(os.jit_cache_stats().invalidations, 0);
+    let (devirt_mid, _) = os.analysis_counters(pid).expect("pid is known");
+    assert!(devirt_mid >= 1, "hot `b.get()` must be devirtualized");
+
+    // Load an override: `Box.get` is no longer the only reachable target,
+    // so the CHA fingerprint under every body that embedded the direct
+    // call has changed.
+    os.load_shared_source("class Box2 extends Box { int get() { return this.v + 1; } }")
+        .unwrap();
+    assert!(
+        os.jit_cache_stats().invalidations >= 1,
+        "override load must invalidate the devirtualized body"
+    );
+
+    // The receiver is still a `Box`, so the answer is unchanged — the
+    // site just runs through the vtable (or a re-tiered body) again.
+    os.run(None);
+    assert_eq!(
+        os.status(pid),
+        Some(kaffeos::ExitStatus::Exited(2_005_000)),
+        "caller must finish with the loop total"
+    );
+    let end = os.jit_stats(pid).unwrap();
+    assert!(
+        end.compiled > mid.compiled,
+        "caller must re-tier after the invalidation: {mid:?} -> {end:?}"
+    );
+    os.audit().expect("audit after override load + retier");
+}
+
 /// Satellite: the 8-seed kill-storm sweep. Processes holding shared bodies
 /// are killed at seeded quantum boundaries; afterwards the audit's
 /// cache-registry conservation pass must hold, every surviving entry must

@@ -77,6 +77,32 @@ const SHMER: &str = r#"
     }
 "#;
 
+/// Monitor- and virtual-call-dense guest: a fresh lock synced every
+/// iteration (elidable) and a monomorphic `bump` call (devirtualizable) —
+/// the two shapes the hierarchy/escape passes sharpen, run here under
+/// fault injection so the debug-build re-validation asserts get exercised.
+const SYNCER: &str = r#"
+    class Worker {
+        int v;
+        int bump(int d) { return this.v + d; }
+    }
+    class Main {
+        static int main(int n) {
+            int acc = 0;
+            int i = 0;
+            while (i < 200) {
+                Worker w = new Worker();
+                w.v = i;
+                acc = acc + w.bump(n);
+                Object lock = new Object();
+                sync (lock) { acc = acc + i; }
+                i = i + 1;
+            }
+            return acc;
+        }
+    }
+"#;
+
 fn build_os(config: KaffeOsConfig) -> KaffeOs {
     let mut os = KaffeOs::new(config);
     os.load_shared_source("class Cell { int value; }").unwrap();
@@ -85,11 +111,12 @@ fn build_os(config: KaffeOsConfig) -> KaffeOs {
     os.register_image("alloc", ALLOC).unwrap();
     os.register_image("shmer", SHMER).unwrap();
     os.register_image("frozen", FROZEN_WRITER).unwrap();
+    os.register_image("syncer", SYNCER).unwrap();
     os
 }
 
 fn spawn_workload(os: &mut KaffeOs) -> Vec<Pid> {
-    [("alloc", "2"), ("shmer", "1"), ("frozen", "0")]
+    [("alloc", "2"), ("shmer", "1"), ("frozen", "0"), ("syncer", "3")]
         .iter()
         .map(|(image, arg)| {
             os.spawn_with(
@@ -163,6 +190,17 @@ fn every_dynamic_violation_is_statically_non_elidable() {
                 !os.class_table().method(site.method).elide_at(site.pc),
                 "seed {seed}: violation at an elided site {site:?}"
             );
+            // Sharpened sites must never be the ones that blow up: a
+            // violating pc can be neither a devirtualized call nor an
+            // elided monitor op.
+            assert!(
+                os.class_table().method(site.method).devirt_at(site.pc).is_none(),
+                "seed {seed}: violation at a devirtualized site {site:?}"
+            );
+            assert!(
+                !os.class_table().method(site.method).mon_elide_at(site.pc),
+                "seed {seed}: violation at an elided monitor {site:?}"
+            );
             match analysis.site(site.method, site.pc) {
                 None => assert!(
                     analysis.is_bailed(site.method),
@@ -223,4 +261,41 @@ fn elision_does_not_move_virtual_time() {
         );
         assert_eq!(trace_on, trace_off, "seed {seed}: traces diverged");
     }
+}
+
+/// Devirtualization and monitor elision actually fire on the sync-dense
+/// guest — and, like barrier elision, are invisible in virtual time: same
+/// trace, clock, and exit status with the analysis on and off, while the
+/// dynamic counters report real work only in the on-configuration.
+#[test]
+fn monitor_elision_and_devirt_are_host_only() {
+    let run = |elide: bool| {
+        let mut os = build_os(KaffeOsConfig {
+            trace: true,
+            elide,
+            ..KaffeOsConfig::default()
+        });
+        let pid = os.spawn("syncer", "3", None).unwrap();
+        os.run(Some(os.clock() + 500_000_000));
+        let status = os.status(pid);
+        assert!(
+            matches!(status, Some(ExitStatus::Exited(_))),
+            "syncer must finish: {status:?}"
+        );
+        (
+            os.trace_jsonl(),
+            os.clock(),
+            status,
+            os.analysis_counters(pid).expect("pid is known"),
+        )
+    };
+    let (trace_on, clock_on, status_on, (devirt, elided)) = run(true);
+    let (trace_off, clock_off, status_off, counters_off) = run(false);
+    assert!(devirt > 0, "no devirtualized calls on the syncer");
+    assert!(elided > 0, "no elided monitor ops on the syncer");
+    assert_eq!(elided % 2, 0, "enter/exit elisions must pair up");
+    assert_eq!(counters_off, (0, 0), "analysis off but counters moved");
+    assert_eq!(status_on, status_off);
+    assert_eq!(clock_on, clock_off, "devirt/elision moved the clock");
+    assert_eq!(trace_on, trace_off, "devirt/elision moved the trace");
 }

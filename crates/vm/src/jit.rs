@@ -136,29 +136,70 @@ fn fnv_u64(v: u64, h: u64) -> u64 {
 }
 
 /// Identity of a compiled body in the process-shared cache. Two methods in
-/// different processes share a body exactly when all four components match:
+/// different processes share a body exactly when all five components match:
 /// the class *definition* bytes, the method's position in it, the
-/// analyzer's elision verdicts, and the resolution facts the template bakes
-/// in (field slots, vtable slots, intrinsic ids, literal text).
+/// analyzer's elision verdicts (barrier, monitor, dies-local), the class
+/// hierarchy facts baked into devirtualized call sites, and the resolution
+/// facts the template bakes in (field slots, vtable slots, intrinsic ids,
+/// literal text).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MethodKey {
     /// FNV-1a of the declaring class definition (the "class bytes" hash).
     pub def_hash: u64,
     /// Position of the method in its class's declared-method list.
     pub ordinal: u32,
-    /// Fingerprint of the analyzer's per-site barrier-elision bitmap.
+    /// Fingerprint of the analyzer's per-site elision bitmaps.
     pub elide_hash: u64,
+    /// Fingerprint of the devirtualized call sites (pc plus a
+    /// process-independent identity of each monomorphic target).
+    pub cha_hash: u64,
     /// Fingerprint of the baked-in resolution facts.
     pub res_hash: u64,
 }
 
-/// Fingerprint of a method's barrier-elision bitmap (canonical over the
-/// method's op count, so absent vs all-zero bitmaps hash alike).
+/// Fingerprint of a method's elision bitmaps (canonical over the method's
+/// op count, so absent vs all-zero bitmaps hash alike). One byte per pc
+/// folds the barrier-elision, monitor-elision, and dies-local verdicts.
 pub fn elide_fingerprint(table: &ClassTable, midx: MethodIdx) -> u64 {
     let m = table.method(midx);
     let mut h = FNV_OFFSET;
     for pc in 0..m.code.ops.len() as u32 {
-        h = fnv1a(&[m.elide_at(pc) as u8], h);
+        let byte = m.elide_at(pc) as u8
+            | (m.mon_elide_at(pc) as u8) << 1
+            | (m.local_elide_at(pc) as u8) << 2;
+        h = fnv1a(&[byte], h);
+    }
+    h
+}
+
+/// Fingerprint of a method's devirtualized call sites. Each entry hashes
+/// the site pc plus a process-independent identity of the monomorphic
+/// target: its declaring class's definition hash and its ordinal there —
+/// never a raw [`MethodIdx`], which is per-process. Two processes whose
+/// hierarchies sharpen the same sites to equivalent targets therefore
+/// share the template.
+pub fn cha_fingerprint(
+    table: &ClassTable,
+    midx: MethodIdx,
+    def_hashes: &mut FxHashMap<u32, u64>,
+) -> u64 {
+    let m = table.method(midx);
+    let mut h = fnv_u64(m.devirt.len() as u64, FNV_OFFSET);
+    for &(pc, target) in &m.devirt {
+        let tm = table.method(target);
+        let tlc = table.class(tm.class);
+        let tdef = *def_hashes
+            .entry(tm.class.0)
+            .or_insert_with(|| fnv1a(format!("{:?}", tlc.def).as_bytes(), FNV_OFFSET));
+        let tord = tlc
+            .methods
+            .iter()
+            .position(|&mi| mi == target)
+            .map(|p| p as u64)
+            .unwrap_or(u64::MAX);
+        h = fnv_u64(pc as u64, h);
+        h = fnv_u64(tdef, h);
+        h = fnv_u64(tord, h);
     }
     h
 }
@@ -250,6 +291,7 @@ pub fn method_key(
         def_hash,
         ordinal,
         elide_hash: elide_fingerprint(table, midx),
+        cha_hash: cha_fingerprint(table, midx, def_hashes),
         res_hash: res_fingerprint(table, midx),
     }
 }
@@ -339,7 +381,8 @@ enum MK {
 struct Micro {
     kind: MK,
     /// Fused encoding: low nibble = alu/cmp code, bits 4–5 = src-a kind,
-    /// bits 6–7 = src-b kind. For `AStore`/`PutFieldRef`, bit 0 = elide.
+    /// bits 6–7 = src-b kind. For `AStore`/`PutFieldRef`, bit 0 = elide
+    /// and bit 1 = dies-local (skip the remembered-set note as well).
     flags: u8,
     nops: u8,
     a: u16,
@@ -399,6 +442,15 @@ enum TOp {
         vslot: u16,
         nargs: u8,
     },
+    /// A virtual site the hierarchy analysis proved monomorphic: the
+    /// target is resolved through the per-process link table instead of
+    /// the receiver's vtable. Identical null/heap-fault behaviour and
+    /// cycle charges to [`TOp::CallVirtual`].
+    CallDevirt {
+        link: u16,
+        vslot: u16,
+        nargs: u8,
+    },
     Syscall {
         id: u16,
         nargs: u8,
@@ -414,8 +466,14 @@ enum TOp {
     ToStr,
     Substr,
     ParseInt,
-    MonitorEnter,
-    MonitorExit,
+    /// `elide` = the escape analysis proved the receiver never leaves its
+    /// frame: lock bookkeeping is skipped, cycles charged identically.
+    MonitorEnter {
+        elide: bool,
+    },
+    MonitorExit {
+        elide: bool,
+    },
     /// Falling off the end of the code (pc == ops.len()).
     ImplicitRet,
 }
@@ -981,6 +1039,9 @@ struct Compiler<'t> {
     ops: &'t [Op],
     pool: &'t [RConst],
     elide: Box<dyn Fn(u32) -> bool + 't>,
+    mon_elide: Box<dyn Fn(u32) -> bool + 't>,
+    local_elide: Box<dyn Fn(u32) -> bool + 't>,
+    devirt: Box<dyn Fn(u32) -> bool + 't>,
     t_ops: Vec<TOp>,
     micros: Vec<Micro>,
     consts: Vec<Value>,
@@ -1070,7 +1131,11 @@ impl<'t> Compiler<'t> {
             Op::NullCheck => m(MK::NullCheck),
             Op::ArrayLen => m(MK::ArrayLen),
             Op::ALoad => m(MK::ALoad),
-            Op::AStore => (MK::AStore, 0, (self.elide)(pc as u32) as u8),
+            Op::AStore => (
+                MK::AStore,
+                0,
+                (self.elide)(pc as u32) as u8 | ((self.local_elide)(pc as u32) as u8) << 1,
+            ),
             Op::GetField(idx) => {
                 let Some(RConst::InstanceField { slot, .. }) = self.pool.get(*idx as usize)
                 else {
@@ -1084,7 +1149,12 @@ impl<'t> Compiler<'t> {
                     return false;
                 };
                 if ty.is_reference() {
-                    (MK::PutFieldRef, *slot, (self.elide)(pc as u32) as u8)
+                    (
+                        MK::PutFieldRef,
+                        *slot,
+                        (self.elide)(pc as u32) as u8
+                            | ((self.local_elide)(pc as u32) as u8) << 1,
+                    )
                 } else {
                     (MK::PutFieldPrim, *slot, 0)
                 }
@@ -1384,9 +1454,17 @@ impl<'t> Compiler<'t> {
                 else {
                     return false;
                 };
-                TOp::CallVirtual {
-                    vslot: *vslot,
-                    nargs: *nargs,
+                if (self.devirt)(pc as u32) {
+                    TOp::CallDevirt {
+                        link: link(),
+                        vslot: *vslot,
+                        nargs: *nargs,
+                    }
+                } else {
+                    TOp::CallVirtual {
+                        vslot: *vslot,
+                        nargs: *nargs,
+                    }
                 }
             }
             Op::CallSpecial(idx) => {
@@ -1416,8 +1494,12 @@ impl<'t> Compiler<'t> {
             Op::ToStr => TOp::ToStr,
             Op::Substr => TOp::Substr,
             Op::ParseInt => TOp::ParseInt,
-            Op::MonitorEnter => TOp::MonitorEnter,
-            Op::MonitorExit => TOp::MonitorExit,
+            Op::MonitorEnter => TOp::MonitorEnter {
+                elide: (self.mon_elide)(pc as u32),
+            },
+            Op::MonitorExit => TOp::MonitorExit {
+                elide: (self.mon_elide)(pc as u32),
+            },
             _ => return false,
         };
         self.t_ops.push(t);
@@ -1463,6 +1545,9 @@ pub fn compile(table: &ClassTable, midx: MethodIdx, engine: Engine) -> Option<Co
         ops,
         pool: &lc.rpool,
         elide: Box::new(move |pc| m.elide_at(pc)),
+        mon_elide: Box::new(move |pc| m.mon_elide_at(pc)),
+        local_elide: Box::new(move |pc| m.local_elide_at(pc)),
+        devirt: Box::new(move |pc| m.devirt_at(pc).is_some()),
         t_ops: Vec::new(),
         micros: Vec::new(),
         consts: Vec::new(),
@@ -1561,7 +1646,7 @@ pub fn extract_links(table: &ClassTable, midx: MethodIdx) -> Option<Vec<Linked>>
     let m = table.method(midx);
     let lc = table.class(m.class);
     let mut links = Vec::new();
-    for op in &m.code.ops {
+    for (pc, op) in m.code.ops.iter().enumerate() {
         match op {
             Op::New(idx) => {
                 let RConst::Class(cidx) = *lc.rpool.get(*idx as usize)? else {
@@ -1609,6 +1694,13 @@ pub fn extract_links(table: &ClassTable, midx: MethodIdx) -> Option<Vec<Linked>>
                     return None;
                 };
                 links.push(Linked::Target { method: target });
+            }
+            // Devirtualized virtual sites take a link slot (the compiler
+            // assigns one in the same op order); polymorphic ones do not.
+            Op::CallVirtual(_) => {
+                if let Some(target) = m.devirt_at(pc as u32) {
+                    links.push(Linked::Target { method: target });
+                }
             }
             Op::CallSpecial(idx) => {
                 let RConst::VirtualMethod { class, vslot, .. } = *lc.rpool.get(*idx as usize)?
@@ -1872,14 +1964,20 @@ fn run_body(
     'method: loop {
     let body = &*ab.body;
     let links = &*ab.links;
-    let top = thread.frames.last().expect("frame");
+    // The dispatch loop only enters with a live frame; if it is somehow
+    // gone, hand control back rather than assert in the hot tier.
+    let Some(top) = thread.frames.last() else {
+        return BodyFlow::Frame;
+    };
     let method_idx = top.method;
     let locals_base = top.locals_base as usize;
     let stack_base = top.stack_base as usize;
 
     macro_rules! sync {
         ($pc:expr) => {
-            thread.frames.last_mut().expect("frame").pc = $pc as u32
+            if let Some(f) = thread.frames.last_mut() {
+                f.pc = $pc as u32;
+            }
         };
     }
     // The loop label is threaded through as a macro argument: labels are
@@ -2230,9 +2328,15 @@ fn run_body(
                             }
                             let result = if v.is_reference() {
                                 if m.flags & 1 != 0 {
-                                    ctx.space
-                                        .store_ref_elided(arr, index as usize, v)
-                                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                                    if m.flags & 2 != 0 {
+                                        ctx.space
+                                            .store_ref_elided_local(arr, index as usize, v)
+                                            .map(|bc| thread.cycles += bc)
+                                    } else {
+                                        ctx.space
+                                            .store_ref_elided(arr, index as usize, v)
+                                            .map(|bc| thread.cycles += bc)
+                                    }
                                 } else {
                                     let mut pinned = [arr; 2];
                                     let mut n = 1;
@@ -2279,9 +2383,15 @@ fn run_body(
                             };
                             let result = if matches!(m.kind, MK::PutFieldRef) {
                                 if m.flags & 1 != 0 {
-                                    ctx.space
-                                        .store_ref_elided(obj, m.a as usize, v)
-                                        .map(|barrier_cycles| thread.cycles += barrier_cycles)
+                                    if m.flags & 2 != 0 {
+                                        ctx.space
+                                            .store_ref_elided_local(obj, m.a as usize, v)
+                                            .map(|bc| thread.cycles += bc)
+                                    } else {
+                                        ctx.space
+                                            .store_ref_elided(obj, m.a as usize, v)
+                                            .map(|bc| thread.cycles += bc)
+                                    }
                                 } else {
                                     let mut pinned = [obj; 2];
                                     let mut n = 1;
@@ -2602,6 +2712,36 @@ fn run_body(
                 let midx = table.class(recv_class).vtable[vslot as usize];
                 jflow!('body, src + 1, push_frame(thread, ctx, midx));
             }
+            TOp::CallDevirt { link, vslot, nargs } => {
+                if thread.values.len() - stack_base < nargs as usize {
+                    jfault!(src + 1, "virtual call with short stack");
+                }
+                let recv_pos = thread.values.len() - nargs as usize;
+                let Value::Ref(recv) = thread.values[recv_pos] else {
+                    jthrow!('body, src + 1, npe("virtual call on null"));
+                };
+                // The class lookup is kept for fault parity with the
+                // dynamic path (a stale receiver must raise the same heap
+                // exception); what the template drops is the vtable walk.
+                let recv_heap_class = match ctx.space.class_of(recv) {
+                    Ok(id) => id,
+                    Err(e) => jthrow!('body, src + 1, heap_exception(e)),
+                };
+                let Linked::Target { method } = links[link as usize] else {
+                    jfault!(src + 1, "jit link {link} is not Target");
+                };
+                debug_assert_eq!(
+                    table
+                        .class(table.from_heap_class(recv_heap_class))
+                        .vtable[vslot as usize],
+                    method,
+                    "devirtualized template dispatched to a different override \
+                     ({method_idx:?} at pc {src})",
+                );
+                let _ = (recv_heap_class, vslot);
+                thread.devirt_calls += 1;
+                jflow!('body, src + 1, push_frame(thread, ctx, method));
+            }
             TOp::Syscall { id, nargs } => {
                 thread.cycles += body.sc_call;
                 sync!(src + 1);
@@ -2793,49 +2933,71 @@ fn run_body(
                     ),
                 }
             }
-            TOp::MonitorEnter => {
+            TOp::MonitorEnter { elide } => {
                 thread.cycles += body.sc_monitor;
                 let Value::Ref(obj) = vpop!() else {
                     jthrow!('body, src + 1, npe("monitorenter on null"));
                 };
-                match ctx.monitors.get_mut(&obj) {
-                    None => {
-                        ctx.monitors.insert(obj, (thread.id, 1));
-                        thread.held_monitors.push(obj);
-                    }
-                    Some((owner, depth)) if *owner == thread.id => *depth += 1,
-                    Some(_) => {
-                        // Rewind so the acquire retries when rescheduled.
-                        thread.values.push(Value::Ref(obj));
-                        sync!(src);
-                        return BodyFlow::Exit(RunExit::Blocked(obj));
+                if elide {
+                    // Escape analysis proved the receiver never leaves its
+                    // frame, so no other thread can contend; the virtual
+                    // cost above is charged identically.
+                    debug_assert!(
+                        !ctx.monitors.contains_key(&obj),
+                        "statically elided monitorenter on a contended object {obj:?}"
+                    );
+                    thread.monitors_elided += 1;
+                } else {
+                    match ctx.monitors.get_mut(&obj) {
+                        None => {
+                            ctx.monitors.insert(obj, (thread.id, 1));
+                            thread.held_monitors.push(obj);
+                        }
+                        Some((owner, depth)) if *owner == thread.id => *depth += 1,
+                        Some(_) => {
+                            // Rewind so the acquire retries when rescheduled.
+                            thread.values.push(Value::Ref(obj));
+                            sync!(src);
+                            return BodyFlow::Exit(RunExit::Blocked(obj));
+                        }
                     }
                 }
             }
-            TOp::MonitorExit => {
+            TOp::MonitorExit { elide } => {
                 thread.cycles += body.sc_monitor;
                 let Value::Ref(obj) = vpop!() else {
                     jthrow!('body, src + 1, npe("monitorexit on null"));
                 };
-                match ctx.monitors.get_mut(&obj) {
-                    Some((owner, depth)) if *owner == thread.id => {
-                        *depth -= 1;
-                        if *depth == 0 {
-                            ctx.monitors.remove(&obj);
-                            if let Some(pos) =
-                                thread.held_monitors.iter().rposition(|&m| m == obj)
-                            {
-                                thread.held_monitors.remove(pos);
+                if elide {
+                    // Matching enter was elided for the same object; the
+                    // exit is symmetric by construction (the escape pass
+                    // elides per-object, all-or-none).
+                    debug_assert!(
+                        !ctx.monitors.contains_key(&obj),
+                        "statically elided monitorexit on a registered monitor {obj:?}"
+                    );
+                    thread.monitors_elided += 1;
+                } else {
+                    match ctx.monitors.get_mut(&obj) {
+                        Some((owner, depth)) if *owner == thread.id => {
+                            *depth -= 1;
+                            if *depth == 0 {
+                                ctx.monitors.remove(&obj);
+                                if let Some(pos) =
+                                    thread.held_monitors.iter().rposition(|&m| m == obj)
+                                {
+                                    thread.held_monitors.remove(pos);
+                                }
                             }
                         }
+                        _ => jthrow!('body,
+                            src + 1,
+                            VmException::Builtin(
+                                BuiltinEx::IllegalState,
+                                "monitorexit without ownership".to_string(),
+                            )
+                        ),
                     }
-                    _ => jthrow!('body, 
-                        src + 1,
-                        VmException::Builtin(
-                            BuiltinEx::IllegalState,
-                            "monitorexit without ownership".to_string(),
-                        )
-                    ),
                 }
             }
         }

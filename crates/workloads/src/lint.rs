@@ -52,6 +52,10 @@ pub struct LintReport {
     pub elided: usize,
     /// All reference-store sites seen.
     pub total_sites: usize,
+    /// One-line verdict summary across all passes (store elision,
+    /// devirtualization, monitor elision, escape classes). Byte-stable for
+    /// a fixed class table; CI double-runs the linter and compares it.
+    pub verdicts: String,
 }
 
 /// Boots a kernel with every bundled guest program loaded and runs the
@@ -103,18 +107,22 @@ pub fn lint_bundled() -> LintReport {
         keys,
         elided,
         total_sites,
+        verdicts: analysis.verdict_summary(),
     }
 }
 
 /// CLI entry shared by `kaffeos-lint` and `kaffeos-workloads --lint`:
 /// prints the report; with `--allowlist <path>` fails on any diagnostic
-/// key missing from the file (one key per line, `#` comments).
+/// key missing from the file (one key per line, `#` comments). With
+/// `--strict`, allowlist entries that no longer fire are *also* fatal, so
+/// the pinned lint surface cannot silently rot as diagnostics are fixed.
 pub fn run_lint_cli(args: &[String]) -> ExitCode {
+    let strict = args.iter().any(|a| a == "--strict");
     let allowlist_path = match args.iter().position(|a| a == "--allowlist") {
         Some(i) => match args.get(i + 1) {
             Some(path) => Some(path.clone()),
             None => {
-                eprintln!("usage: kaffeos-lint [--allowlist <path>]");
+                eprintln!("usage: kaffeos-lint [--allowlist <path>] [--strict]");
                 return ExitCode::FAILURE;
             }
         },
@@ -132,6 +140,7 @@ pub fn run_lint_cli(args: &[String]) -> ExitCode {
         report.elided,
         report.total_sites
     );
+    println!("{}", report.verdicts);
 
     let Some(path) = allowlist_path else {
         return ExitCode::SUCCESS;
@@ -152,10 +161,16 @@ pub fn run_lint_cli(args: &[String]) -> ExitCode {
     for key in &new {
         eprintln!("NEW DIAGNOSTIC (not in {path}): {key}");
     }
+    let mut stale_count = 0usize;
     for stale in allow.difference(&report.keys) {
-        println!("note: allowlist entry no longer fires: {stale}");
+        if strict {
+            eprintln!("STALE ALLOWLIST ENTRY (no longer fires): {stale}");
+            stale_count += 1;
+        } else {
+            println!("note: allowlist entry no longer fires: {stale}");
+        }
     }
-    if new.is_empty() {
+    if new.is_empty() && stale_count == 0 {
         println!("lint surface matches {path}");
         ExitCode::SUCCESS
     } else {
